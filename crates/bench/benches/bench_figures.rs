@@ -1,0 +1,54 @@
+//! Criterion benches that exercise every figure pipeline at reduced scale
+//! (wall time of the full stack). These are the `cargo bench` entry points
+//! for the paper artifacts; the `fig*` binaries print the full-scale
+//! virtual-time tables recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cricket_bench::{
+    ablation_offloads, fig5a_matrix_mul, fig5b_linear_solver, fig5c_histogram, fig6_micro,
+    fig7_bandwidth, Micro, Scale,
+};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_apps");
+    g.sample_size(10);
+    g.bench_function("matrixMul_1/1000", |b| {
+        b.iter(|| std::hint::black_box(fig5a_matrix_mul(Scale(1000))))
+    });
+    g.bench_function("linearSolver_1/200", |b| {
+        b.iter(|| std::hint::black_box(fig5b_linear_solver(Scale(200))))
+    });
+    g.bench_function("histogram_1/1000", |b| {
+        b.iter(|| std::hint::black_box(fig5c_histogram(Scale(1000))))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_micro");
+    g.sample_size(10);
+    for which in [Micro::GetDeviceCount, Micro::MallocFree, Micro::KernelLaunch] {
+        g.bench_function(format!("{:?}_x500", which), |b| {
+            b.iter(|| std::hint::black_box(fig6_micro(which, 500)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_bandwidth");
+    g.sample_size(10);
+    g.bench_function("both_directions_16MiB", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig7_bandwidth(true, 16 << 20, false));
+            std::hint::black_box(fig7_bandwidth(false, 16 << 20, false));
+        })
+    });
+    g.bench_function("offload_ablation_16MiB", |b| {
+        b.iter(|| std::hint::black_box(ablation_offloads(16 << 20)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches of the ONC RPC layer end to end (wall time): null
+//! calls and bulk transfers over the in-memory transport and real TCP
+//! loopback, with the generated Cricket stubs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cricket_proto::CricketV1Client;
+use cricket_server::{make_rpc_server, CricketServer, ServerConfig};
+use oncrpc::{duplex_pair, TcpTransport};
+use simnet::SimClock;
+use std::sync::Arc;
+
+fn duplex_client() -> CricketV1Client {
+    let server = CricketServer::new(ServerConfig::default(), SimClock::new());
+    let rpc = make_rpc_server(server);
+    let (client_end, server_end) = duplex_pair();
+    std::thread::spawn(move || {
+        let mut conn = server_end;
+        let _ = rpc.serve_connection(&mut conn);
+    });
+    CricketV1Client::new(Box::new(client_end))
+}
+
+fn tcp_client() -> (CricketV1Client, oncrpc::ServerHandle) {
+    let server = CricketServer::new(ServerConfig::default(), SimClock::new());
+    let rpc = make_rpc_server(server);
+    let handle = oncrpc::server::serve_tcp(rpc, "127.0.0.1:0").unwrap();
+    let t = TcpTransport::connect(handle.addr()).unwrap();
+    (CricketV1Client::new(Box::new(t)), handle)
+}
+
+fn bench_null_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_null_call");
+    let mut mem = duplex_client();
+    g.bench_function("duplex", |b| b.iter(|| mem.rpc_null().unwrap()));
+    let (mut tcp, _handle) = tcp_client();
+    g.bench_function("tcp_loopback", |b| b.iter(|| tcp.rpc_null().unwrap()));
+    g.finish();
+}
+
+fn bench_memcpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_memcpy_htod");
+    g.sample_size(20);
+    let mut client = duplex_client();
+    for size in [64 * 1024usize, 4 * 1024 * 1024] {
+        let ptr = client.cuda_malloc(&(size as u64)).unwrap().into_result().unwrap();
+        let data = vec![1u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| {
+                assert_eq!(client.cuda_memcpy_htod(&ptr, d).unwrap(), 0);
+            });
+        });
+        client.cuda_free(&ptr).unwrap();
+    }
+    g.finish();
+}
+
+fn bench_malloc_free(c: &mut Criterion) {
+    let mut client = duplex_client();
+    c.bench_function("rpc_malloc_free_pair", |b| {
+        b.iter(|| {
+            let p = client.cuda_malloc(&4096).unwrap().into_result().unwrap();
+            assert_eq!(client.cuda_free(&p).unwrap(), 0);
+        });
+    });
+}
+
+criterion_group!(benches, bench_null_call, bench_memcpy, bench_malloc_free);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Criterion benches of the simulated GPU substrate (wall time): allocator,
+//! kernels, LZSS fatbin codec, LU factorization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vgpu::kernels::ParamBuilder;
+use vgpu::module::CubinBuilder;
+use vgpu::{Device, Dim3};
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vgpu_allocator");
+    g.bench_function("alloc_free_pair", |b| {
+        let mut dev = Device::a100();
+        b.iter(|| {
+            let (p, _) = dev.malloc(4096).unwrap();
+            dev.free(p).unwrap();
+        });
+    });
+    g.bench_function("alloc_free_64_interleaved", |b| {
+        let mut dev = Device::a100();
+        b.iter(|| {
+            let ptrs: Vec<u64> = (0..64).map(|i| dev.malloc(256 << (i % 6)).unwrap().0).collect();
+            for p in ptrs.into_iter().rev() {
+                dev.free(p).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vgpu_kernels");
+    g.sample_size(20);
+
+    // matrixMul 128x128x128 (uncached: input changes every iteration).
+    g.bench_function("matrix_mul_128", |b| {
+        let mut dev = Device::a100();
+        let image = CubinBuilder::new()
+            .kernel("matrixMulCUDA", &[8, 8, 8, 4, 4])
+            .build(false);
+        let (m, _) = dev.module_load(&image).unwrap();
+        let (f, _) = dev.module_get_function(m, "matrixMulCUDA").unwrap();
+        let n = 128u64;
+        let (a, _) = dev.malloc(n * n * 4).unwrap();
+        let (bb, _) = dev.malloc(n * n * 4).unwrap();
+        let (cc, _) = dev.malloc(n * n * 4).unwrap();
+        let params = ParamBuilder::new()
+            .ptr(cc)
+            .ptr(a)
+            .ptr(bb)
+            .u32(n as u32)
+            .u32(n as u32)
+            .build();
+        let grid = Dim3 { x: (n as u32) / 32, y: (n as u32) / 32, z: 1 };
+        let block = Dim3 { x: 32, y: 32, z: 1 };
+        let mut tick = 0u32;
+        b.iter(|| {
+            tick += 1;
+            // Touch an input so the memo cache cannot shortcut the launch.
+            dev.memcpy_htod(a, &tick.to_le_bytes()).unwrap();
+            dev.launch_kernel(f, grid, block, 0, 0, &params).unwrap();
+        });
+    });
+
+    // histogram256 over 4 MiB (uncached per iteration).
+    g.throughput(Throughput::Bytes(4 << 20));
+    g.bench_function("histogram256_4MiB", |b| {
+        let mut dev = Device::a100();
+        let image = CubinBuilder::new()
+            .kernel("histogram256Kernel", &[8, 8, 4])
+            .build(false);
+        let (m, _) = dev.module_load(&image).unwrap();
+        let (f, _) = dev.module_get_function(m, "histogram256Kernel").unwrap();
+        let bytes = 4u64 << 20;
+        let (data, _) = dev.malloc(bytes).unwrap();
+        let (partial, _) = dev.malloc(240 * 256 * 4).unwrap();
+        let params = ParamBuilder::new()
+            .ptr(partial)
+            .ptr(data)
+            .u32(bytes as u32)
+            .build();
+        let mut tick = 0u32;
+        b.iter(|| {
+            tick += 1;
+            dev.memcpy_htod(data, &tick.to_le_bytes()).unwrap();
+            dev.launch_kernel(f, Dim3::linear(240), Dim3::linear(64), 0, 0, &params)
+                .unwrap();
+        });
+    });
+
+    // Memoized launch: the fast path the proxy apps hit 100k times.
+    g.bench_function("memoized_launch", |b| {
+        let mut dev = Device::a100();
+        let image = CubinBuilder::new().kernel("empty", &[]).build(false);
+        let (m, _) = dev.module_load(&image).unwrap();
+        let (f, _) = dev.module_get_function(m, "empty").unwrap();
+        dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+        b.iter(|| {
+            dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_fatbin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fatbin_lzss");
+    let code: Vec<u8> = b"ld.global.f32 %f1, [%rd4]; fma.rn.f32 %f2, %f1, %f3, %f2; "
+        .iter()
+        .cycle()
+        .take(256 * 1024)
+        .copied()
+        .collect();
+    g.throughput(Throughput::Bytes(code.len() as u64));
+    g.bench_function("compress_256KiB", |b| {
+        b.iter(|| std::hint::black_box(vgpu::fatbin::compress(&code)));
+    });
+    let compressed = vgpu::fatbin::compress(&code);
+    g.bench_function("decompress_256KiB", |b| {
+        b.iter(|| std::hint::black_box(vgpu::fatbin::decompress(&compressed).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vgpu_solver");
+    g.sample_size(10);
+    for n in [128usize, 256] {
+        g.bench_with_input(BenchmarkId::new("dgetrf", n), &n, |b, &n| {
+            let mut dev = Device::a100();
+            let mut solver = vgpu::solver::SolverDn::new();
+            let a: Vec<f64> = (0..n * n)
+                .map(|i| if i % (n + 1) == 0 { n as f64 } else { (i % 13) as f64 * 0.1 })
+                .collect();
+            let bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let (pa, _) = dev.malloc((n * n * 8) as u64).unwrap();
+            let (pw, _) = dev.malloc((n * 8) as u64).unwrap();
+            let (pi, _) = dev.malloc((n * 4) as u64).unwrap();
+            let (pinfo, _) = dev.malloc(8).unwrap();
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                // Vary one element so the content-hash memo cannot hit.
+                let mut fresh = bytes.clone();
+                fresh[..8].copy_from_slice(&(n as f64 + tick as f64).to_le_bytes());
+                dev.memcpy_htod(pa, &fresh).unwrap();
+                solver
+                    .dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pw, pi, pinfo)
+                    .unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocator, bench_kernels, bench_fatbin, bench_solver);
+criterion_main!(benches);

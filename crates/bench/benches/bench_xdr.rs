@@ -1,0 +1,103 @@
+//! Criterion benches of the XDR and record-marking hot paths — the
+//! serialization work every Cricket call performs (wall-clock time of our
+//! real implementation, not simulated time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xdr::{Xdr, XdrDecoder, XdrEncoder};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xdr_primitives");
+    g.bench_function("encode_u64", |b| {
+        let mut enc = XdrEncoder::with_capacity(64);
+        b.iter(|| {
+            enc.clear();
+            enc.put_u64(std::hint::black_box(0x1122_3344_5566_7788));
+            std::hint::black_box(enc.len());
+        });
+    });
+    g.bench_function("decode_u64", |b| {
+        let buf = xdr::encode(&0xdead_beefu64);
+        b.iter(|| {
+            let mut dec = XdrDecoder::new(std::hint::black_box(&buf));
+            std::hint::black_box(dec.get_u64().unwrap());
+        });
+    });
+    g.bench_function("call_header_roundtrip", |b| {
+        // The fixed work of every RPC: encode + decode an RpcMessage.
+        use oncrpc::{CallBody, RpcMessage};
+        let msg = RpcMessage::call(7, CallBody::new(537395001, 1, 23));
+        b.iter(|| {
+            let buf = xdr::encode(std::hint::black_box(&msg));
+            let back: RpcMessage = xdr::decode(&buf).unwrap();
+            std::hint::black_box(back);
+        });
+    });
+    g.finish();
+}
+
+fn bench_opaque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xdr_opaque");
+    for size in [4 * 1024, 1024 * 1024, 8 * 1024 * 1024] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &data, |b, d| {
+            let mut enc = XdrEncoder::with_capacity(size + 16);
+            b.iter(|| {
+                enc.clear();
+                enc.put_opaque(std::hint::black_box(d));
+            });
+        });
+        let encoded = xdr::encode(&data);
+        g.bench_with_input(BenchmarkId::new("decode", size), &encoded, |b, e| {
+            b.iter(|| {
+                let v: Vec<u8> = xdr::decode(std::hint::black_box(e)).unwrap();
+                std::hint::black_box(v.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_record_marking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record_marking");
+    // The paper's key RPC-Lib feature: multi-fragment records.
+    for (label, frag) in [("1MiB_frags", 1 << 20), ("64KiB_frags", 64 << 10)] {
+        let payload = vec![7u8; 8 << 20];
+        g.throughput(Throughput::Bytes(payload.len() as u64));
+        g.bench_function(BenchmarkId::new("write_read", label), |b| {
+            b.iter(|| {
+                let mut wire = Vec::with_capacity(payload.len() + 1024);
+                oncrpc::record::write_record(&mut wire, &payload, frag).unwrap();
+                let mut cursor = std::io::Cursor::new(&wire);
+                let rec = oncrpc::record::read_record(&mut cursor, 1 << 30)
+                    .unwrap()
+                    .unwrap();
+                std::hint::black_box(rec.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("internet_checksum");
+    let data = vec![0x5au8; 1 << 20];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1MiB", |b| {
+        b.iter(|| {
+            std::hint::black_box(simnet::checksum::internet_checksum(std::hint::black_box(
+                &data,
+            )))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_primitives,
+    bench_opaque,
+    bench_record_marking,
+    bench_checksum
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Design ablations beyond the paper's figures, for choices DESIGN.md calls
+//! out:
+//!
+//! 1. **RPC fragment size** — RPC-Lib's fragmented record marking is what
+//!    permits large transfers; tiny fragments cost real header/processing
+//!    overhead.
+//! 2. **RustyHermit's §3.1 virtio features** — the paper's contributed
+//!    `CSUM`/`GUEST_CSUM`/`MRG_RXBUF` support, measured by comparing
+//!    against the pre-paper ("legacy") Hermit driver.
+//! 3. **Cubin compression** — image size vs. the decompression work the
+//!    loader performs (the paper's compressed-fatbin support).
+//! 4. **The paper's future work** (§5, §4.2 outlook): RustyHermit with TCP
+//!    segmentation offload, and a vDPA data path without vm-exits.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin ablation_design
+//! ```
+
+use cricket_bench::ablation_fragment_size;
+use cricket_client::sim::simulated;
+use cricket_client::{CubinBuilder, EnvConfig};
+use proxy_apps::bandwidth::{run as bw_run, BandwidthConfig};
+
+fn main() {
+    // 1. Fragment size sweep on a 64 MiB H2D transfer (RustyHermit).
+    println!("RPC fragment size vs 64 MiB H2D transfer time (RustyHermit):");
+    for (frag, secs) in ablation_fragment_size(64 << 20, &[4 << 10, 64 << 10, 1 << 20, 8 << 20]) {
+        println!("  fragment {:>8} KiB: {:>8.4} s", frag >> 10, secs);
+    }
+
+    // 2. The paper's virtio contributions to RustyHermit.
+    println!("\nRustyHermit virtio features (paper §3.1) — H2D bandwidth:");
+    for env in [EnvConfig::RustyHermitLegacy, EnvConfig::RustyHermit] {
+        let (ctx, _s) = simulated(env);
+        let r = bw_run(
+            &ctx,
+            &BandwidthConfig {
+                bytes: 256 << 20,
+                iterations: 1,
+            },
+        )
+        .expect("bandwidth");
+        println!(
+            "  {:<26} H2D {:>8.1} MiB/s, D2H {:>8.1} MiB/s",
+            env.label(),
+            r.h2d_mib_s,
+            r.d2h_mib_s
+        );
+    }
+
+    // 4 is printed last; see below.
+    // 3. Cubin compression: size on the wire vs. load time.
+    println!("\nCubin compression (module with a large device-code section):");
+    let code: Vec<u8> = b"SASS basic block; ld.global; st.global; bar.sync; "
+        .iter()
+        .cycle()
+        .take(512 * 1024)
+        .copied()
+        .collect();
+    for compressed in [false, true] {
+        let image = CubinBuilder::new()
+            .kernel("empty", &[])
+            .code(&code)
+            .build(compressed);
+        let (ctx, setup) = simulated(EnvConfig::RustyHermit);
+        let t0 = setup.seconds();
+        let module = ctx.load_module(&image).expect("load");
+        let load_secs = setup.seconds() - t0;
+        drop(module);
+        println!(
+            "  compressed={:<5} image {:>7} KiB, cuModuleLoadData {:.4} s (virtual)",
+            compressed,
+            image.len() >> 10,
+            load_secs
+        );
+    }
+
+    // 4. Future work: Hermit + TSO, Hermit + vDPA.
+    println!("\nPaper future work (§5): projected RustyHermit improvements:");
+    for env in [
+        EnvConfig::RustyHermit,
+        EnvConfig::RustyHermitTso,
+        EnvConfig::RustyHermitVdpa,
+    ] {
+        let (ctx, setup) = simulated(env);
+        let r = bw_run(
+            &ctx,
+            &BandwidthConfig {
+                bytes: 256 << 20,
+                iterations: 1,
+            },
+        )
+        .expect("bandwidth");
+        // Per-call latency probe: 200 cudaGetDeviceCount calls.
+        let t0 = setup.seconds();
+        ctx.with_raw(|raw| {
+            for _ in 0..200 {
+                raw.device_count().expect("count");
+            }
+        });
+        let per_call_us = (setup.seconds() - t0) / 200.0 * 1e6;
+        println!(
+            "  {:<28} H2D {:>8.1} MiB/s, D2H {:>8.1} MiB/s, {:>6.1} µs/call",
+            env.label(),
+            r.h2d_mib_s,
+            r.d2h_mib_s,
+            per_call_us
+        );
+    }
+}

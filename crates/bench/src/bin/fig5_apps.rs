@@ -1,0 +1,56 @@
+//! Regenerate paper **Figure 5**: "Comparison of execution time based on 10
+//! averaged runs on a Tesla A100 via 100 Gbit/s Ethernet" for the three
+//! proxy applications across the five configurations.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin fig5_apps             # paper scale
+//! cargo run --release -p cricket-bench --bin fig5_apps -- --scale 100
+//! ```
+//!
+//! `--scale N` divides the iteration counts by N (shapes are preserved; the
+//! virtual clock makes runs deterministic, so no averaging is needed).
+
+use cricket_bench::{fig5a_matrix_mul, fig5b_linear_solver, fig5c_histogram, Scale};
+
+fn main() {
+    let scale = parse_scale();
+    println!(
+        "Figure 5 — proxy application execution time (scale 1/{})\n",
+        scale.0
+    );
+    let a = fig5a_matrix_mul(scale);
+    print!("{}", a.render());
+    ratios(&a);
+    let b = fig5b_linear_solver(scale);
+    print!("{}", b.render());
+    ratios(&b);
+    let c = fig5c_histogram(scale);
+    print!("{}", c.render());
+    ratios(&c);
+}
+
+fn ratios(s: &cricket_bench::Series) {
+    let native = s.get("Rust").unwrap_or(f64::NAN);
+    let c = s.get("C").unwrap_or(f64::NAN);
+    let hermit = s.get("Hermit").unwrap_or(f64::NAN);
+    println!(
+        "  → C/Rust = {:.3}, Hermit/Rust = {:.2}\n",
+        c / native,
+        hermit / native
+    );
+}
+
+fn parse_scale() -> Scale {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            let n: usize = args
+                .next()
+                .expect("--scale N")
+                .parse()
+                .expect("N must be an integer");
+            return Scale(n.max(1));
+        }
+    }
+    Scale(1)
+}

@@ -1,0 +1,45 @@
+//! Regenerate paper **Figure 6**: "Execution time of 100 000 calls of CUDA
+//! APIs" — (a) cudaGetDeviceCount, (b) cudaMalloc+cudaFree, (c) kernel
+//! launch — across the five configurations, plus the paper's C-vs-Rust
+//! launch-path comparison.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin fig6_micro             # 100 000 calls
+//! cargo run --release -p cricket-bench --bin fig6_micro -- --calls 1000
+//! ```
+
+use cricket_bench::{fig6_micro, launch_c_vs_rust, Micro};
+
+fn main() {
+    let calls = parse_calls().unwrap_or(100_000);
+    println!("Figure 6 — execution time of {calls} CUDA API calls\n");
+    for which in [Micro::GetDeviceCount, Micro::MallocFree, Micro::KernelLaunch] {
+        let s = fig6_micro(which, calls);
+        print!("{}", s.render());
+        let native = s.get("Rust").unwrap();
+        println!(
+            "  → per call: Rust {:.1} µs, Hermit {:.1} µs ({:.2}x), Linux VM {:.1} µs ({:.2}x)\n",
+            native / calls as f64 * 1e6,
+            s.get("Hermit").unwrap() / calls as f64 * 1e6,
+            s.get("Hermit").unwrap() / native,
+            s.get("Linux VM").unwrap() / calls as f64 * 1e6,
+            s.get("Linux VM").unwrap() / native,
+        );
+    }
+
+    let (c_us, rust_us) = launch_c_vs_rust(calls.min(20_000));
+    println!(
+        "launch path: C {c_us:.2} µs/call vs Rust {rust_us:.2} µs/call → Rust {:.1} % faster (paper: 6.3 %)",
+        (c_us - rust_us) / c_us * 100.0
+    );
+}
+
+fn parse_calls() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--calls" {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}

@@ -1,0 +1,45 @@
+//! Regenerate paper **Figure 7**: "Memory transfer bandwidth based on 10
+//! averaged runs of bandwidthTest ... with 512 MiB of memory" — (a)
+//! device-to-host, (b) host-to-device — plus the extra rows for the
+//! ablation configurations.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin fig7_bandwidth              # 512 MiB
+//! cargo run --release -p cricket-bench --bin fig7_bandwidth -- --mib 64
+//! ```
+
+use cricket_bench::fig7_bandwidth;
+
+fn main() {
+    let mib = parse_mib().unwrap_or(512);
+    let bytes = mib << 20;
+    println!("Figure 7 — bandwidthTest with {mib} MiB transfers\n");
+    let d2h = fig7_bandwidth(false, bytes, true);
+    print!("{}", d2h.render());
+    println!();
+    let h2d = fig7_bandwidth(true, bytes, true);
+    print!("{}", h2d.render());
+
+    let native = h2d.get("Rust").unwrap();
+    println!(
+        "\n  → H2D retention vs native: Linux VM {:.0} % (paper ≥80 %), \
+         Hermit {:.1} % (paper ≈9.8 % in one direction), Unikraft {:.1} %",
+        h2d.get("Linux VM").unwrap() / native * 100.0,
+        h2d.get("Hermit").unwrap() / native * 100.0,
+        h2d.get("Unikraft").unwrap() / native * 100.0,
+    );
+    println!(
+        "  → Linux VM without offloads: {:.1} MiB/s H2D (paper ≈923.9 MiB/s)",
+        h2d.get("Linux VM (no offloads)").unwrap()
+    );
+}
+
+fn parse_mib() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--mib" {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}

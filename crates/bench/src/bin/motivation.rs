@@ -1,0 +1,51 @@
+//! Quantify the paper's motivation (§1, §5): unikernel fleets are far
+//! denser than the GPU partitions static assignment can offer, so remote,
+//! schedulable GPU sharing (Cricket) is required.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin motivation
+//! ```
+
+use unikernel::boot::{instances_per_node, sharing_pressure, Footprint, A100_SRIOV_PARTITIONS};
+use unikernel::GuestKind;
+
+fn main() {
+    // The paper's GPU node: 1.5 TiB memory, 4 GPUs.
+    const NODE_GIB: u64 = 1536;
+    const GPUS: u32 = 4;
+
+    println!("Deployment footprint per guest (paper §1/§3.1 motivation):\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>16} {:>16}",
+        "guest", "image MiB", "boot ms", "min mem MiB", "syscall ns", "fit/1.5TiB node", "per GPU partition"
+    );
+    for kind in [
+        GuestKind::LinuxVm,
+        GuestKind::Unikraft,
+        GuestKind::RustyHermit,
+    ] {
+        let fp = Footprint::of(kind);
+        let fit = instances_per_node(kind, NODE_GIB);
+        let pressure = sharing_pressure(kind, NODE_GIB, GPUS);
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>12.0} {:>12.0} {:>16} {:>15.0}x",
+            format!("{kind:?}"),
+            fp.image_mib,
+            fp.boot_ms,
+            fp.min_memory_mib,
+            fp.syscall_ns,
+            fit,
+            pressure
+        );
+    }
+    println!(
+        "\nStatic GPU assignment offers at most {GPUS} GPUs x {A100_SRIOV_PARTITIONS} SR-IOV \
+         partitions = {} contexts per node;",
+        GPUS * A100_SRIOV_PARTITIONS
+    );
+    println!(
+        "a RustyHermit fleet outnumbers them {:.0}:1 — the paper's case for Cricket's\n\
+         remote, schedulable GPU sharing.",
+        sharing_pressure(GuestKind::RustyHermit, NODE_GIB, GPUS)
+    );
+}

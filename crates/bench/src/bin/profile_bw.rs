@@ -1,0 +1,29 @@
+//! Internal profiling helper: one environment, one direction, one size.
+//! `profile_bw <env-index 0..6> <mib> [d2h]`
+use cricket_client::sim::SimSetup;
+use cricket_client::EnvConfig;
+use proxy_apps::bandwidth::{run, BandwidthConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let idx: usize = args[1].parse().unwrap();
+    let mib: usize = args[2].parse().unwrap();
+    let envs = [
+        EnvConfig::CNative,
+        EnvConfig::RustNative,
+        EnvConfig::LinuxVm,
+        EnvConfig::Unikraft,
+        EnvConfig::RustyHermit,
+        EnvConfig::LinuxVmNoOffload,
+        EnvConfig::RustyHermitLegacy,
+    ];
+    let env = envs[idx];
+    let wall = std::time::Instant::now();
+    let setup = SimSetup::new();
+    let ctx = setup.context(env);
+    let r = run(&ctx, &BandwidthConfig { bytes: mib << 20, iterations: 1 }).unwrap();
+    println!(
+        "{:?} {} MiB: wall {:.2}s, h2d {:.0} MiB/s d2h {:.0} MiB/s",
+        env, mib, wall.elapsed().as_secs_f64(), r.h2d_mib_s, r.d2h_mib_s
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerate paper **Table 1**: "Overview of configurations for the
+//! evaluation".
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin table1
+//! ```
+
+use cricket_client::EnvConfig;
+
+fn main() {
+    println!("Table 1: Overview of configurations for the evaluation");
+    println!(
+        "{:<10} {:<6} {:<14} {:<12} {:<10}",
+        "Name", "app.", "OS", "Hypervisor", "Network"
+    );
+    for env in EnvConfig::table1() {
+        let r = env.row();
+        println!(
+            "{:<10} {:<6} {:<14} {:<12} {:<10}",
+            r.name, r.app, r.os, r.hypervisor, r.network
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Regenerate the paper's §4.1 API-call and transfer accounting:
+//!
+//! > "the matrixMul application requires 100,041 CUDA API calls and
+//! >  1.95 MiB of memory transfers, the cuSolverDn_LinearSolver application
+//! >  requires 20,047 CUDA API calls and 6.07 GiB of memory transfers, and
+//! >  the histogram application requires 80,033 CUDA API calls and 64 MiB
+//! >  of memory transfers"
+//!
+//! By default the apps run at reduced iteration counts and the full-scale
+//! totals are *projected* from the measured fixed/per-iteration structure
+//! (the projection is exact: call counts are deterministic). Pass
+//! `--measure` to run the full paper configurations end to end instead.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin table_calls [-- --measure]
+//! ```
+
+use cricket_client::sim::simulated;
+use cricket_client::EnvConfig;
+use proxy_apps::{histogram, linear_solver, matrix_mul};
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    println!(
+        "§4.1 API-call accounting ({}):\n",
+        if measure {
+            "measured at full paper scale"
+        } else {
+            "small run measured; paper scale projected (exact)"
+        }
+    );
+    println!(
+        "{:<26} {:>12} {:>12} {:>14} {:>12}",
+        "application", "paper calls", "ours", "paper moved", "ours"
+    );
+
+    // matrixMul
+    {
+        let cfg = if measure {
+            matrix_mul::MatrixMulConfig::paper()
+        } else {
+            matrix_mul::MatrixMulConfig {
+                iterations: 100,
+                ..matrix_mul::MatrixMulConfig::paper()
+            }
+        };
+        let (ctx, _s) = simulated(EnvConfig::RustNative);
+        let r = matrix_mul::run(&ctx, &cfg).expect("matrixMul");
+        assert!(r.valid);
+        assert_eq!(r.stats.api_calls, cfg.expected_api_calls());
+        let full = matrix_mul::MatrixMulConfig::paper();
+        let calls = if measure {
+            r.stats.api_calls
+        } else {
+            full.expected_api_calls()
+        };
+        println!(
+            "{:<26} {:>12} {:>12} {:>14} {:>9.2} MiB",
+            "matrixMul",
+            "100,041",
+            calls,
+            "1.95 MiB",
+            full.expected_bytes() as f64 / (1 << 20) as f64
+        );
+    }
+
+    // cuSolverDn_LinearSolver
+    {
+        let cfg = if measure {
+            linear_solver::LinearSolverConfig::paper()
+        } else {
+            linear_solver::LinearSolverConfig {
+                iterations: 10,
+                ..linear_solver::LinearSolverConfig::paper()
+            }
+        };
+        let (ctx, _s) = simulated(EnvConfig::RustNative);
+        let r = linear_solver::run(&ctx, &cfg).expect("linear_solver");
+        assert!(r.valid);
+        assert_eq!(r.stats.api_calls, cfg.expected_api_calls());
+        let full = linear_solver::LinearSolverConfig::paper();
+        let calls = if measure {
+            r.stats.api_calls
+        } else {
+            full.expected_api_calls()
+        };
+        println!(
+            "{:<26} {:>12} {:>12} {:>14} {:>9.2} GiB",
+            "cuSolverDn_LinearSolver",
+            "20,047",
+            calls,
+            "6.07 GiB",
+            full.expected_bytes() as f64 / (1u64 << 30) as f64
+        );
+    }
+
+    // histogram
+    {
+        let cfg = if measure {
+            histogram::HistogramConfig::paper()
+        } else {
+            histogram::HistogramConfig {
+                byte_count: 1 << 20,
+                iterations: 20,
+            }
+        };
+        let (ctx, _s) = simulated(EnvConfig::RustNative);
+        let r = histogram::run(&ctx, &cfg).expect("histogram");
+        assert!(r.valid);
+        assert_eq!(r.stats.api_calls, cfg.expected_api_calls());
+        let full = histogram::HistogramConfig::paper();
+        let calls = if measure {
+            r.stats.api_calls
+        } else {
+            full.expected_api_calls()
+        };
+        println!(
+            "{:<26} {:>12} {:>12} {:>14} {:>9} MiB",
+            "histogram",
+            "80,033",
+            calls,
+            "64 MiB",
+            full.byte_count >> 20
+        );
+    }
+}

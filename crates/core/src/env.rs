@@ -1,0 +1,210 @@
+//! The evaluated configurations (paper Table 1) and extras.
+
+use unikernel::{Guest, GuestKind};
+
+/// Which client library flavor issues the CUDA calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFlavor {
+    /// The original C applications over libtirpc.
+    CTirpc,
+    /// The paper's Rust applications over RPC-Lib (this crate).
+    RustRpcLib,
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvConfig {
+    /// Table 1 "C": C app, Rocky Linux, no hypervisor, native network.
+    CNative,
+    /// Table 1 "Rust": Rust app, Rocky Linux, no hypervisor, native network.
+    RustNative,
+    /// Table 1 "Linux VM": Rust app, Fedora VM, QEMU, virtio.
+    LinuxVm,
+    /// Table 1 "Unikraft": Rust app, Unikraft, QEMU, virtio.
+    Unikraft,
+    /// Table 1 "Hermit": Rust app, RustyHermit, QEMU, virtio.
+    RustyHermit,
+    /// Ablation: RustyHermit without the paper's §3.1 virtio features.
+    RustyHermitLegacy,
+    /// Ablation (§4.2): Linux VM with TSO/checksum/scatter-gather disabled.
+    LinuxVmNoOffload,
+    /// Future work (§5): RustyHermit with TCP segmentation offload.
+    RustyHermitTso,
+    /// Future work (§4.2): RustyHermit with a vDPA data path (hardware
+    /// queues, no vm-exits on the data path).
+    RustyHermitVdpa,
+}
+
+/// A row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Application language.
+    pub app: &'static str,
+    /// Operating system.
+    pub os: &'static str,
+    /// Hypervisor ("-" for native).
+    pub hypervisor: &'static str,
+    /// Network path.
+    pub network: &'static str,
+}
+
+impl EnvConfig {
+    /// The five rows of Table 1, in paper order.
+    pub fn table1() -> [EnvConfig; 5] {
+        [
+            EnvConfig::CNative,
+            EnvConfig::RustNative,
+            EnvConfig::LinuxVm,
+            EnvConfig::Unikraft,
+            EnvConfig::RustyHermit,
+        ]
+    }
+
+    /// Short label used in figures ("C", "Rust", "Linux VM", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnvConfig::CNative => "C",
+            EnvConfig::RustNative => "Rust",
+            EnvConfig::LinuxVm => "Linux VM",
+            EnvConfig::Unikraft => "Unikraft",
+            EnvConfig::RustyHermit => "Hermit",
+            EnvConfig::RustyHermitLegacy => "Hermit (legacy virtio)",
+            EnvConfig::LinuxVmNoOffload => "Linux VM (no offloads)",
+            EnvConfig::RustyHermitTso => "Hermit (+TSO, future work)",
+            EnvConfig::RustyHermitVdpa => "Hermit (+vDPA, future work)",
+        }
+    }
+
+    /// The guest environment (network behavior).
+    pub fn guest(&self) -> Guest {
+        match self {
+            EnvConfig::CNative | EnvConfig::RustNative => Guest::new(GuestKind::NativeLinux),
+            EnvConfig::LinuxVm => Guest::new(GuestKind::LinuxVm),
+            EnvConfig::Unikraft => Guest::new(GuestKind::Unikraft),
+            EnvConfig::RustyHermit => Guest::new(GuestKind::RustyHermit),
+            EnvConfig::RustyHermitLegacy => Guest::new(GuestKind::RustyHermitLegacy),
+            EnvConfig::LinuxVmNoOffload => Guest::linux_vm_offloads_disabled(),
+            EnvConfig::RustyHermitTso => Guest::new(GuestKind::RustyHermitTso),
+            EnvConfig::RustyHermitVdpa => Guest::new(GuestKind::RustyHermit).with_vdpa(),
+        }
+    }
+
+    /// The client library flavor.
+    pub fn flavor(&self) -> ClientFlavor {
+        match self {
+            EnvConfig::CNative => ClientFlavor::CTirpc,
+            _ => ClientFlavor::RustRpcLib,
+        }
+    }
+
+    /// Table 1 row contents.
+    pub fn row(&self) -> Table1Row {
+        match self {
+            EnvConfig::CNative => Table1Row {
+                name: "C",
+                app: "C",
+                os: "Rocky Linux",
+                hypervisor: "-",
+                network: "native",
+            },
+            EnvConfig::RustNative => Table1Row {
+                name: "Rust",
+                app: "Rust",
+                os: "Rocky Linux",
+                hypervisor: "-",
+                network: "native",
+            },
+            EnvConfig::LinuxVm => Table1Row {
+                name: "Linux VM",
+                app: "Rust",
+                os: "Fedora VM",
+                hypervisor: "QEMU",
+                network: "virtio",
+            },
+            EnvConfig::Unikraft => Table1Row {
+                name: "Unikraft",
+                app: "Rust",
+                os: "Unikraft",
+                hypervisor: "QEMU",
+                network: "virtio",
+            },
+            EnvConfig::RustyHermit => Table1Row {
+                name: "Hermit",
+                app: "Rust",
+                os: "Hermit",
+                hypervisor: "QEMU",
+                network: "virtio",
+            },
+            EnvConfig::RustyHermitLegacy => Table1Row {
+                name: "Hermit (legacy)",
+                app: "Rust",
+                os: "Hermit (pre-paper virtio)",
+                hypervisor: "QEMU",
+                network: "virtio",
+            },
+            EnvConfig::LinuxVmNoOffload => Table1Row {
+                name: "Linux VM (no offloads)",
+                app: "Rust",
+                os: "Fedora VM",
+                hypervisor: "QEMU",
+                network: "virtio (TSO/csum/SG off)",
+            },
+            EnvConfig::RustyHermitTso => Table1Row {
+                name: "Hermit (+TSO)",
+                app: "Rust",
+                os: "Hermit (future virtio)",
+                hypervisor: "QEMU",
+                network: "virtio + TSO",
+            },
+            EnvConfig::RustyHermitVdpa => Table1Row {
+                name: "Hermit (+vDPA)",
+                app: "Rust",
+                os: "Hermit",
+                hypervisor: "QEMU",
+                network: "vDPA hardware queues",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows: Vec<Table1Row> = EnvConfig::table1().iter().map(|c| c.row()).collect();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].app, "C");
+        assert!(rows.iter().skip(1).all(|r| r.app == "Rust"));
+        assert_eq!(rows[2].hypervisor, "QEMU");
+        assert!(rows[0].network == "native" && rows[1].network == "native");
+        assert!(rows[2..].iter().all(|r| r.network == "virtio"));
+    }
+
+    #[test]
+    fn only_c_config_uses_tirpc() {
+        assert_eq!(EnvConfig::CNative.flavor(), ClientFlavor::CTirpc);
+        for c in [
+            EnvConfig::RustNative,
+            EnvConfig::LinuxVm,
+            EnvConfig::Unikraft,
+            EnvConfig::RustyHermit,
+        ] {
+            assert_eq!(c.flavor(), ClientFlavor::RustRpcLib);
+        }
+    }
+
+    #[test]
+    fn guests_match_kinds() {
+        assert_eq!(EnvConfig::CNative.guest().kind, GuestKind::NativeLinux);
+        assert_eq!(EnvConfig::RustNative.guest().kind, GuestKind::NativeLinux);
+        assert_eq!(EnvConfig::RustyHermit.guest().kind, GuestKind::RustyHermit);
+        assert_eq!(
+            EnvConfig::LinuxVmNoOffload.guest().costs.offloads.tso,
+            false
+        );
+    }
+}

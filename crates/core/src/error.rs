@@ -1,0 +1,91 @@
+//! Client-side error type.
+
+use std::fmt;
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Errors surfaced to applications.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport / RPC-layer failure.
+    Rpc(oncrpc::RpcError),
+    /// The server executed the CUDA API and it returned an error code.
+    Cuda {
+        /// The CUDA error number (see `cricket_proto::CudaError`).
+        code: i32,
+        /// Which API failed.
+        api: &'static str,
+    },
+}
+
+impl ClientError {
+    /// Build a CUDA error for `api` from a wire code.
+    pub fn cuda(api: &'static str, code: i32) -> Self {
+        ClientError::Cuda { code, api }
+    }
+
+    /// The CUDA error code, if this is a CUDA-level failure.
+    pub fn cuda_code(&self) -> Option<i32> {
+        match self {
+            ClientError::Cuda { code, .. } => Some(*code),
+            ClientError::Rpc(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Rpc(e) => write!(f, "rpc error: {e}"),
+            ClientError::Cuda { code, api } => {
+                let name = cricket_proto::CudaError::from_i32(*code)
+                    .map(|e| format!("{e:?}"))
+                    .unwrap_or_else(|| format!("cudaError({code})"));
+                write!(f, "{api} failed: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Rpc(e) => Some(e),
+            ClientError::Cuda { .. } => None,
+        }
+    }
+}
+
+impl From<oncrpc::RpcError> for ClientError {
+    fn from(e: oncrpc::RpcError) -> Self {
+        ClientError::Rpc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_known_codes() {
+        let e = ClientError::cuda("cudaMalloc", 2);
+        let s = e.to_string();
+        assert!(s.contains("cudaMalloc"), "{s}");
+        assert!(s.contains("MemoryAllocation"), "{s}");
+        assert_eq!(e.cuda_code(), Some(2));
+    }
+
+    #[test]
+    fn display_handles_unknown_codes() {
+        let e = ClientError::cuda("cudaFree", 9999);
+        assert!(e.to_string().contains("cudaError(9999)"));
+    }
+
+    #[test]
+    fn rpc_errors_have_no_cuda_code() {
+        let e = ClientError::Rpc(oncrpc::RpcError::TimedOut);
+        assert_eq!(e.cuda_code(), None);
+        assert!(e.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Cricket client runtime — the reproduction of the paper's contribution.
+//!
+//! Applications use this crate the way the paper's applications use
+//! RPC-Lib + the Cricket virtualization layer: CUDA API calls are issued
+//! against a local API and forwarded via ONC RPC to a Cricket server that
+//! owns the GPU. Three layers are offered:
+//!
+//! * [`raw`] — one function per CUDA API (`cuda_malloc`, `cuda_memcpy_*`,
+//!   `cu_module_load`, `cuda_launch_kernel`, cuBLAS/cuSolver entry points),
+//!   thin typed wrappers over the generated RPC stub, with **API-call and
+//!   byte accounting** ([`stats::ApiStats`]) reproducing the paper's §4.1
+//!   call-count table.
+//! * [`safe`] — the Rust-idiomatic layer the paper highlights: *"we wrap
+//!   the cudaMalloc and cudaFree APIs, making GPU allocations work like
+//!   local heap allocations. This way, we can guarantee the absence of
+//!   use-after-free and double-free errors"* (§3.4). [`safe::DeviceBuffer`]
+//!   frees on drop and is lifetime-bound to its [`safe::Context`];
+//!   [`safe::Module`], [`safe::Stream`] and [`safe::Event`] behave likewise.
+//! * [`env`] — the five Table-1 configurations. [`env::EnvConfig`] selects
+//!   the guest environment (network behavior) and the client flavor
+//!   (Rust RPC-Lib vs. C libtirpc, whose extra kernel-launch marshalling
+//!   and slower `rand()` the paper measures).
+//!
+//! [`sim`] wires a client to an in-process server over the simulated
+//! network path; `Context::connect_tcp` talks to a real `cricket-server`
+//! process instead — the same application code runs on either, mirroring
+//! the paper's "without any code modification, we can run the same Rust
+//! application … directly on Linux".
+
+pub mod ccompat;
+pub mod env;
+pub mod error;
+pub mod raw;
+pub mod safe;
+pub mod sim;
+pub mod stats;
+
+pub use env::EnvConfig;
+pub use error::{ClientError, ClientResult};
+pub use raw::CricketClient;
+pub use safe::{Context, DeviceBuffer, Event, Function, Module, Stream};
+pub use stats::ApiStats;
+
+/// Grid/block geometry re-export (wire type from the protocol).
+pub use cricket_proto::RpcDim3 as Dim3;
+
+/// Kernel-parameter marshalling re-export ("void* args[]" stand-in).
+pub use vgpu::kernels::ParamBuilder;
+
+/// Cubin construction re-export — the `nvcc` stand-in examples use to
+/// produce kernel images they then load via the `cuModule` API.
+pub use vgpu::module::CubinBuilder;

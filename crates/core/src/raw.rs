@@ -1,0 +1,556 @@
+//! The raw virtualized CUDA API: typed wrappers over the generated stub,
+//! with accounting and client-flavor behavior.
+
+use crate::ccompat::{launch_compat_marshal, LAUNCH_COMPAT_NS, TIRPC_CALL_NS};
+use crate::env::ClientFlavor;
+use crate::error::{ClientError, ClientResult};
+use crate::stats::ApiStats;
+use cricket_proto::{CricketV1Client, DeviceProp, MemInfo, RpcDim3, ServerStats};
+use simnet::SimClock;
+use std::sync::Arc;
+
+/// The Cricket client: one connection to a Cricket server.
+pub struct CricketClient {
+    stub: CricketV1Client,
+    flavor: ClientFlavor,
+    /// Present in simulated mode: client-side host work (launch-compat
+    /// marshalling, libtirpc overhead, PRNG init) is charged here.
+    clock: Option<Arc<SimClock>>,
+    /// Accounting.
+    pub stats: ApiStats,
+}
+
+impl CricketClient {
+    /// Wrap a transport with the given client flavor.
+    pub fn new(
+        transport: Box<dyn oncrpc::Transport>,
+        flavor: ClientFlavor,
+        clock: Option<Arc<SimClock>>,
+    ) -> Self {
+        Self {
+            stub: CricketV1Client::new(transport),
+            flavor,
+            clock,
+            stats: ApiStats::default(),
+        }
+    }
+
+    /// The simulated clock, if any (examples print virtual times from it).
+    pub fn clock(&self) -> Option<&Arc<SimClock>> {
+        self.clock.as_ref()
+    }
+
+    /// The client flavor.
+    pub fn flavor(&self) -> ClientFlavor {
+        self.flavor
+    }
+
+    /// Override the ONC RPC maximum fragment size (fragmentation ablation).
+    pub fn set_max_fragment(&mut self, max_fragment: usize) {
+        self.stub.rpc.set_max_fragment(max_fragment);
+    }
+
+    /// Charge client-side host nanoseconds (simulated mode only).
+    pub fn charge(&self, ns: u64) {
+        if let Some(c) = &self.clock {
+            c.advance(ns);
+        }
+    }
+
+    fn pre_call(&mut self, api: &'static str) {
+        self.stats.count(api);
+        if self.flavor == ClientFlavor::CTirpc {
+            self.charge(TIRPC_CALL_NS);
+        }
+    }
+
+    fn int_status(api: &'static str, code: i32) -> ClientResult<()> {
+        if code == 0 {
+            Ok(())
+        } else {
+            Err(ClientError::cuda(api, code))
+        }
+    }
+
+    // ---- device management ------------------------------------------
+
+    /// cudaGetDeviceCount.
+    pub fn device_count(&mut self) -> ClientResult<i32> {
+        self.pre_call("cudaGetDeviceCount");
+        self.stub
+            .cuda_get_device_count()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaGetDeviceCount", c))
+    }
+
+    /// cudaGetDeviceProperties.
+    pub fn device_properties(&mut self, ordinal: i32) -> ClientResult<DeviceProp> {
+        self.pre_call("cudaGetDeviceProperties");
+        match self.stub.cuda_get_device_properties(&ordinal)? {
+            cricket_proto::PropResult::Prop(p) => Ok(p),
+            cricket_proto::PropResult::Default(c) => {
+                Err(ClientError::cuda("cudaGetDeviceProperties", c))
+            }
+        }
+    }
+
+    /// cudaSetDevice.
+    pub fn set_device(&mut self, ordinal: i32) -> ClientResult<()> {
+        self.pre_call("cudaSetDevice");
+        Self::int_status("cudaSetDevice", self.stub.cuda_set_device(&ordinal)?)
+    }
+
+    /// cudaGetDevice.
+    pub fn get_device(&mut self) -> ClientResult<i32> {
+        self.pre_call("cudaGetDevice");
+        self.stub
+            .cuda_get_device()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaGetDevice", c))
+    }
+
+    /// cudaDeviceSynchronize.
+    pub fn device_synchronize(&mut self) -> ClientResult<()> {
+        self.pre_call("cudaDeviceSynchronize");
+        Self::int_status("cudaDeviceSynchronize", self.stub.cuda_device_synchronize()?)
+    }
+
+    /// cudaDeviceReset.
+    pub fn device_reset(&mut self) -> ClientResult<()> {
+        self.pre_call("cudaDeviceReset");
+        Self::int_status("cudaDeviceReset", self.stub.cuda_device_reset()?)
+    }
+
+    // ---- memory -------------------------------------------------------
+
+    /// cudaMalloc.
+    pub fn malloc(&mut self, size: u64) -> ClientResult<u64> {
+        self.pre_call("cudaMalloc");
+        self.stub
+            .cuda_malloc(&size)?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaMalloc", c))
+    }
+
+    /// cudaFree.
+    pub fn free(&mut self, ptr: u64) -> ClientResult<()> {
+        self.pre_call("cudaFree");
+        Self::int_status("cudaFree", self.stub.cuda_free(&ptr)?)
+    }
+
+    /// cudaMemcpy host→device.
+    pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> ClientResult<()> {
+        self.pre_call("cudaMemcpy(H2D)");
+        self.stats.bytes_h2d += data.len() as u64;
+        Self::int_status(
+            "cudaMemcpy(H2D)",
+            self.stub.cuda_memcpy_htod(&dst, &data.to_vec())?,
+        )
+    }
+
+    /// cudaMemcpy device→host.
+    pub fn memcpy_dtoh(&mut self, src: u64, len: u64) -> ClientResult<Vec<u8>> {
+        self.pre_call("cudaMemcpy(D2H)");
+        let out = self
+            .stub
+            .cuda_memcpy_dtoh(&src, &len)?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaMemcpy(D2H)", c))?;
+        self.stats.bytes_d2h += out.len() as u64;
+        Ok(out)
+    }
+
+    /// cudaMemcpy device→device.
+    pub fn memcpy_dtod(&mut self, dst: u64, src: u64, len: u64) -> ClientResult<()> {
+        self.pre_call("cudaMemcpy(D2D)");
+        Self::int_status(
+            "cudaMemcpy(D2D)",
+            self.stub.cuda_memcpy_dtod(&dst, &src, &len)?,
+        )
+    }
+
+    /// cudaMemset.
+    pub fn memset(&mut self, ptr: u64, value: i32, len: u64) -> ClientResult<()> {
+        self.pre_call("cudaMemset");
+        Self::int_status("cudaMemset", self.stub.cuda_memset(&ptr, &value, &len)?)
+    }
+
+    /// cudaGetLastError.
+    pub fn get_last_error(&mut self) -> ClientResult<i32> {
+        self.pre_call("cudaGetLastError");
+        self.stub
+            .cuda_get_last_error()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaGetLastError", c))
+    }
+
+    /// cudaMemGetInfo.
+    pub fn mem_get_info(&mut self) -> ClientResult<MemInfo> {
+        self.pre_call("cudaMemGetInfo");
+        match self.stub.cuda_mem_get_info()? {
+            cricket_proto::MemInfoResult::Info(i) => Ok(i),
+            cricket_proto::MemInfoResult::Default(c) => {
+                Err(ClientError::cuda("cudaMemGetInfo", c))
+            }
+        }
+    }
+
+    // ---- modules and launches -----------------------------------------
+
+    /// cuModuleLoadData: ship a cubin image read on the client side to the
+    /// server (the paper's §3.3 loading path).
+    pub fn module_load(&mut self, image: &[u8]) -> ClientResult<u64> {
+        self.pre_call("cuModuleLoadData");
+        self.stats.bytes_h2d += image.len() as u64;
+        self.stub
+            .cu_module_load_data(&image.to_vec())?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cuModuleLoadData", c))
+    }
+
+    /// cuModuleGetFunction.
+    pub fn module_get_function(&mut self, module: u64, name: &str) -> ClientResult<u64> {
+        self.pre_call("cuModuleGetFunction");
+        self.stub
+            .cu_module_get_function(&module, &name.to_string())?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cuModuleGetFunction", c))
+    }
+
+    /// cuModuleUnload.
+    pub fn module_unload(&mut self, module: u64) -> ClientResult<()> {
+        self.pre_call("cuModuleUnload");
+        Self::int_status("cuModuleUnload", self.stub.cu_module_unload(&module)?)
+    }
+
+    /// cuLaunchKernel. The C flavor pays for the `<<<...>>>`-compatibility
+    /// marshalling the Rust implementation omits (paper §4.2).
+    pub fn launch_kernel(
+        &mut self,
+        func: u64,
+        grid: RpcDim3,
+        block: RpcDim3,
+        shared_mem: u32,
+        stream: u64,
+        params: &[u8],
+    ) -> ClientResult<()> {
+        self.pre_call("cuLaunchKernel");
+        self.stats.launches += 1;
+        let staged;
+        let params = if self.flavor == ClientFlavor::CTirpc {
+            staged = launch_compat_marshal(params);
+            self.charge(LAUNCH_COMPAT_NS);
+            &staged[..]
+        } else {
+            params
+        };
+        Self::int_status(
+            "cuLaunchKernel",
+            self.stub.cuda_launch_kernel(
+                &func,
+                &grid,
+                &block,
+                &shared_mem,
+                &stream,
+                &params.to_vec(),
+            )?,
+        )
+    }
+
+    // ---- streams and events -------------------------------------------
+
+    /// cudaStreamCreate.
+    pub fn stream_create(&mut self) -> ClientResult<u64> {
+        self.pre_call("cudaStreamCreate");
+        self.stub
+            .cuda_stream_create()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaStreamCreate", c))
+    }
+
+    /// cudaStreamDestroy.
+    pub fn stream_destroy(&mut self, h: u64) -> ClientResult<()> {
+        self.pre_call("cudaStreamDestroy");
+        Self::int_status("cudaStreamDestroy", self.stub.cuda_stream_destroy(&h)?)
+    }
+
+    /// cudaStreamSynchronize.
+    pub fn stream_synchronize(&mut self, h: u64) -> ClientResult<()> {
+        self.pre_call("cudaStreamSynchronize");
+        Self::int_status(
+            "cudaStreamSynchronize",
+            self.stub.cuda_stream_synchronize(&h)?,
+        )
+    }
+
+    /// cudaEventCreate.
+    pub fn event_create(&mut self) -> ClientResult<u64> {
+        self.pre_call("cudaEventCreate");
+        self.stub
+            .cuda_event_create()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaEventCreate", c))
+    }
+
+    /// cudaEventRecord.
+    pub fn event_record(&mut self, event: u64, stream: u64) -> ClientResult<()> {
+        self.pre_call("cudaEventRecord");
+        Self::int_status("cudaEventRecord", self.stub.cuda_event_record(&event, &stream)?)
+    }
+
+    /// cudaEventSynchronize.
+    pub fn event_synchronize(&mut self, event: u64) -> ClientResult<()> {
+        self.pre_call("cudaEventSynchronize");
+        Self::int_status(
+            "cudaEventSynchronize",
+            self.stub.cuda_event_synchronize(&event)?,
+        )
+    }
+
+    /// cudaEventElapsedTime (milliseconds).
+    pub fn event_elapsed_ms(&mut self, start: u64, stop: u64) -> ClientResult<f32> {
+        self.pre_call("cudaEventElapsedTime");
+        self.stub
+            .cuda_event_elapsed_time(&start, &stop)?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cudaEventElapsedTime", c))
+    }
+
+    /// cudaEventDestroy.
+    pub fn event_destroy(&mut self, event: u64) -> ClientResult<()> {
+        self.pre_call("cudaEventDestroy");
+        Self::int_status("cudaEventDestroy", self.stub.cuda_event_destroy(&event)?)
+    }
+
+    // ---- cuBLAS ---------------------------------------------------------
+
+    /// cublasCreate.
+    pub fn blas_create(&mut self) -> ClientResult<u64> {
+        self.pre_call("cublasCreate");
+        self.stub
+            .cublas_create()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cublasCreate", c))
+    }
+
+    /// cublasDestroy.
+    pub fn blas_destroy(&mut self, h: u64) -> ClientResult<()> {
+        self.pre_call("cublasDestroy");
+        Self::int_status("cublasDestroy", self.stub.cublas_destroy(&h)?)
+    }
+
+    /// cublasSgemm (column-major).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sgemm(
+        &mut self,
+        h: u64,
+        transa: i32,
+        transb: i32,
+        m: i32,
+        n: i32,
+        k: i32,
+        alpha: f32,
+        a: u64,
+        lda: i32,
+        b: u64,
+        ldb: i32,
+        beta: f32,
+        c: u64,
+        ldc: i32,
+    ) -> ClientResult<()> {
+        self.pre_call("cublasSgemm");
+        Self::int_status(
+            "cublasSgemm",
+            self.stub.cublas_sgemm(
+                &h, &transa, &transb, &m, &n, &k, &alpha, &a, &lda, &b, &ldb, &beta, &c, &ldc,
+            )?,
+        )
+    }
+
+    /// cublasDgemm (column-major).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dgemm(
+        &mut self,
+        h: u64,
+        transa: i32,
+        transb: i32,
+        m: i32,
+        n: i32,
+        k: i32,
+        alpha: f64,
+        a: u64,
+        lda: i32,
+        b: u64,
+        ldb: i32,
+        beta: f64,
+        c: u64,
+        ldc: i32,
+    ) -> ClientResult<()> {
+        self.pre_call("cublasDgemm");
+        Self::int_status(
+            "cublasDgemm",
+            self.stub.cublas_dgemm(
+                &h, &transa, &transb, &m, &n, &k, &alpha, &a, &lda, &b, &ldb, &beta, &c, &ldc,
+            )?,
+        )
+    }
+
+    // ---- cuSolverDn ------------------------------------------------------
+
+    /// cusolverDnCreate.
+    pub fn solver_create(&mut self) -> ClientResult<u64> {
+        self.pre_call("cusolverDnCreate");
+        self.stub
+            .cusolver_dn_create()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cusolverDnCreate", c))
+    }
+
+    /// cusolverDnDestroy.
+    pub fn solver_destroy(&mut self, h: u64) -> ClientResult<()> {
+        self.pre_call("cusolverDnDestroy");
+        Self::int_status("cusolverDnDestroy", self.stub.cusolver_dn_destroy(&h)?)
+    }
+
+    /// cusolverDnDgetrf_bufferSize.
+    pub fn dgetrf_buffer_size(
+        &mut self,
+        h: u64,
+        m: i32,
+        n: i32,
+        a: u64,
+        lda: i32,
+    ) -> ClientResult<i32> {
+        self.pre_call("cusolverDnDgetrf_bufferSize");
+        self.stub
+            .cusolver_dn_dgetrf_buffer_size(&h, &m, &n, &a, &lda)?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cusolverDnDgetrf_bufferSize", c))
+    }
+
+    /// cusolverDnDgetrf.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dgetrf(
+        &mut self,
+        h: u64,
+        m: i32,
+        n: i32,
+        a: u64,
+        lda: i32,
+        work: u64,
+        ipiv: u64,
+        info: u64,
+    ) -> ClientResult<()> {
+        self.pre_call("cusolverDnDgetrf");
+        Self::int_status(
+            "cusolverDnDgetrf",
+            self.stub
+                .cusolver_dn_dgetrf(&h, &m, &n, &a, &lda, &work, &ipiv, &info)?,
+        )
+    }
+
+    /// cusolverDnDgetrs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dgetrs(
+        &mut self,
+        h: u64,
+        trans: i32,
+        n: i32,
+        nrhs: i32,
+        a: u64,
+        lda: i32,
+        ipiv: u64,
+        b: u64,
+        ldb: i32,
+        info: u64,
+    ) -> ClientResult<()> {
+        self.pre_call("cusolverDnDgetrs");
+        Self::int_status(
+            "cusolverDnDgetrs",
+            self.stub
+                .cusolver_dn_dgetrs(&h, &trans, &n, &nrhs, &a, &lda, &ipiv, &b, &ldb, &info)?,
+        )
+    }
+
+    // ---- cuFFT -----------------------------------------------------------
+
+    /// cufftPlan1d (n must be a power of two; type is CUFFT_C2C/Z2Z).
+    pub fn fft_plan_1d(&mut self, n: i32, kind: i32, batch: i32) -> ClientResult<u64> {
+        self.pre_call("cufftPlan1d");
+        self.stub
+            .cufft_plan_1d(&n, &kind, &batch)?
+            .into_result()
+            .map_err(|c| ClientError::cuda("cufftPlan1d", c))
+    }
+
+    /// cufftDestroy.
+    pub fn fft_destroy(&mut self, plan: u64) -> ClientResult<()> {
+        self.pre_call("cufftDestroy");
+        Self::int_status("cufftDestroy", self.stub.cufft_destroy(&plan)?)
+    }
+
+    /// cufftExecC2C.
+    pub fn fft_exec_c2c(
+        &mut self,
+        plan: u64,
+        idata: u64,
+        odata: u64,
+        direction: i32,
+    ) -> ClientResult<()> {
+        self.pre_call("cufftExecC2C");
+        Self::int_status(
+            "cufftExecC2C",
+            self.stub.cufft_exec_c2c(&plan, &idata, &odata, &direction)?,
+        )
+    }
+
+    /// cufftExecZ2Z.
+    pub fn fft_exec_z2z(
+        &mut self,
+        plan: u64,
+        idata: u64,
+        odata: u64,
+        direction: i32,
+    ) -> ClientResult<()> {
+        self.pre_call("cufftExecZ2Z");
+        Self::int_status(
+            "cufftExecZ2Z",
+            self.stub.cufft_exec_z2z(&plan, &idata, &odata, &direction)?,
+        )
+    }
+
+    // ---- server management (not counted as CUDA API calls) --------------
+
+    /// Capture a checkpoint of the server-side GPU state.
+    pub fn checkpoint(&mut self) -> ClientResult<Vec<u8>> {
+        self.stub
+            .ckpt_capture()?
+            .into_result()
+            .map_err(|c| ClientError::cuda("ckptCapture", c))
+    }
+
+    /// Restore a checkpoint.
+    pub fn restore(&mut self, blob: &[u8]) -> ClientResult<()> {
+        Self::int_status("ckptRestore", self.stub.ckpt_restore(&blob.to_vec())?)
+    }
+
+    /// Server-side statistics.
+    pub fn server_stats(&mut self) -> ClientResult<ServerStats> {
+        Ok(self.stub.srv_get_stats()?)
+    }
+
+    /// Reset server-side statistics.
+    pub fn server_reset_stats(&mut self) -> ClientResult<()> {
+        Self::int_status("srvResetStats", self.stub.srv_reset_stats()?)
+    }
+
+    /// Select the GPU-sharing scheduler (0 FIFO, 1 RR, 2 priority).
+    pub fn set_scheduler(&mut self, policy: i32) -> ClientResult<()> {
+        Self::int_status("srvSetScheduler", self.stub.srv_set_scheduler(&policy)?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        Ok(self.stub.rpc_null()?)
+    }
+}

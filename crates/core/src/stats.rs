@@ -1,0 +1,76 @@
+//! API-call and transfer accounting.
+//!
+//! The paper's §4.1 reports, per proxy application, the number of CUDA API
+//! calls and the bytes moved ("the matrixMul application requires 100,041
+//! CUDA API calls and 1.95 MiB of memory transfers, ..."). Every call
+//! through [`crate::raw::CricketClient`] updates these counters; the
+//! `table_calls` harness prints the reproduction of that table.
+
+use std::collections::BTreeMap;
+
+/// Client-side accounting.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ApiStats {
+    /// Total CUDA API calls issued (every forwarded call; `RPC_NULL` and
+    /// server-management procedures are excluded).
+    pub api_calls: u64,
+    /// Host→device payload bytes.
+    pub bytes_h2d: u64,
+    /// Device→host payload bytes.
+    pub bytes_d2h: u64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Per-API call counts.
+    pub per_api: BTreeMap<&'static str, u64>,
+}
+
+impl ApiStats {
+    /// Record one call of `api`.
+    pub fn count(&mut self, api: &'static str) {
+        self.api_calls += 1;
+        *self.per_api.entry(api).or_insert(0) += 1;
+    }
+
+    /// Total transferred bytes, both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_h2d + self.bytes_d2h
+    }
+
+    /// Mebibytes transferred, both directions.
+    pub fn mib_total(&self) -> f64 {
+        self.bytes_total() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = ApiStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_accumulates() {
+        let mut s = ApiStats::default();
+        s.count("cudaMalloc");
+        s.count("cudaMalloc");
+        s.count("cudaFree");
+        assert_eq!(s.api_calls, 3);
+        assert_eq!(s.per_api["cudaMalloc"], 2);
+        assert_eq!(s.per_api["cudaFree"], 1);
+    }
+
+    #[test]
+    fn byte_math() {
+        let mut s = ApiStats::default();
+        s.bytes_h2d = 1024 * 1024;
+        s.bytes_d2h = 1024 * 1024;
+        assert_eq!(s.bytes_total(), 2 * 1024 * 1024);
+        assert!((s.mib_total() - 2.0).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.api_calls, 0);
+        assert_eq!(s.bytes_total(), 0);
+    }
+}

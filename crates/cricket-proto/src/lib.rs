@@ -1,0 +1,471 @@
+//! Cricket CUDA RPC protocol, generated from `proto/cricket.x`.
+//!
+//! Everything in this crate is produced by the `rpcl` compiler at build time;
+//! the `.x` file is the single source of truth for the wire protocol, exactly
+//! as in the paper: *"functions listed in the RPCL file are immediately
+//! available for applications"* (§3.5). The items of interest are:
+//!
+//! * [`CRICKET_CUDA`] / [`CRICKET_V1`] — program and version numbers,
+//! * [`cricket_v1`] — procedure-number constants,
+//! * data types ([`RpcDim3`], [`DeviceProp`], [`U64Result`], ...),
+//! * [`CricketV1Client`] — the typed client stub (used by `cricket-client`),
+//! * [`CricketV1Service`] / [`CricketV1Dispatch`] — the server skeleton
+//!   (implemented by `cricket-server`).
+
+include!(concat!(env!("OUT_DIR"), "/cricket_proto.rs"));
+
+/// Convenience: convert a `u64_result` into `Result<u64, i32>`.
+impl U64Result {
+    /// Unwrap into `Result`, mapping the error arm to its raw code.
+    pub fn into_result(self) -> Result<u64, i32> {
+        match self {
+            U64Result::Data(v) => Ok(v),
+            U64Result::Default(err) => Err(err),
+        }
+    }
+}
+
+/// Convenience: convert an `int_result` into `Result<i32, i32>`.
+impl IntResult {
+    /// Unwrap into `Result`, mapping the error arm to its raw code.
+    pub fn into_result(self) -> Result<i32, i32> {
+        match self {
+            IntResult::Data(v) => Ok(v),
+            IntResult::Default(err) => Err(err),
+        }
+    }
+}
+
+/// Convenience: convert a `data_result` into `Result<Vec<u8>, i32>`.
+impl DataResult {
+    /// Unwrap into `Result`, mapping the error arm to its raw code.
+    pub fn into_result(self) -> Result<Vec<u8>, i32> {
+        match self {
+            DataResult::Data(v) => Ok(v),
+            DataResult::Default(err) => Err(err),
+        }
+    }
+}
+
+/// Convenience: convert a `float_result` into `Result<f32, i32>`.
+impl FloatResult {
+    /// Unwrap into `Result`, mapping the error arm to its raw code.
+    pub fn into_result(self) -> Result<f32, i32> {
+        match self {
+            FloatResult::Data(v) => Ok(v),
+            FloatResult::Default(err) => Err(err),
+        }
+    }
+}
+
+impl RpcDim3 {
+    /// A 1×1×1 geometry.
+    pub fn one() -> Self {
+        Self { x: 1, y: 1, z: 1 }
+    }
+
+    /// Total element count (x·y·z).
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl From<(u32, u32, u32)> for RpcDim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Self { x, y, z }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_constants_match_spec() {
+        assert_eq!(CRICKET_CUDA, 537395001);
+        assert_eq!(CRICKET_V1, 1);
+        assert_eq!(cricket_v1::RPC_NULL, 0);
+        assert_eq!(cricket_v1::CUDA_MALLOC, 7);
+        assert_eq!(cricket_v1::CUDA_LAUNCH_KERNEL, 23);
+        assert_eq!(cricket_v1::CUSOLVER_DN_DGETRS, 54);
+        assert_eq!(cricket_v1::SRV_SET_SCHEDULER, 64);
+    }
+
+    #[test]
+    fn cuda_error_codes() {
+        assert_eq!(CudaError::CudaSuccess as i32, 0);
+        assert_eq!(CudaError::CudaErrorInvalidHandle as i32, 400);
+        assert_eq!(
+            CudaError::from_i32(719),
+            Some(CudaError::CudaErrorLaunchFailure)
+        );
+        assert_eq!(CudaError::from_i32(12345), None);
+    }
+
+    #[test]
+    fn result_union_roundtrips() {
+        for v in [
+            U64Result::Data(0xdead_beef_0000_0001),
+            U64Result::Default(2),
+        ] {
+            let buf = xdr::encode(&v);
+            assert_eq!(xdr::decode::<U64Result>(&buf).unwrap(), v);
+        }
+        let d = DataResult::Data(vec![1, 2, 3, 4, 5]);
+        let buf = xdr::encode(&d);
+        assert_eq!(xdr::decode::<DataResult>(&buf).unwrap(), d);
+    }
+
+    #[test]
+    fn device_prop_roundtrip() {
+        let p = DeviceProp {
+            name: "NVIDIA A100-PCIE-40GB".into(),
+            total_global_mem: 40 << 30,
+            multi_processor_count: 108,
+            clock_rate_khz: 1_410_000,
+            major: 8,
+            minor: 0,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            memory_bandwidth_bytes_per_sec: 1_555_000_000_000,
+        };
+        let buf = xdr::encode(&p);
+        assert_eq!(xdr::decode::<DeviceProp>(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn dim3_helpers() {
+        let d: RpcDim3 = (2, 3, 4).into();
+        assert_eq!(d.count(), 24);
+        assert_eq!(RpcDim3::one().count(), 1);
+        let buf = xdr::encode(&d);
+        assert_eq!(buf.len(), 12);
+    }
+
+    #[test]
+    fn into_result_helpers() {
+        assert_eq!(U64Result::Data(5).into_result(), Ok(5));
+        assert_eq!(U64Result::Default(2).into_result(), Err(2));
+        assert_eq!(IntResult::Data(-1).into_result(), Ok(-1));
+        assert_eq!(FloatResult::Data(1.5).into_result(), Ok(1.5));
+        assert_eq!(DataResult::Default(400).into_result(), Err(400));
+    }
+
+    /// The generated client and server must agree end to end over an
+    /// in-memory transport, with a trivial hand-written service.
+    #[test]
+    fn generated_stub_and_skeleton_agree() {
+        use oncrpc::{duplex_pair, RpcServer};
+        use std::sync::Arc;
+
+        struct Fake;
+        #[allow(unused_variables)]
+        impl CricketV1Service for Fake {
+            fn rpc_null(&self) -> Result<(), oncrpc::AcceptStat> {
+                Ok(())
+            }
+            fn cuda_get_device_count(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+                Ok(IntResult::Data(4))
+            }
+            fn cuda_get_device_properties(
+                &self,
+                arg0: i32,
+            ) -> Result<PropResult, oncrpc::AcceptStat> {
+                Ok(PropResult::Default(101))
+            }
+            fn cuda_set_device(&self, arg0: i32) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_get_device(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+                Ok(IntResult::Data(0))
+            }
+            fn cuda_device_synchronize(&self) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_device_reset(&self) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_malloc(&self, arg0: u64) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(0x1000 + arg0))
+            }
+            fn cuda_free(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_memcpy_htod(
+                &self,
+                arg0: u64,
+                arg1: Vec<u8>,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg1.len() as i32)
+            }
+            fn cuda_memcpy_dtoh(
+                &self,
+                arg0: u64,
+                arg1: u64,
+            ) -> Result<DataResult, oncrpc::AcceptStat> {
+                Ok(DataResult::Data(vec![7u8; arg1 as usize]))
+            }
+            fn cuda_memcpy_dtod(
+                &self,
+                arg0: u64,
+                arg1: u64,
+                arg2: u64,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_memset(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: u64,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_mem_get_info(&self) -> Result<MemInfoResult, oncrpc::AcceptStat> {
+                Ok(MemInfoResult::Info(MemInfo { free: 1, total: 2 }))
+            }
+            fn cuda_get_last_error(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+                Ok(IntResult::Data(0))
+            }
+            fn cu_module_load_data(
+                &self,
+                arg0: Vec<u8>,
+            ) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(arg0.len() as u64))
+            }
+            fn cu_module_get_function(
+                &self,
+                arg0: u64,
+                arg1: String,
+            ) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(arg0 + arg1.len() as u64))
+            }
+            fn cu_module_unload(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_launch_kernel(
+                &self,
+                arg0: u64,
+                arg1: RpcDim3,
+                arg2: RpcDim3,
+                arg3: u32,
+                arg4: u64,
+                arg5: Vec<u8>,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok((arg1.count() * arg2.count()) as i32)
+            }
+            fn cuda_stream_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(1))
+            }
+            fn cuda_stream_destroy(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_stream_synchronize(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_event_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(2))
+            }
+            fn cuda_event_record(
+                &self,
+                arg0: u64,
+                arg1: u64,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_event_synchronize(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cuda_event_elapsed_time(
+                &self,
+                arg0: u64,
+                arg1: u64,
+            ) -> Result<FloatResult, oncrpc::AcceptStat> {
+                Ok(FloatResult::Data(1.25))
+            }
+            fn cuda_event_destroy(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cublas_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(3))
+            }
+            fn cublas_destroy(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            #[allow(clippy::too_many_arguments)]
+            fn cublas_sgemm(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: i32,
+                arg3: i32,
+                arg4: i32,
+                arg5: i32,
+                arg6: f32,
+                arg7: u64,
+                arg8: i32,
+                arg9: u64,
+                arg10: i32,
+                arg11: f32,
+                arg12: u64,
+                arg13: i32,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            #[allow(clippy::too_many_arguments)]
+            fn cublas_dgemm(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: i32,
+                arg3: i32,
+                arg4: i32,
+                arg5: i32,
+                arg6: f64,
+                arg7: u64,
+                arg8: i32,
+                arg9: u64,
+                arg10: i32,
+                arg11: f64,
+                arg12: u64,
+                arg13: i32,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cusolver_dn_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data(4))
+            }
+            fn cusolver_dn_destroy(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cusolver_dn_dgetrf_buffer_size(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: i32,
+                arg3: u64,
+                arg4: i32,
+            ) -> Result<IntResult, oncrpc::AcceptStat> {
+                Ok(IntResult::Data(arg1 * arg2))
+            }
+            #[allow(clippy::too_many_arguments)]
+            fn cusolver_dn_dgetrf(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: i32,
+                arg3: u64,
+                arg4: i32,
+                arg5: u64,
+                arg6: u64,
+                arg7: u64,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            #[allow(clippy::too_many_arguments)]
+            fn cusolver_dn_dgetrs(
+                &self,
+                arg0: u64,
+                arg1: i32,
+                arg2: i32,
+                arg3: i32,
+                arg4: u64,
+                arg5: i32,
+                arg6: u64,
+                arg7: u64,
+                arg8: i32,
+                arg9: u64,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cufft_plan_1d(
+                &self,
+                arg0: i32,
+                arg1: i32,
+                arg2: i32,
+            ) -> Result<U64Result, oncrpc::AcceptStat> {
+                Ok(U64Result::Data((arg0 + arg1 + arg2) as u64))
+            }
+            fn cufft_destroy(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cufft_exec_c2c(
+                &self,
+                arg0: u64,
+                arg1: u64,
+                arg2: u64,
+                arg3: i32,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn cufft_exec_z2z(
+                &self,
+                arg0: u64,
+                arg1: u64,
+                arg2: u64,
+                arg3: i32,
+            ) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn ckpt_capture(&self) -> Result<DataResult, oncrpc::AcceptStat> {
+                Ok(DataResult::Data(vec![9, 9]))
+            }
+            fn ckpt_restore(&self, arg0: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg0.len() as i32)
+            }
+            fn srv_get_stats(&self) -> Result<ServerStats, oncrpc::AcceptStat> {
+                Ok(ServerStats {
+                    total_calls: 1,
+                    bytes_in: 2,
+                    bytes_out: 3,
+                    kernels_launched: 4,
+                    active_sessions: 5,
+                    device_time_ns: 6,
+                })
+            }
+            fn srv_reset_stats(&self) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(0)
+            }
+            fn srv_set_scheduler(&self, arg0: i32) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg0)
+            }
+        }
+
+        let server = Arc::new(RpcServer::new());
+        server.register(CRICKET_CUDA, CRICKET_V1, Arc::new(CricketV1Dispatch(Fake)));
+        let (client_end, server_end) = duplex_pair();
+        std::thread::spawn(move || {
+            let mut conn = server_end;
+            let _ = server.serve_connection(&mut conn);
+        });
+        let mut client = CricketV1Client::new(Box::new(client_end));
+
+        client.rpc_null().unwrap();
+        assert_eq!(client.cuda_get_device_count().unwrap(), IntResult::Data(4));
+        assert_eq!(
+            client.cuda_malloc(&256).unwrap().into_result().unwrap(),
+            0x1100
+        );
+        assert_eq!(client.cuda_memcpy_htod(&0x1000, &vec![1, 2, 3]).unwrap(), 3);
+        let back = client
+            .cuda_memcpy_dtoh(&0x1000, &5)
+            .unwrap()
+            .into_result()
+            .unwrap();
+        assert_eq!(back, vec![7u8; 5]);
+        let launched = client
+            .cuda_launch_kernel(&0xf, &(4, 2, 1).into(), &(32, 1, 1).into(), &0, &0, &vec![])
+            .unwrap();
+        assert_eq!(launched, 8 * 32);
+        let stats = client.srv_get_stats().unwrap();
+        assert_eq!(stats.active_sessions, 5);
+        assert_eq!(
+            client.cuda_event_elapsed_time(&1, &2).unwrap(),
+            FloatResult::Data(1.25)
+        );
+        assert_eq!(
+            client.cuda_get_device_properties(&0).unwrap(),
+            PropResult::Default(101)
+        );
+    }
+}

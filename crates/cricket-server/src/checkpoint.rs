@@ -1,0 +1,225 @@
+//! Checkpoint / restart.
+//!
+//! Cricket's flagship feature besides remote execution (paper §1, §3.3):
+//! the server can serialize the complete GPU-side state of its clients and
+//! later restore it — on the same or a different server — without the
+//! client noticing, because all handles are restored at their original
+//! values. The snapshot is encoded with this repository's own XDR
+//! implementation (no external serialization dependency).
+
+use simnet::SimClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vgpu::{Device, DeviceProperties, VgpuError, VgpuResult};
+use xdr::{XdrDecoder, XdrEncoder};
+
+/// Snapshot magic ("CKPT").
+const MAGIC: u32 = 0x434b_5054;
+/// Snapshot format version.
+const VERSION: u32 = 1;
+
+/// Serialize the device state (memory blocks, modules, functions, streams,
+/// events, handle counter) into an XDR blob.
+pub fn capture(device: &Device, module_images: &HashMap<u64, Vec<u8>>) -> Vec<u8> {
+    let mut enc = XdrEncoder::with_capacity(4096);
+    enc.put_u32(MAGIC);
+    enc.put_u32(VERSION);
+    enc.put_u64(device.next_handle_value());
+
+    let blocks: Vec<(u64, u64)> = device.mem.live_allocations().collect();
+    enc.put_u32(blocks.len() as u32);
+    for (base, _size) in &blocks {
+        enc.put_u64(*base);
+        enc.put_opaque(device.mem.block_bytes(*base).expect("live block"));
+    }
+
+    // Prefer the original images (exact client bytes); fall back to the
+    // device's reserialization for modules loaded before tracking existed.
+    let modules = device.snapshot_modules();
+    enc.put_u32(modules.len() as u32);
+    for (handle, reserialized) in &modules {
+        enc.put_u64(*handle);
+        match module_images.get(handle) {
+            Some(orig) => enc.put_opaque(orig),
+            None => enc.put_opaque(reserialized),
+        }
+    }
+
+    let functions = device.snapshot_functions();
+    enc.put_u32(functions.len() as u32);
+    for (handle, module, name) in &functions {
+        enc.put_u64(*handle);
+        enc.put_u64(*module);
+        enc.put_string(name);
+    }
+
+    let streams = device.snapshot_streams();
+    enc.put_u32(streams.len() as u32);
+    for s in &streams {
+        enc.put_u64(*s);
+    }
+
+    let events = device.snapshot_events();
+    enc.put_u32(events.len() as u32);
+    for e in &events {
+        enc.put_u64(*e);
+    }
+
+    enc.into_inner()
+}
+
+/// Rebuild `device` from a snapshot, returning the module-image table the
+/// server must retain for future checkpoints.
+pub fn restore(
+    device: &mut Device,
+    blob: &[u8],
+    props: &DeviceProperties,
+    clock: &Arc<SimClock>,
+) -> VgpuResult<HashMap<u64, Vec<u8>>> {
+    let mut dec = XdrDecoder::new(blob);
+    let bad = |m: &str| VgpuError::InvalidValue(format!("snapshot: {m}"));
+    let magic = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    if magic != MAGIC {
+        return Err(bad("wrong magic"));
+    }
+    let version = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+
+    let mut fresh = Device::new(props.clone(), Arc::clone(clock));
+    let next_handle = dec.get_u64().map_err(|e| bad(&e.to_string()))?;
+
+    let n_blocks = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    for _ in 0..n_blocks {
+        let base = dec.get_u64().map_err(|e| bad(&e.to_string()))?;
+        let bytes = dec.get_opaque().map_err(|e| bad(&e.to_string()))?;
+        fresh.mem.restore_block(base, bytes)?;
+    }
+
+    let mut images = HashMap::new();
+    let n_modules = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    for _ in 0..n_modules {
+        let handle = dec.get_u64().map_err(|e| bad(&e.to_string()))?;
+        let image = dec.get_opaque().map_err(|e| bad(&e.to_string()))?.to_vec();
+        fresh.restore_module(handle, &image)?;
+        images.insert(handle, image);
+    }
+
+    let n_functions = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    for _ in 0..n_functions {
+        let handle = dec.get_u64().map_err(|e| bad(&e.to_string()))?;
+        let module = dec.get_u64().map_err(|e| bad(&e.to_string()))?;
+        let name = dec.get_string().map_err(|e| bad(&e.to_string()))?;
+        fresh.restore_function(handle, module, &name)?;
+    }
+
+    let n_streams = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    for _ in 0..n_streams {
+        fresh.restore_stream(dec.get_u64().map_err(|e| bad(&e.to_string()))?);
+    }
+    let n_events = dec.get_u32().map_err(|e| bad(&e.to_string()))?;
+    for _ in 0..n_events {
+        fresh.restore_event(dec.get_u64().map_err(|e| bad(&e.to_string()))?);
+    }
+    dec.finish().map_err(|e| bad(&e.to_string()))?;
+
+    fresh.restore_next_handle(next_handle);
+    *device = fresh;
+    Ok(images)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::module::CubinBuilder;
+    use vgpu::Dim3;
+
+    fn populated_device() -> (Device, HashMap<u64, Vec<u8>>, u64, u64, u64) {
+        let mut d = Device::a100();
+        let image = CubinBuilder::new()
+            .kernel("saxpy", &[8, 8, 4, 4])
+            .code(b"code")
+            .build(true);
+        let (module, _) = d.module_load(&image).unwrap();
+        let (func, _) = d.module_get_function(module, "saxpy").unwrap();
+        let (ptr, _) = d.malloc(1024).unwrap();
+        d.memcpy_htod(ptr, b"precious gpu state").unwrap();
+        let (stream, _) = d.stream_create();
+        let (_event, _) = d.event_create();
+        let mut images = HashMap::new();
+        images.insert(module, image);
+        (d, images, ptr, func, stream)
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let (d, images, ptr, func, stream) = populated_device();
+        let blob = capture(&d, &images);
+
+        let clock = SimClock::new();
+        let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
+        let restored_images = restore(
+            &mut fresh,
+            &blob,
+            &DeviceProperties::a100(),
+            &clock,
+        )
+        .unwrap();
+        assert_eq!(restored_images.len(), 1);
+
+        // Memory contents survive at the same addresses.
+        let (bytes, _) = fresh.memcpy_dtoh(ptr, 18).unwrap();
+        assert_eq!(bytes, b"precious gpu state");
+
+        // The function handle still launches.
+        let params = vgpu::kernels::ParamBuilder::new()
+            .ptr(ptr)
+            .ptr(ptr)
+            .f32(0.0)
+            .u32(4)
+            .build();
+        fresh
+            .launch_kernel(func, Dim3::one(), Dim3::linear(32), 0, stream, &params)
+            .unwrap();
+
+        // New handles do not collide with restored ones.
+        let (new_stream, _) = fresh.stream_create();
+        assert!(new_stream > stream);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let clock = SimClock::new();
+        let mut d = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
+        assert!(restore(&mut d, b"not a snapshot", &DeviceProperties::a100(), &clock).is_err());
+        let mut bad_magic = capture(&d, &HashMap::new());
+        bad_magic[0] ^= 0xff;
+        assert!(restore(&mut d, &bad_magic, &DeviceProperties::a100(), &clock).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_truncation() {
+        let (d, images, ..) = populated_device();
+        let blob = capture(&d, &images);
+        let clock = SimClock::new();
+        for cut in [4usize, 12, blob.len() / 2, blob.len() - 2] {
+            let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
+            assert!(
+                restore(&mut fresh, &blob[..cut], &DeviceProperties::a100(), &clock).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_device_snapshot_roundtrips() {
+        let d = Device::a100();
+        let blob = capture(&d, &HashMap::new());
+        let clock = SimClock::new();
+        let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
+        let images = restore(&mut fresh, &blob, &DeviceProperties::a100(), &clock).unwrap();
+        assert!(images.is_empty());
+        assert_eq!(fresh.mem_info().0, fresh.mem_info().1);
+    }
+}

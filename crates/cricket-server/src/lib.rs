@@ -1,0 +1,44 @@
+//! The Cricket server.
+//!
+//! "The Cricket server executes the CUDA APIs and forwards the results back
+//! to the application" (paper §3.3). This crate implements that server for
+//! the simulated GPU:
+//!
+//! * [`service`] — the generated [`cricket_proto::CricketV1Service`] trait
+//!   implemented over [`vgpu::Device`], with per-API host-side cost
+//!   accounting charged to the shared virtual clock;
+//! * [`scheduler`] — configurable GPU-sharing policies (FIFO, round-robin,
+//!   priority) arbitrating concurrent client sessions, the paper's
+//!   "managing the shared access through configurable schedulers";
+//! * [`checkpoint`] — serialization of the entire GPU-side state (memory,
+//!   modules, functions, streams, events) into an XDR blob and exact-handle
+//!   restore, the paper's Checkpoint/Restart support;
+//! * [`transport`] — the simulated client↔server paths: an in-process
+//!   transport that carries real RPC bytes through the functional guest TCP
+//!   stack and charges network time from the environment's cost model.
+//!
+//! The `cricket-server` binary serves the protocol over real TCP.
+
+pub mod checkpoint;
+pub mod scheduler;
+pub mod service;
+pub mod transport;
+
+pub use scheduler::{SchedulerPolicy, SessionId};
+pub use service::{CricketServer, ServerConfig};
+pub use transport::SimTransport;
+
+use std::sync::Arc;
+
+/// Register a [`CricketServer`] on an [`oncrpc::RpcServer`] and return both.
+pub fn make_rpc_server(server: Arc<CricketServer>) -> Arc<oncrpc::RpcServer> {
+    let rpc = Arc::new(oncrpc::RpcServer::new());
+    rpc.register(
+        cricket_proto::CRICKET_CUDA,
+        cricket_proto::CRICKET_V1,
+        Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
+            server, 0,
+        ))),
+    );
+    rpc
+}

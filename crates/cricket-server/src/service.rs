@@ -1,0 +1,1137 @@
+//! The Cricket service: generated-trait implementation over the simulated
+//! GPU, with per-API host-side cost accounting.
+//!
+//! Every call charges the shared virtual clock with (a) a base dispatch
+//! cost — the Cricket server's RPC handling plus the CUDA driver entry — and
+//! (b) the device time the operation consumes. The network legs around the
+//! call are charged by the transport (see [`crate::transport`]).
+
+use crate::checkpoint;
+use crate::scheduler::{Scheduler, SchedulerPolicy, SessionId};
+use cricket_proto::{
+    DataResult, DeviceProp, FloatResult, IntResult, MemInfo, MemInfoResult, PropResult, RpcDim3,
+    ServerStats, U64Result,
+};
+use parking_lot::Mutex;
+use simnet::SimClock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vgpu::{Device, DeviceProperties, Dim3, VgpuError};
+
+/// Handles for library contexts (cuBLAS/cuSolver) live in a range disjoint
+/// from device handles.
+const LIB_HANDLE_BASE: u64 = 0x8000_0000_0000;
+
+/// Device heap spacing: device `i`'s pointers live in
+/// `[(i+1)·HEAP_STRIDE, ...)`, so any pointer identifies its device.
+const HEAP_STRIDE: u64 = vgpu::memory::HEAP_BASE;
+
+/// Device handle spacing: device `i`'s module/function/stream/event handles
+/// start at `0x10 + i·HANDLE_STRIDE`.
+const HANDLE_STRIDE: u64 = 0x1000_0000;
+
+/// At most this many simulated GPUs per server (keeps the address layout
+/// disjoint from the library-handle range).
+pub const MAX_DEVICES: usize = 8;
+
+/// Host-side cost of one API call: Cricket's RPC dispatch + CUDA driver
+/// entry. Dominates simple calls like `cudaGetDeviceCount` (Fig. 6a).
+const DISPATCH_NS: u64 = 6_000;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Properties of device 0 (the paper's A100).
+    pub props: DeviceProperties,
+    /// Number of simulated devices. The paper's GPU node has four — one
+    /// A100, two T4, one P40 — and that is the layout used here: device 0
+    /// gets `props`, devices 1–2 are T4s, device 3 is a P40 (further
+    /// devices cycle T4). Sessions select with `cudaSetDevice`.
+    pub device_count: i32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            props: DeviceProperties::a100(),
+            device_count: 4,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct StatsInner {
+    total_calls: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    kernels_launched: u64,
+}
+
+/// The Cricket server state shared by all sessions.
+pub struct CricketServer {
+    devices: Vec<Mutex<Device>>,
+    /// Per-session current device (`cudaSetDevice`); absent = device 0.
+    session_device: Mutex<HashMap<SessionId, usize>>,
+    /// Original module images by handle (checkpoint support).
+    module_images: Mutex<HashMap<u64, Vec<u8>>>,
+    solvers: Mutex<HashMap<u64, vgpu::solver::SolverDn>>,
+    fft_plans: Mutex<HashMap<u64, vgpu::fft::FftPlan>>,
+    blas_handles: Mutex<HashSet<u64>>,
+    next_lib_handle: AtomicU64,
+    /// GPU-sharing scheduler.
+    pub scheduler: Scheduler,
+    clock: Arc<SimClock>,
+    stats: Mutex<StatsInner>,
+    sessions_seen: Mutex<HashSet<SessionId>>,
+    cfg: ServerConfig,
+}
+
+impl CricketServer {
+    /// Create a server on `clock` with the given configuration.
+    pub fn new(cfg: ServerConfig, clock: Arc<SimClock>) -> Arc<Self> {
+        let count = (cfg.device_count.max(1) as usize).min(MAX_DEVICES);
+        let devices = (0..count)
+            .map(|i| {
+                // The paper's GPU-node layout: A100, T4, T4, P40.
+                let props = match i {
+                    0 => cfg.props.clone(),
+                    3 => DeviceProperties::p40(),
+                    _ => DeviceProperties::t4(),
+                };
+                Mutex::new(Device::with_bases(
+                    props,
+                    Arc::clone(&clock),
+                    (i as u64 + 1) * HEAP_STRIDE,
+                    0x10 + i as u64 * HANDLE_STRIDE,
+                ))
+            })
+            .collect();
+        Arc::new(Self {
+            devices,
+            session_device: Mutex::new(HashMap::new()),
+            module_images: Mutex::new(HashMap::new()),
+            solvers: Mutex::new(HashMap::new()),
+            fft_plans: Mutex::new(HashMap::new()),
+            blas_handles: Mutex::new(HashSet::new()),
+            next_lib_handle: AtomicU64::new(LIB_HANDLE_BASE),
+            scheduler: Scheduler::new(SchedulerPolicy::Fifo),
+            clock,
+            stats: Mutex::new(StatsInner::default()),
+            sessions_seen: Mutex::new(HashSet::new()),
+            cfg,
+        })
+    }
+
+    /// A default A100 server on a fresh clock.
+    pub fn a100() -> Arc<Self> {
+        Self::new(ServerConfig::default(), SimClock::new())
+    }
+
+    /// The clock this server charges.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The session's current device ordinal.
+    fn current_device(&self, session: SessionId) -> usize {
+        self.session_device
+            .lock()
+            .get(&session)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Which device a pointer or handle belongs to, if any.
+    fn device_of_token(&self, token: u64) -> Option<usize> {
+        if token >= HEAP_STRIDE && token < LIB_HANDLE_BASE {
+            let idx = (token / HEAP_STRIDE - 1) as usize;
+            (idx < self.devices.len()).then_some(idx)
+        } else if token >= 0x10 && token < HEAP_STRIDE {
+            let idx = ((token - 0x10) / HANDLE_STRIDE) as usize;
+            (idx < self.devices.len()).then_some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Route by token (pointer/handle); fall back to the session's current
+    /// device for tokens that carry no device identity (0, lib handles).
+    fn route(&self, session: SessionId, token: u64) -> usize {
+        self.device_of_token(token)
+            .unwrap_or_else(|| self.current_device(session))
+    }
+
+    /// Run `f` with exclusive device access for `session` on the session's
+    /// current device, charging `host_ns` of dispatch cost plus whatever
+    /// device time `f` reports.
+    fn with_device<R>(
+        &self,
+        session: SessionId,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        let idx = self.current_device(session);
+        self.with_device_at(session, idx, host_ns, f)
+    }
+
+    /// Like [`Self::with_device`], but on the device owning `token`.
+    fn with_device_for<R>(
+        &self,
+        session: SessionId,
+        token: u64,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        let idx = self.route(session, token);
+        self.with_device_at(session, idx, host_ns, f)
+    }
+
+    fn with_device_at<R>(
+        &self,
+        session: SessionId,
+        idx: usize,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        self.sessions_seen.lock().insert(session);
+        let _turn = self.scheduler.acquire(session);
+        let mut dev = self.devices[idx].lock();
+        self.stats.lock().total_calls += 1;
+        self.clock.advance(DISPATCH_NS + host_ns);
+        match f(&mut dev) {
+            Ok((r, device_ns)) => {
+                self.clock.advance(device_ns);
+                Ok(r)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn err_code(e: &VgpuError) -> i32 {
+        e.code() as i32
+    }
+
+    // ---- plain-int results helper ----
+    fn int_of(r: Result<(), VgpuError>) -> i32 {
+        match r {
+            Ok(()) => 0,
+            Err(e) => Self::err_code(&e),
+        }
+    }
+
+    // ---- API implementations (called by `Sessioned`) ----
+
+    fn get_device_count(&self, s: SessionId) -> IntResult {
+        let count = self.devices.len() as i32;
+        match self.with_device(s, 1_000, |_d| Ok((count, 0))) {
+            Ok(v) => IntResult::Data(v),
+            Err(e) => IntResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn get_device_properties(&self, s: SessionId, ordinal: i32) -> PropResult {
+        let r = if ordinal < 0 || ordinal as usize >= self.devices.len() {
+            self.with_device(s, 2_000, |_d| {
+                Err::<(DeviceProperties, u64), _>(VgpuError::InvalidDevice(ordinal))
+                    .map(|x| x)
+            })
+        } else {
+            self.with_device_at(s, ordinal as usize, 2_000, |d| {
+                Ok((d.properties().clone(), 0))
+            })
+        };
+        match r {
+            Ok(p) => PropResult::Prop(DeviceProp {
+                name: p.name,
+                total_global_mem: p.total_global_mem,
+                multi_processor_count: p.multi_processor_count,
+                clock_rate_khz: p.clock_rate_khz,
+                major: p.major,
+                minor: p.minor,
+                warp_size: p.warp_size,
+                max_threads_per_block: p.max_threads_per_block,
+                memory_bandwidth_bytes_per_sec: p.memory_bandwidth_bps,
+            }),
+            Err(e) => PropResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn set_device(&self, s: SessionId, ordinal: i32) -> i32 {
+        let valid = (0..self.devices.len() as i32).contains(&ordinal);
+        let r = self.with_device(s, 500, |_d| {
+            if valid {
+                Ok(((), 0))
+            } else {
+                Err(VgpuError::InvalidDevice(ordinal))
+            }
+        });
+        if r.is_ok() {
+            self.session_device.lock().insert(s, ordinal as usize);
+        }
+        Self::int_of(r)
+    }
+
+    fn get_device(&self, s: SessionId) -> IntResult {
+        let current = self.current_device(s) as i32;
+        match self.with_device(s, 500, |_d| Ok((current, 0))) {
+            Ok(v) => IntResult::Data(v),
+            Err(e) => IntResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn device_synchronize(&self, s: SessionId) -> i32 {
+        Self::int_of(self.with_device(s, 1_000, |d| {
+            let wait = d.device_synchronize();
+            Ok(((), wait))
+        }))
+    }
+
+    fn device_reset(&self, s: SessionId) -> i32 {
+        let r = self.with_device(s, 5_000, |d| {
+            let t = d.device_reset();
+            Ok(((), t))
+        });
+        self.module_images.lock().clear();
+        self.solvers.lock().clear();
+        self.fft_plans.lock().clear();
+        self.blas_handles.lock().clear();
+        Self::int_of(r)
+    }
+
+    fn malloc(&self, s: SessionId, size: u64) -> U64Result {
+        match self.with_device(s, 4_000, |d| d.malloc(size)) {
+            Ok(ptr) => U64Result::Data(ptr),
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn free(&self, s: SessionId, ptr: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t))))
+    }
+
+    fn memcpy_htod(&self, s: SessionId, dst: u64, data: Vec<u8>) -> i32 {
+        self.stats.lock().bytes_in += data.len() as u64;
+        Self::int_of(self.with_device_for(s, dst, 3_000, |d| {
+            d.memcpy_htod(dst, &data).map(|t| ((), t))
+        }))
+    }
+
+    fn memcpy_dtoh(&self, s: SessionId, src: u64, len: u64) -> DataResult {
+        match self.with_device_for(s, src, 3_000, |d| d.memcpy_dtoh(src, len)) {
+            Ok(bytes) => {
+                self.stats.lock().bytes_out += bytes.len() as u64;
+                DataResult::Data(bytes)
+            }
+            Err(e) => DataResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn memcpy_dtod(&self, s: SessionId, dst: u64, src: u64, len: u64) -> i32 {
+        let src_dev = self.route(s, src);
+        let dst_dev = self.route(s, dst);
+        if src_dev == dst_dev {
+            return Self::int_of(self.with_device_at(s, src_dev, 2_500, |d| {
+                d.memcpy_dtod(dst, src, len).map(|t| ((), t))
+            }));
+        }
+        // Peer copy (cudaMemcpyPeer semantics): staged through the host,
+        // paying PCIe on both devices.
+        let staged = self.with_device_at(s, src_dev, 2_500, |d| d.memcpy_dtoh(src, len));
+        Self::int_of(staged.and_then(|bytes| {
+            self.with_device_at(s, dst_dev, 2_500, |d| {
+                d.memcpy_htod(dst, &bytes).map(|t| ((), t))
+            })
+        }))
+    }
+
+    fn memset(&self, s: SessionId, ptr: u64, value: i32, len: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, ptr, 2_000, |d| {
+            d.memset(ptr, value, len).map(|t| ((), t))
+        }))
+    }
+
+    fn mem_get_info(&self, s: SessionId) -> MemInfoResult {
+        match self.with_device(s, 1_500, |d| Ok((d.mem_info(), 0))) {
+            Ok((free, total)) => MemInfoResult::Info(MemInfo { free, total }),
+            Err(e) => MemInfoResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn module_load(&self, s: SessionId, image: Vec<u8>) -> U64Result {
+        self.stats.lock().bytes_in += image.len() as u64;
+        match self.with_device(s, 25_000, |d| d.module_load(&image)) {
+            Ok(h) => {
+                self.module_images.lock().insert(h, image);
+                U64Result::Data(h)
+            }
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn module_get_function(&self, s: SessionId, module: u64, name: &str) -> U64Result {
+        match self.with_device_for(s, module, 2_000, |d| d.module_get_function(module, name)) {
+            Ok(h) => U64Result::Data(h),
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn module_unload(&self, s: SessionId, module: u64) -> i32 {
+        let r = self.with_device_for(s, module, 3_000, |d| d.module_unload(module).map(|t| ((), t)));
+        if r.is_ok() {
+            self.module_images.lock().remove(&module);
+        }
+        Self::int_of(r)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_kernel(
+        &self,
+        s: SessionId,
+        func: u64,
+        grid: Dim3,
+        block: Dim3,
+        shared: u32,
+        stream: u64,
+        params: &[u8],
+    ) -> i32 {
+        let r = self.with_device_for(s, func, 3_500, |d| {
+            d.launch_kernel(func, grid, block, shared, stream, params)
+                .map(|t| ((), t))
+        });
+        if r.is_ok() {
+            self.stats.lock().kernels_launched += 1;
+        }
+        Self::int_of(r)
+    }
+
+    fn stream_create(&self, s: SessionId) -> U64Result {
+        match self.with_device(s, 1_500, |d| Ok(d.stream_create())) {
+            Ok(h) => U64Result::Data(h),
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn stream_destroy(&self, s: SessionId, h: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, h, 1_000, |d| d.stream_destroy(h).map(|t| ((), t))))
+    }
+
+    fn stream_synchronize(&self, s: SessionId, h: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, h, 1_000, |d| d.stream_synchronize(h).map(|t| ((), t))))
+    }
+
+    fn event_create(&self, s: SessionId) -> U64Result {
+        match self.with_device(s, 800, |d| Ok(d.event_create())) {
+            Ok(h) => U64Result::Data(h),
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn event_record(&self, s: SessionId, event: u64, stream: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, event, 800, |d| d.event_record(event, stream).map(|t| ((), t))))
+    }
+
+    fn event_synchronize(&self, s: SessionId, event: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, event, 800, |d| d.event_synchronize(event).map(|t| ((), t))))
+    }
+
+    fn event_elapsed(&self, s: SessionId, start: u64, stop: u64) -> FloatResult {
+        match self.with_device_for(s, start, 800, |d| d.event_elapsed_ms(start, stop).map(|v| (v, 0))) {
+            Ok(ms) => FloatResult::Data(ms),
+            Err(e) => FloatResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn event_destroy(&self, s: SessionId, event: u64) -> i32 {
+        Self::int_of(self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t))))
+    }
+
+    fn new_lib_handle(&self) -> u64 {
+        self.next_lib_handle.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn blas_create(&self, s: SessionId) -> U64Result {
+        match self.with_device(s, 5_000, |_d| Ok(((), 0))) {
+            Ok(()) => {
+                let h = self.new_lib_handle();
+                self.blas_handles.lock().insert(h);
+                U64Result::Data(h)
+            }
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn blas_destroy(&self, s: SessionId, h: u64) -> i32 {
+        Self::int_of(self.with_device(s, 2_000, |_d| {
+            if self.blas_handles.lock().remove(&h) {
+                Ok(((), 0))
+            } else {
+                Err(VgpuError::InvalidHandle(h))
+            }
+        }))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn gemm(
+        &self,
+        s: SessionId,
+        h: u64,
+        double: bool,
+        transa: i32,
+        transb: i32,
+        m: i32,
+        n: i32,
+        k: i32,
+        alpha: f64,
+        a: u64,
+        lda: i32,
+        b: u64,
+        ldb: i32,
+        beta: f64,
+        c: u64,
+        ldc: i32,
+    ) -> i32 {
+        Self::int_of(self.with_device_for(s, a, 4_000, |d| {
+            if !self.blas_handles.lock().contains(&h) {
+                return Err(VgpuError::InvalidHandle(h));
+            }
+            if m < 0 || n < 0 || k < 0 || lda < 1 || ldb < 1 || ldc < 1 {
+                return Err(VgpuError::InvalidValue("negative gemm dimension".into()));
+            }
+            let ta = vgpu::blas::Op::from_i32(transa)?;
+            let tb = vgpu::blas::Op::from_i32(transb)?;
+            let t = if double {
+                vgpu::blas::dgemm(
+                    d, ta, tb, m as usize, n as usize, k as usize, alpha, a, lda as usize, b,
+                    ldb as usize, beta, c, ldc as usize,
+                )?
+            } else {
+                vgpu::blas::sgemm(
+                    d,
+                    ta,
+                    tb,
+                    m as usize,
+                    n as usize,
+                    k as usize,
+                    alpha as f32,
+                    a,
+                    lda as usize,
+                    b,
+                    ldb as usize,
+                    beta as f32,
+                    c,
+                    ldc as usize,
+                )?
+            };
+            Ok(((), t))
+        }))
+    }
+
+    fn solver_create(&self, s: SessionId) -> U64Result {
+        match self.with_device(s, 10_000, |_d| Ok(((), 0))) {
+            Ok(()) => {
+                let h = self.new_lib_handle();
+                self.solvers
+                    .lock()
+                    .insert(h, vgpu::solver::SolverDn::new());
+                U64Result::Data(h)
+            }
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn solver_destroy(&self, s: SessionId, h: u64) -> i32 {
+        Self::int_of(self.with_device(s, 3_000, |_d| {
+            if self.solvers.lock().remove(&h).is_some() {
+                Ok(((), 0))
+            } else {
+                Err(VgpuError::InvalidHandle(h))
+            }
+        }))
+    }
+
+    fn getrf_buffer_size(&self, s: SessionId, h: u64, m: i32, n: i32) -> IntResult {
+        let r = self.with_device(s, 2_000, |_d| {
+            let solvers = self.solvers.lock();
+            let solver = solvers.get(&h).ok_or(VgpuError::InvalidHandle(h))?;
+            Ok((solver.dgetrf_buffer_size(m, n)?, 0))
+        });
+        match r {
+            Ok(v) => IntResult::Data(v),
+            Err(e) => IntResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn getrf(
+        &self,
+        s: SessionId,
+        h: u64,
+        m: i32,
+        n: i32,
+        a: u64,
+        lda: i32,
+        work: u64,
+        ipiv: u64,
+        info: u64,
+    ) -> i32 {
+        Self::int_of(self.with_device_for(s, a, 8_000, |d| {
+            let mut solvers = self.solvers.lock();
+            let solver = solvers.get_mut(&h).ok_or(VgpuError::InvalidHandle(h))?;
+            let t = solver.dgetrf(d, m, n, a, lda, work, ipiv, info)?;
+            Ok(((), t))
+        }))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn getrs(
+        &self,
+        s: SessionId,
+        h: u64,
+        trans: i32,
+        n: i32,
+        nrhs: i32,
+        a: u64,
+        lda: i32,
+        ipiv: u64,
+        b: u64,
+        ldb: i32,
+        info: u64,
+    ) -> i32 {
+        Self::int_of(self.with_device_for(s, a, 6_000, |d| {
+            let mut solvers = self.solvers.lock();
+            let solver = solvers.get_mut(&h).ok_or(VgpuError::InvalidHandle(h))?;
+            let t = solver.dgetrs(d, trans, n, nrhs, a, lda, ipiv, b, ldb, info)?;
+            Ok(((), t))
+        }))
+    }
+
+    fn fft_plan_1d(&self, s: SessionId, n: i32, kind: i32, batch: i32) -> U64Result {
+        match self.with_device(s, 6_000, |_d| {
+            Ok((vgpu::fft::FftPlan::plan_1d(n, kind, batch)?, 0))
+        }) {
+            Ok(plan) => {
+                let h = self.new_lib_handle();
+                self.fft_plans.lock().insert(h, plan);
+                U64Result::Data(h)
+            }
+            Err(e) => U64Result::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn fft_destroy(&self, s: SessionId, h: u64) -> i32 {
+        Self::int_of(self.with_device(s, 2_000, |_d| {
+            if self.fft_plans.lock().remove(&h).is_some() {
+                Ok(((), 0))
+            } else {
+                Err(VgpuError::InvalidHandle(h))
+            }
+        }))
+    }
+
+    fn fft_exec(&self, s: SessionId, h: u64, kind: i32, idata: u64, odata: u64, dir: i32) -> i32 {
+        Self::int_of(self.with_device_for(s, idata, 5_000, |d| {
+            let plans = self.fft_plans.lock();
+            let plan = plans.get(&h).ok_or(VgpuError::InvalidHandle(h))?;
+            if plan.kind != kind {
+                return Err(VgpuError::InvalidValue(format!(
+                    "plan type {:#x} does not match exec type {kind:#x}",
+                    plan.kind
+                )));
+            }
+            let t = vgpu::fft::exec(d, plan, idata, odata, dir)?;
+            Ok(((), t))
+        }))
+    }
+
+    fn ckpt_capture(&self, s: SessionId) -> DataResult {
+        // Checkpoints cover device 0 (the A100 the evaluation uses).
+        let r = self.with_device_at(s, 0, 50_000, |d| {
+            let images = self.module_images.lock();
+            let blob = checkpoint::capture(d, &images);
+            // Serialization cost scales with snapshot size.
+            let t = (blob.len() as u64) / 8;
+            Ok((blob, t))
+        });
+        match r {
+            Ok(blob) => {
+                self.stats.lock().bytes_out += blob.len() as u64;
+                DataResult::Data(blob)
+            }
+            Err(e) => DataResult::Default(Self::err_code(&e)),
+        }
+    }
+
+    fn ckpt_restore(&self, s: SessionId, blob: Vec<u8>) -> i32 {
+        self.stats.lock().bytes_in += blob.len() as u64;
+        Self::int_of(self.with_device_at(s, 0, 50_000, |d| {
+            let images = checkpoint::restore(d, &blob, &self.cfg.props, &self.clock)?;
+            *self.module_images.lock() = images;
+            let t = (blob.len() as u64) / 8;
+            Ok(((), t))
+        }))
+    }
+
+    fn srv_stats(&self, _s: SessionId) -> ServerStats {
+        let st = *self.stats.lock();
+        let device_time_ns = self
+            .devices
+            .iter()
+            .map(|d| d.lock().stats.device_time_ns)
+            .sum();
+        ServerStats {
+            total_calls: st.total_calls,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            kernels_launched: st.kernels_launched,
+            active_sessions: self.sessions_seen.lock().len() as u64,
+            device_time_ns,
+        }
+    }
+
+    fn srv_reset_stats(&self, _s: SessionId) -> i32 {
+        *self.stats.lock() = StatsInner::default();
+        self.sessions_seen.lock().clear();
+        0
+    }
+
+    fn srv_set_scheduler(&self, _s: SessionId, policy: i32) -> i32 {
+        match SchedulerPolicy::from_i32(policy) {
+            Some(p) => {
+                self.scheduler.set_policy(p);
+                0
+            }
+            None => vgpu::CudaCode::InvalidValue as i32,
+        }
+    }
+}
+
+/// Per-session view implementing the generated service trait.
+pub struct Sessioned {
+    srv: Arc<CricketServer>,
+    session: SessionId,
+}
+
+impl Sessioned {
+    /// Bind `srv` as `session`.
+    pub fn new(srv: Arc<CricketServer>, session: SessionId) -> Self {
+        Self { srv, session }
+    }
+}
+
+fn dim(d: RpcDim3) -> Dim3 {
+    Dim3 {
+        x: d.x,
+        y: d.y,
+        z: d.z,
+    }
+}
+
+impl cricket_proto::CricketV1Service for Sessioned {
+    fn rpc_null(&self) -> Result<(), oncrpc::AcceptStat> {
+        Ok(())
+    }
+    fn cuda_get_device_count(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+        Ok(self.srv.get_device_count(self.session))
+    }
+    fn cuda_get_device_properties(&self, ordinal: i32) -> Result<PropResult, oncrpc::AcceptStat> {
+        Ok(self.srv.get_device_properties(self.session, ordinal))
+    }
+    fn cuda_set_device(&self, ordinal: i32) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.set_device(self.session, ordinal))
+    }
+    fn cuda_get_device(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+        Ok(self.srv.get_device(self.session))
+    }
+    fn cuda_device_synchronize(&self) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.device_synchronize(self.session))
+    }
+    fn cuda_device_reset(&self) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.device_reset(self.session))
+    }
+    fn cuda_malloc(&self, size: u64) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.malloc(self.session, size))
+    }
+    fn cuda_free(&self, ptr: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.free(self.session, ptr))
+    }
+    fn cuda_memcpy_htod(&self, dst: u64, data: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.memcpy_htod(self.session, dst, data))
+    }
+    fn cuda_memcpy_dtoh(&self, src: u64, len: u64) -> Result<DataResult, oncrpc::AcceptStat> {
+        Ok(self.srv.memcpy_dtoh(self.session, src, len))
+    }
+    fn cuda_memcpy_dtod(&self, dst: u64, src: u64, len: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.memcpy_dtod(self.session, dst, src, len))
+    }
+    fn cuda_memset(&self, ptr: u64, value: i32, len: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.memset(self.session, ptr, value, len))
+    }
+    fn cuda_mem_get_info(&self) -> Result<MemInfoResult, oncrpc::AcceptStat> {
+        Ok(self.srv.mem_get_info(self.session))
+    }
+    fn cuda_get_last_error(&self) -> Result<IntResult, oncrpc::AcceptStat> {
+        Ok(IntResult::Data(0))
+    }
+    fn cu_module_load_data(&self, image: Vec<u8>) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.module_load(self.session, image))
+    }
+    fn cu_module_get_function(
+        &self,
+        module: u64,
+        name: String,
+    ) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.module_get_function(self.session, module, &name))
+    }
+    fn cu_module_unload(&self, module: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.module_unload(self.session, module))
+    }
+    fn cuda_launch_kernel(
+        &self,
+        func: u64,
+        grid: RpcDim3,
+        block: RpcDim3,
+        shared: u32,
+        stream: u64,
+        params: Vec<u8>,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .launch_kernel(self.session, func, dim(grid), dim(block), shared, stream, &params))
+    }
+    fn cuda_stream_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.stream_create(self.session))
+    }
+    fn cuda_stream_destroy(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.stream_destroy(self.session, h))
+    }
+    fn cuda_stream_synchronize(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.stream_synchronize(self.session, h))
+    }
+    fn cuda_event_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.event_create(self.session))
+    }
+    fn cuda_event_record(&self, event: u64, stream: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.event_record(self.session, event, stream))
+    }
+    fn cuda_event_synchronize(&self, event: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.event_synchronize(self.session, event))
+    }
+    fn cuda_event_elapsed_time(
+        &self,
+        start: u64,
+        stop: u64,
+    ) -> Result<FloatResult, oncrpc::AcceptStat> {
+        Ok(self.srv.event_elapsed(self.session, start, stop))
+    }
+    fn cuda_event_destroy(&self, event: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.event_destroy(self.session, event))
+    }
+    fn cublas_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.blas_create(self.session))
+    }
+    fn cublas_destroy(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.blas_destroy(self.session, h))
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn cublas_sgemm(
+        &self,
+        h: u64,
+        transa: i32,
+        transb: i32,
+        m: i32,
+        n: i32,
+        k: i32,
+        alpha: f32,
+        a: u64,
+        lda: i32,
+        b: u64,
+        ldb: i32,
+        beta: f32,
+        c: u64,
+        ldc: i32,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.gemm(
+            self.session,
+            h,
+            false,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha as f64,
+            a,
+            lda,
+            b,
+            ldb,
+            beta as f64,
+            c,
+            ldc,
+        ))
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn cublas_dgemm(
+        &self,
+        h: u64,
+        transa: i32,
+        transb: i32,
+        m: i32,
+        n: i32,
+        k: i32,
+        alpha: f64,
+        a: u64,
+        lda: i32,
+        b: u64,
+        ldb: i32,
+        beta: f64,
+        c: u64,
+        ldc: i32,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.gemm(
+            self.session,
+            h,
+            true,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        ))
+    }
+    fn cusolver_dn_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.solver_create(self.session))
+    }
+    fn cusolver_dn_destroy(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.solver_destroy(self.session, h))
+    }
+    fn cusolver_dn_dgetrf_buffer_size(
+        &self,
+        h: u64,
+        m: i32,
+        n: i32,
+        _a: u64,
+        _lda: i32,
+    ) -> Result<IntResult, oncrpc::AcceptStat> {
+        Ok(self.srv.getrf_buffer_size(self.session, h, m, n))
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn cusolver_dn_dgetrf(
+        &self,
+        h: u64,
+        m: i32,
+        n: i32,
+        a: u64,
+        lda: i32,
+        work: u64,
+        ipiv: u64,
+        info: u64,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.getrf(self.session, h, m, n, a, lda, work, ipiv, info))
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn cusolver_dn_dgetrs(
+        &self,
+        h: u64,
+        trans: i32,
+        n: i32,
+        nrhs: i32,
+        a: u64,
+        lda: i32,
+        ipiv: u64,
+        b: u64,
+        ldb: i32,
+        info: u64,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .getrs(self.session, h, trans, n, nrhs, a, lda, ipiv, b, ldb, info))
+    }
+    fn cufft_plan_1d(&self, n: i32, kind: i32, batch: i32) -> Result<U64Result, oncrpc::AcceptStat> {
+        Ok(self.srv.fft_plan_1d(self.session, n, kind, batch))
+    }
+    fn cufft_destroy(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.fft_destroy(self.session, h))
+    }
+    fn cufft_exec_c2c(&self, h: u64, idata: u64, odata: u64, dir: i32) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.fft_exec(self.session, h, vgpu::fft::CUFFT_C2C, idata, odata, dir))
+    }
+    fn cufft_exec_z2z(&self, h: u64, idata: u64, odata: u64, dir: i32) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.fft_exec(self.session, h, vgpu::fft::CUFFT_Z2Z, idata, odata, dir))
+    }
+    fn ckpt_capture(&self) -> Result<DataResult, oncrpc::AcceptStat> {
+        Ok(self.srv.ckpt_capture(self.session))
+    }
+    fn ckpt_restore(&self, blob: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.ckpt_restore(self.session, blob))
+    }
+    fn srv_get_stats(&self) -> Result<ServerStats, oncrpc::AcceptStat> {
+        Ok(self.srv.srv_stats(self.session))
+    }
+    fn srv_reset_stats(&self) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.srv_reset_stats(self.session))
+    }
+    fn srv_set_scheduler(&self, policy: i32) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.srv_set_scheduler(self.session, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cricket_proto::CricketV1Service as _;
+
+    fn server() -> (Arc<CricketServer>, Sessioned) {
+        let srv = CricketServer::a100();
+        let sess = Sessioned::new(Arc::clone(&srv), 1);
+        (srv, sess)
+    }
+
+    #[test]
+    fn device_count_and_properties() {
+        let (_srv, s) = server();
+        assert_eq!(s.cuda_get_device_count().unwrap(), IntResult::Data(4));
+        match s.cuda_get_device_properties(0).unwrap() {
+            PropResult::Prop(p) => assert!(p.name.contains("A100")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.cuda_get_device_properties(7).unwrap(),
+            PropResult::Default(vgpu::CudaCode::InvalidDevice as i32)
+        );
+        // The paper's GPU node: device 1 is a T4, device 3 a P40.
+        match s.cuda_get_device_properties(1).unwrap() {
+            PropResult::Prop(p) => assert!(p.name.contains("T4")),
+            other => panic!("{other:?}"),
+        }
+        match s.cuda_get_device_properties(3).unwrap() {
+            PropResult::Prop(p) => assert!(p.name.contains("P40")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.cuda_set_device(0).unwrap(), 0);
+        assert_eq!(s.cuda_set_device(2).unwrap(), 0);
+        assert_eq!(s.cuda_get_device().unwrap(), IntResult::Data(2));
+        assert_ne!(s.cuda_set_device(9).unwrap(), 0);
+        s.cuda_set_device(0).unwrap();
+    }
+
+    #[test]
+    fn allocations_route_to_their_device() {
+        let (_srv, s) = server();
+        // Allocate on the A100, switch to the T4, allocate again; both
+        // pointers stay usable because every pointer carries its device.
+        let p0 = s.cuda_malloc(4096).unwrap().into_result().unwrap();
+        s.cuda_set_device(1).unwrap();
+        let p1 = s.cuda_malloc(4096).unwrap().into_result().unwrap();
+        assert_ne!(p0 / HEAP_STRIDE, p1 / HEAP_STRIDE, "distinct heaps");
+        s.cuda_memcpy_htod(p0, vec![7u8; 16]).unwrap();
+        s.cuda_memcpy_htod(p1, vec![9u8; 16]).unwrap();
+        assert_eq!(
+            s.cuda_memcpy_dtoh(p0, 16).unwrap().into_result().unwrap(),
+            vec![7u8; 16]
+        );
+        // Peer copy T4 → A100 through the host staging path.
+        assert_eq!(s.cuda_memcpy_dtod(p0, p1, 16).unwrap(), 0);
+        assert_eq!(
+            s.cuda_memcpy_dtoh(p0, 16).unwrap().into_result().unwrap(),
+            vec![9u8; 16]
+        );
+        assert_eq!(s.cuda_free(p0).unwrap(), 0);
+        assert_eq!(s.cuda_free(p1).unwrap(), 0);
+    }
+
+    #[test]
+    fn malloc_copy_free_cycle() {
+        let (_srv, s) = server();
+        let ptr = s.cuda_malloc(1024).unwrap().into_result().unwrap();
+        assert_eq!(s.cuda_memcpy_htod(ptr, vec![7u8; 100]).unwrap(), 0);
+        let back = s.cuda_memcpy_dtoh(ptr, 100).unwrap().into_result().unwrap();
+        assert_eq!(back, vec![7u8; 100]);
+        assert_eq!(s.cuda_free(ptr).unwrap(), 0);
+        // Double free is the error the safe wrapper prevents.
+        assert_eq!(
+            s.cuda_free(ptr).unwrap(),
+            vgpu::CudaCode::InvalidValue as i32
+        );
+    }
+
+    #[test]
+    fn oom_reports_cuda_code() {
+        let (_srv, s) = server();
+        let r = s.cuda_malloc(1 << 60).unwrap();
+        assert_eq!(
+            r,
+            U64Result::Default(vgpu::CudaCode::MemoryAllocation as i32)
+        );
+    }
+
+    #[test]
+    fn clock_advances_with_calls() {
+        let (srv, s) = server();
+        let t0 = srv.clock().now_ns();
+        s.cuda_get_device_count().unwrap();
+        let t1 = srv.clock().now_ns();
+        assert!(t1 >= t0 + DISPATCH_NS);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (_srv, s) = server();
+        let ptr = s.cuda_malloc(4096).unwrap().into_result().unwrap();
+        s.cuda_memcpy_htod(ptr, vec![0u8; 4096]).unwrap();
+        let _ = s.cuda_memcpy_dtoh(ptr, 1024).unwrap();
+        let st = s.srv_get_stats().unwrap();
+        assert!(st.total_calls >= 3);
+        assert_eq!(st.bytes_in, 4096);
+        assert_eq!(st.bytes_out, 1024);
+        assert_eq!(st.active_sessions, 1);
+        s.srv_reset_stats().unwrap();
+        let st = s.srv_get_stats().unwrap();
+        assert_eq!(st.bytes_in, 0);
+    }
+
+    #[test]
+    fn gemm_through_service() {
+        let (_srv, s) = server();
+        let h = s.cublas_create().unwrap().into_result().unwrap();
+        let pa = s.cuda_malloc(32).unwrap().into_result().unwrap();
+        // A = [2] (1x1), C = A*A.
+        let two = 2.0f64.to_le_bytes().to_vec();
+        s.cuda_memcpy_htod(pa, two).unwrap();
+        let pc = s.cuda_malloc(8).unwrap().into_result().unwrap();
+        assert_eq!(
+            s.cublas_dgemm(h, 0, 0, 1, 1, 1, 1.0, pa, 1, pa, 1, 0.0, pc, 1)
+                .unwrap(),
+            0
+        );
+        let out = s.cuda_memcpy_dtoh(pc, 8).unwrap().into_result().unwrap();
+        assert_eq!(f64::from_le_bytes(out.try_into().unwrap()), 4.0);
+        assert_eq!(s.cublas_destroy(h).unwrap(), 0);
+        assert_ne!(s.cublas_destroy(h).unwrap(), 0, "stale handle rejected");
+    }
+
+    #[test]
+    fn solver_requires_valid_handle() {
+        let (_srv, s) = server();
+        let r = s
+            .cusolver_dn_dgetrf_buffer_size(0xbad, 4, 4, 0, 4)
+            .unwrap();
+        assert_eq!(r, IntResult::Default(vgpu::CudaCode::InvalidHandle as i32));
+    }
+
+    #[test]
+    fn scheduler_policy_via_rpc() {
+        let (srv, s) = server();
+        assert_eq!(s.srv_set_scheduler(2).unwrap(), 0);
+        assert_eq!(srv.scheduler.policy(), SchedulerPolicy::Priority);
+        assert_ne!(s.srv_set_scheduler(42).unwrap(), 0);
+    }
+}

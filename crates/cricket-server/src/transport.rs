@@ -1,0 +1,330 @@
+//! Simulated client↔server transport.
+//!
+//! [`SimTransport`] implements [`oncrpc::Transport`] for the figure
+//! harnesses: the client's RPC bytes are (1) really carried through the
+//! functional guest TCP/virtio data path — segmentation, checksum,
+//! host-side TSO splitting, reassembly — and (2) timed with the
+//! environment's cost model against the shared virtual clock. The Cricket
+//! service runs in-process and charges its own execution time, so one call
+//! through this transport advances the clock by exactly the modeled
+//! client→wire→server→wire→client round trip.
+
+use oncrpc::{RpcError, RpcServer, Transport};
+use simnet::{NetPath, SimClock};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use unikernel::features::VirtioFeatures;
+use unikernel::tcp::{handshake, Segment, TcpEndpoint};
+use unikernel::virtio_net::{deliver_fixed, deliver_mrg, guest_tx, host_segment, GSO_MAX};
+use unikernel::Guest;
+
+/// Transport-level telemetry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// RPC round trips completed.
+    pub round_trips: u64,
+    /// Wire segments carried, both directions.
+    pub wire_segments: u64,
+    /// Request payload bytes.
+    pub bytes_sent: u64,
+    /// Reply payload bytes.
+    pub bytes_received: u64,
+}
+
+/// The simulated path from a guest to an in-process Cricket server.
+pub struct SimTransport {
+    server: Arc<RpcServer>,
+    guest: Guest,
+    path: NetPath,
+    clock: Arc<SimClock>,
+    client_ep: TcpEndpoint,
+    server_ep: TcpEndpoint,
+    pending_out: Vec<u8>,
+    incoming: Vec<u8>,
+    incoming_off: usize,
+    /// Telemetry.
+    pub stats: TransportStats,
+}
+
+impl SimTransport {
+    /// Connect a guest environment to an RPC server over the modeled path.
+    /// `clock` must be the same clock the server's service charges.
+    pub fn new(server: Arc<RpcServer>, guest: Guest, clock: Arc<SimClock>) -> Self {
+        let path = NetPath::to_gpu_node(guest.costs.clone());
+        // The guest TCP layer sees super-segment MSS when TSO is on (the
+        // host splits); otherwise it segments at the link MTU itself.
+        let client_mtu = if guest.costs.offloads.tso {
+            GSO_MAX + 40
+        } else {
+            guest.costs.mtu
+        };
+        let mut client_ep = TcpEndpoint::new(
+            client_mtu,
+            !guest.costs.offloads.tx_csum,
+            !guest.costs.offloads.rx_csum,
+        );
+        // The GPU node is native Linux: full offloads.
+        let mut server_ep = TcpEndpoint::new(GSO_MAX + 40, false, false);
+        handshake(&mut client_ep, &mut server_ep);
+        Self {
+            server,
+            guest,
+            path,
+            clock,
+            client_ep,
+            server_ep,
+            pending_out: Vec::new(),
+            incoming: Vec::new(),
+            incoming_off: 0,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The environment this transport models.
+    pub fn guest(&self) -> &Guest {
+        &self.guest
+    }
+
+    /// Extract one complete record-marked message from the head of `buf`,
+    /// returning its total length in bytes (headers included), or `None`.
+    fn complete_record_len(buf: &[u8]) -> Option<usize> {
+        let mut off = 0;
+        loop {
+            if buf.len() < off + 4 {
+                return None;
+            }
+            let word = u32::from_be_bytes(buf[off..off + 4].try_into().unwrap());
+            let len = (word & 0x7fff_ffff) as usize;
+            let last = word & 0x8000_0000 != 0;
+            off += 4 + len;
+            if buf.len() < off {
+                return None;
+            }
+            if last {
+                return Some(off);
+            }
+        }
+    }
+
+    /// Carry `bytes` from `from` to `to` through the virtio/TCP machinery,
+    /// returning the reassembled bytes and the number of wire segments.
+    fn carry(
+        from: &mut TcpEndpoint,
+        from_features: VirtioFeatures,
+        to: &mut TcpEndpoint,
+        to_mrg_rxbuf: bool,
+        wire_mss: usize,
+        bytes: &[u8],
+    ) -> io::Result<(Vec<u8>, u64)> {
+        let supers = from.send(bytes);
+        let frames = guest_tx(from_features, supers, wire_mss);
+        let mut wire_count = 0u64;
+        for frame in frames {
+            for seg in host_segment(frame) {
+                wire_count += 1;
+                // RX buffer handling (copies are charged by the cost model;
+                // here we exercise the functional path).
+                let (payload, _bufs, _copies) = if to_mrg_rxbuf {
+                    deliver_mrg(&seg.payload, 4096)
+                } else {
+                    deliver_fixed(&seg.payload)
+                };
+                let seg = Segment {
+                    payload,
+                    ..seg
+                };
+                if !to.receive(&seg) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "segment rejected (checksum or sequencing)",
+                    ));
+                }
+            }
+        }
+        Ok((to.read(usize::MAX), wire_count))
+    }
+
+    /// Process one buffered request end-to-end.
+    fn process_one(&mut self, record_len: usize) -> io::Result<()> {
+        let request: Vec<u8> = self.pending_out.drain(..record_len).collect();
+
+        // Client → server through the functional stacks.
+        let wire_mss = self.guest.costs.mtu.saturating_sub(40).max(1);
+        let (at_server, segs_up) = Self::carry(
+            &mut self.client_ep,
+            self.guest.features,
+            &mut self.server_ep,
+            true, // GPU node negotiates mrg_rxbuf
+            wire_mss,
+            &request,
+        )?;
+        debug_assert_eq!(at_server, request);
+
+        // Server executes (service methods charge the clock themselves).
+        let mut cursor = io::Cursor::new(&at_server);
+        let record = oncrpc::record::read_record(&mut cursor, oncrpc::record::MAX_RECORD)
+            .map_err(rpc_to_io)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty record"))?;
+        let reply_payload = self.server.handle_record(&record).map_err(rpc_to_io)?;
+        let mut reply_wire = Vec::with_capacity(reply_payload.len() + 8);
+        oncrpc::record::write_record(
+            &mut reply_wire,
+            &reply_payload,
+            oncrpc::record::DEFAULT_MAX_FRAGMENT,
+        )
+        .map_err(rpc_to_io)?;
+
+        // Server → client.
+        let (at_client, segs_down) = Self::carry(
+            &mut self.server_ep,
+            VirtioFeatures::linux_driver(),
+            &mut self.client_ep,
+            self.guest.costs.virtq.mrg_rxbuf,
+            wire_mss,
+            &reply_wire,
+        )?;
+
+        // Charge the network legs (server exec already charged).
+        let timing = self.path.rpc_round(request.len(), at_client.len(), 0);
+        self.clock.advance(timing.total_ns());
+
+        self.stats.round_trips += 1;
+        self.stats.wire_segments += segs_up + segs_down;
+        self.stats.bytes_sent += request.len() as u64;
+        self.stats.bytes_received += at_client.len() as u64;
+
+        self.incoming.drain(..self.incoming_off);
+        self.incoming_off = 0;
+        self.incoming.extend_from_slice(&at_client);
+        Ok(())
+    }
+}
+
+fn rpc_to_io(e: RpcError) -> io::Error {
+    io::Error::other(format!("in-process server error: {e}"))
+}
+
+impl Write for SimTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.pending_out.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while let Some(len) = Self::complete_record_len(&self.pending_out) {
+            self.process_one(len)?;
+        }
+        Ok(())
+    }
+}
+
+impl Read for SimTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.incoming_off >= self.incoming.len() {
+            // The client wrote a request and is now waiting for the reply.
+            self.flush()?;
+            if self.incoming_off >= self.incoming.len() {
+                return Ok(0); // clean EOF: nothing outstanding
+            }
+        }
+        let avail = &self.incoming[self.incoming_off..];
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.incoming_off += n;
+        Ok(n)
+    }
+}
+
+impl Transport for SimTransport {
+    fn describe(&self) -> String {
+        format!("sim:{}", self.guest.costs.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_rpc_server, CricketServer, ServerConfig};
+    use cricket_proto::CricketV1Client;
+    use unikernel::GuestKind;
+
+    fn client_for(kind: GuestKind) -> (CricketV1Client, Arc<SimClock>) {
+        let clock = SimClock::new();
+        let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
+        let rpc = make_rpc_server(server);
+        let t = SimTransport::new(rpc, Guest::new(kind), Arc::clone(&clock));
+        (CricketV1Client::new(Box::new(t)), clock)
+    }
+
+    #[test]
+    fn calls_work_and_advance_virtual_time() {
+        let (mut c, clock) = client_for(GuestKind::RustyHermit);
+        assert_eq!(clock.now_ns(), 0);
+        let count = c.cuda_get_device_count().unwrap().into_result().unwrap();
+        assert_eq!(count, 4);
+        let t1 = clock.now_ns();
+        assert!(t1 > 20_000, "one hermit call should cost > 20 µs, got {t1}");
+        c.rpc_null().unwrap();
+        assert!(clock.now_ns() > t1);
+    }
+
+    #[test]
+    fn native_calls_are_faster_than_hermit() {
+        let (mut native, cn) = client_for(GuestKind::NativeLinux);
+        let (mut hermit, ch) = client_for(GuestKind::RustyHermit);
+        for _ in 0..10 {
+            native.cuda_get_device_count().unwrap();
+            hermit.cuda_get_device_count().unwrap();
+        }
+        assert!(
+            ch.now_ns() > 2 * cn.now_ns(),
+            "hermit {} vs native {}",
+            ch.now_ns(),
+            cn.now_ns()
+        );
+    }
+
+    #[test]
+    fn memory_roundtrip_through_full_stack() {
+        let (mut c, _clock) = client_for(GuestKind::Unikraft);
+        let ptr = c.cuda_malloc(&(1 << 20)).unwrap().into_result().unwrap();
+        let data: Vec<u8> = (0..1 << 20).map(|i| (i * 131 % 251) as u8).collect();
+        assert_eq!(c.cuda_memcpy_htod(&ptr, &data).unwrap(), 0);
+        let back = c
+            .cuda_memcpy_dtoh(&ptr, &(data.len() as u64))
+            .unwrap()
+            .into_result()
+            .unwrap();
+        assert_eq!(back, data);
+        assert_eq!(c.cuda_free(&ptr).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_transfer_uses_many_wire_segments() {
+        let clock = SimClock::new();
+        let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
+        let rpc = make_rpc_server(server);
+        let t = SimTransport::new(rpc, Guest::new(GuestKind::RustyHermit), Arc::clone(&clock));
+        let mut c = CricketV1Client::new(Box::new(t));
+        let ptr = c.cuda_malloc(&(4 << 20)).unwrap().into_result().unwrap();
+        let data = vec![9u8; 4 << 20];
+        c.cuda_memcpy_htod(&ptr, &data).unwrap();
+        // 4 MiB over ~8960-byte wire segments ≈ 470 segments minimum.
+        // (Transport stats live inside the boxed transport; assert via time:
+        // a 4 MiB hermit H2D at ~1 GiB/s must cost at least 3 ms.)
+        assert!(clock.now_ns() > 3_000_000, "clock={}", clock.now_ns());
+    }
+
+    #[test]
+    fn timing_scales_with_payload_size() {
+        let (mut c, clock) = client_for(GuestKind::LinuxVm);
+        let ptr = c.cuda_malloc(&(8 << 20)).unwrap().into_result().unwrap();
+        let t0 = clock.now_ns();
+        c.cuda_memcpy_htod(&ptr, &vec![1u8; 1 << 20]).unwrap();
+        let small = clock.now_ns() - t0;
+        let t1 = clock.now_ns();
+        c.cuda_memcpy_htod(&ptr, &vec![1u8; 8 << 20]).unwrap();
+        let big = clock.now_ns() - t1;
+        assert!(big > 4 * small, "big={big} small={small}");
+    }
+}

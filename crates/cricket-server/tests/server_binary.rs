@@ -1,0 +1,65 @@
+//! Smoke test of the `cricket-server` binary: start the real process,
+//! connect over TCP with the generated stub, issue CUDA calls, kill it.
+
+use cricket_proto::CricketV1Client;
+use oncrpc::TcpTransport;
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+#[test]
+fn binary_serves_the_cricket_protocol() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cricket-server"))
+        .args(["--listen", "127.0.0.1:0", "--devices", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn cricket-server");
+
+    // The binary prints "cricket-server: simulated A100 at <addr> ...".
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .split(" at ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("address in banner")
+        .to_string();
+
+    let result = (|| -> Result<(), Box<dyn std::error::Error>> {
+        let t = TcpTransport::connect(&addr)?;
+        t.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut client = CricketV1Client::new(Box::new(t));
+        client.rpc_null()?;
+        assert_eq!(client.cuda_get_device_count()?.into_result().unwrap(), 2);
+        let ptr = client.cuda_malloc(&4096)?.into_result().unwrap();
+        assert_eq!(client.cuda_memcpy_htod(&ptr, &vec![5u8; 64])?, 0);
+        let back = client.cuda_memcpy_dtoh(&ptr, &64)?.into_result().unwrap();
+        assert_eq!(back, vec![5u8; 64]);
+        assert_eq!(client.cuda_free(&ptr)?, 0);
+        Ok(())
+    })();
+
+    let _ = child.kill();
+    let _ = child.wait();
+    result.expect("RPC session against the binary");
+}
+
+#[test]
+fn binary_rejects_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cricket-server"))
+        .arg("--bogus")
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn binary_prints_help() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cricket-server"))
+        .arg("--help")
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

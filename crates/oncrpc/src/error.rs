@@ -1,0 +1,98 @@
+//! Error types for the ONC RPC layer.
+
+use crate::msg::{AcceptStat, RejectStat};
+use std::fmt;
+use xdr::XdrError;
+
+/// Result alias for RPC operations.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+/// Errors produced while performing remote procedure calls.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// XDR (de)serialization failure.
+    Xdr(XdrError),
+    /// The server accepted the call but reported a failure status.
+    Accepted(AcceptStat),
+    /// The server rejected the call (RPC version mismatch or auth error).
+    Rejected(RejectStat),
+    /// The reply's transaction id did not match any outstanding call.
+    XidMismatch {
+        /// The xid we sent.
+        expected: u32,
+        /// The xid the server answered with.
+        got: u32,
+    },
+    /// A message that was not a reply arrived where a reply was expected
+    /// (or vice versa).
+    UnexpectedMessageType,
+    /// A record exceeded the configured maximum size.
+    RecordTooLarge {
+        /// Observed (or declared) size in bytes.
+        size: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The peer closed the connection mid-record.
+    ConnectionClosed,
+    /// Deadline expired while waiting for a reply.
+    TimedOut,
+    /// The requested program/version is not registered on this server.
+    ProgramUnavailable {
+        /// Program number requested.
+        prog: u32,
+        /// Version requested.
+        vers: u32,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "transport I/O error: {e}"),
+            RpcError::Xdr(e) => write!(f, "XDR error: {e}"),
+            RpcError::Accepted(s) => write!(f, "call accepted but failed: {s:?}"),
+            RpcError::Rejected(s) => write!(f, "call rejected: {s:?}"),
+            RpcError::XidMismatch { expected, got } => {
+                write!(f, "xid mismatch: expected {expected}, got {got}")
+            }
+            RpcError::UnexpectedMessageType => write!(f, "unexpected RPC message type"),
+            RpcError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            RpcError::ConnectionClosed => write!(f, "connection closed by peer"),
+            RpcError::TimedOut => write!(f, "RPC timed out"),
+            RpcError::ProgramUnavailable { prog, vers } => {
+                write!(f, "program {prog} version {vers} unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Io(e) => Some(e),
+            RpcError::Xdr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RpcError::ConnectionClosed
+        } else {
+            RpcError::Io(e)
+        }
+    }
+}
+
+impl From<XdrError> for RpcError {
+    fn from(e: XdrError) -> Self {
+        RpcError::Xdr(e)
+    }
+}

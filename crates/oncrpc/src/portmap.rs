@@ -1,0 +1,277 @@
+//! Minimal portmapper / rpcbind (program 100000, version 2, RFC 1833).
+//!
+//! Real ONC RPC deployments locate services by asking the portmapper which
+//! TCP port a (program, version) pair listens on. Cricket points clients at
+//! the server directly, but we implement the portmapper both for protocol
+//! completeness and because tests use it to exercise a second, independently
+//! specified RPC program through the same stack.
+
+use crate::server::{Dispatch, DispatchResult};
+use crate::msg::AcceptStat;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xdr::{XdrDecoder, XdrEncoder};
+
+/// The portmapper's own program number.
+pub const PMAP_PROG: u32 = 100_000;
+/// The portmapper protocol version implemented here.
+pub const PMAP_VERS: u32 = 2;
+
+/// Procedure numbers (RFC 1833 §3).
+pub mod procs {
+    /// Do nothing (ping).
+    pub const NULL: u32 = 0;
+    /// Register a mapping.
+    pub const SET: u32 = 1;
+    /// Remove a mapping.
+    pub const UNSET: u32 = 2;
+    /// Look up the port for a mapping.
+    pub const GETPORT: u32 = 3;
+    /// Enumerate all mappings.
+    pub const DUMP: u32 = 4;
+}
+
+/// Transport protocol numbers used in mappings.
+pub const IPPROTO_TCP: u32 = 6;
+/// UDP protocol number (accepted in mappings, unused by this crate).
+pub const IPPROTO_UDP: u32 = 17;
+
+/// One registered mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// RPC program number.
+    pub prog: u32,
+    /// Program version.
+    pub vers: u32,
+    /// Transport protocol ([`IPPROTO_TCP`] or [`IPPROTO_UDP`]).
+    pub prot: u32,
+    /// Listening port.
+    pub port: u32,
+}
+
+/// In-memory portmapper service.
+#[derive(Default)]
+pub struct Portmap {
+    table: RwLock<HashMap<(u32, u32, u32), u32>>,
+}
+
+impl Portmap {
+    /// Create an empty portmapper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a mapping; returns false if one already existed (RFC 1833
+    /// semantics: SET fails if the tuple is taken).
+    pub fn set(&self, m: Mapping) -> bool {
+        let mut t = self.table.write();
+        match t.entry((m.prog, m.vers, m.prot)) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m.port);
+                true
+            }
+        }
+    }
+
+    /// Remove all mappings for (prog, vers); returns whether any existed.
+    pub fn unset(&self, prog: u32, vers: u32) -> bool {
+        let mut t = self.table.write();
+        let before = t.len();
+        t.retain(|&(p, v, _), _| !(p == prog && v == vers));
+        t.len() != before
+    }
+
+    /// Look up the port for (prog, vers, prot); 0 if absent.
+    pub fn getport(&self, prog: u32, vers: u32, prot: u32) -> u32 {
+        self.table
+            .read()
+            .get(&(prog, vers, prot))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All current mappings, unordered.
+    pub fn dump(&self) -> Vec<Mapping> {
+        self.table
+            .read()
+            .iter()
+            .map(|(&(prog, vers, prot), &port)| Mapping {
+                prog,
+                vers,
+                prot,
+                port,
+            })
+            .collect()
+    }
+
+    /// Wrap in the RPC [`Dispatch`] adapter.
+    pub fn into_dispatch(self: Arc<Self>) -> Arc<dyn Dispatch> {
+        Arc::new(PortmapDispatch(self))
+    }
+}
+
+struct PortmapDispatch(Arc<Portmap>);
+
+fn decode_mapping(args: &mut XdrDecoder<'_>) -> Result<Mapping, AcceptStat> {
+    Ok(Mapping {
+        prog: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
+        vers: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
+        prot: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
+        port: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
+    })
+}
+
+impl Dispatch for PortmapDispatch {
+    fn dispatch(
+        &self,
+        proc: u32,
+        args: &mut XdrDecoder<'_>,
+        reply: &mut XdrEncoder,
+    ) -> DispatchResult {
+        match proc {
+            procs::NULL => Ok(()),
+            procs::SET => {
+                let m = decode_mapping(args)?;
+                reply.put_bool(self.0.set(m));
+                Ok(())
+            }
+            procs::UNSET => {
+                let m = decode_mapping(args)?;
+                reply.put_bool(self.0.unset(m.prog, m.vers));
+                Ok(())
+            }
+            procs::GETPORT => {
+                let m = decode_mapping(args)?;
+                reply.put_u32(self.0.getport(m.prog, m.vers, m.prot));
+                Ok(())
+            }
+            procs::DUMP => {
+                // Encoded as an XDR linked list: (bool more, mapping)* false.
+                for m in self.0.dump() {
+                    reply.put_bool(true);
+                    reply.put_u32(m.prog);
+                    reply.put_u32(m.vers);
+                    reply.put_u32(m.prot);
+                    reply.put_u32(m.port);
+                }
+                reply.put_bool(false);
+                Ok(())
+            }
+            _ => Err(AcceptStat::ProcUnavail),
+        }
+    }
+}
+
+/// Client-side helpers for talking to a portmapper.
+pub mod client {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::error::RpcResult;
+    use crate::transport::Transport;
+
+    /// Typed portmapper client.
+    pub struct PortmapClient {
+        rpc: RpcClient,
+    }
+
+    impl PortmapClient {
+        /// Bind a portmap client over `transport`.
+        pub fn new(transport: Box<dyn Transport>) -> Self {
+            Self {
+                rpc: RpcClient::new(transport, PMAP_PROG, PMAP_VERS),
+            }
+        }
+
+        /// Ping.
+        pub fn null(&mut self) -> RpcResult<()> {
+            self.rpc.call_null()
+        }
+
+        /// Register a mapping.
+        pub fn set(&mut self, m: Mapping) -> RpcResult<bool> {
+            self.rpc
+                .call(procs::SET, &(m.prog, m.vers, m.prot, m.port))
+        }
+
+        /// Remove mappings for (prog, vers).
+        pub fn unset(&mut self, prog: u32, vers: u32) -> RpcResult<bool> {
+            self.rpc.call(procs::UNSET, &(prog, vers, 0u32, 0u32))
+        }
+
+        /// Look up a port (0 = unregistered).
+        pub fn getport(&mut self, prog: u32, vers: u32, prot: u32) -> RpcResult<u32> {
+            self.rpc.call(procs::GETPORT, &(prog, vers, prot, 0u32))
+        }
+
+        /// Enumerate mappings.
+        pub fn dump(&mut self) -> RpcResult<Vec<Mapping>> {
+            let raw = self.rpc.call_raw(procs::DUMP, |_| {})?;
+            let mut dec = XdrDecoder::new(&raw);
+            let mut out = Vec::new();
+            while dec.get_bool()? {
+                out.push(Mapping {
+                    prog: dec.get_u32()?,
+                    vers: dec.get_u32()?,
+                    prot: dec.get_u32()?,
+                    port: dec.get_u32()?,
+                });
+            }
+            dec.finish()?;
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve_tcp, RpcServer};
+    use crate::transport::TcpTransport;
+
+    #[test]
+    fn local_table_semantics() {
+        let pm = Portmap::new();
+        let m = Mapping {
+            prog: 99,
+            vers: 1,
+            prot: IPPROTO_TCP,
+            port: 2048,
+        };
+        assert!(pm.set(m));
+        assert!(!pm.set(m), "duplicate SET must fail");
+        assert_eq!(pm.getport(99, 1, IPPROTO_TCP), 2048);
+        assert_eq!(pm.getport(99, 2, IPPROTO_TCP), 0);
+        assert!(pm.unset(99, 1));
+        assert!(!pm.unset(99, 1));
+        assert_eq!(pm.getport(99, 1, IPPROTO_TCP), 0);
+    }
+
+    #[test]
+    fn portmap_over_tcp() {
+        let pm = Arc::new(Portmap::new());
+        let server = Arc::new(RpcServer::new());
+        server.register(PMAP_PROG, PMAP_VERS, Arc::clone(&pm).into_dispatch());
+        let handle = serve_tcp(server, "127.0.0.1:0").unwrap();
+
+        let t = TcpTransport::connect(handle.addr()).unwrap();
+        let mut client = client::PortmapClient::new(Box::new(t));
+        client.null().unwrap();
+        assert!(client
+            .set(Mapping {
+                prog: 99,
+                vers: 1,
+                prot: IPPROTO_TCP,
+                port: 4242
+            })
+            .unwrap());
+        assert_eq!(client.getport(99, 1, IPPROTO_TCP).unwrap(), 4242);
+        let dumped = client.dump().unwrap();
+        assert_eq!(dumped.len(), 1);
+        assert_eq!(dumped[0].port, 4242);
+        assert!(client.unset(99, 1).unwrap());
+        assert_eq!(client.getport(99, 1, IPPROTO_TCP).unwrap(), 0);
+        handle.shutdown();
+    }
+}

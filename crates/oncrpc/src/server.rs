@@ -1,0 +1,375 @@
+//! RPC server: program registry, per-connection record loop, threaded TCP
+//! listener, and an in-process dispatch entry point used by the simulated
+//! environments.
+
+use crate::error::{RpcError, RpcResult};
+use crate::msg::{AcceptStat, MessageBody, ReplyBody, RpcMessage};
+use crate::record::{read_record, write_record, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
+use crate::transport::Transport;
+use crate::RPC_VERSION;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xdr::{Xdr, XdrDecoder, XdrEncoder};
+
+/// Outcome of one dispatched procedure.
+pub type DispatchResult = Result<(), AcceptStat>;
+
+/// A service implementation for one RPC program version.
+///
+/// Generated server skeletons implement this by decoding `args`, invoking the
+/// user's service trait, and encoding results into `reply`. Returning
+/// `Err(stat)` produces the corresponding accepted-but-failed reply.
+pub trait Dispatch: Send + Sync {
+    /// Handle procedure `proc`. Arguments are read from `args`; results are
+    /// appended to `reply` only on success.
+    fn dispatch(&self, proc: u32, args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder)
+        -> DispatchResult;
+}
+
+impl<F> Dispatch for F
+where
+    F: Fn(u32, &mut XdrDecoder<'_>, &mut XdrEncoder) -> DispatchResult + Send + Sync,
+{
+    fn dispatch(
+        &self,
+        proc: u32,
+        args: &mut XdrDecoder<'_>,
+        reply: &mut XdrEncoder,
+    ) -> DispatchResult {
+        self(proc, args, reply)
+    }
+}
+
+/// Registry of (program, version) → service.
+#[derive(Default)]
+pub struct RpcServer {
+    services: RwLock<HashMap<(u32, u32), Arc<dyn Dispatch>>>,
+}
+
+impl RpcServer {
+    /// Create an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `service` for `prog`/`vers`, replacing any prior entry.
+    pub fn register(&self, prog: u32, vers: u32, service: Arc<dyn Dispatch>) {
+        self.services.write().insert((prog, vers), service);
+    }
+
+    /// Remove a registration.
+    pub fn unregister(&self, prog: u32, vers: u32) {
+        self.services.write().remove(&(prog, vers));
+    }
+
+    /// Registered versions of `prog`, for `PROG_MISMATCH` replies.
+    fn version_range(&self, prog: u32) -> Option<(u32, u32)> {
+        let services = self.services.read();
+        let mut range: Option<(u32, u32)> = None;
+        for &(p, v) in services.keys() {
+            if p == prog {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        range
+    }
+
+    /// Process one already-read request record, producing the bytes of the
+    /// complete reply record. This is the core of the server and is also the
+    /// entry point for the in-process (simulated-network) mode.
+    pub fn handle_record(&self, record: &[u8]) -> RpcResult<Vec<u8>> {
+        let mut dec = XdrDecoder::new(record);
+        let msg = RpcMessage::decode(&mut dec)?;
+        let call = match msg.body {
+            MessageBody::Call(c) => c,
+            MessageBody::Reply(_) => return Err(RpcError::UnexpectedMessageType),
+        };
+
+        let mut reply_enc = XdrEncoder::with_capacity(64);
+        if call.rpcvers != RPC_VERSION {
+            RpcMessage::reply(
+                msg.xid,
+                ReplyBody::Denied(crate::msg::RejectStat::RpcMismatch {
+                    low: RPC_VERSION,
+                    high: RPC_VERSION,
+                }),
+            )
+            .encode(&mut reply_enc);
+            return Ok(reply_enc.into_inner());
+        }
+
+        let service = self.services.read().get(&(call.prog, call.vers)).cloned();
+        let Some(service) = service else {
+            let body = match self.version_range(call.prog) {
+                Some((lo, hi)) => ReplyBody::prog_mismatch(lo, hi),
+                None => ReplyBody::failure(AcceptStat::ProgUnavail),
+            };
+            RpcMessage::reply(msg.xid, body).encode(&mut reply_enc);
+            return Ok(reply_enc.into_inner());
+        };
+
+        // Encode an optimistic success header, then let the service append
+        // results. On failure, re-encode the header with the error status.
+        let mut result_enc = XdrEncoder::with_capacity(64);
+        match service.dispatch(call.proc, &mut dec, &mut result_enc) {
+            Ok(()) => {
+                RpcMessage::reply(msg.xid, ReplyBody::success()).encode(&mut reply_enc);
+                reply_enc.extend_raw(result_enc.as_slice());
+            }
+            Err(stat) => {
+                RpcMessage::reply(msg.xid, ReplyBody::failure(stat)).encode(&mut reply_enc);
+            }
+        }
+        Ok(reply_enc.into_inner())
+    }
+
+    /// Serve one connection until the peer disconnects.
+    pub fn serve_connection<T: Read + Write>(&self, conn: &mut T) -> RpcResult<()> {
+        loop {
+            let Some(record) = read_record(conn, MAX_RECORD)? else {
+                return Ok(());
+            };
+            let reply = self.handle_record(&record)?;
+            write_record(conn, &reply, DEFAULT_MAX_FRAGMENT)?;
+        }
+    }
+
+    /// Serve a boxed transport (helper for threads that own their transport).
+    pub fn serve_transport(&self, mut t: Box<dyn Transport>) -> RpcResult<()> {
+        self.serve_connection(&mut t)
+    }
+}
+
+/// Handle to a running TCP server; dropping it requests shutdown.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for the accept loop to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the accept loop observes the flag.
+        let _ = std::net::TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Bind a TCP listener and serve `server` on background threads
+/// (one thread per connection, as libtirpc-based Cricket does).
+pub fn serve_tcp<A: ToSocketAddrs>(server: Arc<RpcServer>, addr: A) -> RpcResult<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("oncrpc-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let server = Arc::clone(&server);
+                let _ = std::thread::Builder::new()
+                    .name("oncrpc-conn".into())
+                    .spawn(move || {
+                        if let Ok(mut t) = crate::transport::TcpTransport::from_stream(stream) {
+                            let _ = server.serve_connection(&mut t);
+                        }
+                    });
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::msg::RejectStat;
+    use crate::transport::{duplex_pair, TcpTransport};
+
+    /// Echo service: proc 0 = null, proc 1 = echo opaque, proc 2 = add two u32.
+    fn echo_service() -> Arc<dyn Dispatch> {
+        Arc::new(
+            |proc: u32, args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder| match proc {
+                0 => Ok(()),
+                1 => {
+                    let data = args.get_opaque().map_err(|_| AcceptStat::GarbageArgs)?;
+                    reply.put_opaque(data);
+                    Ok(())
+                }
+                2 => {
+                    let a = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                    let b = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                    reply.put_u32(a.wrapping_add(b));
+                    Ok(())
+                }
+                _ => Err(AcceptStat::ProcUnavail),
+            },
+        )
+    }
+
+    fn spawn_pair(server: Arc<RpcServer>) -> RpcClient {
+        let (client_end, server_end) = duplex_pair();
+        std::thread::spawn(move || {
+            let mut conn = server_end;
+            let _ = server.serve_connection(&mut conn);
+        });
+        RpcClient::new(Box::new(client_end), 400, 1)
+    }
+
+    fn test_server() -> Arc<RpcServer> {
+        let s = Arc::new(RpcServer::new());
+        s.register(400, 1, echo_service());
+        s
+    }
+
+    #[test]
+    fn null_call() {
+        let mut client = spawn_pair(test_server());
+        client.call_null().unwrap();
+        assert_eq!(client.stats().calls, 1);
+    }
+
+    #[test]
+    fn echo_and_add() {
+        let mut client = spawn_pair(test_server());
+        let out: Vec<u8> = client.call(1, &vec![9u8, 8, 7]).unwrap();
+        assert_eq!(out, vec![9, 8, 7]);
+        let sum: u32 = client.call(2, &(40u32, 2u32)).unwrap();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn large_echo_exercises_fragmentation() {
+        let mut client = spawn_pair(test_server());
+        client.set_max_fragment(4096);
+        let big: Vec<u8> = (0..1_000_000u32).map(|i| (i % 255) as u8).collect();
+        let out: Vec<u8> = client.call(1, &big).unwrap();
+        assert_eq!(out, big);
+    }
+
+    #[test]
+    fn unknown_proc_reports_proc_unavail() {
+        let mut client = spawn_pair(test_server());
+        let err = client.call::<(), ()>(99, &()).unwrap_err();
+        assert!(matches!(err, RpcError::Accepted(AcceptStat::ProcUnavail)));
+    }
+
+    #[test]
+    fn unknown_program_reports_prog_unavail() {
+        let server = Arc::new(RpcServer::new());
+        let mut client = spawn_pair(server);
+        let err = client.call::<(), ()>(0, &()).unwrap_err();
+        assert!(matches!(err, RpcError::Accepted(AcceptStat::ProgUnavail)));
+    }
+
+    #[test]
+    fn wrong_version_reports_mismatch() {
+        let server = test_server();
+        let (client_end, server_end) = duplex_pair();
+        let s2 = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let mut conn = server_end;
+            let _ = s2.serve_connection(&mut conn);
+        });
+        let mut client = RpcClient::new(Box::new(client_end), 400, 7);
+        let err = client.call::<(), ()>(0, &()).unwrap_err();
+        match err {
+            RpcError::Accepted(AcceptStat::ProgMismatch) => {}
+            other => panic!("expected ProgMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rpc_version_denied() {
+        let server = test_server();
+        // Hand-roll a call with rpcvers=3.
+        let mut enc = XdrEncoder::new();
+        let mut call = crate::msg::CallBody::new(400, 1, 0);
+        call.rpcvers = 3;
+        RpcMessage::call(5, call).encode(&mut enc);
+        let reply = server.handle_record(enc.as_slice()).unwrap();
+        let msg: RpcMessage = xdr::decode(&reply).unwrap();
+        match msg.body {
+            MessageBody::Reply(ReplyBody::Denied(RejectStat::RpcMismatch { low: 2, high: 2 })) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_args_status() {
+        let mut client = spawn_pair(test_server());
+        // proc 2 wants two u32s; send nothing.
+        let err = client.call::<(), u32>(2, &()).unwrap_err();
+        assert!(matches!(err, RpcError::Accepted(AcceptStat::GarbageArgs)));
+    }
+
+    #[test]
+    fn tcp_end_to_end_with_concurrent_clients() {
+        let server = test_server();
+        let handle = serve_tcp(server, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            joins.push(std::thread::spawn(move || {
+                let transport = TcpTransport::connect(addr).unwrap();
+                let mut client = RpcClient::new(Box::new(transport), 400, 1);
+                for i in 0..50u32 {
+                    let sum: u32 = client.call(2, &(i, t as u32)).unwrap();
+                    assert_eq!(sum, i + t as u32);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut client = spawn_pair(test_server());
+        let payload = vec![1u8; 100];
+        let _: Vec<u8> = client.call(1, &payload).unwrap();
+        let stats = client.stats();
+        assert_eq!(stats.calls, 1);
+        assert!(stats.bytes_sent as usize >= 100);
+        assert!(stats.bytes_received as usize >= 100);
+    }
+}

@@ -1,0 +1,297 @@
+//! ONC RPC over UDP (RFC 5531 §11, datagram mode).
+//!
+//! Over UDP every RPC message is exactly one datagram — no record marking,
+//! and therefore **no fragmentation**: calls and replies are limited to one
+//! datagram (~64 KiB). This is precisely why Cricket runs over TCP — GPU
+//! memory transfers do not fit — but a complete ONC RPC implementation
+//! supports both, and the latency-only Cricket procedures work fine over
+//! UDP. The client implements the classic timeout/retransmission loop with
+//! xid matching (stale replies from earlier retransmissions are discarded).
+
+use crate::error::{RpcError, RpcResult};
+use crate::server::RpcServer;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdr::{Xdr, XdrDecoder, XdrEncoder};
+
+/// Practical maximum UDP payload (IPv4 reassembly limit minus headers).
+pub const MAX_DATAGRAM: usize = 65_507;
+
+/// A synchronous UDP RPC client.
+pub struct UdpClient {
+    socket: UdpSocket,
+    prog: u32,
+    vers: u32,
+    next_xid: u32,
+    /// Reply timeout per attempt.
+    pub timeout: Duration,
+    /// Total attempts (1 initial + retransmissions).
+    pub attempts: u32,
+    /// Retransmissions performed (telemetry, exercised by loss tests).
+    pub retransmissions: u64,
+}
+
+impl UdpClient {
+    /// Create a client bound to an ephemeral port, "connected" to `server`.
+    pub fn connect<A: ToSocketAddrs>(server: A, prog: u32, vers: u32) -> RpcResult<Self> {
+        let socket = UdpSocket::bind("0.0.0.0:0")?;
+        socket.connect(server)?;
+        Ok(Self {
+            socket,
+            prog,
+            vers,
+            next_xid: 0x7f00_0001,
+            timeout: Duration::from_millis(200),
+            attempts: 5,
+            retransmissions: 0,
+        })
+    }
+
+    /// Issue procedure `proc` with `args`, decoding the reply as `R`.
+    pub fn call<A: Xdr, R: Xdr>(&mut self, proc: u32, args: &A) -> RpcResult<R> {
+        use crate::msg::{AcceptStat, CallBody, MessageBody, ReplyBody, RpcMessage};
+
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+
+        let mut enc = XdrEncoder::with_capacity(256);
+        RpcMessage::call(xid, CallBody::new(self.prog, self.vers, proc)).encode(&mut enc);
+        args.encode(&mut enc);
+        if enc.len() > MAX_DATAGRAM {
+            return Err(RpcError::RecordTooLarge {
+                size: enc.len(),
+                max: MAX_DATAGRAM,
+            });
+        }
+
+        self.socket.set_read_timeout(Some(self.timeout))?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                self.retransmissions += 1;
+            }
+            self.socket.send(enc.as_slice())?;
+            // Drain datagrams until our xid answers or the timeout fires.
+            loop {
+                let n = match self.socket.recv(&mut buf) {
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break; // retransmit
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let mut dec = XdrDecoder::new(&buf[..n]);
+                let Ok(msg) = RpcMessage::decode(&mut dec) else {
+                    continue; // malformed datagram: ignore
+                };
+                if msg.xid != xid {
+                    continue; // stale reply from an earlier attempt
+                }
+                let body = match msg.body {
+                    MessageBody::Reply(b) => b,
+                    MessageBody::Call(_) => return Err(RpcError::UnexpectedMessageType),
+                };
+                return match body {
+                    ReplyBody::Accepted {
+                        stat: AcceptStat::Success,
+                        ..
+                    } => {
+                        let result = R::decode(&mut dec)?;
+                        dec.finish()?;
+                        Ok(result)
+                    }
+                    ReplyBody::Accepted { stat, .. } => Err(RpcError::Accepted(stat)),
+                    ReplyBody::Denied(stat) => Err(RpcError::Rejected(stat)),
+                };
+            }
+        }
+        Err(RpcError::TimedOut)
+    }
+}
+
+/// Handle to a running UDP server; dropping it requests shutdown.
+pub struct UdpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UdpServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for the loop to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for UdpServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serve `server` on a UDP socket (one datagram in, one datagram out).
+/// `loss_every` is a test hook: when `Some(n)`, every n-th request is
+/// silently dropped, exercising client retransmission.
+pub fn serve_udp<A: ToSocketAddrs>(
+    server: Arc<RpcServer>,
+    addr: A,
+    loss_every: Option<u64>,
+) -> RpcResult<UdpServerHandle> {
+    let socket = UdpSocket::bind(addr)?;
+    let local = socket.local_addr()?;
+    socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("oncrpc-udp".into())
+        .spawn(move || {
+            let mut buf = vec![0u8; MAX_DATAGRAM];
+            let mut received = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                let (n, peer) = match socket.recv_from(&mut buf) {
+                    Ok(r) => r,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                received += 1;
+                if let Some(every) = loss_every {
+                    if received % every == 0 {
+                        continue; // simulated datagram loss
+                    }
+                }
+                if let Ok(reply) = server.handle_record(&buf[..n]) {
+                    if reply.len() <= MAX_DATAGRAM {
+                        let _ = socket.send_to(&reply, peer);
+                    }
+                }
+            }
+        })
+        .expect("spawn udp thread");
+    Ok(UdpServerHandle {
+        addr: local,
+        stop,
+        join: Some(join),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AcceptStat;
+    use crate::server::DispatchResult;
+
+    fn adder() -> Arc<RpcServer> {
+        let s = Arc::new(RpcServer::new());
+        s.register(
+            700,
+            1,
+            Arc::new(
+                |proc: u32, args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder| -> DispatchResult {
+                    match proc {
+                        0 => Ok(()),
+                        1 => {
+                            let a = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                            let b = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                            reply.put_u32(a + b);
+                            Ok(())
+                        }
+                        2 => {
+                            let data =
+                                args.get_opaque().map_err(|_| AcceptStat::GarbageArgs)?;
+                            reply.put_opaque(data);
+                            Ok(())
+                        }
+                        _ => Err(AcceptStat::ProcUnavail),
+                    }
+                },
+            ),
+        );
+        s
+    }
+
+    #[test]
+    fn udp_call_roundtrip() {
+        let handle = serve_udp(adder(), "127.0.0.1:0", None).unwrap();
+        let mut client = UdpClient::connect(handle.addr(), 700, 1).unwrap();
+        client.call::<(), ()>(0, &()).unwrap();
+        let sum: u32 = client.call(1, &(19u32, 23u32)).unwrap();
+        assert_eq!(sum, 42);
+        assert_eq!(client.retransmissions, 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn retransmission_survives_datagram_loss() {
+        // Drop every 2nd request: each call may need a retry.
+        let handle = serve_udp(adder(), "127.0.0.1:0", Some(2)).unwrap();
+        let mut client = UdpClient::connect(handle.addr(), 700, 1).unwrap();
+        client.timeout = Duration::from_millis(80);
+        for i in 0..6u32 {
+            let sum: u32 = client.call(1, &(i, 1u32)).unwrap();
+            assert_eq!(sum, i + 1);
+        }
+        assert!(
+            client.retransmissions >= 2,
+            "loss must have forced retransmissions: {}",
+            client.retransmissions
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_call_rejected_client_side() {
+        let handle = serve_udp(adder(), "127.0.0.1:0", None).unwrap();
+        let mut client = UdpClient::connect(handle.addr(), 700, 1).unwrap();
+        let big = vec![0u8; 80_000];
+        let err = client.call::<Vec<u8>, Vec<u8>>(2, &big).unwrap_err();
+        assert!(matches!(err, RpcError::RecordTooLarge { .. }));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unreachable_server_times_out() {
+        // Nothing listens on this ephemeral-but-closed port.
+        let dead = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut client = UdpClient::connect(addr, 700, 1).unwrap();
+        client.timeout = Duration::from_millis(30);
+        client.attempts = 2;
+        let err = client.call::<(), ()>(0, &()).unwrap_err();
+        // ICMP port-unreachable may surface as an IO error, or we time out.
+        assert!(matches!(err, RpcError::TimedOut | RpcError::Io(_) | RpcError::ConnectionClosed));
+    }
+
+    #[test]
+    fn wrong_program_rejected_over_udp() {
+        let handle = serve_udp(adder(), "127.0.0.1:0", None).unwrap();
+        let mut client = UdpClient::connect(handle.addr(), 999, 1).unwrap();
+        let err = client.call::<(), ()>(0, &()).unwrap_err();
+        assert!(matches!(err, RpcError::Accepted(AcceptStat::ProgUnavail)));
+        handle.shutdown();
+    }
+}

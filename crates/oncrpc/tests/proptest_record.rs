@@ -1,0 +1,78 @@
+//! Property tests for record marking — the RPC-Lib capability the paper
+//! contrasts against the `onc_rpc` crate (which "lacks support for
+//! fragmented messages").
+
+use oncrpc::record::{read_record, write_record, MAX_RECORD};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrip_any_payload_any_fragment_size(
+        payload in proptest::collection::vec(any::<u8>(), 0..50_000),
+        max_fragment in 1usize..10_000,
+    ) {
+        let mut wire = Vec::new();
+        write_record(&mut wire, &payload, max_fragment).unwrap();
+        let mut cursor = std::io::Cursor::new(&wire);
+        let back = read_record(&mut cursor, MAX_RECORD).unwrap().unwrap();
+        prop_assert_eq!(back, payload);
+        // The cursor must consume exactly the record.
+        prop_assert_eq!(cursor.position() as usize, wire.len());
+    }
+
+    #[test]
+    fn wire_overhead_is_exactly_headers(
+        payload in proptest::collection::vec(any::<u8>(), 1..100_000),
+        max_fragment in 1usize..10_000,
+    ) {
+        let mut wire = Vec::new();
+        write_record(&mut wire, &payload, max_fragment).unwrap();
+        let fragments = payload.len().div_ceil(max_fragment);
+        prop_assert_eq!(wire.len(), payload.len() + 4 * fragments);
+    }
+
+    #[test]
+    fn concatenated_records_reparse(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..2_000), 1..8),
+        max_fragment in 1usize..1_000,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_record(&mut wire, p, max_fragment).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(&wire);
+        for p in &payloads {
+            let got = read_record(&mut cursor, MAX_RECORD).unwrap().unwrap();
+            prop_assert_eq!(&got, p);
+        }
+        prop_assert!(read_record(&mut cursor, MAX_RECORD).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_never_panics_never_succeeds_fully(
+        payload in proptest::collection::vec(any::<u8>(), 1..5_000),
+        max_fragment in 1usize..1_000,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_record(&mut wire, &payload, max_fragment).unwrap();
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        if cut < wire.len() {
+            let mut cursor = std::io::Cursor::new(&wire[..cut]);
+            match read_record(&mut cursor, MAX_RECORD) {
+                Ok(Some(got)) => prop_assert!(
+                    got.len() < payload.len(),
+                    "a truncated stream cannot yield the full record"
+                ),
+                Ok(None) | Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_headers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4_096)) {
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let _ = read_record(&mut cursor, 1 << 20);
+    }
+}

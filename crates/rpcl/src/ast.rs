@@ -1,0 +1,256 @@
+//! Abstract syntax tree for RPCL specifications.
+
+/// A complete parsed specification (one `.x` file).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Spec {
+    /// Top-level definitions in source order.
+    pub definitions: Vec<Definition>,
+}
+
+/// One top-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Definition {
+    /// `const NAME = value;`
+    Const(ConstDef),
+    /// `enum name { ... };`
+    Enum(EnumDef),
+    /// `struct name { ... };`
+    Struct(StructDef),
+    /// `union name switch (...) { ... };`
+    Union(UnionDef),
+    /// `typedef declaration;`
+    Typedef(TypedefDef),
+    /// `program NAME { ... } = number;`
+    Program(ProgramDef),
+}
+
+/// A named integer constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// RPCL name (conventionally upper case).
+    pub name: String,
+    /// Constant value.
+    pub value: i64,
+}
+
+/// An enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Type name.
+    pub name: String,
+    /// `(variant name, value)` pairs in source order.
+    pub variants: Vec<(String, i64)>,
+}
+
+/// A structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Member declarations in source order.
+    pub fields: Vec<Declaration>,
+}
+
+/// A discriminated union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionDef {
+    /// Type name.
+    pub name: String,
+    /// Discriminant declaration (`int err`, `my_enum kind`, ...).
+    pub discriminant: Declaration,
+    /// Case arms. Each arm may be selected by several case values.
+    pub cases: Vec<UnionCase>,
+    /// Optional `default:` arm declaration (`None` body means `void`).
+    pub default: Option<Option<Declaration>>,
+}
+
+/// One `case` arm of a union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionCase {
+    /// The case values selecting this arm (resolved constants) paired with
+    /// the spelling used in the source (for enum-discriminated unions).
+    pub values: Vec<(i64, String)>,
+    /// The arm's declaration; `None` = `void`.
+    pub decl: Option<Declaration>,
+}
+
+/// A `typedef`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedefDef {
+    /// The declaration whose name becomes the new type name.
+    pub decl: Declaration,
+}
+
+/// A `program` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramDef {
+    /// Program name.
+    pub name: String,
+    /// Program number.
+    pub number: i64,
+    /// Versions in source order.
+    pub versions: Vec<VersionDef>,
+}
+
+/// A `version` block inside a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionDef {
+    /// Version name.
+    pub name: String,
+    /// Version number.
+    pub number: i64,
+    /// Procedures in source order.
+    pub procedures: Vec<ProcedureDef>,
+}
+
+/// One remote procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcedureDef {
+    /// Procedure name.
+    pub name: String,
+    /// Procedure number.
+    pub number: i64,
+    /// Result type (`Void` for `void`).
+    pub result: TypeSpec,
+    /// Argument types (empty or `[Void]` for `(void)`).
+    pub args: Vec<TypeSpec>,
+}
+
+/// A variable declaration: a type applied to a name with an optional
+/// array/pointer decoration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declaration {
+    /// Declared name.
+    pub name: String,
+    /// Element or base type.
+    pub ty: TypeSpec,
+    /// Array/pointer decoration.
+    pub kind: DeclKind,
+}
+
+/// How a declaration's type is decorated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclKind {
+    /// Plain value: `T name`.
+    Plain,
+    /// Fixed array: `T name[N]`.
+    FixedArray(u64),
+    /// Variable array: `T name<max?>`; `None` = unbounded.
+    VarArray(Option<u64>),
+    /// Optional ("pointer"): `T *name`.
+    Pointer,
+}
+
+/// Base type specifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeSpec {
+    /// `int`
+    Int,
+    /// `unsigned int` / `unsigned`
+    UInt,
+    /// `hyper`
+    Hyper,
+    /// `unsigned hyper`
+    UHyper,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `bool`
+    Bool,
+    /// `void`
+    Void,
+    /// `string` (only valid with `VarArray` decoration)
+    StringType,
+    /// `opaque` (only valid with array decorations)
+    Opaque,
+    /// Reference to a named type (struct/enum/union/typedef).
+    Named(String),
+}
+
+impl TypeSpec {
+    /// True for `void`.
+    pub fn is_void(&self) -> bool {
+        matches!(self, TypeSpec::Void)
+    }
+}
+
+/// Convert an RPCL identifier to a Rust type name (`CamelCase`).
+///
+/// `ptr_result` → `PtrResult`, `CUDA_ERROR` → `CudaError`, `dint` → `Dint`.
+pub fn rust_type_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut upper_next = true;
+    for ch in name.chars() {
+        if ch == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.extend(ch.to_uppercase());
+            upper_next = false;
+        } else {
+            out.extend(ch.to_lowercase());
+        }
+    }
+    out
+}
+
+/// Convert an RPCL identifier to a Rust value/method name (`snake_case`).
+pub fn rust_value_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let mut prev_lower = false;
+    for ch in name.chars() {
+        if ch == '_' {
+            out.push('_');
+            prev_lower = false;
+        } else if ch.is_uppercase() {
+            if prev_lower {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+            prev_lower = false;
+        } else {
+            out.push(ch);
+            // Only a lowercase letter (not a digit) triggers an underscore
+            // before the next uppercase letter: "C2C" → "c2c", not "c2_c".
+            prev_lower = ch.is_lowercase();
+        }
+    }
+    // Avoid Rust keywords that plausibly appear as field names.
+    match out.as_str() {
+        "type" | "fn" | "impl" | "ref" | "self" | "mod" | "use" | "move" | "box" | "in"
+        | "loop" | "match" | "where" | "async" => format!("r#{out}"),
+        _ => out,
+    }
+}
+
+/// Convert an RPCL identifier to a Rust constant name (`SCREAMING_SNAKE`).
+pub fn rust_const_name(name: &str) -> String {
+    let snake = rust_value_name(name);
+    snake.trim_start_matches("r#").to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(rust_type_name("ptr_result"), "PtrResult");
+        assert_eq!(rust_type_name("CUDA_ERROR"), "CudaError");
+        assert_eq!(rust_type_name("mem_data"), "MemData");
+        assert_eq!(rust_type_name("x"), "X");
+    }
+
+    #[test]
+    fn value_names() {
+        assert_eq!(rust_value_name("CUDA_MALLOC"), "cuda_malloc");
+        assert_eq!(rust_value_name("getDeviceCount"), "get_device_count");
+        assert_eq!(rust_value_name("type"), "r#type");
+    }
+
+    #[test]
+    fn const_names() {
+        assert_eq!(rust_const_name("cuda_malloc"), "CUDA_MALLOC");
+        assert_eq!(rust_const_name("RPC_PROG"), "RPC_PROG");
+    }
+}

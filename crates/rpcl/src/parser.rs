@@ -1,0 +1,610 @@
+//! Recursive-descent parser for RPCL.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::Error;
+use std::collections::HashMap;
+
+/// Parse an RPCL source file into a [`Spec`].
+///
+/// Constant references (`case SOME_CONST:`, `opaque buf<MAX>`) are resolved
+/// against `const` and `enum` definitions that appear earlier in the file,
+/// matching rpcgen's single-pass behaviour.
+pub fn parse(source: &str) -> Result<Spec, Error> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        consts: HashMap::new(),
+        enums: HashMap::new(),
+    };
+    p.spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Resolved `const` values (also enum variants).
+    consts: HashMap<String, i64>,
+    /// enum type name → variants, for union discriminant resolution.
+    enums: HashMap<String, Vec<(String, i64)>>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, Error> {
+        Err(Error {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), Error> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        match self.peek() {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    /// A number literal or a previously defined constant name.
+    fn value(&mut self) -> Result<(i64, String), Error> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok((n, n.to_string()))
+            }
+            TokenKind::Ident(name) => {
+                if let Some(&v) = self.consts.get(&name) {
+                    self.bump();
+                    Ok((v, name))
+                } else {
+                    self.err(format!("unknown constant `{name}`"))
+                }
+            }
+            other => self.err(format!("expected value, found {other}")),
+        }
+    }
+
+    fn spec(&mut self) -> Result<Spec, Error> {
+        let mut definitions = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            definitions.push(self.definition()?);
+        }
+        Ok(Spec { definitions })
+    }
+
+    fn definition(&mut self) -> Result<Definition, Error> {
+        match self.peek().clone() {
+            TokenKind::Ident(kw) => match kw.as_str() {
+                "const" => self.const_def(),
+                "enum" => self.enum_def(),
+                "struct" => self.struct_def(),
+                "union" => self.union_def(),
+                "typedef" => self.typedef_def(),
+                "program" => self.program_def(),
+                other => self.err(format!("expected definition keyword, found `{other}`")),
+            },
+            other => self.err(format!("expected definition, found {other}")),
+        }
+    }
+
+    fn const_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("const")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let (value, _) = self.value()?;
+        self.expect(&TokenKind::Semi)?;
+        if self.consts.insert(name.clone(), value).is_some() {
+            return self.err(format!("duplicate constant `{name}`"));
+        }
+        Ok(Definition::Const(ConstDef { name, value }))
+    }
+
+    fn enum_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("enum")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut variants = Vec::new();
+        let mut next_implicit = 0i64;
+        loop {
+            let vname = self.expect_ident()?;
+            let value = if self.peek() == &TokenKind::Eq {
+                self.bump();
+                let (v, _) = self.value()?;
+                v
+            } else {
+                // XDR requires explicit values, but C-style implicit
+                // numbering is common in the wild; follow C semantics.
+                next_implicit
+            };
+            next_implicit = value + 1;
+            self.consts.insert(vname.clone(), value);
+            variants.push((vname, value));
+            match self.bump() {
+                TokenKind::Comma => {
+                    // Allow trailing comma before `}`.
+                    if self.peek() == &TokenKind::RBrace {
+                        self.bump();
+                        break;
+                    }
+                }
+                TokenKind::RBrace => break,
+                other => return self.err(format!("expected `,` or `}}`, found {other}")),
+            }
+        }
+        self.expect(&TokenKind::Semi)?;
+        self.enums.insert(name.clone(), variants.clone());
+        Ok(Definition::Enum(EnumDef { name, variants }))
+    }
+
+    fn struct_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("struct")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            let decl = self.declaration()?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push(decl);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        if fields.is_empty() {
+            return self.err(format!("struct `{name}` has no members"));
+        }
+        Ok(Definition::Struct(StructDef { name, fields }))
+    }
+
+    fn union_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("union")?;
+        let name = self.expect_ident()?;
+        self.expect_keyword("switch")?;
+        self.expect(&TokenKind::LParen)?;
+        let discriminant = self.declaration()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut cases: Vec<UnionCase> = Vec::new();
+        let mut default = None;
+        loop {
+            if self.at_keyword("case") {
+                let mut values = Vec::new();
+                // One or more stacked `case X:` labels share a declaration.
+                while self.at_keyword("case") {
+                    self.bump();
+                    let (v, spelling) = self.value()?;
+                    self.expect(&TokenKind::Colon)?;
+                    values.push((v, spelling));
+                }
+                let decl = self.void_or_declaration()?;
+                self.expect(&TokenKind::Semi)?;
+                cases.push(UnionCase { values, decl });
+            } else if self.at_keyword("default") {
+                self.bump();
+                self.expect(&TokenKind::Colon)?;
+                let decl = self.void_or_declaration()?;
+                self.expect(&TokenKind::Semi)?;
+                if default.replace(decl).is_some() {
+                    return self.err("duplicate `default:` arm");
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        if cases.is_empty() {
+            return self.err(format!("union `{name}` has no case arms"));
+        }
+        // Reject duplicate case values across arms.
+        let mut seen = std::collections::HashSet::new();
+        for c in &cases {
+            for (v, _) in &c.values {
+                if !seen.insert(*v) {
+                    return self.err(format!("duplicate case value {v} in union `{name}`"));
+                }
+            }
+        }
+        Ok(Definition::Union(UnionDef {
+            name,
+            discriminant,
+            cases,
+            default,
+        }))
+    }
+
+    fn typedef_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("typedef")?;
+        let decl = self.declaration()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Definition::Typedef(TypedefDef { decl }))
+    }
+
+    fn program_def(&mut self) -> Result<Definition, Error> {
+        self.expect_keyword("program")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut versions = Vec::new();
+        while self.at_keyword("version") {
+            versions.push(self.version_def()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Eq)?;
+        let (number, _) = self.value()?;
+        self.expect(&TokenKind::Semi)?;
+        if versions.is_empty() {
+            return self.err(format!("program `{name}` has no versions"));
+        }
+        self.consts.insert(name.clone(), number);
+        Ok(Definition::Program(ProgramDef {
+            name,
+            number,
+            versions,
+        }))
+    }
+
+    fn version_def(&mut self) -> Result<VersionDef, Error> {
+        self.expect_keyword("version")?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut procedures = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            procedures.push(self.procedure_def()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Eq)?;
+        let (number, _) = self.value()?;
+        self.expect(&TokenKind::Semi)?;
+        self.consts.insert(name.clone(), number);
+        // Reject duplicate procedure numbers or names.
+        let mut nums = std::collections::HashSet::new();
+        let mut names = std::collections::HashSet::new();
+        for p in &procedures {
+            if !nums.insert(p.number) {
+                return self.err(format!("duplicate procedure number {}", p.number));
+            }
+            if !names.insert(p.name.clone()) {
+                return self.err(format!("duplicate procedure name `{}`", p.name));
+            }
+        }
+        Ok(VersionDef {
+            name,
+            number,
+            procedures,
+        })
+    }
+
+    fn procedure_def(&mut self) -> Result<ProcedureDef, Error> {
+        let result = self.type_spec()?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.type_spec()?);
+                if self.peek() == &TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Eq)?;
+        let (number, _) = self.value()?;
+        self.expect(&TokenKind::Semi)?;
+        // `(void)` normalizes to no arguments.
+        if args.len() == 1 && args[0].is_void() {
+            args.clear();
+        }
+        if args.iter().any(TypeSpec::is_void) {
+            return self.err("`void` cannot be combined with other arguments");
+        }
+        Ok(ProcedureDef {
+            name,
+            number,
+            result,
+            args,
+        })
+    }
+
+    /// `void` (as a bare union-arm body) or a full declaration.
+    fn void_or_declaration(&mut self) -> Result<Option<Declaration>, Error> {
+        if self.at_keyword("void") {
+            self.bump();
+            Ok(None)
+        } else {
+            Ok(Some(self.declaration()?))
+        }
+    }
+
+    fn type_spec(&mut self) -> Result<TypeSpec, Error> {
+        let ident = self.expect_ident()?;
+        Ok(match ident.as_str() {
+            "int" => TypeSpec::Int,
+            "unsigned" => {
+                // `unsigned int`, `unsigned hyper`, or bare `unsigned`.
+                match self.peek() {
+                    TokenKind::Ident(s) if s == "int" => {
+                        self.bump();
+                        TypeSpec::UInt
+                    }
+                    TokenKind::Ident(s) if s == "hyper" => {
+                        self.bump();
+                        TypeSpec::UHyper
+                    }
+                    TokenKind::Ident(s) if s == "char" || s == "short" => {
+                        // rpcgen extensions; map to u32 like rpcgen does.
+                        self.bump();
+                        TypeSpec::UInt
+                    }
+                    _ => TypeSpec::UInt,
+                }
+            }
+            "hyper" => TypeSpec::Hyper,
+            "float" => TypeSpec::Float,
+            "double" => TypeSpec::Double,
+            "quadruple" => {
+                return self.err("quadruple-precision floats are not supported")
+            }
+            "bool" => TypeSpec::Bool,
+            "void" => TypeSpec::Void,
+            "string" => TypeSpec::StringType,
+            "opaque" => TypeSpec::Opaque,
+            "struct" | "enum" | "union" => {
+                // `struct foo bar` style: the tag is the type name.
+                TypeSpec::Named(self.expect_ident()?)
+            }
+            _ => TypeSpec::Named(ident),
+        })
+    }
+
+    fn declaration(&mut self) -> Result<Declaration, Error> {
+        let ty = self.type_spec()?;
+        if ty.is_void() {
+            return self.err("`void` is not a valid member type");
+        }
+        let kind_is_pointer = if self.peek() == &TokenKind::Star {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident()?;
+        let kind = if kind_is_pointer {
+            DeclKind::Pointer
+        } else {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let (n, _) = self.value()?;
+                    if n <= 0 {
+                        return self.err("fixed array size must be positive");
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    DeclKind::FixedArray(n as u64)
+                }
+                TokenKind::Lt => {
+                    self.bump();
+                    let max = if self.peek() == &TokenKind::Gt {
+                        None
+                    } else {
+                        let (n, _) = self.value()?;
+                        if n <= 0 {
+                            return self.err("array bound must be positive");
+                        }
+                        Some(n as u64)
+                    };
+                    self.expect(&TokenKind::Gt)?;
+                    DeclKind::VarArray(max)
+                }
+                _ => DeclKind::Plain,
+            }
+        };
+        // Validate decoration compatibility.
+        match (&ty, &kind) {
+            (TypeSpec::Opaque, DeclKind::Plain | DeclKind::Pointer) => {
+                return self.err("`opaque` requires an array declaration")
+            }
+            (TypeSpec::StringType, k) if !matches!(k, DeclKind::VarArray(_)) => {
+                return self.err("`string` requires `<max>` or `<>`")
+            }
+            _ => {}
+        }
+        Ok(Declaration { name, ty, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_consts_and_enum() {
+        let spec = parse(
+            "const A = 5; const B = A; enum color { RED = 1, GREEN = 2 };",
+        )
+        .unwrap();
+        assert_eq!(spec.definitions.len(), 3);
+        match &spec.definitions[1] {
+            Definition::Const(c) => assert_eq!(c.value, 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_struct_with_all_decorations() {
+        let spec = parse(
+            r#"struct s {
+                int plain;
+                unsigned hyper big;
+                opaque fixed[16];
+                opaque var<1024>;
+                opaque unbounded<>;
+                string name<64>;
+                int nums[4];
+                double samples<>;
+                s *next;
+            };"#,
+        )
+        .unwrap();
+        let Definition::Struct(s) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(s.fields.len(), 9);
+        assert_eq!(s.fields[2].kind, DeclKind::FixedArray(16));
+        assert_eq!(s.fields[3].kind, DeclKind::VarArray(Some(1024)));
+        assert_eq!(s.fields[4].kind, DeclKind::VarArray(None));
+        assert_eq!(s.fields[8].kind, DeclKind::Pointer);
+    }
+
+    #[test]
+    fn parse_union() {
+        let spec = parse(
+            r#"union ptr_result switch (int err) {
+                case 0: unsigned hyper ptr;
+                case 1:
+                case 2: int detail;
+                default: void;
+            };"#,
+        )
+        .unwrap();
+        let Definition::Union(u) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(u.cases.len(), 2);
+        assert_eq!(u.cases[1].values.len(), 2);
+        assert_eq!(u.default, Some(None));
+    }
+
+    #[test]
+    fn union_with_enum_discriminant() {
+        let spec = parse(
+            r#"enum kind { K_A = 0, K_B = 1 };
+               union v switch (kind k) {
+                 case K_A: int a;
+                 case K_B: void;
+               };"#,
+        )
+        .unwrap();
+        let Definition::Union(u) = &spec.definitions[1] else {
+            panic!()
+        };
+        assert_eq!(u.cases[0].values[0], (0, "K_A".into()));
+    }
+
+    #[test]
+    fn duplicate_case_rejected() {
+        assert!(parse(
+            "union u switch (int d) { case 0: int a; case 0: int b; };"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parse_program() {
+        let spec = parse(
+            r#"program CRICKET {
+                version CRICKET_V1 {
+                    void NULLPROC(void) = 0;
+                    int ADD(int, int) = 1;
+                } = 1;
+                version CRICKET_V2 {
+                    void NULLPROC(void) = 0;
+                } = 2;
+            } = 99;"#,
+        )
+        .unwrap();
+        let Definition::Program(p) = &spec.definitions[0] else {
+            panic!()
+        };
+        assert_eq!(p.number, 99);
+        assert_eq!(p.versions.len(), 2);
+        assert_eq!(p.versions[0].procedures[1].args.len(), 2);
+        assert!(p.versions[0].procedures[0].args.is_empty());
+    }
+
+    #[test]
+    fn typedef_forms() {
+        let spec = parse(
+            "typedef opaque mem_data<>; typedef unsigned hyper ptr; typedef int four[4];",
+        )
+        .unwrap();
+        assert_eq!(spec.definitions.len(), 3);
+    }
+
+    #[test]
+    fn const_in_bound() {
+        let spec = parse("const MAX = 512; struct s { opaque buf<MAX>; };").unwrap();
+        let Definition::Struct(s) = &spec.definitions[1] else {
+            panic!()
+        };
+        assert_eq!(s.fields[0].kind, DeclKind::VarArray(Some(512)));
+    }
+
+    #[test]
+    fn forward_const_reference_rejected() {
+        assert!(parse("struct s { opaque buf<MAX>; }; const MAX = 512;").is_err());
+    }
+
+    #[test]
+    fn duplicate_proc_number_rejected() {
+        assert!(parse(
+            "program P { version V { void A(void) = 1; void B(void) = 1; } = 1; } = 9;"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("const A = 1;\nstruct s {\n  int 5bad;\n};").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn opaque_without_array_rejected() {
+        assert!(parse("struct s { opaque x; };").is_err());
+        assert!(parse("struct s { string x; };").is_err());
+    }
+}

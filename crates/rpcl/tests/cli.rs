@@ -1,0 +1,86 @@
+//! Integration tests of the `rpclgen` command-line compiler (the
+//! reproduction's `rpcgen`).
+
+use std::process::Command;
+
+fn rpclgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rpclgen"))
+}
+
+const DEMO_SPEC: &str = r#"
+    const MAX = 64;
+    struct point { int x; int y; };
+    program DEMO { version DEMO_V1 { point MOVE(point) = 1; } = 1; } = 99;
+"#;
+
+fn write_spec(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.x");
+    std::fs::write(&path, DEMO_SPEC).unwrap();
+    path
+}
+
+#[test]
+fn generates_to_stdout() {
+    let dir = std::env::temp_dir().join("rpclgen-test-stdout");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir);
+    let out = rpclgen().arg(&spec).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let code = String::from_utf8(out.stdout).unwrap();
+    assert!(code.contains("pub struct Point"));
+    assert!(code.contains("pub struct DemoV1Client"));
+    assert!(code.contains("pub trait DemoV1Service"));
+}
+
+#[test]
+fn writes_output_file_and_respects_flags() {
+    let dir = std::env::temp_dir().join("rpclgen-test-out");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = write_spec(&dir);
+    let out_path = dir.join("generated.rs");
+    let out = rpclgen()
+        .arg("--client-only")
+        .arg("--xdr-path")
+        .arg("::my_xdr")
+        .arg("-o")
+        .arg(&out_path)
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let code = std::fs::read_to_string(&out_path).unwrap();
+    assert!(code.contains("DemoV1Client"));
+    assert!(!code.contains("DemoV1Service"), "--client-only must skip the server");
+    assert!(code.contains("::my_xdr::Xdr"));
+}
+
+#[test]
+fn reports_parse_errors_with_line_numbers() {
+    let dir = std::env::temp_dir().join("rpclgen-test-err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.x");
+    std::fs::write(&path, "const A = 1;\nstruct s { int 5x; };\n").unwrap();
+    let out = rpclgen().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "stderr: {err}");
+}
+
+#[test]
+fn missing_input_is_an_error() {
+    let out = rpclgen().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn nonexistent_file_is_an_error() {
+    let out = rpclgen().arg("/no/such/file.x").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flag_is_an_error() {
+    let out = rpclgen().arg("--frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}

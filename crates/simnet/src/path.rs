@@ -1,0 +1,163 @@
+//! End-to-end path model: client guest ↔ wire ↔ Cricket server node.
+
+use crate::profile::GuestCosts;
+use crate::wire::Wire;
+
+/// A configured client→server network path.
+///
+/// The server side is always the paper's native-Linux GPU node; the client
+/// side varies across the five evaluated configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPath {
+    /// Client-side environment costs.
+    pub client: GuestCosts,
+    /// Server-side (GPU node) environment costs.
+    pub server: GuestCosts,
+    /// The physical link.
+    pub wire: Wire,
+}
+
+/// Timing breakdown of one RPC round trip, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcTiming {
+    /// Client transmit leg (request).
+    pub client_tx_ns: u64,
+    /// Wire time, both directions (latency + bottleneck-adjusted streams).
+    pub wire_ns: u64,
+    /// Server receive leg (request).
+    pub server_rx_ns: u64,
+    /// Server-side execution (Cricket dispatch + simulated CUDA work).
+    pub server_exec_ns: u64,
+    /// Server transmit leg (reply).
+    pub server_tx_ns: u64,
+    /// Client receive leg (reply).
+    pub client_rx_ns: u64,
+}
+
+impl RpcTiming {
+    /// Total round-trip time.
+    pub fn total_ns(&self) -> u64 {
+        self.client_tx_ns
+            + self.wire_ns
+            + self.server_rx_ns
+            + self.server_exec_ns
+            + self.server_tx_ns
+            + self.client_rx_ns
+    }
+}
+
+impl NetPath {
+    /// Build a path from a client profile over the paper's 100 GbE link to a
+    /// native-Linux server.
+    pub fn to_gpu_node(client: GuestCosts) -> Self {
+        Self {
+            client,
+            server: GuestCosts::native_linux(),
+            wire: Wire::ethernet_100g(),
+        }
+    }
+
+    /// Time one RPC round trip carrying `req_bytes` of request payload and
+    /// `resp_bytes` of reply payload, with `server_exec_ns` of server-side
+    /// work (dispatch + device time).
+    ///
+    /// Fixed per-message costs are serial (a request must be fully sent
+    /// before the server can parse it); the byte-proportional parts of each
+    /// leg are pipelined, so each leg's stream time is the *maximum* of the
+    /// sender CPU, wire serialization, and receiver CPU rates — this is what
+    /// makes bandwidth emerge from the slowest stage, as the paper observes
+    /// (single-core sender bound for RPC-argument transfers).
+    pub fn rpc_round(&self, req_bytes: usize, resp_bytes: usize, server_exec_ns: u64) -> RpcTiming {
+        let ctx = self.client.tx_cost(req_bytes);
+        let srx = self.server.rx_cost(req_bytes);
+        let stx = self.server.tx_cost(resp_bytes);
+        let crx = self.client.rx_cost(resp_bytes);
+
+        let req_stream = ctx
+            .bulk_ns
+            .max(self.wire.serialize_ns(req_bytes))
+            .max(srx.bulk_ns);
+        let resp_stream = stx
+            .bulk_ns
+            .max(self.wire.serialize_ns(resp_bytes))
+            .max(crx.bulk_ns);
+
+        RpcTiming {
+            client_tx_ns: ctx.fixed_ns,
+            wire_ns: 2 * self.wire.latency_ns + req_stream + resp_stream,
+            server_rx_ns: srx.fixed_ns,
+            server_exec_ns,
+            server_tx_ns: stx.fixed_ns,
+            client_rx_ns: crx.fixed_ns,
+        }
+    }
+
+    /// Effective one-direction bandwidth in bytes/second for a bulk transfer
+    /// of `bytes`, including the RPC envelope (used by the Fig. 7 harness as
+    /// a cross-check; the harness itself measures through the full stack).
+    pub fn bulk_bandwidth_bps(&self, bytes: usize, host_to_device: bool) -> f64 {
+        let t = if host_to_device {
+            self.rpc_round(bytes, 64, 0)
+        } else {
+            self.rpc_round(64, bytes, 0)
+        };
+        bytes as f64 / (t.total_ns() as f64 / crate::NS_PER_SEC)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn native_path() -> NetPath {
+        NetPath::to_gpu_node(GuestCosts::native_linux())
+    }
+
+    #[test]
+    fn small_rpc_round_lands_near_calibration_target() {
+        // Native small Cricket call ≈ 20–40 µs (paper-scale anchor).
+        let t = native_path().rpc_round(48, 32, 8_000);
+        let total = t.total_ns();
+        assert!(
+            (15_000..45_000).contains(&total),
+            "native round trip {total} ns out of calibration band"
+        );
+    }
+
+    #[test]
+    fn server_exec_adds_linearly() {
+        let p = native_path();
+        let a = p.rpc_round(48, 32, 0).total_ns();
+        let b = p.rpc_round(48, 32, 100_000).total_ns();
+        assert_eq!(b - a, 100_000);
+    }
+
+    #[test]
+    fn bulk_bandwidth_is_bottleneck_bound() {
+        let p = native_path();
+        let bw = p.bulk_bandwidth_bps(512 << 20, true);
+        // Must not exceed the wire and must be within 2x of it (native is
+        // near wire speed per the calibration).
+        assert!(bw <= p.wire.bandwidth_bps * 1.01, "bw {bw}");
+        assert!(bw >= p.wire.bandwidth_bps * 0.4, "bw {bw}");
+    }
+
+    #[test]
+    fn larger_payload_takes_longer() {
+        let p = native_path();
+        let small = p.rpc_round(1 << 10, 32, 0).total_ns();
+        let big = p.rpc_round(8 << 20, 32, 0).total_ns();
+        assert!(big > small * 10);
+    }
+
+    #[test]
+    fn direction_symmetry_for_symmetric_profiles() {
+        // With identical guests on both ends, H2D and D2H differ only via
+        // tx/rx asymmetries of the same table — they should be within 2x.
+        let p = native_path();
+        let h2d = p.bulk_bandwidth_bps(64 << 20, true);
+        let d2h = p.bulk_bandwidth_bps(64 << 20, false);
+        let ratio = h2d / d2h;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests on the cost model: monotonicity and sanity bounds that
+//! must hold for *any* parameterization the harness might sweep.
+
+use proptest::prelude::*;
+use simnet::{segment_plan, GuestCosts, NetPath, Wire};
+
+fn any_bytes() -> impl Strategy<Value = usize> {
+    prop_oneof![0usize..4096, 4096usize..10_000_000]
+}
+
+proptest! {
+    #[test]
+    fn tx_cost_monotone_in_size(a in any_bytes(), b in any_bytes()) {
+        let g = GuestCosts::native_linux();
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(g.tx_cost(small).total_ns() <= g.tx_cost(large).total_ns());
+        prop_assert!(g.rx_cost(small).total_ns() <= g.rx_cost(large).total_ns());
+    }
+
+    #[test]
+    fn rpc_round_monotone_in_payload(req in any_bytes(), resp in any_bytes()) {
+        let p = NetPath::to_gpu_node(GuestCosts::native_linux());
+        let base = p.rpc_round(0, 0, 0).total_ns();
+        let t = p.rpc_round(req, resp, 0).total_ns();
+        prop_assert!(t >= base);
+        // Adding server exec time adds exactly that amount.
+        prop_assert_eq!(p.rpc_round(req, resp, 12_345).total_ns(), t + 12_345);
+    }
+
+    #[test]
+    fn bandwidth_never_exceeds_wire(bytes in 1usize..64_000_000) {
+        let p = NetPath::to_gpu_node(GuestCosts::native_linux());
+        let bw = p.bulk_bandwidth_bps(bytes, true);
+        prop_assert!(bw <= p.wire.bandwidth_bps * 1.01, "{bw}");
+        let bw = p.bulk_bandwidth_bps(bytes, false);
+        prop_assert!(bw <= p.wire.bandwidth_bps * 1.01, "{bw}");
+    }
+
+    #[test]
+    fn segment_plan_accounts_every_byte(
+        bytes in 0usize..10_000_000,
+        mtu in 60usize..65_000,
+        tso: bool,
+        csum: bool,
+    ) {
+        let plan = segment_plan(bytes, mtu, tso, csum);
+        let payload_per_mtu = mtu.saturating_sub(40).max(1);
+        // Segments must be able to carry all bytes, without one spare.
+        prop_assert!(plan.wire_segments * payload_per_mtu >= bytes);
+        if plan.wire_segments > 1 {
+            prop_assert!((plan.wire_segments - 1) * payload_per_mtu < bytes);
+        }
+        prop_assert!(plan.software_segments <= plan.wire_segments);
+        prop_assert_eq!(plan.checksum_bytes, if csum { 0 } else { bytes });
+    }
+
+    #[test]
+    fn disabling_offloads_never_helps(bytes in 1usize..32_000_000) {
+        let mut with = GuestCosts::native_linux();
+        with.virtualized = true;
+        with.vmexit_ns = 10_000;
+        let mut without = with.clone();
+        without.offloads.tso = false;
+        without.offloads.tx_csum = false;
+        without.offloads.scatter_gather = false;
+        prop_assert!(
+            with.tx_cost(bytes).total_ns() <= without.tx_cost(bytes).total_ns(),
+            "offloads must never hurt"
+        );
+    }
+
+    #[test]
+    fn wire_times_additive(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+        let w = Wire::ethernet_100g();
+        let sum = w.serialize_ns(a) + w.serialize_ns(b);
+        let joint = w.serialize_ns(a + b);
+        // Integer truncation allows 1-2 ns slack.
+        prop_assert!(joint.abs_diff(sum) <= 2);
+    }
+}

@@ -1,0 +1,728 @@
+//! The device facade: the driver-level API the Cricket server calls.
+//!
+//! Every operation returns the *device time* it consumes (nanoseconds); the
+//! caller (the Cricket server service) charges that time to the shared
+//! virtual clock as part of server-side execution. Asynchronous operations
+//! (kernel launches) enqueue onto streams and return only their submission
+//! cost; synchronization operations return the remaining wait.
+
+use crate::error::{VgpuError, VgpuResult};
+use crate::kernels::{self, Dim3, LaunchConfig, Params};
+use crate::memory::MemoryManager;
+use crate::module::Cubin;
+use crate::properties::DeviceProperties;
+use crate::stream::{EventState, StreamState};
+use crate::timemodel::{kernel_duration_ns, Workload};
+use simnet::SimClock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// First value handed out for module/function/stream/event handles.
+/// Distinct ranges make stray-handle bugs visible in logs.
+const HANDLE_BASE: u64 = 0x10;
+
+/// Execution statistics (memoization effectiveness, launch counts).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Kernel launches requested.
+    pub launches: u64,
+    /// Launches satisfied from the memo cache (time advanced, no compute).
+    pub memo_hits: u64,
+    /// Total device-time nanoseconds of all completed work.
+    pub device_time_ns: u64,
+}
+
+struct FunctionEntry {
+    module: u64,
+    builtin: &'static kernels::Builtin,
+}
+
+#[derive(Hash, PartialEq, Eq, Clone)]
+struct MemoKey {
+    func: u64,
+    params: Vec<u8>,
+    input_versions: Vec<u64>,
+}
+
+struct MemoEntry {
+    /// (base pointer, version after execution) for every written range.
+    out_versions: Vec<(u64, u64)>,
+}
+
+/// A simulated GPU device.
+pub struct Device {
+    props: DeviceProperties,
+    /// Device memory (public for the solver/BLAS libraries, which run
+    /// server-side against device memory like their CUDA namesakes).
+    pub mem: MemoryManager,
+    clock: Arc<SimClock>,
+    modules: HashMap<u64, Cubin>,
+    functions: HashMap<u64, FunctionEntry>,
+    streams: HashMap<u64, StreamState>,
+    events: HashMap<u64, EventState>,
+    next_handle: u64,
+    memo: HashMap<MemoKey, MemoEntry>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+impl Device {
+    /// Create a device with the given properties on a shared clock.
+    pub fn new(props: DeviceProperties, clock: Arc<SimClock>) -> Self {
+        Self::with_bases(props, clock, crate::memory::HEAP_BASE, HANDLE_BASE)
+    }
+
+    /// Create a device with explicit heap/handle address bases. Multi-GPU
+    /// servers give each device disjoint ranges so that any pointer or
+    /// handle identifies its device.
+    pub fn with_bases(
+        props: DeviceProperties,
+        clock: Arc<SimClock>,
+        heap_base: u64,
+        handle_base: u64,
+    ) -> Self {
+        let mem = MemoryManager::with_base(props.total_global_mem, heap_base);
+        let mut streams = HashMap::new();
+        streams.insert(0, StreamState::default()); // default stream
+        Self {
+            props,
+            mem,
+            clock,
+            modules: HashMap::new(),
+            functions: HashMap::new(),
+            streams,
+            events: HashMap::new(),
+            next_handle: handle_base.max(HANDLE_BASE),
+            memo: HashMap::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// An A100 on a fresh clock (tests, examples).
+    pub fn a100() -> Self {
+        Self::new(DeviceProperties::a100(), SimClock::new())
+    }
+
+    /// Device properties.
+    pub fn properties(&self) -> &DeviceProperties {
+        &self.props
+    }
+
+    /// The clock this device charges time to.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    fn new_handle(&mut self) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
+
+    /// (free, total) device memory.
+    pub fn mem_info(&self) -> (u64, u64) {
+        (self.mem.free_bytes(), self.mem.total())
+    }
+
+    // -- memory ---------------------------------------------------------
+
+    /// cudaMalloc. Returns (pointer, device-time ns).
+    pub fn malloc(&mut self, size: u64) -> VgpuResult<(u64, u64)> {
+        let ptr = self.mem.alloc(size)?;
+        // Driver-side bookkeeping: page-table and allocator work, roughly
+        // constant (cudaMalloc is ~10 µs on real systems; most of that is
+        // host driver time which the server-exec model charges separately).
+        Ok((ptr, 1_500))
+    }
+
+    /// cudaFree. Returns device-time ns. `cudaFree(0)` is a valid no-op
+    /// (the classic context-initialization idiom).
+    pub fn free(&mut self, ptr: u64) -> VgpuResult<u64> {
+        if ptr == 0 {
+            return Ok(500);
+        }
+        // Free synchronizes with outstanding work touching the allocation;
+        // we conservatively sync the default stream.
+        let wait = self.stream_wait(0);
+        self.mem.free(ptr)?;
+        Ok(1_000 + wait)
+    }
+
+    /// cudaMemcpy host→device. Returns device-time ns (PCIe transfer).
+    pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> VgpuResult<u64> {
+        self.mem.write(dst, data)?;
+        Ok(self.pcie_ns(data.len()))
+    }
+
+    /// cudaMemcpy device→host. Returns (bytes, device-time ns).
+    pub fn memcpy_dtoh(&mut self, src: u64, len: u64) -> VgpuResult<(Vec<u8>, u64)> {
+        let bytes = self.mem.read(src, len)?.to_vec();
+        let t = self.pcie_ns(bytes.len());
+        Ok((bytes, t))
+    }
+
+    /// cudaMemcpy device→device.
+    pub fn memcpy_dtod(&mut self, dst: u64, src: u64, len: u64) -> VgpuResult<u64> {
+        self.mem.copy_dtod(dst, src, len)?;
+        // On-device copy at memory bandwidth (read + write).
+        let t = kernel_duration_ns(&self.props, &Workload::memory(2.0 * len as f64));
+        Ok(t)
+    }
+
+    /// cudaMemset.
+    pub fn memset(&mut self, ptr: u64, value: i32, len: u64) -> VgpuResult<u64> {
+        self.mem.memset(ptr, value as u8, len)?;
+        Ok(kernel_duration_ns(
+            &self.props,
+            &Workload::memory(len as f64),
+        ))
+    }
+
+    fn pcie_ns(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.props.pcie_bandwidth_bps as f64 * 1e9) as u64
+    }
+
+    // -- modules --------------------------------------------------------
+
+    /// cuModuleLoadData: parse (and decompress) a cubin image, resolving
+    /// each exported kernel against the builtin registry.
+    pub fn module_load(&mut self, image: &[u8]) -> VgpuResult<(u64, u64)> {
+        let cubin = Cubin::parse(image)?;
+        for k in &cubin.kernels {
+            let b = kernels::lookup(&k.name).ok_or_else(|| {
+                VgpuError::BadModule(format!("kernel `{}` has no device implementation", k.name))
+            })?;
+            if b.param_count != k.param_sizes.len() {
+                return Err(VgpuError::BadModule(format!(
+                    "kernel `{}` declares {} params, device expects {}",
+                    k.name,
+                    k.param_sizes.len(),
+                    b.param_count
+                )));
+            }
+        }
+        let h = self.new_handle();
+        // JIT/verification cost scales with image size.
+        let t = 20_000 + (image.len() as u64) / 64;
+        self.modules.insert(h, cubin);
+        Ok((h, t))
+    }
+
+    /// cuModuleGetFunction.
+    pub fn module_get_function(&mut self, module: u64, name: &str) -> VgpuResult<(u64, u64)> {
+        let cubin = self
+            .modules
+            .get(&module)
+            .ok_or(VgpuError::InvalidHandle(module))?;
+        let meta = cubin
+            .kernel(name)
+            .ok_or_else(|| VgpuError::BadModule(format!("no kernel `{name}` in module")))?;
+        let builtin = kernels::lookup(&meta.name).expect("validated at load");
+        let h = self.new_handle();
+        self.functions.insert(h, FunctionEntry { module, builtin });
+        Ok((h, 800))
+    }
+
+    /// cuModuleUnload. Invalidate the module's functions too.
+    pub fn module_unload(&mut self, module: u64) -> VgpuResult<u64> {
+        if self.modules.remove(&module).is_none() {
+            return Err(VgpuError::InvalidHandle(module));
+        }
+        self.functions.retain(|_, f| f.module != module);
+        Ok(2_000)
+    }
+
+    // -- launches -------------------------------------------------------
+
+    /// cuLaunchKernel: enqueue a kernel on a stream. Returns the submission
+    /// cost (the kernel itself runs "on the device", advancing the stream's
+    /// completion frontier).
+    pub fn launch_kernel(
+        &mut self,
+        func: u64,
+        grid: Dim3,
+        block: Dim3,
+        shared_mem: u32,
+        stream: u64,
+        params: &[u8],
+    ) -> VgpuResult<u64> {
+        let entry = self
+            .functions
+            .get(&func)
+            .ok_or(VgpuError::InvalidHandle(func))?;
+        let builtin = entry.builtin;
+        if !self.streams.contains_key(&stream) {
+            return Err(VgpuError::InvalidHandle(stream));
+        }
+        if block.count() > self.props.max_threads_per_block as u64 || block.count() == 0 {
+            return Err(VgpuError::InvalidValue(format!(
+                "block of {} threads invalid (max {})",
+                block.count(),
+                self.props.max_threads_per_block
+            )));
+        }
+        if grid.count() == 0 {
+            return Err(VgpuError::InvalidValue("empty grid".into()));
+        }
+        let cfg = LaunchConfig {
+            grid,
+            block,
+            shared_mem,
+            stream,
+        };
+        let p = Params::new(params)?;
+        if p.len() != builtin.param_count {
+            return Err(VgpuError::InvalidValue(format!(
+                "kernel `{}` expects {} params, got {}",
+                builtin.name,
+                builtin.param_count,
+                p.len()
+            )));
+        }
+
+        let access = (builtin.analyze)(&cfg, p)?;
+        let duration = kernel_duration_ns(&self.props, &access.workload);
+
+        // Memoization: identical launch on identical inputs whose outputs
+        // still hold the previous result → pure time accounting.
+        let input_versions: Vec<u64> = access
+            .reads
+            .iter()
+            .map(|&(ptr, _)| self.mem.version_of(ptr))
+            .collect::<VgpuResult<_>>()?;
+        let key = MemoKey {
+            func,
+            params: params.to_vec(),
+            input_versions,
+        };
+        let cache_ok = self.memo.get(&key).is_some_and(|entry| {
+            entry
+                .out_versions
+                .iter()
+                .all(|&(ptr, v)| self.mem.version_of(ptr) == Ok(v))
+        });
+
+        self.stats.launches += 1;
+        if cache_ok {
+            self.stats.memo_hits += 1;
+        } else {
+            (builtin.execute)(&mut self.mem, &cfg, p)?;
+            let out_versions = access
+                .writes
+                .iter()
+                .map(|&(ptr, _)| Ok((ptr, self.mem.version_of(ptr)?)))
+                .collect::<VgpuResult<Vec<_>>>()?;
+            self.memo.insert(key, MemoEntry { out_versions });
+        }
+
+        let now = self.clock.now_ns();
+        let s = self.streams.get_mut(&stream).expect("checked");
+        s.enqueue(now, duration);
+        self.stats.device_time_ns += duration;
+        // Submission cost on the device front-end.
+        Ok(600)
+    }
+
+    /// Remaining wait for a stream, without consuming it.
+    fn stream_wait(&self, stream: u64) -> u64 {
+        self.streams
+            .get(&stream)
+            .map(|s| s.wait_ns(self.clock.now_ns()))
+            .unwrap_or(0)
+    }
+
+    // -- checkpoint/restore support --------------------------------------
+    //
+    // These APIs exist for the Cricket server's checkpoint/restart feature:
+    // a snapshot must restore handles at their original values so clients
+    // holding them keep working after a restore.
+
+    /// Enumerate loaded modules as (handle, reserialized image).
+    pub fn snapshot_modules(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .modules
+            .iter()
+            .map(|(&h, cubin)| {
+                let mut b = crate::module::CubinBuilder::new().code(&cubin.code);
+                for k in &cubin.kernels {
+                    b = b.kernel(&k.name, &k.param_sizes);
+                }
+                for g in &cubin.globals {
+                    b = b.global(&g.name, g.size);
+                }
+                (h, b.build(false))
+            })
+            .collect();
+        out.sort_by_key(|&(h, _)| h);
+        out
+    }
+
+    /// Enumerate function handles as (handle, module handle, kernel name).
+    pub fn snapshot_functions(&self) -> Vec<(u64, u64, String)> {
+        let mut out: Vec<(u64, u64, String)> = self
+            .functions
+            .iter()
+            .map(|(&h, f)| (h, f.module, f.builtin.name.to_string()))
+            .collect();
+        out.sort_by_key(|&(h, _, _)| h);
+        out
+    }
+
+    /// Enumerate stream handles (excluding the default stream).
+    pub fn snapshot_streams(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.streams.keys().copied().filter(|&h| h != 0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Enumerate event handles.
+    pub fn snapshot_events(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.events.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Next handle value (to restore the counter).
+    pub fn next_handle_value(&self) -> u64 {
+        self.next_handle
+    }
+
+    /// Restore-only: place a module at an exact handle.
+    pub fn restore_module(&mut self, handle: u64, image: &[u8]) -> VgpuResult<()> {
+        let cubin = Cubin::parse(image)?;
+        self.modules.insert(handle, cubin);
+        Ok(())
+    }
+
+    /// Restore-only: place a function handle.
+    pub fn restore_function(&mut self, handle: u64, module: u64, name: &str) -> VgpuResult<()> {
+        if !self.modules.contains_key(&module) {
+            return Err(VgpuError::InvalidHandle(module));
+        }
+        let builtin = kernels::lookup(name)
+            .ok_or_else(|| VgpuError::BadModule(format!("unknown kernel `{name}`")))?;
+        self.functions.insert(handle, FunctionEntry { module, builtin });
+        Ok(())
+    }
+
+    /// Restore-only: place a stream handle.
+    pub fn restore_stream(&mut self, handle: u64) {
+        self.streams.insert(handle, StreamState::default());
+    }
+
+    /// Restore-only: place an event handle.
+    pub fn restore_event(&mut self, handle: u64) {
+        self.events.insert(handle, EventState::default());
+    }
+
+    /// Restore-only: set the handle counter.
+    pub fn restore_next_handle(&mut self, next: u64) {
+        self.next_handle = next.max(HANDLE_BASE);
+    }
+
+    // -- streams & events -------------------------------------------------
+
+    /// cudaStreamCreate.
+    pub fn stream_create(&mut self) -> (u64, u64) {
+        let h = self.new_handle();
+        self.streams.insert(h, StreamState::default());
+        (h, 900)
+    }
+
+    /// cudaStreamDestroy (waits for pending work, like CUDA).
+    pub fn stream_destroy(&mut self, stream: u64) -> VgpuResult<u64> {
+        if stream == 0 {
+            return Err(VgpuError::InvalidValue("cannot destroy default stream".into()));
+        }
+        let wait = self.stream_wait(stream);
+        self.streams
+            .remove(&stream)
+            .ok_or(VgpuError::InvalidHandle(stream))?;
+        Ok(500 + wait)
+    }
+
+    /// cudaStreamSynchronize: returns the wait time the host must spend.
+    pub fn stream_synchronize(&mut self, stream: u64) -> VgpuResult<u64> {
+        if !self.streams.contains_key(&stream) {
+            return Err(VgpuError::InvalidHandle(stream));
+        }
+        Ok(self.stream_wait(stream))
+    }
+
+    /// cudaDeviceSynchronize: wait for all streams.
+    pub fn device_synchronize(&mut self) -> u64 {
+        let now = self.clock.now_ns();
+        self.streams
+            .values()
+            .map(|s| s.wait_ns(now))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// cudaDeviceReset: drop all state.
+    pub fn device_reset(&mut self) -> u64 {
+        let wait = self.device_synchronize();
+        let total = self.props.total_global_mem;
+        self.mem = MemoryManager::new(total);
+        self.modules.clear();
+        self.functions.clear();
+        self.streams.clear();
+        self.streams.insert(0, StreamState::default());
+        self.events.clear();
+        self.memo.clear();
+        wait + 50_000
+    }
+
+    /// cudaEventCreate.
+    pub fn event_create(&mut self) -> (u64, u64) {
+        let h = self.new_handle();
+        self.events.insert(h, EventState::default());
+        (h, 400)
+    }
+
+    /// cudaEventDestroy.
+    pub fn event_destroy(&mut self, event: u64) -> VgpuResult<u64> {
+        self.events
+            .remove(&event)
+            .ok_or(VgpuError::InvalidHandle(event))?;
+        Ok(300)
+    }
+
+    /// cudaEventRecord.
+    pub fn event_record(&mut self, event: u64, stream: u64) -> VgpuResult<u64> {
+        let frontier = self
+            .streams
+            .get(&stream)
+            .ok_or(VgpuError::InvalidHandle(stream))?
+            .completes_at_ns
+            .max(self.clock.now_ns());
+        let e = self
+            .events
+            .get_mut(&event)
+            .ok_or(VgpuError::InvalidHandle(event))?;
+        e.record(frontier);
+        Ok(400)
+    }
+
+    /// cudaEventSynchronize: wait until the event's timestamp.
+    pub fn event_synchronize(&mut self, event: u64) -> VgpuResult<u64> {
+        let e = self
+            .events
+            .get(&event)
+            .ok_or(VgpuError::InvalidHandle(event))?;
+        Ok(e
+            .recorded_at_ns
+            .map(|t| t.saturating_sub(self.clock.now_ns()))
+            .unwrap_or(0))
+    }
+
+    /// cudaEventElapsedTime in milliseconds.
+    pub fn event_elapsed_ms(&self, start: u64, stop: u64) -> VgpuResult<f32> {
+        let a = self
+            .events
+            .get(&start)
+            .ok_or(VgpuError::InvalidHandle(start))?;
+        let b = self
+            .events
+            .get(&stop)
+            .ok_or(VgpuError::InvalidHandle(stop))?;
+        EventState::elapsed_ms(a, b)
+            .ok_or_else(|| VgpuError::InvalidValue("event not recorded".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ParamBuilder;
+    use crate::memory::{bytes_to_f32, f32_to_bytes};
+    use crate::module::CubinBuilder;
+
+    fn loaded_device() -> (Device, u64) {
+        let mut d = Device::a100();
+        let image = CubinBuilder::new()
+            .kernel("vectorAdd", &[8, 8, 8, 4])
+            .kernel("matrixMulCUDA", &[8, 8, 8, 4, 4])
+            .kernel("empty", &[])
+            .code(b"sass")
+            .build(true);
+        let (module, _) = d.module_load(&image).unwrap();
+        (d, module)
+    }
+
+    #[test]
+    fn module_load_and_function_lookup() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "vectorAdd").unwrap();
+        assert!(f >= HANDLE_BASE);
+        assert!(d.module_get_function(module, "missing").is_err());
+        assert!(d.module_get_function(999, "vectorAdd").is_err());
+    }
+
+    #[test]
+    fn module_with_unknown_kernel_rejected() {
+        let mut d = Device::a100();
+        let image = CubinBuilder::new().kernel("notARealKernel", &[8]).build(false);
+        assert!(matches!(
+            d.module_load(&image),
+            Err(VgpuError::BadModule(_))
+        ));
+    }
+
+    #[test]
+    fn module_with_wrong_param_count_rejected() {
+        let mut d = Device::a100();
+        let image = CubinBuilder::new().kernel("vectorAdd", &[8, 8]).build(false);
+        assert!(d.module_load(&image).is_err());
+    }
+
+    #[test]
+    fn unload_invalidates_functions() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        d.module_unload(module).unwrap();
+        let err = d
+            .launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+            .unwrap_err();
+        assert!(matches!(err, VgpuError::InvalidHandle(_)));
+    }
+
+    #[test]
+    fn end_to_end_vector_add() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "vectorAdd").unwrap();
+        let n = 256u64;
+        let (a, _) = d.malloc(n * 4).unwrap();
+        let (b, _) = d.malloc(n * 4).unwrap();
+        let (c, _) = d.malloc(n * 4).unwrap();
+        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
+        d.memcpy_htod(b, &f32_to_bytes(&vec![2.5; n as usize])).unwrap();
+        let params = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        d.launch_kernel(f, Dim3::linear(1), Dim3::linear(256), 0, 0, &params)
+            .unwrap();
+        let wait = d.stream_synchronize(0).unwrap();
+        d.clock().advance(wait);
+        let (out, _) = d.memcpy_dtoh(c, n * 4).unwrap();
+        assert!(bytes_to_f32(&out).iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn launch_validates_geometry_and_params() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        // Too many threads per block.
+        assert!(d
+            .launch_kernel(f, Dim3::one(), Dim3 { x: 2048, y: 1, z: 1 }, 0, 0, &[])
+            .is_err());
+        // Zero grid.
+        assert!(d
+            .launch_kernel(f, Dim3 { x: 0, y: 1, z: 1 }, Dim3::one(), 0, 0, &[])
+            .is_err());
+        // Wrong param count.
+        assert!(d
+            .launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[0u8; 8])
+            .is_err());
+        // Bad stream handle.
+        assert!(d
+            .launch_kernel(f, Dim3::one(), Dim3::one(), 0, 777, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn memoization_kicks_in_for_repeated_launches() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "vectorAdd").unwrap();
+        let n = 64u64;
+        let (a, _) = d.malloc(n * 4).unwrap();
+        let (b, _) = d.malloc(n * 4).unwrap();
+        let (c, _) = d.malloc(n * 4).unwrap();
+        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
+        d.memcpy_htod(b, &f32_to_bytes(&vec![2.0; n as usize])).unwrap();
+        let params = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        for _ in 0..10 {
+            d.launch_kernel(f, Dim3::linear(1), Dim3::linear(64), 0, 0, &params)
+                .unwrap();
+        }
+        assert_eq!(d.stats.launches, 10);
+        assert_eq!(d.stats.memo_hits, 9);
+        // Rewriting an input invalidates the cache.
+        d.memcpy_htod(a, &f32_to_bytes(&vec![5.0; n as usize])).unwrap();
+        d.launch_kernel(f, Dim3::linear(1), Dim3::linear(64), 0, 0, &params)
+            .unwrap();
+        assert_eq!(d.stats.memo_hits, 9);
+        let wait = d.device_synchronize();
+        d.clock().advance(wait);
+        let (out, _) = d.memcpy_dtoh(c, n * 4).unwrap();
+        assert!(bytes_to_f32(&out).iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn memo_still_charges_device_time() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        for _ in 0..5 {
+            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+        }
+        let per_launch = d.properties().launch_overhead_ns;
+        assert_eq!(d.stats.device_time_ns, 5 * per_launch);
+    }
+
+    #[test]
+    fn streams_and_events_measure_device_time() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let (s, _) = d.stream_create();
+        let (e0, _) = d.event_create();
+        let (e1, _) = d.event_create();
+        d.event_record(e0, s).unwrap();
+        for _ in 0..3 {
+            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, s, &[]).unwrap();
+        }
+        d.event_record(e1, s).unwrap();
+        let ms = d.event_elapsed_ms(e0, e1).unwrap();
+        let expected = 3.0 * d.properties().launch_overhead_ns as f32 / 1e6;
+        assert!((ms - expected).abs() < 1e-6, "ms={ms} expected={expected}");
+        let wait = d.stream_synchronize(s).unwrap();
+        assert!(wait > 0);
+        d.clock().advance(wait);
+        assert_eq!(d.stream_synchronize(s).unwrap(), 0);
+        d.event_destroy(e0).unwrap();
+        d.event_destroy(e1).unwrap();
+        d.stream_destroy(s).unwrap();
+        assert!(d.stream_destroy(s).is_err());
+    }
+
+    #[test]
+    fn default_stream_cannot_be_destroyed() {
+        let mut d = Device::a100();
+        assert!(d.stream_destroy(0).is_err());
+    }
+
+    #[test]
+    fn elapsed_on_unrecorded_event_is_error() {
+        let mut d = Device::a100();
+        let (e0, _) = d.event_create();
+        let (e1, _) = d.event_create();
+        assert!(d.event_elapsed_ms(e0, e1).is_err());
+    }
+
+    #[test]
+    fn device_reset_clears_everything() {
+        let (mut d, module) = loaded_device();
+        let (p, _) = d.malloc(1024).unwrap();
+        d.device_reset();
+        assert!(d.mem.read(p, 1).is_err());
+        assert!(d.module_get_function(module, "empty").is_err());
+        assert_eq!(d.mem_info().0, d.mem_info().1);
+    }
+
+    #[test]
+    fn mem_info_reflects_allocations() {
+        let mut d = Device::a100();
+        let (free0, total) = d.mem_info();
+        assert_eq!(free0, total);
+        let (_p, _) = d.malloc(1 << 20).unwrap();
+        let (free1, _) = d.mem_info();
+        assert_eq!(free0 - free1, 1 << 20);
+    }
+}

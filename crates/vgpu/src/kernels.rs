@@ -1,0 +1,701 @@
+//! Builtin kernel implementations.
+//!
+//! Each kernel the proxy applications launch exists here as a Rust function
+//! that really executes against device memory, plus an *access analysis*
+//! used for (a) the memoization cache keys and (b) the timing model's
+//! workload estimate. Kernels follow the semantics of their CUDA-sample
+//! namesakes (matrixMul, histogram) so the ported applications validate
+//! their results exactly as the originals do.
+//!
+//! Parameter ABI: the launch parameter blob contains one little-endian
+//! 8-byte slot per parameter (pointers and scalars alike), matching how the
+//! client stub marshals `void* args[]`.
+
+use crate::error::{VgpuError, VgpuResult};
+use crate::memory::{bytes_to_f32, bytes_to_u32, f32_to_bytes, u32_to_bytes, MemoryManager};
+use crate::timemodel::{Precision, Workload};
+
+/// CUDA dim3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim3 {
+    /// X extent.
+    pub x: u32,
+    /// Y extent.
+    pub y: u32,
+    /// Z extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// 1×1×1.
+    pub fn one() -> Self {
+        Self { x: 1, y: 1, z: 1 }
+    }
+
+    /// Linear geometry (x, 1, 1).
+    pub fn linear(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// Total element count.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+/// One kernel launch request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Grid dimensions (blocks).
+    pub grid: Dim3,
+    /// Block dimensions (threads).
+    pub block: Dim3,
+    /// Dynamic shared memory bytes.
+    pub shared_mem: u32,
+    /// Stream handle (0 = default stream).
+    pub stream: u64,
+}
+
+/// Typed view over the parameter blob.
+#[derive(Debug, Clone, Copy)]
+pub struct Params<'a>(&'a [u8]);
+
+impl<'a> Params<'a> {
+    /// Wrap a parameter blob, validating slot alignment.
+    pub fn new(blob: &'a [u8]) -> VgpuResult<Self> {
+        if blob.len() % 8 != 0 {
+            return Err(VgpuError::InvalidValue(format!(
+                "parameter blob of {} bytes is not 8-byte aligned",
+                blob.len()
+            )));
+        }
+        Ok(Self(blob))
+    }
+
+    /// Number of 8-byte parameter slots.
+    pub fn len(&self) -> usize {
+        self.0.len() / 8
+    }
+
+    /// True when no parameters were passed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn slot(&self, i: usize) -> VgpuResult<[u8; 8]> {
+        self.0
+            .get(i * 8..i * 8 + 8)
+            .map(|s| s.try_into().unwrap())
+            .ok_or_else(|| {
+                VgpuError::InvalidValue(format!("missing kernel parameter {i}"))
+            })
+    }
+
+    /// Parameter `i` as a device pointer / u64.
+    pub fn ptr(&self, i: usize) -> VgpuResult<u64> {
+        Ok(u64::from_le_bytes(self.slot(i)?))
+    }
+
+    /// Parameter `i` as u32 (low half of the slot).
+    pub fn u32(&self, i: usize) -> VgpuResult<u32> {
+        let s = self.slot(i)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Parameter `i` as i32.
+    pub fn i32(&self, i: usize) -> VgpuResult<i32> {
+        Ok(self.u32(i)? as i32)
+    }
+
+    /// Parameter `i` as f32 (low half of the slot).
+    pub fn f32(&self, i: usize) -> VgpuResult<f32> {
+        Ok(f32::from_bits(self.u32(i)?))
+    }
+
+    /// Parameter `i` as f64.
+    pub fn f64(&self, i: usize) -> VgpuResult<f64> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.slot(i)?)))
+    }
+}
+
+/// Marshal parameter values into a blob (client-side helper, also used by
+/// tests). Every value occupies one 8-byte slot.
+#[derive(Debug, Default, Clone)]
+pub struct ParamBuilder {
+    blob: Vec<u8>,
+}
+
+impl ParamBuilder {
+    /// Empty parameter list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a device pointer / u64.
+    pub fn ptr(mut self, v: u64) -> Self {
+        self.blob.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a u32 scalar.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.blob.extend_from_slice(&(v as u64).to_le_bytes());
+        self
+    }
+
+    /// Append an i32 scalar.
+    pub fn i32(self, v: i32) -> Self {
+        self.u32(v as u32)
+    }
+
+    /// Append an f32 scalar.
+    pub fn f32(self, v: f32) -> Self {
+        self.u32(v.to_bits())
+    }
+
+    /// Append an f64 scalar.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.blob.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Finish, returning the blob.
+    pub fn build(self) -> Vec<u8> {
+        self.blob
+    }
+}
+
+/// Memory ranges a launch will read and write, plus its workload estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Ranges read (pointer, bytes).
+    pub reads: Vec<(u64, u64)>,
+    /// Ranges written (pointer, bytes).
+    pub writes: Vec<(u64, u64)>,
+    /// Timing-model workload.
+    pub workload: Workload,
+}
+
+/// A builtin kernel: access analysis + real execution.
+pub struct Builtin {
+    /// Kernel symbol name.
+    pub name: &'static str,
+    /// Parameter slot count the kernel expects.
+    pub param_count: usize,
+    /// Compute the access set and workload for a launch (no side effects).
+    pub analyze: fn(&LaunchConfig, Params<'_>) -> VgpuResult<Access>,
+    /// Execute the kernel against device memory.
+    pub execute: fn(&mut MemoryManager, &LaunchConfig, Params<'_>) -> VgpuResult<()>,
+}
+
+/// Look up a builtin kernel by symbol name.
+pub fn lookup(name: &str) -> Option<&'static Builtin> {
+    REGISTRY.iter().find(|b| b.name == name)
+}
+
+/// All builtin kernels (for module validation and docs).
+pub fn registry() -> &'static [Builtin] {
+    REGISTRY
+}
+
+// ---------------------------------------------------------------------------
+// empty kernel — the Fig. 6c micro-benchmark target
+// ---------------------------------------------------------------------------
+
+fn empty_analyze(_cfg: &LaunchConfig, _p: Params<'_>) -> VgpuResult<Access> {
+    Ok(Access {
+        reads: vec![],
+        writes: vec![],
+        workload: Workload {
+            flops: 0.0,
+            bytes: 0.0,
+            precision: Precision::F32,
+        },
+    })
+}
+
+fn empty_execute(_m: &mut MemoryManager, _cfg: &LaunchConfig, _p: Params<'_>) -> VgpuResult<()> {
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// vectorAdd(C, A, B, n) — quickstart example
+// ---------------------------------------------------------------------------
+
+fn vector_add_analyze(_cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    let (c, a, b, n) = (p.ptr(0)?, p.ptr(1)?, p.ptr(2)?, p.u32(3)? as u64);
+    Ok(Access {
+        reads: vec![(a, n * 4), (b, n * 4)],
+        writes: vec![(c, n * 4)],
+        workload: Workload {
+            flops: n as f64,
+            bytes: (n * 12) as f64,
+            precision: Precision::F32,
+        },
+    })
+}
+
+fn vector_add_execute(m: &mut MemoryManager, cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    let (c, a, b, n) = (p.ptr(0)?, p.ptr(1)?, p.ptr(2)?, p.u32(3)? as u64);
+    let threads = cfg.grid.count() * cfg.block.count();
+    if threads < n {
+        return Err(VgpuError::LaunchFailure(format!(
+            "vectorAdd launched with {threads} threads for {n} elements"
+        )));
+    }
+    let av = bytes_to_f32(m.read(a, n * 4)?);
+    let bv = bytes_to_f32(m.read(b, n * 4)?);
+    let cv: Vec<f32> = av.iter().zip(&bv).map(|(x, y)| x + y).collect();
+    m.write(c, &f32_to_bytes(&cv))
+}
+
+// ---------------------------------------------------------------------------
+// matrixMulCUDA(C, A, B, wA, wB) — the Fig. 5a workload
+//
+// Geometry follows the CUDA sample: block = (32, 32), grid = (wB/32, hA/32),
+// so hA = grid.y * 32. C (hA×wB) = A (hA×wA) × B (wA×wB), row-major.
+// ---------------------------------------------------------------------------
+
+fn matrix_mul_dims(cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<(u64, u64, u64, u64, u64, u64)> {
+    let (c, a, b) = (p.ptr(0)?, p.ptr(1)?, p.ptr(2)?);
+    let wa = p.u32(3)? as u64;
+    let wb = p.u32(4)? as u64;
+    let ha = cfg.grid.y as u64 * cfg.block.y as u64;
+    if wa == 0 || wb == 0 || ha == 0 {
+        return Err(VgpuError::InvalidValue("matrixMul with zero dimension".into()));
+    }
+    Ok((c, a, b, wa, wb, ha))
+}
+
+fn matrix_mul_analyze(cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    let (c, a, b, wa, wb, ha) = matrix_mul_dims(cfg, p)?;
+    Ok(Access {
+        reads: vec![(a, ha * wa * 4), (b, wa * wb * 4)],
+        writes: vec![(c, ha * wb * 4)],
+        workload: Workload {
+            flops: 2.0 * ha as f64 * wa as f64 * wb as f64,
+            bytes: ((ha * wa + wa * wb + ha * wb) * 4) as f64,
+            precision: Precision::F32,
+        },
+    })
+}
+
+fn matrix_mul_execute(m: &mut MemoryManager, cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    let (c, a, b, wa, wb, ha) = matrix_mul_dims(cfg, p)?;
+    let av = bytes_to_f32(m.read(a, ha * wa * 4)?);
+    let bv = bytes_to_f32(m.read(b, wa * wb * 4)?);
+    let mut cv = vec![0f32; (ha * wb) as usize];
+    // Straightforward ikj loop; cache-friendly on row-major data.
+    for i in 0..ha as usize {
+        for k in 0..wa as usize {
+            let aik = av[i * wa as usize + k];
+            let brow = &bv[k * wb as usize..(k + 1) * wb as usize];
+            let crow = &mut cv[i * wb as usize..(i + 1) * wb as usize];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    m.write(c, &f32_to_bytes(&cv))
+}
+
+// ---------------------------------------------------------------------------
+// histogram64 / histogram256 — the Fig. 5c workload
+//
+// Semantics follow the CUDA sample: the input is an array of bytes; the
+// 64-bin variant bins by the top 6 bits of each byte (byte >> 2), the
+// 256-bin variant by the full byte. Each block produces a partial histogram
+// over a strided share of the data; a merge kernel reduces the partials.
+// Partial layout: partial[block * BINS + bin] (u32 counts).
+// ---------------------------------------------------------------------------
+
+fn histogram_analyze(bins: u64) -> impl Fn(&LaunchConfig, Params<'_>) -> VgpuResult<Access> {
+    move |cfg, p| {
+        let (partial, data, byte_count) = (p.ptr(0)?, p.ptr(1)?, p.u32(2)? as u64);
+        let blocks = cfg.grid.count();
+        Ok(Access {
+            reads: vec![(data, byte_count)],
+            writes: vec![(partial, blocks * bins * 4)],
+            workload: Workload {
+                flops: byte_count as f64,
+                bytes: (byte_count + blocks * bins * 4) as f64,
+                precision: Precision::F32,
+            },
+        })
+    }
+}
+
+fn histogram_execute(
+    bins: usize,
+    shift: u32,
+) -> impl Fn(&mut MemoryManager, &LaunchConfig, Params<'_>) -> VgpuResult<()> {
+    move |m, cfg, p| {
+        let (partial, data, byte_count) = (p.ptr(0)?, p.ptr(1)?, p.u32(2)? as u64);
+        let blocks = cfg.grid.count() as usize;
+        if blocks == 0 {
+            return Err(VgpuError::InvalidValue("histogram with zero blocks".into()));
+        }
+        let input = m.read(data, byte_count)?.to_vec();
+        let mut partials = vec![0u32; blocks * bins];
+        // Block b handles bytes b, b+blocks, b+2*blocks, ... (strided), like
+        // the sample's grid-stride loop.
+        for (idx, &byte) in input.iter().enumerate() {
+            let block = idx % blocks;
+            let bin = (byte >> shift) as usize;
+            partials[block * bins + bin] += 1;
+        }
+        m.write(partial, &u32_to_bytes(&partials))
+    }
+}
+
+fn merge_histogram_analyze(bins: u64) -> impl Fn(&LaunchConfig, Params<'_>) -> VgpuResult<Access> {
+    move |_cfg, p| {
+        let (out, partial, count) = (p.ptr(0)?, p.ptr(1)?, p.u32(2)? as u64);
+        Ok(Access {
+            reads: vec![(partial, count * bins * 4)],
+            writes: vec![(out, bins * 4)],
+            workload: Workload {
+                flops: (count * bins) as f64,
+                bytes: ((count + 1) * bins * 4) as f64,
+                precision: Precision::F32,
+            },
+        })
+    }
+}
+
+fn merge_histogram_execute(
+    bins: usize,
+) -> impl Fn(&mut MemoryManager, &LaunchConfig, Params<'_>) -> VgpuResult<()> {
+    move |m, _cfg, p| {
+        let (out, partial, count) = (p.ptr(0)?, p.ptr(1)?, p.u32(2)? as usize);
+        let partials = bytes_to_u32(m.read(partial, (count * bins * 4) as u64)?);
+        let mut merged = vec![0u32; bins];
+        for block in 0..count {
+            for bin in 0..bins {
+                merged[bin] += partials[block * bins + bin];
+            }
+        }
+        m.write(out, &u32_to_bytes(&merged))
+    }
+}
+
+// Monomorphized wrappers (fn pointers cannot capture).
+fn hist64_analyze(c: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    histogram_analyze(64)(c, p)
+}
+fn hist64_execute(m: &mut MemoryManager, c: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    histogram_execute(64, 2)(m, c, p)
+}
+fn merge64_analyze(c: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    merge_histogram_analyze(64)(c, p)
+}
+fn merge64_execute(m: &mut MemoryManager, c: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    merge_histogram_execute(64)(m, c, p)
+}
+fn hist256_analyze(c: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    histogram_analyze(256)(c, p)
+}
+fn hist256_execute(m: &mut MemoryManager, c: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    histogram_execute(256, 0)(m, c, p)
+}
+fn merge256_analyze(c: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    merge_histogram_analyze(256)(c, p)
+}
+fn merge256_execute(m: &mut MemoryManager, c: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    merge_histogram_execute(256)(m, c, p)
+}
+
+// ---------------------------------------------------------------------------
+// saxpy(Y, X, alpha, n) — used by tests and the multi-tenant example
+// ---------------------------------------------------------------------------
+
+fn saxpy_analyze(_cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<Access> {
+    let (y, x, _alpha, n) = (p.ptr(0)?, p.ptr(1)?, p.f32(2)?, p.u32(3)? as u64);
+    Ok(Access {
+        reads: vec![(x, n * 4), (y, n * 4)],
+        writes: vec![(y, n * 4)],
+        workload: Workload {
+            flops: 2.0 * n as f64,
+            bytes: (n * 12) as f64,
+            precision: Precision::F32,
+        },
+    })
+}
+
+fn saxpy_execute(m: &mut MemoryManager, _cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<()> {
+    let (y, x, alpha, n) = (p.ptr(0)?, p.ptr(1)?, p.f32(2)?, p.u32(3)? as u64);
+    let xv = bytes_to_f32(m.read(x, n * 4)?);
+    let mut yv = bytes_to_f32(m.read(y, n * 4)?);
+    for (yi, xi) in yv.iter_mut().zip(&xv) {
+        *yi += alpha * xi;
+    }
+    m.write(y, &f32_to_bytes(&yv))
+}
+
+static REGISTRY: &[Builtin] = &[
+    Builtin {
+        name: "empty",
+        param_count: 0,
+        analyze: empty_analyze,
+        execute: empty_execute,
+    },
+    Builtin {
+        name: "vectorAdd",
+        param_count: 4,
+        analyze: vector_add_analyze,
+        execute: vector_add_execute,
+    },
+    Builtin {
+        name: "matrixMulCUDA",
+        param_count: 5,
+        analyze: matrix_mul_analyze,
+        execute: matrix_mul_execute,
+    },
+    Builtin {
+        name: "histogram64Kernel",
+        param_count: 3,
+        analyze: hist64_analyze,
+        execute: hist64_execute,
+    },
+    Builtin {
+        name: "mergeHistogram64Kernel",
+        param_count: 3,
+        analyze: merge64_analyze,
+        execute: merge64_execute,
+    },
+    Builtin {
+        name: "histogram256Kernel",
+        param_count: 3,
+        analyze: hist256_analyze,
+        execute: hist256_execute,
+    },
+    Builtin {
+        name: "mergeHistogram256Kernel",
+        param_count: 3,
+        analyze: merge256_analyze,
+        execute: merge256_execute,
+    },
+    Builtin {
+        name: "saxpy",
+        param_count: 4,
+        analyze: saxpy_analyze,
+        execute: saxpy_execute,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::f64_to_bytes;
+
+    fn mem() -> MemoryManager {
+        MemoryManager::new(64 << 20)
+    }
+
+    fn cfg(grid: Dim3, block: Dim3) -> LaunchConfig {
+        LaunchConfig {
+            grid,
+            block,
+            shared_mem: 0,
+            stream: 0,
+        }
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert!(lookup("matrixMulCUDA").is_some());
+        assert!(lookup("histogram256Kernel").is_some());
+        assert!(lookup("no_such_kernel").is_none());
+        assert_eq!(lookup("vectorAdd").unwrap().param_count, 4);
+    }
+
+    #[test]
+    fn param_builder_roundtrip() {
+        let blob = ParamBuilder::new()
+            .ptr(0xdead_beef)
+            .u32(42)
+            .f32(1.5)
+            .f64(-2.25)
+            .i32(-7)
+            .build();
+        let p = Params::new(&blob).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.ptr(0).unwrap(), 0xdead_beef);
+        assert_eq!(p.u32(1).unwrap(), 42);
+        assert_eq!(p.f32(2).unwrap(), 1.5);
+        assert_eq!(p.f64(3).unwrap(), -2.25);
+        assert_eq!(p.i32(4).unwrap(), -7);
+        assert!(p.ptr(5).is_err());
+        let _ = f64_to_bytes(&[]); // silence unused import on some cfgs
+    }
+
+    #[test]
+    fn unaligned_params_rejected() {
+        assert!(Params::new(&[0u8; 7]).is_err());
+        assert!(Params::new(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vector_add_computes() {
+        let mut m = mem();
+        let n = 1000u64;
+        let a = m.alloc(n * 4).unwrap();
+        let b = m.alloc(n * 4).unwrap();
+        let c = m.alloc(n * 4).unwrap();
+        let av: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let bv: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        m.write(a, &f32_to_bytes(&av)).unwrap();
+        m.write(b, &f32_to_bytes(&bv)).unwrap();
+        let blob = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        let k = lookup("vectorAdd").unwrap();
+        (k.execute)(
+            &mut m,
+            &cfg(Dim3::linear(4), Dim3::linear(256)),
+            Params::new(&blob).unwrap(),
+        )
+        .unwrap();
+        let cv = bytes_to_f32(m.read(c, n * 4).unwrap());
+        for i in 0..n as usize {
+            assert_eq!(cv[i], 3.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn vector_add_underprovisioned_launch_fails() {
+        let mut m = mem();
+        let a = m.alloc(4096).unwrap();
+        let blob = ParamBuilder::new().ptr(a).ptr(a).ptr(a).u32(1024).build();
+        let k = lookup("vectorAdd").unwrap();
+        let err = (k.execute)(
+            &mut m,
+            &cfg(Dim3::linear(1), Dim3::linear(256)),
+            Params::new(&blob).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, VgpuError::LaunchFailure(_)));
+    }
+
+    #[test]
+    fn matrix_mul_matches_reference() {
+        let mut m = mem();
+        let (ha, wa, wb) = (64usize, 32usize, 96usize);
+        let a = m.alloc((ha * wa * 4) as u64).unwrap();
+        let b = m.alloc((wa * wb * 4) as u64).unwrap();
+        let c = m.alloc((ha * wb * 4) as u64).unwrap();
+        let av: Vec<f32> = (0..ha * wa).map(|i| (i % 7) as f32 * 0.5).collect();
+        let bv: Vec<f32> = (0..wa * wb).map(|i| (i % 5) as f32 - 2.0).collect();
+        m.write(a, &f32_to_bytes(&av)).unwrap();
+        m.write(b, &f32_to_bytes(&bv)).unwrap();
+        let blob = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(wa as u32)
+            .u32(wb as u32)
+            .build();
+        let k = lookup("matrixMulCUDA").unwrap();
+        let launch = cfg(
+            Dim3 {
+                x: (wb / 32) as u32,
+                y: (ha / 32) as u32,
+                z: 1,
+            },
+            Dim3 { x: 32, y: 32, z: 1 },
+        );
+        (k.execute)(&mut m, &launch, Params::new(&blob).unwrap()).unwrap();
+        let cv = bytes_to_f32(m.read(c, (ha * wb * 4) as u64).unwrap());
+        // Reference: naive triple loop.
+        for i in [0usize, 5, 63] {
+            for j in [0usize, 17, 95] {
+                let mut acc = 0f32;
+                for k in 0..wa {
+                    acc += av[i * wa + k] * bv[k * wb + j];
+                }
+                assert!(
+                    (cv[i * wb + j] - acc).abs() <= 1e-3 * acc.abs().max(1.0),
+                    "C[{i},{j}] = {} expected {acc}",
+                    cv[i * wb + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_roundtrip_64_and_256() {
+        let mut m = mem();
+        let bytes: Vec<u8> = (0..10_000u32).map(|i| (i * 37 % 256) as u8).collect();
+        let data = m.alloc(bytes.len() as u64).unwrap();
+        m.write(data, &bytes).unwrap();
+        for (bins, shift, hist, merge) in [
+            (64usize, 2u32, "histogram64Kernel", "mergeHistogram64Kernel"),
+            (256, 0, "histogram256Kernel", "mergeHistogram256Kernel"),
+        ] {
+            let blocks = 24u32;
+            let partial = m.alloc((blocks as usize * bins * 4) as u64).unwrap();
+            let out = m.alloc((bins * 4) as u64).unwrap();
+            let blob = ParamBuilder::new()
+                .ptr(partial)
+                .ptr(data)
+                .u32(bytes.len() as u32)
+                .build();
+            (lookup(hist).unwrap().execute)(
+                &mut m,
+                &cfg(Dim3::linear(blocks), Dim3::linear(64)),
+                Params::new(&blob).unwrap(),
+            )
+            .unwrap();
+            let blob = ParamBuilder::new()
+                .ptr(out)
+                .ptr(partial)
+                .u32(blocks)
+                .build();
+            (lookup(merge).unwrap().execute)(
+                &mut m,
+                &cfg(Dim3::linear(bins as u32), Dim3::linear(64)),
+                Params::new(&blob).unwrap(),
+            )
+            .unwrap();
+            let result = bytes_to_u32(m.read(out, (bins * 4) as u64).unwrap());
+            let mut expected = vec![0u32; bins];
+            for &b in &bytes {
+                expected[(b >> shift) as usize] += 1;
+            }
+            assert_eq!(result, expected, "{bins}-bin histogram");
+            assert_eq!(result.iter().sum::<u32>() as usize, bytes.len());
+            m.free(partial).unwrap();
+            m.free(out).unwrap();
+        }
+    }
+
+    #[test]
+    fn saxpy_updates_in_place() {
+        let mut m = mem();
+        let n = 128u64;
+        let x = m.alloc(n * 4).unwrap();
+        let y = m.alloc(n * 4).unwrap();
+        m.write(x, &f32_to_bytes(&vec![2.0; n as usize])).unwrap();
+        m.write(y, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
+        let blob = ParamBuilder::new().ptr(y).ptr(x).f32(3.0).u32(n as u32).build();
+        (lookup("saxpy").unwrap().execute)(
+            &mut m,
+            &cfg(Dim3::linear(1), Dim3::linear(128)),
+            Params::new(&blob).unwrap(),
+        )
+        .unwrap();
+        let yv = bytes_to_f32(m.read(y, n * 4).unwrap());
+        assert!(yv.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn analyze_reports_sane_access_sets() {
+        let blob = ParamBuilder::new().ptr(0x100).ptr(0x200).ptr(0x300).u32(64).u32(32).build();
+        let k = lookup("matrixMulCUDA").unwrap();
+        let launch = cfg(Dim3 { x: 1, y: 2, z: 1 }, Dim3 { x: 32, y: 32, z: 1 });
+        let acc = (k.analyze)(&launch, Params::new(&blob).unwrap()).unwrap();
+        // hA = 64, wA = 64, wB = 32.
+        assert_eq!(acc.reads[0], (0x200, 64 * 64 * 4));
+        assert_eq!(acc.reads[1], (0x300, 64 * 32 * 4));
+        assert_eq!(acc.writes[0], (0x100, 64 * 32 * 4));
+        assert!(acc.workload.flops > 0.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! Device memory manager.
+//!
+//! A first-fit free-list allocator over a virtual device address space, with
+//! CUDA's 256-byte allocation alignment. Each live allocation owns a host
+//! `Vec<u8>` as backing store (the address space is 40 GB; backing is
+//! allocated lazily per block, so a simulated A100 does not require 40 GB of
+//! host RAM). Interior pointers (base + offset) resolve to the containing
+//! block, as CUDA permits.
+//!
+//! Each block carries a monotonically increasing **version**, bumped on every
+//! write; the kernel memoization cache uses versions to detect that inputs
+//! are unchanged (see crate docs).
+
+use crate::error::{VgpuError, VgpuResult};
+use std::collections::BTreeMap;
+
+/// A raw device pointer (opaque 64-bit address).
+pub type DevicePtr = u64;
+
+/// Base of the device heap. Non-zero so that null is never a valid pointer.
+pub const HEAP_BASE: u64 = 0x0100_0000_0000;
+
+/// CUDA allocation alignment.
+pub const ALLOC_ALIGN: u64 = 256;
+
+#[derive(Debug)]
+struct Block {
+    size: u64,
+    data: Vec<u8>,
+    version: u64,
+}
+
+/// Device memory state: live allocations + free list.
+#[derive(Debug)]
+pub struct MemoryManager {
+    total: u64,
+    /// base address → block
+    blocks: BTreeMap<u64, Block>,
+    /// start address → length, coalesced
+    free_list: BTreeMap<u64, u64>,
+    next_version: u64,
+    /// Running counters for telemetry and tests.
+    pub stats: MemStats,
+}
+
+/// Allocation statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Bytes currently allocated.
+    pub bytes_in_use: u64,
+    /// High-water mark of bytes in use.
+    pub peak_bytes: u64,
+}
+
+impl MemoryManager {
+    /// Create a manager over `total` bytes of device memory.
+    pub fn new(total: u64) -> Self {
+        Self::with_base(total, HEAP_BASE)
+    }
+
+    /// Create a manager whose address space starts at `base` (multi-GPU
+    /// servers give each device a disjoint range so pointers identify their
+    /// device).
+    pub fn with_base(total: u64, base: u64) -> Self {
+        assert!(base > 0, "null must never be a valid pointer");
+        let mut free_list = BTreeMap::new();
+        free_list.insert(base, total);
+        Self {
+            total,
+            blocks: BTreeMap::new(),
+            free_list,
+            next_version: 1,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Lowest address of this device's heap.
+    pub fn base(&self) -> u64 {
+        // The heap never moves: it is either in the free list or in blocks.
+        self.free_list
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.blocks.keys().next().copied().unwrap_or(HEAP_BASE))
+            .min(self.blocks.keys().next().copied().unwrap_or(u64::MAX))
+    }
+
+    /// Total device memory in bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Free device memory in bytes (sum over free list).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_list.values().sum()
+    }
+
+    /// Allocate `size` bytes (first fit, 256-byte aligned). Zero-size
+    /// allocations succeed with a unique non-null pointer, like CUDA.
+    pub fn alloc(&mut self, size: u64) -> VgpuResult<DevicePtr> {
+        let rounded = size.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let slot = self
+            .free_list
+            .iter()
+            .find(|(_, &len)| len >= rounded)
+            .map(|(&addr, &len)| (addr, len));
+        let Some((addr, len)) = slot else {
+            return Err(VgpuError::OutOfMemory {
+                requested: size,
+                free: self.free_bytes(),
+            });
+        };
+        self.free_list.remove(&addr);
+        if len > rounded {
+            self.free_list.insert(addr + rounded, len - rounded);
+        }
+        self.blocks.insert(
+            addr,
+            Block {
+                size: rounded,
+                data: vec![0u8; rounded as usize],
+                version: self.next_version,
+            },
+        );
+        self.next_version += 1;
+        self.stats.allocs += 1;
+        self.stats.bytes_in_use += rounded;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes_in_use);
+        Ok(addr)
+    }
+
+    /// Free the allocation starting at `ptr`. Freeing a non-base pointer or
+    /// double-freeing fails with [`VgpuError::InvalidFree`].
+    pub fn free(&mut self, ptr: DevicePtr) -> VgpuResult<()> {
+        let Some(block) = self.blocks.remove(&ptr) else {
+            return Err(VgpuError::InvalidFree(ptr));
+        };
+        self.stats.frees += 1;
+        self.stats.bytes_in_use -= block.size;
+        // Insert into the free list and coalesce with neighbors.
+        let mut start = ptr;
+        let mut len = block.size;
+        if let Some((&prev_start, &prev_len)) = self.free_list.range(..ptr).next_back() {
+            if prev_start + prev_len == start {
+                self.free_list.remove(&prev_start);
+                start = prev_start;
+                len += prev_len;
+            }
+        }
+        if let Some(&next_len) = self.free_list.get(&(ptr + block.size)) {
+            self.free_list.remove(&(ptr + block.size));
+            len += next_len;
+        }
+        self.free_list.insert(start, len);
+        Ok(())
+    }
+
+    /// Resolve an interior pointer to (base, offset).
+    fn resolve(&self, ptr: DevicePtr) -> VgpuResult<(u64, u64)> {
+        let (&base, block) = self
+            .blocks
+            .range(..=ptr)
+            .next_back()
+            .ok_or(VgpuError::InvalidPointer(ptr))?;
+        let off = ptr - base;
+        if off >= block.size {
+            return Err(VgpuError::InvalidPointer(ptr));
+        }
+        Ok((base, off))
+    }
+
+    fn check_len(&self, ptr: DevicePtr, len: u64) -> VgpuResult<(u64, u64)> {
+        let (base, off) = self.resolve(ptr)?;
+        let available = self.blocks[&base].size - off;
+        if len > available {
+            return Err(VgpuError::OutOfBounds {
+                ptr,
+                len,
+                available,
+            });
+        }
+        Ok((base, off))
+    }
+
+    /// Read `len` bytes at `ptr`.
+    pub fn read(&self, ptr: DevicePtr, len: u64) -> VgpuResult<&[u8]> {
+        let (base, off) = self.check_len(ptr, len)?;
+        let block = &self.blocks[&base];
+        Ok(&block.data[off as usize..(off + len) as usize])
+    }
+
+    /// Write `bytes` at `ptr`, bumping the block version.
+    pub fn write(&mut self, ptr: DevicePtr, bytes: &[u8]) -> VgpuResult<()> {
+        let (base, off) = self.check_len(ptr, bytes.len() as u64)?;
+        let version = self.next_version;
+        self.next_version += 1;
+        let block = self.blocks.get_mut(&base).expect("resolved");
+        block.data[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+        block.version = version;
+        Ok(())
+    }
+
+    /// Fill `len` bytes at `ptr` with `value` (cudaMemset).
+    pub fn memset(&mut self, ptr: DevicePtr, value: u8, len: u64) -> VgpuResult<()> {
+        let (base, off) = self.check_len(ptr, len)?;
+        let version = self.next_version;
+        self.next_version += 1;
+        let block = self.blocks.get_mut(&base).expect("resolved");
+        block.data[off as usize..(off + len) as usize].fill(value);
+        block.version = version;
+        Ok(())
+    }
+
+    /// Device-to-device copy (handles distinct blocks; overlapping ranges in
+    /// the same block copy through a temporary, like cudaMemcpy semantics).
+    pub fn copy_dtod(&mut self, dst: DevicePtr, src: DevicePtr, len: u64) -> VgpuResult<()> {
+        let tmp = self.read(src, len)?.to_vec();
+        self.write(dst, &tmp)
+    }
+
+    /// Current version of the block containing `ptr` (for memoization keys).
+    pub fn version_of(&self, ptr: DevicePtr) -> VgpuResult<u64> {
+        let (base, _) = self.resolve(ptr)?;
+        Ok(self.blocks[&base].version)
+    }
+
+    /// Mutable access to a whole region as bytes (kernel execution helper).
+    /// Reads then writes back via closure so version accounting stays exact.
+    pub fn update<R>(
+        &mut self,
+        ptr: DevicePtr,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> VgpuResult<R> {
+        let (base, off) = self.check_len(ptr, len)?;
+        let version = self.next_version;
+        self.next_version += 1;
+        let block = self.blocks.get_mut(&base).expect("resolved");
+        let r = f(&mut block.data[off as usize..(off + len) as usize]);
+        block.version = version;
+        Ok(r)
+    }
+
+    /// Enumerate live allocations as (base, size) — checkpoint support.
+    pub fn live_allocations(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.blocks.iter().map(|(&b, blk)| (b, blk.size))
+    }
+
+    /// Raw contents of the allocation at `base` (checkpoint support).
+    pub fn block_bytes(&self, base: u64) -> VgpuResult<&[u8]> {
+        self.blocks
+            .get(&base)
+            .map(|b| b.data.as_slice())
+            .ok_or(VgpuError::InvalidPointer(base))
+    }
+
+    /// Restore an allocation at an exact base address (checkpoint restore).
+    /// Fails if the range is not entirely free.
+    pub fn restore_block(&mut self, base: u64, bytes: &[u8]) -> VgpuResult<()> {
+        let size = bytes.len() as u64;
+        // Find the free span containing [base, base+size).
+        let span = self
+            .free_list
+            .range(..=base)
+            .next_back()
+            .map(|(&s, &l)| (s, l));
+        let Some((start, len)) = span else {
+            return Err(VgpuError::InvalidValue(format!(
+                "restore target {base:#x} not free"
+            )));
+        };
+        if base + size > start + len {
+            return Err(VgpuError::InvalidValue(format!(
+                "restore target {base:#x}+{size} overlaps live memory"
+            )));
+        }
+        self.free_list.remove(&start);
+        if base > start {
+            self.free_list.insert(start, base - start);
+        }
+        if start + len > base + size {
+            self.free_list.insert(base + size, (start + len) - (base + size));
+        }
+        self.blocks.insert(
+            base,
+            Block {
+                size,
+                data: bytes.to_vec(),
+                version: self.next_version,
+            },
+        );
+        self.next_version += 1;
+        self.stats.allocs += 1;
+        self.stats.bytes_in_use += size;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes_in_use);
+        Ok(())
+    }
+}
+
+/// Reinterpret a byte slice as f32 values (little-endian device layout).
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Serialize f32 values into device byte layout.
+pub fn f32_to_bytes(vals: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reinterpret a byte slice as f64 values.
+pub fn bytes_to_f64(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect()
+}
+
+/// Serialize f64 values into device byte layout.
+pub fn f64_to_bytes(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reinterpret a byte slice as u32 values.
+pub fn bytes_to_u32(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Serialize u32 values into device byte layout.
+pub fn u32_to_bytes(vals: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MemoryManager {
+        MemoryManager::new(1 << 20)
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_distinct() {
+        let mut m = mm();
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(a % ALLOC_ALIGN, 0);
+        assert_eq!(b % ALLOC_ALIGN, 0);
+        assert_ne!(a, b);
+        assert!(a >= HEAP_BASE);
+    }
+
+    #[test]
+    fn zero_size_alloc_gets_unique_pointer() {
+        let mut m = mm();
+        let a = m.alloc(0).unwrap();
+        let b = m.alloc(0).unwrap();
+        assert_ne!(a, b);
+        m.free(a).unwrap();
+        m.free(b).unwrap();
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mm();
+        let p = m.alloc(64).unwrap();
+        m.write(p, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read(p, 4).unwrap(), &[1, 2, 3, 4]);
+        // Fresh memory is zeroed.
+        assert_eq!(m.read(p + 4, 4).unwrap(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn interior_pointers_resolve() {
+        let mut m = mm();
+        let p = m.alloc(256).unwrap();
+        m.write(p + 100, &[9]).unwrap();
+        assert_eq!(m.read(p + 100, 1).unwrap(), &[9]);
+    }
+
+    #[test]
+    fn oob_and_invalid_pointers_rejected() {
+        let mut m = mm();
+        let p = m.alloc(64).unwrap();
+        // 64 rounds to 256; access past the rounded size fails.
+        assert!(matches!(
+            m.read(p, 257),
+            Err(VgpuError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read(0xdead, 1),
+            Err(VgpuError::InvalidPointer(0xdead))
+        ));
+        assert!(matches!(
+            m.write(p + 300, &[0]),
+            Err(VgpuError::InvalidPointer(_))
+        ));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut m = mm();
+        let p = m.alloc(64).unwrap();
+        m.free(p).unwrap();
+        assert_eq!(m.free(p), Err(VgpuError::InvalidFree(p)));
+    }
+
+    #[test]
+    fn free_of_interior_pointer_rejected() {
+        let mut m = mm();
+        let p = m.alloc(512).unwrap();
+        assert_eq!(m.free(p + 256), Err(VgpuError::InvalidFree(p + 256)));
+        m.free(p).unwrap();
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = MemoryManager::new(1024);
+        let _a = m.alloc(512).unwrap();
+        match m.alloc(1024) {
+            Err(VgpuError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 1024);
+                assert_eq!(free, 512);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_coalesces_neighbors() {
+        let mut m = MemoryManager::new(1024);
+        let a = m.alloc(256).unwrap();
+        let b = m.alloc(256).unwrap();
+        let c = m.alloc(256).unwrap();
+        let _d = m.alloc(256).unwrap();
+        m.free(a).unwrap();
+        m.free(c).unwrap();
+        m.free(b).unwrap(); // should merge a+b+c into one 768-byte span
+        assert_eq!(m.free_list.len(), 1);
+        let p = m.alloc(768).unwrap();
+        assert_eq!(p, a);
+    }
+
+    #[test]
+    fn alloc_after_frees_reuses_space() {
+        let mut m = MemoryManager::new(4096);
+        let ptrs: Vec<_> = (0..16).map(|_| m.alloc(256).unwrap()).collect();
+        assert!(m.alloc(256).is_err());
+        for p in ptrs {
+            m.free(p).unwrap();
+        }
+        assert_eq!(m.free_bytes(), 4096);
+        assert!(m.alloc(4096).is_ok());
+    }
+
+    #[test]
+    fn memset_fills() {
+        let mut m = mm();
+        let p = m.alloc(32).unwrap();
+        m.memset(p, 0xab, 16).unwrap();
+        assert_eq!(m.read(p, 17).unwrap()[..16], [0xab; 16]);
+        assert_eq!(m.read(p + 16, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn dtod_copies_across_blocks() {
+        let mut m = mm();
+        let a = m.alloc(64).unwrap();
+        let b = m.alloc(64).unwrap();
+        m.write(a, b"hello world!").unwrap();
+        m.copy_dtod(b, a, 12).unwrap();
+        assert_eq!(m.read(b, 12).unwrap(), b"hello world!");
+    }
+
+    #[test]
+    fn versions_bump_on_writes_only() {
+        let mut m = mm();
+        let p = m.alloc(64).unwrap();
+        let v0 = m.version_of(p).unwrap();
+        let _ = m.read(p, 8).unwrap();
+        assert_eq!(m.version_of(p).unwrap(), v0);
+        m.write(p, &[1]).unwrap();
+        let v1 = m.version_of(p).unwrap();
+        assert!(v1 > v0);
+        m.memset(p, 0, 8).unwrap();
+        assert!(m.version_of(p).unwrap() > v1);
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let mut m = mm();
+        let p = m.alloc(1000).unwrap(); // rounds to 1024
+        assert_eq!(m.stats.allocs, 1);
+        assert_eq!(m.stats.bytes_in_use, 1024);
+        assert_eq!(m.stats.peak_bytes, 1024);
+        m.free(p).unwrap();
+        assert_eq!(m.stats.bytes_in_use, 0);
+        assert_eq!(m.stats.peak_bytes, 1024);
+    }
+
+    #[test]
+    fn restore_block_roundtrip() {
+        let mut m = mm();
+        let p = m.alloc(512).unwrap();
+        m.write(p, b"state").unwrap();
+        let saved = m.block_bytes(p).unwrap().to_vec();
+        m.free(p).unwrap();
+        m.restore_block(p, &saved).unwrap();
+        assert_eq!(m.read(p, 5).unwrap(), b"state");
+        // Restoring over live memory fails.
+        assert!(m.restore_block(p, &saved).is_err());
+    }
+
+    #[test]
+    fn typed_conversions_roundtrip() {
+        let f = vec![1.5f32, -2.25, 0.0];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&f)), f);
+        let d = vec![1.5f64, -2.25, 1e300];
+        assert_eq!(bytes_to_f64(&f64_to_bytes(&d)), d);
+        let u = vec![1u32, 0xffff_ffff];
+        assert_eq!(bytes_to_u32(&u32_to_bytes(&u)), u);
+    }
+}

@@ -1,0 +1,118 @@
+//! Device property tables for the GPUs in the paper's evaluation node
+//! ("one NVIDIA A100 GPU, two T4 GPUs, and one P40 GPU").
+
+/// Static properties of a simulated GPU, the subset `cudaGetDeviceProperties`
+/// exposes that the proxy applications and the timing model consult.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProperties {
+    /// Marketing name.
+    pub name: String,
+    /// Total device memory in bytes.
+    pub total_global_mem: u64,
+    /// Number of streaming multiprocessors.
+    pub multi_processor_count: i32,
+    /// Core clock in kHz.
+    pub clock_rate_khz: i32,
+    /// Compute capability major.
+    pub major: i32,
+    /// Compute capability minor.
+    pub minor: i32,
+    /// Warp size (32 on all NVIDIA parts).
+    pub warp_size: i32,
+    /// Max threads per block.
+    pub max_threads_per_block: i32,
+    /// Peak memory bandwidth in bytes/second (drives the timing model).
+    pub memory_bandwidth_bps: u64,
+    /// Peak fp32 throughput in FLOP/s.
+    pub fp32_flops: u64,
+    /// Peak fp64 throughput in FLOP/s.
+    pub fp64_flops: u64,
+    /// Fixed kernel-launch overhead on-device, nanoseconds.
+    pub launch_overhead_ns: u64,
+    /// PCIe copy bandwidth (host↔device through the server), bytes/second.
+    pub pcie_bandwidth_bps: u64,
+}
+
+impl DeviceProperties {
+    /// NVIDIA A100-PCIE-40GB (Ampere, the GPU the evaluation uses).
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100-PCIE-40GB".into(),
+            total_global_mem: 40 << 30,
+            multi_processor_count: 108,
+            clock_rate_khz: 1_410_000,
+            major: 8,
+            minor: 0,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            memory_bandwidth_bps: 1_555_000_000_000,
+            fp32_flops: 19_500_000_000_000,
+            fp64_flops: 9_700_000_000_000,
+            launch_overhead_ns: 3_500,
+            pcie_bandwidth_bps: 25_000_000_000,
+        }
+    }
+
+    /// NVIDIA T4 (Turing).
+    pub fn t4() -> Self {
+        Self {
+            name: "NVIDIA T4".into(),
+            total_global_mem: 16 << 30,
+            multi_processor_count: 40,
+            clock_rate_khz: 1_590_000,
+            major: 7,
+            minor: 5,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            memory_bandwidth_bps: 320_000_000_000,
+            fp32_flops: 8_100_000_000_000,
+            fp64_flops: 254_000_000_000,
+            launch_overhead_ns: 4_000,
+            pcie_bandwidth_bps: 12_000_000_000,
+        }
+    }
+
+    /// NVIDIA Tesla P40 (Pascal).
+    pub fn p40() -> Self {
+        Self {
+            name: "NVIDIA Tesla P40".into(),
+            total_global_mem: 24 << 30,
+            multi_processor_count: 30,
+            clock_rate_khz: 1_531_000,
+            major: 6,
+            minor: 1,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            memory_bandwidth_bps: 346_000_000_000,
+            fp32_flops: 11_800_000_000_000,
+            fp64_flops: 367_000_000_000,
+            launch_overhead_ns: 4_500,
+            pcie_bandwidth_bps: 12_000_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_shape() {
+        let p = DeviceProperties::a100();
+        assert_eq!(p.major, 8);
+        assert_eq!(p.multi_processor_count, 108);
+        assert_eq!(p.total_global_mem, 40 << 30);
+        assert!(p.fp32_flops > p.fp64_flops);
+    }
+
+    #[test]
+    fn generations_ordered_by_capability() {
+        let (a, t, p) = (
+            DeviceProperties::a100(),
+            DeviceProperties::t4(),
+            DeviceProperties::p40(),
+        );
+        assert!(a.major > t.major && t.major > p.major);
+        assert!(a.memory_bandwidth_bps > t.memory_bandwidth_bps);
+    }
+}

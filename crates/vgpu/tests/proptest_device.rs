@@ -1,0 +1,132 @@
+//! Property tests for the simulated GPU: allocator invariants under random
+//! operation sequences, fatbin codec round-trips, module container fuzzing.
+
+use proptest::prelude::*;
+use vgpu::memory::{MemoryManager, ALLOC_ALIGN};
+use vgpu::module::{Cubin, CubinBuilder};
+use vgpu::{fatbin, VgpuError};
+
+/// Random alloc/free program against the allocator; checks the core
+/// invariants after every step: alignment, no overlap between live blocks,
+/// exact free-byte accounting.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    FreeIdx(usize),
+    Write(usize, u8, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..100_000).prop_map(Op::Alloc),
+        any::<usize>().prop_map(Op::FreeIdx),
+        (any::<usize>(), any::<u8>(), 1u16..512).prop_map(|(i, v, n)| Op::Write(i, v, n)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn allocator_invariants_hold_under_random_programs(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let total = 16u64 << 20;
+        let mut mm = MemoryManager::new(total);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (ptr, rounded size)
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(ptr) = mm.alloc(size) {
+                        prop_assert_eq!(ptr % ALLOC_ALIGN, 0);
+                        let rounded = size.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+                        // No overlap with any live block.
+                        for &(p, s) in &live {
+                            prop_assert!(
+                                ptr + rounded <= p || p + s <= ptr,
+                                "overlap: new {ptr:#x}+{rounded} with {p:#x}+{s}"
+                            );
+                        }
+                        live.push((ptr, rounded));
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (ptr, _) = live.swap_remove(i % live.len());
+                        mm.free(ptr).unwrap();
+                        // Double free must fail.
+                        prop_assert_eq!(mm.free(ptr), Err(VgpuError::InvalidFree(ptr)));
+                    }
+                }
+                Op::Write(i, v, n) => {
+                    if !live.is_empty() {
+                        let (ptr, size) = live[i % live.len()];
+                        let n = (n as u64).min(size);
+                        mm.write(ptr, &vec![v; n as usize]).unwrap();
+                        prop_assert_eq!(mm.read(ptr, n).unwrap(), &vec![v; n as usize][..]);
+                    }
+                }
+            }
+            // Accounting: free + live == total.
+            let live_bytes: u64 = live.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(mm.free_bytes() + live_bytes, total);
+        }
+    }
+
+    #[test]
+    fn fatbin_roundtrip_arbitrary_data(
+        data in proptest::collection::vec(any::<u8>(), 0..20_000),
+    ) {
+        let c = fatbin::compress(&data);
+        prop_assert_eq!(fatbin::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn fatbin_roundtrip_compressible_data(
+        word in proptest::collection::vec(any::<u8>(), 1..32),
+        repeats in 1usize..2_000,
+    ) {
+        let data: Vec<u8> = word.iter().cycle().take(word.len() * repeats).copied().collect();
+        let c = fatbin::compress(&data);
+        prop_assert_eq!(fatbin::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn fatbin_decompress_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..4_096),
+    ) {
+        let _ = fatbin::decompress(&data);
+    }
+
+    #[test]
+    fn cubin_parse_never_panics_on_garbage(
+        mut data in proptest::collection::vec(any::<u8>(), 0..4_096),
+    ) {
+        let _ = Cubin::parse(&data);
+        // Also with a valid magic prepended.
+        let mut with_magic = b"VCUB".to_vec();
+        with_magic.append(&mut data);
+        let _ = Cubin::parse(&with_magic);
+    }
+
+    #[test]
+    fn cubin_roundtrip_arbitrary_metadata(
+        kernels in proptest::collection::vec(
+            ("[a-zA-Z][a-zA-Z0-9_]{0,24}", proptest::collection::vec(1u32..64, 0..8)),
+            0..6),
+        code in proptest::collection::vec(any::<u8>(), 0..2_000),
+        compressed: bool,
+    ) {
+        let mut b = CubinBuilder::new().code(&code);
+        for (name, params) in &kernels {
+            b = b.kernel(name, params);
+        }
+        let image = b.build(compressed);
+        let cubin = Cubin::parse(&image).unwrap();
+        prop_assert_eq!(cubin.kernels.len(), kernels.len());
+        for ((name, params), meta) in kernels.iter().zip(&cubin.kernels) {
+            prop_assert_eq!(&meta.name, name);
+            prop_assert_eq!(&meta.param_sizes, params);
+        }
+        prop_assert_eq!(cubin.code, code);
+    }
+}

@@ -1,0 +1,237 @@
+//! XDR encoder: appends big-endian, 4-byte-aligned items to a byte buffer.
+
+use crate::{pad_bytes, Xdr};
+
+/// Streaming XDR encoder.
+///
+/// The encoder owns a `Vec<u8>` that grows as items are written. For hot
+/// paths, construct once with [`XdrEncoder::with_capacity`] and reuse via
+/// [`XdrEncoder::clear`] to amortize allocations.
+#[derive(Debug, Default, Clone)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Create an encoder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wrap an existing buffer; new items are appended after its contents.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Number of bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drop all written bytes but keep the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Consume the encoder, returning the encoded bytes.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// View the bytes written so far.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Encode any [`Xdr`] value.
+    #[inline]
+    pub fn put<T: Xdr + ?Sized>(&mut self, value: &T) -> &mut Self {
+        value.encode(self);
+        self
+    }
+
+    /// Write a 32-bit unsigned integer.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a 32-bit signed integer.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a 64-bit unsigned integer (XDR "unsigned hyper").
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a 64-bit signed integer (XDR "hyper").
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a single-precision float.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Write a double-precision float.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a boolean as 0/1.
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u32(v as u32);
+    }
+
+    /// Write fixed-length opaque data (no length prefix), zero-padded to a
+    /// multiple of four bytes.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        self.put_padding(data.len());
+    }
+
+    /// Write variable-length opaque data: a u32 length followed by the bytes
+    /// and zero padding.
+    pub fn put_opaque(&mut self, data: &[u8]) {
+        debug_assert!(data.len() <= u32::MAX as usize);
+        self.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data);
+    }
+
+    /// Write an XDR string (same wire form as variable opaque).
+    pub fn put_string(&mut self, s: &str) {
+        self.put_opaque(s.as_bytes());
+    }
+
+    /// Write the zero fill that follows `payload_len` bytes of opaque data.
+    #[inline]
+    fn put_padding(&mut self, payload_len: usize) {
+        const ZEROS: [u8; 4] = [0; 4];
+        self.buf.extend_from_slice(&ZEROS[..pad_bytes(payload_len)]);
+    }
+
+    /// Append pre-encoded XDR bytes verbatim. The caller asserts the bytes
+    /// are already aligned XDR output (e.g. from another encoder).
+    pub fn extend_raw(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len() % 4, 0, "raw XDR must be aligned");
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write a variable-length array: u32 count then each element.
+    pub fn put_array<T: Xdr>(&mut self, items: &[T]) {
+        self.put_u32(items.len() as u32);
+        for item in items {
+            item.encode(self);
+        }
+    }
+
+    /// Write a fixed-length array (no count prefix).
+    pub fn put_array_fixed<T: Xdr>(&mut self, items: &[T]) {
+        for item in items {
+            item.encode(self);
+        }
+    }
+
+    /// Write an XDR optional ("pointer"): 1 + value, or 0.
+    pub fn put_option<T: Xdr>(&mut self, value: Option<&T>) {
+        match value {
+            Some(v) => {
+                self.put_u32(1);
+                v.encode(self);
+            }
+            None => self.put_u32(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_big_endian() {
+        let mut e = XdrEncoder::new();
+        e.put_u32(0x0102_0304);
+        e.put_i32(-1);
+        e.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            e.as_slice(),
+            [1, 2, 3, 4, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn opaque_is_padded() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque(b"abcde");
+        assert_eq!(e.as_slice(), [0, 0, 0, 5, b'a', b'b', b'c', b'd', b'e', 0, 0, 0]);
+        assert_eq!(e.len() % 4, 0);
+    }
+
+    #[test]
+    fn fixed_opaque_has_no_length() {
+        let mut e = XdrEncoder::new();
+        e.put_opaque_fixed(b"ab");
+        assert_eq!(e.as_slice(), [b'a', b'b', 0, 0]);
+    }
+
+    #[test]
+    fn string_matches_opaque() {
+        let mut a = XdrEncoder::new();
+        a.put_string("hello");
+        let mut b = XdrEncoder::new();
+        b.put_opaque(b"hello");
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn floats_roundtrip_bits() {
+        let mut e = XdrEncoder::new();
+        e.put_f32(1.5);
+        e.put_f64(-2.25);
+        assert_eq!(&e.as_slice()[..4], 1.5f32.to_bits().to_be_bytes());
+        assert_eq!(&e.as_slice()[4..], (-2.25f64).to_bits().to_be_bytes());
+    }
+
+    #[test]
+    fn option_encoding() {
+        let mut e = XdrEncoder::new();
+        e.put_option(Some(&7u32));
+        e.put_option::<u32>(None);
+        assert_eq!(e.as_slice(), [0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut e = XdrEncoder::with_capacity(64);
+        e.put_u64(1);
+        let cap = e.buf.capacity();
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.buf.capacity(), cap);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: every Xdr impl must round-trip losslessly, produce
+//! 4-byte-aligned output, and reject truncated input without panicking.
+
+use proptest::prelude::*;
+use xdr::{decode, encode, Xdr, XdrDecoder, XdrVec};
+
+fn roundtrip<T: Xdr + PartialEq + std::fmt::Debug>(v: &T) {
+    let buf = encode(v);
+    assert_eq!(buf.len() % 4, 0, "encoding must be 4-byte aligned");
+    let back: T = decode(&buf).expect("decode of own encoding must succeed");
+    assert_eq!(&back, v);
+}
+
+/// Decoding any strict prefix of a valid encoding must fail cleanly (no
+/// panic, no bogus success consuming the whole prefix).
+fn prefix_safe<T: Xdr>(buf: &[u8]) {
+    for cut in 0..buf.len() {
+        let mut dec = XdrDecoder::new(&buf[..cut]);
+        match T::decode(&mut dec) {
+            // A shorter parse may succeed (e.g. opaque with smaller padding),
+            // but then it must not have consumed exactly the full prefix of a
+            // *different* length item. We only require: no panic.
+            Ok(_) | Err(_) => {}
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn u32_roundtrip(v: u32) { roundtrip(&v); }
+
+    #[test]
+    fn i32_roundtrip(v: i32) { roundtrip(&v); }
+
+    #[test]
+    fn u64_roundtrip(v: u64) { roundtrip(&v); }
+
+    #[test]
+    fn i64_roundtrip(v: i64) { roundtrip(&v); }
+
+    #[test]
+    fn f64_roundtrip(v: f64) {
+        // NaN compares unequal; compare bit patterns instead.
+        let buf = encode(&v);
+        let back: f64 = decode(&buf).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn f32_roundtrip(v: f32) {
+        let buf = encode(&v);
+        let back: f32 = decode(&buf).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn bool_roundtrip(v: bool) { roundtrip(&v); }
+
+    #[test]
+    fn opaque_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,256}") {
+        roundtrip(&s.to_string());
+    }
+
+    #[test]
+    fn u32_array_roundtrip(v in proptest::collection::vec(any::<u32>(), 0..512)) {
+        roundtrip(&XdrVec(v));
+    }
+
+    #[test]
+    fn option_roundtrip(v in proptest::option::of(any::<u64>())) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn tuple_roundtrip(a: u32, b: i64, s in "\\PC{0,64}", f: bool) {
+        roundtrip(&(a, b, s.to_string(), f));
+    }
+
+    #[test]
+    fn truncation_never_panics(v in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let buf = encode(&v);
+        prefix_safe::<Vec<u8>>(&buf);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Fuzz the decoder with random garbage for several types.
+        let _ = decode::<Vec<u8>>(&buf);
+        let _ = decode::<String>(&buf);
+        let _ = decode::<XdrVec<u32>>(&buf);
+        let _ = decode::<Option<u64>>(&buf);
+        let _ = decode::<(u32, u32, Vec<u8>)>(&buf);
+    }
+
+    #[test]
+    fn nested_composite_roundtrip(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..16),
+        tag: u32,
+    ) {
+        let v = (tag, XdrVec(blobs.clone()));
+        let buf = encode(&v);
+        let (t2, b2): (u32, XdrVec<Vec<u8>>) = decode(&buf).unwrap();
+        prop_assert_eq!(t2, tag);
+        prop_assert_eq!(b2.0, blobs);
+    }
+}

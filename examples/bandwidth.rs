@@ -1,0 +1,40 @@
+//! The bandwidthTest proxy application (paper Fig. 7) across environments,
+//! including the paper's §4.2 offload ablation.
+//!
+//! ```text
+//! cargo run --release --example bandwidth            # 64 MiB transfers
+//! cargo run --release --example bandwidth -- --paper # 512 MiB transfers
+//! ```
+
+use cricket_repro::prelude::*;
+use proxy_apps::bandwidth::{run, BandwidthConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let cfg = if paper {
+        BandwidthConfig::paper()
+    } else {
+        BandwidthConfig {
+            bytes: 64 << 20,
+            iterations: 1,
+        }
+    };
+    println!("bandwidthTest: {} MiB per transfer\n", cfg.bytes >> 20);
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "config", "H2D [MiB/s]", "D2H [MiB/s]"
+    );
+    let mut envs: Vec<EnvConfig> = EnvConfig::table1().to_vec();
+    envs.push(EnvConfig::LinuxVmNoOffload);
+    envs.push(EnvConfig::RustyHermitLegacy);
+    for env in envs {
+        let (ctx, _setup) = simulated(env);
+        let r = run(&ctx, &cfg).expect("run");
+        println!(
+            "{:<24} {:>14.1} {:>14.1}",
+            env.label(),
+            r.h2d_mib_s,
+            r.d2h_mib_s
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The cuSolverDn_LinearSolver proxy application (paper Fig. 5b).
+//!
+//! ```text
+//! cargo run --release --example linear_solver            # scaled-down
+//! cargo run --release --example linear_solver -- --paper # 900x900, 1000 iters
+//! ```
+
+use cricket_repro::prelude::*;
+use proxy_apps::linear_solver::{run, LinearSolverConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let cfg = if paper {
+        LinearSolverConfig::paper()
+    } else {
+        LinearSolverConfig {
+            n: 256,
+            iterations: 50,
+            warmups: 2,
+        }
+    };
+    println!(
+        "cuSolverDn_LinearSolver: {}x{} LU, {} iterations",
+        cfg.n, cfg.n, cfg.iterations
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>8}",
+        "config", "time [s]", "API calls", "moved GiB", "valid"
+    );
+    for env in EnvConfig::table1() {
+        let (ctx, setup) = simulated(env);
+        let t0 = setup.seconds();
+        let report = run(&ctx, &cfg).expect("run");
+        let secs = setup.seconds() - t0;
+        println!(
+            "{:<10} {:>12.3} {:>14} {:>12.3} {:>8}",
+            env.label(),
+            secs,
+            report.stats.api_calls,
+            (report.stats.bytes_h2d + report.stats.bytes_d2h) as f64 / (1 << 30) as f64,
+            report.valid
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The matrixMul proxy application (paper Fig. 5a) across environments.
+//!
+//! ```text
+//! cargo run --release --example matrix_mul            # scaled-down
+//! cargo run --release --example matrix_mul -- --paper # full 100k iterations
+//! ```
+
+use cricket_repro::prelude::*;
+use proxy_apps::matrix_mul::{run, MatrixMulConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let cfg = if paper {
+        MatrixMulConfig::paper()
+    } else {
+        MatrixMulConfig {
+            iterations: 2_000,
+            ..MatrixMulConfig::paper()
+        }
+    };
+    println!(
+        "matrixMul: A {}x{}, B {}x{}, {} iterations",
+        cfg.ha, cfg.wa, cfg.wa, cfg.wb, cfg.iterations
+    );
+    println!("{:<10} {:>12} {:>14} {:>12} {:>8}", "config", "time [s]", "API calls", "moved MiB", "valid");
+
+    for env in EnvConfig::table1() {
+        let (ctx, setup) = simulated(env);
+        let t0 = setup.seconds();
+        let report = run(&ctx, &cfg).expect("run");
+        let secs = setup.seconds() - t0;
+        println!(
+            "{:<10} {:>12.3} {:>14} {:>12.2} {:>8}",
+            env.label(),
+            secs,
+            report.stats.api_calls,
+            (report.stats.bytes_h2d + report.stats.bytes_d2h) as f64 / (1024.0 * 1024.0),
+            report.valid
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! All four GPUs of the paper's evaluation node.
+//!
+//! "The GPU Node has ... one NVIDIA A100 GPU, two T4 GPUs, and one P40 GPU.
+//!  While we verified our solution with all of these GPU generations, we
+//!  limited this evaluation to using the A100" (paper §4). This example is
+//! that verification: run the same kernel on every device via
+//! `cudaSetDevice`, then move data between devices with a peer copy.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu
+//! ```
+
+use cricket_repro::prelude::*;
+
+fn main() -> ClientResult<()> {
+    let (ctx, _setup) = simulated(EnvConfig::RustyHermit);
+    let count = ctx.device_count()?;
+    println!("GPU node exposes {count} devices:");
+
+    let image = CubinBuilder::new()
+        .kernel("saxpy", &[8, 8, 4, 4])
+        .code(b"saxpy SASS")
+        .build(true);
+
+    const N: usize = 1 << 24; // 16M elements: kernel time >> launch latency
+    let mut per_device_ms = Vec::new();
+    for ordinal in 0..count {
+        ctx.with_raw(|r| r.set_device(ordinal))?;
+        let props = ctx.device_properties(ordinal)?;
+
+        // Module, buffers and events all live on the selected device.
+        let module = ctx.load_module(&image)?;
+        let saxpy = module.function("saxpy")?;
+        let x = ctx.upload(&vec![1.0f32; N])?;
+        let y = ctx.upload(&vec![2.0f32; N])?;
+        let params = ParamBuilder::new()
+            .ptr(y.ptr())
+            .ptr(x.ptr())
+            .f32(3.0)
+            .u32(N as u32)
+            .build();
+        let start = ctx.event()?;
+        let stop = ctx.event()?;
+        start.record(None)?;
+        for _ in 0..5 {
+            ctx.launch(
+                &saxpy,
+                (((N as u32) + 255) / 256, 1, 1).into(),
+                (256, 1, 1).into(),
+                0,
+                None,
+                &params,
+            )?;
+        }
+        stop.record(None)?;
+        let ms = start.elapsed_ms(&stop)?;
+        let result = y.copy_to_vec()?;
+        assert_eq!(result[0], 2.0 + 5.0 * 3.0, "saxpy on device {ordinal}");
+        println!(
+            "  device {ordinal}: {:<22} 5x saxpy(n={N}) in {ms:.3} ms device time ✓",
+            props.name
+        );
+        per_device_ms.push((props.name, ms));
+    }
+
+    // Older generations are memory-bandwidth bound on saxpy and must be
+    // measurably slower than the A100 (1555 vs ~330 GB/s).
+    assert!(
+        per_device_ms[1].1 > 2.0 * per_device_ms[0].1,
+        "the T4 should be much slower than the A100: {per_device_ms:?}"
+    );
+    assert!(
+        per_device_ms[3].1 > 2.0 * per_device_ms[0].1,
+        "the P40 should be much slower than the A100: {per_device_ms:?}"
+    );
+
+    // Peer copy: fill a buffer on the A100, copy it to the P40.
+    ctx.with_raw(|r| r.set_device(0))?;
+    let src = ctx.upload(&vec![0xa5u8; 4096])?;
+    ctx.with_raw(|r| r.set_device(3))?;
+    let dst = ctx.alloc::<u8>(4096)?;
+    ctx.with_raw(|r| r.memcpy_dtod(dst.ptr(), src.ptr(), 4096))?;
+    assert_eq!(dst.copy_to_vec()?, vec![0xa5u8; 4096]);
+    println!("  peer copy A100 → P40 via host staging validated ✓");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Multi-tenant GPU sharing: many unikernels, one GPU, configurable
+//! schedulers — the deployment model the paper argues Cricket enables
+//! ("the assignment of entire GPUs ... to a virtual environment is
+//! inefficient because [unikernels] are typically deployed in larger
+//! numbers and only execute a single application each").
+//!
+//! Four unikernel clients hammer one simulated A100 under each scheduling
+//! policy; the example prints how fairly ops were served.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use cricket_repro::prelude::*;
+use cricket_server::{make_rpc_server, CricketServer, ServerConfig, SchedulerPolicy, SimTransport};
+use simnet::SimClock;
+use std::sync::Arc;
+use unikernel::{Guest, GuestKind};
+
+fn run_policy(policy: SchedulerPolicy) {
+    let clock = SimClock::new();
+    let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
+    server.scheduler.set_policy(policy);
+    if policy == SchedulerPolicy::Priority {
+        // Session 0 is latency-critical; the rest are batch.
+        server.scheduler.set_priority(0, 1);
+        for s in 1..4 {
+            server.scheduler.set_priority(s, 100);
+        }
+    }
+    let rpc = make_rpc_server(Arc::clone(&server));
+
+    drop(rpc); // each tenant registers its own sessioned dispatcher below
+    let mut handles = Vec::new();
+    for session in 0..4u32 {
+        let clock = Arc::clone(&clock);
+        let server2 = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            // Each tenant is its own unikernel with its own session id.
+            let inner = Arc::new(oncrpc::RpcServer::new());
+            inner.register(
+                cricket_proto::CRICKET_CUDA,
+                cricket_proto::CRICKET_V1,
+                Arc::new(cricket_proto::CricketV1Dispatch(
+                    cricket_server::service::Sessioned::new(server2, session),
+                )),
+            );
+            let t = SimTransport::new(inner, Guest::new(GuestKind::RustyHermit), clock);
+            let ctx = Context::from_client(CricketClient::new(
+                Box::new(t),
+                cricket_client::env::ClientFlavor::RustRpcLib,
+                None,
+            ));
+            let buf = ctx.upload(&vec![session as f32; 1024]).unwrap();
+            for _ in 0..50 {
+                let back = buf.copy_to_vec().unwrap();
+                assert!(back.iter().all(|&v| v == session as f32));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let served = server.scheduler.served();
+    let mut sessions: Vec<_> = served.iter().collect();
+    sessions.sort();
+    let line: Vec<String> = sessions
+        .iter()
+        .map(|(s, n)| format!("session {s}: {n} ops"))
+        .collect();
+    println!("{policy:?}: {}", line.join(", "));
+}
+
+fn main() {
+    println!("4 RustyHermit tenants sharing one simulated A100\n");
+    for policy in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::RoundRobin,
+        SchedulerPolicy::Priority,
+    ] {
+        run_policy(policy);
+    }
+    println!("\nall tenants' data stayed isolated and correct under contention ✓");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: add two vectors on a (simulated) remote GPU from a
+//! RustyHermit unikernel — the paper's headline capability.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Flow: build a kernel image ("nvcc"), connect the unikernel client to a
+//! Cricket server, allocate device memory safely (freed on drop — the
+//! paper's lifetime guarantee), upload, launch, download, validate.
+
+use cricket_repro::prelude::*;
+
+fn main() -> ClientResult<()> {
+    // One simulated GPU node + a client inside a RustyHermit unikernel.
+    let (ctx, setup) = simulated(EnvConfig::RustyHermit);
+
+    println!("devices visible through Cricket: {}", ctx.device_count()?);
+    let props = ctx.device_properties(0)?;
+    println!(
+        "device 0: {} ({} SMs, {} GiB)",
+        props.name,
+        props.multi_processor_count,
+        props.total_global_mem >> 30
+    );
+
+    // The kernel image a real deployment gets from `nvcc -cubin`.
+    let image = CubinBuilder::new()
+        .kernel("vectorAdd", &[8, 8, 8, 4])
+        .code(b"vectorAdd SASS")
+        .build(true); // compressed: the loader really decompresses it
+    let module = ctx.load_module(&image)?;
+    let vector_add = module.function("vectorAdd")?;
+
+    const N: usize = 1 << 16;
+    let a: Vec<f32> = (0..N).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..N).map(|i| (N - i) as f32).collect();
+
+    let da = ctx.upload(&a)?;
+    let db = ctx.upload(&b)?;
+    let dc = ctx.alloc::<f32>(N)?;
+
+    let params = ParamBuilder::new()
+        .ptr(dc.ptr())
+        .ptr(da.ptr())
+        .ptr(db.ptr())
+        .u32(N as u32)
+        .build();
+    ctx.launch(
+        &vector_add,
+        (((N as u32) + 255) / 256, 1, 1).into(),
+        (256, 1, 1).into(),
+        0,
+        None,
+        &params,
+    )?;
+    ctx.synchronize()?;
+
+    let c = dc.copy_to_vec()?;
+    assert!(c.iter().all(|&v| v == N as f32), "validation failed");
+    println!("vectorAdd of {N} elements validated ✓");
+
+    let stats = ctx.stats();
+    println!(
+        "CUDA API calls: {}, H2D: {} KiB, D2H: {} KiB",
+        stats.api_calls,
+        stats.bytes_h2d / 1024,
+        stats.bytes_d2h / 1024
+    );
+    println!(
+        "virtual time on the unikernel's clock: {:.3} ms",
+        setup.seconds() * 1e3
+    );
+    Ok(())
+}

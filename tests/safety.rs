@@ -1,0 +1,121 @@
+//! Integration: the memory-safety claims of the paper's §3.4 — "we can
+//! guarantee the absence of use-after-free and double-free errors for the
+//! CUDA allocation API" — and the server's defensive behavior when a
+//! (hypothetical C) client misbehaves anyway.
+
+use cricket_repro::prelude::*;
+use cricket_repro::vgpu::CudaCode;
+
+#[test]
+fn manual_double_free_is_rejected_by_the_server() {
+    // A raw client *can* attempt a double free (as a C client could); the
+    // server detects and rejects it. The safe API makes this unrepresentable.
+    let (ctx, _s) = simulated(EnvConfig::RustNative);
+    let ptr = ctx.with_raw(|r| r.malloc(4096)).unwrap();
+    ctx.with_raw(|r| r.free(ptr)).unwrap();
+    let err = ctx.with_raw(|r| r.free(ptr)).unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+}
+
+#[test]
+fn use_after_free_is_rejected_by_the_server() {
+    let (ctx, _s) = simulated(EnvConfig::RustNative);
+    let ptr = ctx.with_raw(|r| r.malloc(4096)).unwrap();
+    ctx.with_raw(|r| r.free(ptr)).unwrap();
+    let err = ctx.with_raw(|r| r.memcpy_htod(ptr, &[1, 2, 3])).unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+}
+
+#[test]
+fn freeing_an_interior_pointer_is_rejected() {
+    let (ctx, _s) = simulated(EnvConfig::RustNative);
+    let ptr = ctx.with_raw(|r| r.malloc(4096)).unwrap();
+    let err = ctx.with_raw(|r| r.free(ptr + 256)).unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+    ctx.with_raw(|r| r.free(ptr)).unwrap();
+}
+
+#[test]
+fn out_of_bounds_copies_rejected() {
+    let (ctx, _s) = simulated(EnvConfig::RustyHermit);
+    let buf = ctx.alloc::<u8>(100).unwrap();
+    // 100 rounds up to 256 on the device; past that must fail.
+    let err = ctx
+        .with_raw(|r| r.memcpy_dtoh(buf.ptr(), 257))
+        .unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+}
+
+#[test]
+fn oom_then_recovery() {
+    // Simulated device memory is backed by host memory, so use a small
+    // device to exercise the OOM path without exhausting the host.
+    let mut props = cricket_repro::vgpu::DeviceProperties::a100();
+    props.total_global_mem = 1 << 30; // a 1 GiB "A100"
+    let setup = cricket_repro::client::sim::SimSetup::with_config(
+        cricket_repro::server::ServerConfig {
+            props,
+            ..Default::default()
+        },
+    );
+    let ctx = setup.context(EnvConfig::RustNative);
+    // Grab a huge chunk, fail on the next huge one, recover after drop.
+    let big = ctx.alloc::<u8>(700 << 20).unwrap();
+    let err = ctx.alloc::<u8>(500 << 20).unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::MemoryAllocation as i32));
+    drop(big);
+    let again = ctx.alloc::<u8>(500 << 20).unwrap();
+    drop(again);
+}
+
+#[test]
+fn drop_frees_exactly_once_even_on_error_paths() {
+    let (ctx, _s) = simulated(EnvConfig::RustNative);
+    {
+        let _buf = ctx.alloc::<f32>(1000).unwrap();
+        // An unrelated failing call must not disturb the buffer's free.
+        // (Device 9 does not exist; the node has 4 GPUs.)
+        let _ = ctx.with_raw(|r| r.set_device(9)).unwrap_err();
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.per_api["cudaMalloc"], 1);
+    assert_eq!(stats.per_api["cudaFree"], 1);
+}
+
+#[test]
+fn stale_module_and_stream_handles_rejected() {
+    let (ctx, _s) = simulated(EnvConfig::Unikraft);
+    let image = CubinBuilder::new().kernel("empty", &[]).build(false);
+    let (module_handle, func_handle) = {
+        let module = ctx.load_module(&image).unwrap();
+        let f = module.function("empty").unwrap();
+        (module.handle(), f.handle())
+        // module drops → cuModuleUnload
+    };
+    let err = ctx
+        .with_raw(|r| r.module_get_function(module_handle, "empty"))
+        .unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidHandle as i32));
+    let err = ctx
+        .with_raw(|r| r.launch_kernel(func_handle, (1, 1, 1).into(), (1, 1, 1).into(), 0, 0, &[]))
+        .unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidHandle as i32));
+}
+
+#[test]
+fn kernel_geometry_validation() {
+    let (ctx, _s) = simulated(EnvConfig::RustNative);
+    let image = CubinBuilder::new().kernel("empty", &[]).build(false);
+    let module = ctx.load_module(&image).unwrap();
+    let f = module.function("empty").unwrap();
+    // 2048 threads per block exceeds the A100 limit of 1024.
+    let err = ctx
+        .launch(&f, (1, 1, 1).into(), (2048, 1, 1).into(), 0, None, &[])
+        .unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+    // Wrong parameter count.
+    let err = ctx
+        .launch(&f, (1, 1, 1).into(), (32, 1, 1).into(), 0, None, &[0u8; 8])
+        .unwrap_err();
+    assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
+}

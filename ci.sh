@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+# Everything is offline: dependencies are vendored under shims/.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -3,11 +3,11 @@
 //! for the paper artifacts; the `fig*` binaries print the full-scale
 //! virtual-time tables recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cricket_bench::{
     ablation_offloads, fig5a_matrix_mul, fig5b_linear_solver, fig5c_histogram, fig6_micro,
     fig7_bandwidth, Micro, Scale,
 };
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_apps");
@@ -27,7 +27,11 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_micro");
     g.sample_size(10);
-    for which in [Micro::GetDeviceCount, Micro::MallocFree, Micro::KernelLaunch] {
+    for which in [
+        Micro::GetDeviceCount,
+        Micro::MallocFree,
+        Micro::KernelLaunch,
+    ] {
         g.bench_function(format!("{:?}_x500", which), |b| {
             b.iter(|| std::hint::black_box(fig6_micro(which, 500)))
         });

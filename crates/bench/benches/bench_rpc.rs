@@ -2,9 +2,9 @@
 //! calls and bulk transfers over the in-memory transport and real TCP
 //! loopback, with the generated Cricket stubs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cricket_proto::CricketV1Client;
 use cricket_server::{make_rpc_server, CricketServer, ServerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oncrpc::{duplex_pair, TcpTransport};
 use simnet::SimClock;
 use std::sync::Arc;
@@ -42,7 +42,11 @@ fn bench_memcpy(c: &mut Criterion) {
     g.sample_size(20);
     let mut client = duplex_client();
     for size in [64 * 1024usize, 4 * 1024 * 1024] {
-        let ptr = client.cuda_malloc(&(size as u64)).unwrap().into_result().unwrap();
+        let ptr = client
+            .cuda_malloc(&(size as u64))
+            .unwrap()
+            .into_result()
+            .unwrap();
         let data = vec![1u8; size];
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {

@@ -18,7 +18,9 @@ fn bench_allocator(c: &mut Criterion) {
     g.bench_function("alloc_free_64_interleaved", |b| {
         let mut dev = Device::a100();
         b.iter(|| {
-            let ptrs: Vec<u64> = (0..64).map(|i| dev.malloc(256 << (i % 6)).unwrap().0).collect();
+            let ptrs: Vec<u64> = (0..64)
+                .map(|i| dev.malloc(256 << (i % 6)).unwrap().0)
+                .collect();
             for p in ptrs.into_iter().rev() {
                 dev.free(p).unwrap();
             }
@@ -50,7 +52,11 @@ fn bench_kernels(c: &mut Criterion) {
             .u32(n as u32)
             .u32(n as u32)
             .build();
-        let grid = Dim3 { x: (n as u32) / 32, y: (n as u32) / 32, z: 1 };
+        let grid = Dim3 {
+            x: (n as u32) / 32,
+            y: (n as u32) / 32,
+            z: 1,
+        };
         let block = Dim3 { x: 32, y: 32, z: 1 };
         let mut tick = 0u32;
         b.iter(|| {
@@ -93,9 +99,11 @@ fn bench_kernels(c: &mut Criterion) {
         let image = CubinBuilder::new().kernel("empty", &[]).build(false);
         let (m, _) = dev.module_load(&image).unwrap();
         let (f, _) = dev.module_get_function(m, "empty").unwrap();
-        dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+        dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+            .unwrap();
         b.iter(|| {
-            dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+            dev.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+                .unwrap();
         });
     });
     g.finish();
@@ -128,7 +136,13 @@ fn bench_solver(c: &mut Criterion) {
             let mut dev = Device::a100();
             let mut solver = vgpu::solver::SolverDn::new();
             let a: Vec<f64> = (0..n * n)
-                .map(|i| if i % (n + 1) == 0 { n as f64 } else { (i % 13) as f64 * 0.1 })
+                .map(|i| {
+                    if i % (n + 1) == 0 {
+                        n as f64
+                    } else {
+                        (i % 13) as f64 * 0.1
+                    }
+                })
                 .collect();
             let bytes: Vec<u8> = a.iter().flat_map(|v| v.to_le_bytes()).collect();
             let (pa, _) = dev.malloc((n * n * 8) as u64).unwrap();
@@ -151,5 +165,11 @@ fn bench_solver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_allocator, bench_kernels, bench_fatbin, bench_solver);
+criterion_group!(
+    benches,
+    bench_allocator,
+    bench_kernels,
+    bench_fatbin,
+    bench_solver
+);
 criterion_main!(benches);

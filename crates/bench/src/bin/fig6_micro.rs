@@ -13,7 +13,11 @@ use cricket_bench::{fig6_micro, launch_c_vs_rust, Micro};
 fn main() {
     let calls = parse_calls().unwrap_or(100_000);
     println!("Figure 6 — execution time of {calls} CUDA API calls\n");
-    for which in [Micro::GetDeviceCount, Micro::MallocFree, Micro::KernelLaunch] {
+    for which in [
+        Micro::GetDeviceCount,
+        Micro::MallocFree,
+        Micro::KernelLaunch,
+    ] {
         let s = fig6_micro(which, calls);
         print!("{}", s.render());
         let native = s.get("Rust").unwrap();

@@ -1,14 +1,20 @@
 //! Regenerate paper **Figure 7**: "Memory transfer bandwidth based on 10
 //! averaged runs of bandwidthTest ... with 512 MiB of memory" — (a)
 //! device-to-host, (b) host-to-device — plus the extra rows for the
-//! ablation configurations.
+//! ablation configurations, the copies-per-byte figure of merit for the
+//! zero-copy RPC data path, and a `BENCH_fig7.json` snapshot.
 //!
 //! ```text
 //! cargo run --release -p cricket-bench --bin fig7_bandwidth              # 512 MiB
 //! cargo run --release -p cricket-bench --bin fig7_bandwidth -- --mib 64
 //! ```
 
-use cricket_bench::fig7_bandwidth;
+use cricket_bench::{fig7_bandwidth, fig7_copies_per_byte, Series};
+
+/// Copies-per-byte measured on the seed revision (pre zero-copy data path):
+/// arg encode into scratch, per-fragment record assembly, reply `Vec`
+/// allocation + zero-fill, and the reply-tail `to_vec`.
+const SEED_H2D_COPIES_PER_BYTE: f64 = 4.0;
 
 fn main() {
     let mib = parse_mib().unwrap_or(512);
@@ -32,6 +38,48 @@ fn main() {
         "  → Linux VM without offloads: {:.1} MiB/s H2D (paper ≈923.9 MiB/s)",
         h2d.get("Linux VM (no offloads)").unwrap()
     );
+
+    // Copy telemetry: measured on a fresh single transfer, small enough to
+    // keep the run cheap but large enough to amortize header bytes.
+    let copies = fig7_copies_per_byte(bytes.min(32 << 20));
+    println!(
+        "  → RPC-stack copies per transferred byte: H2D {:.2} (seed ≥{:.0}), D2H {:.2}",
+        copies.h2d_copies_per_byte, SEED_H2D_COPIES_PER_BYTE, copies.d2h_copies_per_byte,
+    );
+
+    let json = render_json(mib, &d2h, &h2d, copies);
+    let path = "BENCH_fig7.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  → wrote {path}"),
+        Err(e) => eprintln!("  ! could not write {path}: {e}"),
+    }
+}
+
+/// Hand-rolled JSON (no serde in the offline build): bandwidth series plus
+/// the before/after copies-per-byte trajectory.
+fn render_json(
+    mib: usize,
+    d2h: &Series,
+    h2d: &Series,
+    copies: cricket_bench::CopyReport,
+) -> String {
+    let series = |s: &Series| -> String {
+        let points: Vec<String> = s
+            .points
+            .iter()
+            .map(|p| format!("{{\"config\": {:?}, \"mib_s\": {:.3}}}", p.config, p.value))
+            .collect();
+        format!("[{}]", points.join(", "))
+    };
+    format!(
+        "{{\n  \"transfer_mib\": {mib},\n  \"d2h\": {},\n  \"h2d\": {},\n  \
+         \"copies_per_byte\": {{\n    \"seed_h2d\": {SEED_H2D_COPIES_PER_BYTE:.1},\n    \
+         \"h2d\": {:.4},\n    \"d2h\": {:.4}\n  }}\n}}\n",
+        series(d2h),
+        series(h2d),
+        copies.h2d_copies_per_byte,
+        copies.d2h_copies_per_byte,
+    )
 }
 
 fn parse_mib() -> Option<usize> {

@@ -17,7 +17,13 @@ fn main() {
     println!("Deployment footprint per guest (paper §1/§3.1 motivation):\n");
     println!(
         "{:<14} {:>10} {:>10} {:>12} {:>12} {:>16} {:>16}",
-        "guest", "image MiB", "boot ms", "min mem MiB", "syscall ns", "fit/1.5TiB node", "per GPU partition"
+        "guest",
+        "image MiB",
+        "boot ms",
+        "min mem MiB",
+        "syscall ns",
+        "fit/1.5TiB node",
+        "per GPU partition"
     );
     for kind in [
         GuestKind::LinuxVm,

@@ -21,9 +21,20 @@ fn main() {
     let wall = std::time::Instant::now();
     let setup = SimSetup::new();
     let ctx = setup.context(env);
-    let r = run(&ctx, &BandwidthConfig { bytes: mib << 20, iterations: 1 }).unwrap();
+    let r = run(
+        &ctx,
+        &BandwidthConfig {
+            bytes: mib << 20,
+            iterations: 1,
+        },
+    )
+    .unwrap();
     println!(
         "{:?} {} MiB: wall {:.2}s, h2d {:.0} MiB/s d2h {:.0} MiB/s",
-        env, mib, wall.elapsed().as_secs_f64(), r.h2d_mib_s, r.d2h_mib_s
+        env,
+        mib,
+        wall.elapsed().as_secs_f64(),
+        r.h2d_mib_s,
+        r.d2h_mib_s
     );
 }

@@ -247,6 +247,43 @@ pub fn fig7_bandwidth(host_to_device: bool, bytes: usize, extra_envs: bool) -> S
     }
 }
 
+/// Copies-per-byte for one direction of a Fig. 7-style transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyReport {
+    /// Bytes memmoved inside the RPC stack per HtoD payload byte.
+    pub h2d_copies_per_byte: f64,
+    /// Bytes memmoved inside the RPC stack per DtoH payload byte.
+    pub d2h_copies_per_byte: f64,
+}
+
+/// Measure bytes-memmoved per byte-transferred for a single `bytes`-sized
+/// transfer in each direction (native Rust environment — the copy count is
+/// a property of the RPC stack, not of the modeled guest).
+///
+/// Reads the process-global copy counters, so run this single-threaded
+/// with no concurrent RPC traffic.
+pub fn fig7_copies_per_byte(bytes: usize) -> CopyReport {
+    use cricket_client::CopyStats;
+    let setup = SimSetup::new();
+    let ctx = setup.context(EnvConfig::RustNative);
+    let data = vec![0xabu8; bytes];
+    let buf = ctx.alloc::<u8>(bytes).expect("alloc");
+
+    let before = CopyStats::current();
+    buf.copy_from_slice(&data).expect("h2d");
+    let h2d = CopyStats::current().since(&before);
+
+    let before = CopyStats::current();
+    let back = buf.copy_to_vec().expect("d2h");
+    let d2h = CopyStats::current().since(&before);
+    debug_assert_eq!(back.len(), bytes);
+
+    CopyReport {
+        h2d_copies_per_byte: h2d.copies_per_byte(),
+        d2h_copies_per_byte: d2h.copies_per_byte(),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------
@@ -288,9 +325,7 @@ pub fn ablation_fragment_size(bytes: usize, fragment_sizes: &[usize]) -> Vec<(us
         client.ping().expect("ping");
         let t0 = setup.seconds();
         let ptr = client.malloc(bytes as u64).expect("malloc");
-        client
-            .memcpy_htod(ptr, &vec![7u8; bytes])
-            .expect("memcpy");
+        client.memcpy_htod(ptr, &vec![7u8; bytes]).expect("memcpy");
         client.free(ptr).expect("free");
         out.push((frag, setup.seconds() - t0));
     }
@@ -301,7 +336,10 @@ pub fn ablation_fragment_size(bytes: usize, fragment_sizes: &[usize]) -> Vec<(us
 /// vs. the Rust client, native network, microseconds.
 pub fn launch_c_vs_rust(calls: usize) -> (f64, f64) {
     let mut out = [0f64; 2];
-    for (i, env) in [EnvConfig::CNative, EnvConfig::RustNative].iter().enumerate() {
+    for (i, env) in [EnvConfig::CNative, EnvConfig::RustNative]
+        .iter()
+        .enumerate()
+    {
         let setup = SimSetup::new();
         let ctx = setup.context(*env);
         let image = cricket_client::CubinBuilder::new()

@@ -1,0 +1,25 @@
+//! Regression: the zero-copy RPC data path performs exactly two
+//! payload-sized stack-internal copies per transferred HtoD byte (transport
+//! send buffering + record reassembly), plus O(100) header bytes per call.
+//!
+//! This is the only test in this binary: the copy counters are
+//! process-global, so concurrent RPC traffic from sibling tests would
+//! pollute the deltas.
+
+#[test]
+fn h2d_copies_per_byte_is_at_most_two() {
+    let r = cricket_bench::fig7_copies_per_byte(8 << 20);
+    // > 1.0 guards against the metric silently under-counting (e.g. a
+    // counting site being dropped); < 2.01 is the zero-copy bound with
+    // header slack.
+    assert!(
+        (1.0..2.01).contains(&r.h2d_copies_per_byte),
+        "h2d copies/byte = {} (seed was >= 4)",
+        r.h2d_copies_per_byte
+    );
+    assert!(
+        (1.0..2.01).contains(&r.d2h_copies_per_byte),
+        "d2h copies/byte = {}",
+        r.d2h_copies_per_byte
+    );
+}

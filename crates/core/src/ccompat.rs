@@ -63,6 +63,7 @@ impl CRand {
     }
 
     /// `rand()`: next value in `0..=RAND_MAX` (2^31-1).
+    #[allow(clippy::should_implement_trait)] // mirrors libc `rand()`, not an Iterator
     pub fn next(&mut self) -> u32 {
         self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
         ((self.state >> 33) & 0x7fff_ffff) as u32
@@ -95,6 +96,7 @@ impl RustRand {
     }
 
     /// Next 64-bit value.
+    #[allow(clippy::should_implement_trait)] // RNG step, not an Iterator
     pub fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x << 13;

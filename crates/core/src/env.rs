@@ -202,9 +202,6 @@ mod tests {
         assert_eq!(EnvConfig::CNative.guest().kind, GuestKind::NativeLinux);
         assert_eq!(EnvConfig::RustNative.guest().kind, GuestKind::NativeLinux);
         assert_eq!(EnvConfig::RustyHermit.guest().kind, GuestKind::RustyHermit);
-        assert_eq!(
-            EnvConfig::LinuxVmNoOffload.guest().costs.offloads.tso,
-            false
-        );
+        assert!(!EnvConfig::LinuxVmNoOffload.guest().costs.offloads.tso);
     }
 }

@@ -39,7 +39,7 @@ pub use env::EnvConfig;
 pub use error::{ClientError, ClientResult};
 pub use raw::CricketClient;
 pub use safe::{Context, DeviceBuffer, Event, Function, Module, Stream};
-pub use stats::ApiStats;
+pub use stats::{ApiStats, CopyStats};
 
 /// Grid/block geometry re-export (wire type from the protocol).
 pub use cricket_proto::RpcDim3 as Dim3;

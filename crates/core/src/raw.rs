@@ -112,7 +112,10 @@ impl CricketClient {
     /// cudaDeviceSynchronize.
     pub fn device_synchronize(&mut self) -> ClientResult<()> {
         self.pre_call("cudaDeviceSynchronize");
-        Self::int_status("cudaDeviceSynchronize", self.stub.cuda_device_synchronize()?)
+        Self::int_status(
+            "cudaDeviceSynchronize",
+            self.stub.cuda_device_synchronize()?,
+        )
     }
 
     /// cudaDeviceReset.
@@ -138,14 +141,14 @@ impl CricketClient {
         Self::int_status("cudaFree", self.stub.cuda_free(&ptr)?)
     }
 
-    /// cudaMemcpy host→device.
+    /// cudaMemcpy host→device. The payload travels borrowed end to end:
+    /// the stub defers it into a scatter-gather record, so the only copies
+    /// left are inside the transport and the server's device write.
     pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> ClientResult<()> {
         self.pre_call("cudaMemcpy(H2D)");
         self.stats.bytes_h2d += data.len() as u64;
-        Self::int_status(
-            "cudaMemcpy(H2D)",
-            self.stub.cuda_memcpy_htod(&dst, &data.to_vec())?,
-        )
+        oncrpc::telemetry::add_transferred(data.len());
+        Self::int_status("cudaMemcpy(H2D)", self.stub.cuda_memcpy_htod(&dst, data)?)
     }
 
     /// cudaMemcpy device→host.
@@ -157,6 +160,7 @@ impl CricketClient {
             .into_result()
             .map_err(|c| ClientError::cuda("cudaMemcpy(D2H)", c))?;
         self.stats.bytes_d2h += out.len() as u64;
+        oncrpc::telemetry::add_transferred(out.len());
         Ok(out)
     }
 
@@ -189,9 +193,7 @@ impl CricketClient {
         self.pre_call("cudaMemGetInfo");
         match self.stub.cuda_mem_get_info()? {
             cricket_proto::MemInfoResult::Info(i) => Ok(i),
-            cricket_proto::MemInfoResult::Default(c) => {
-                Err(ClientError::cuda("cudaMemGetInfo", c))
-            }
+            cricket_proto::MemInfoResult::Default(c) => Err(ClientError::cuda("cudaMemGetInfo", c)),
         }
     }
 
@@ -202,8 +204,9 @@ impl CricketClient {
     pub fn module_load(&mut self, image: &[u8]) -> ClientResult<u64> {
         self.pre_call("cuModuleLoadData");
         self.stats.bytes_h2d += image.len() as u64;
+        oncrpc::telemetry::add_transferred(image.len());
         self.stub
-            .cu_module_load_data(&image.to_vec())?
+            .cu_module_load_data(image)?
             .into_result()
             .map_err(|c| ClientError::cuda("cuModuleLoadData", c))
     }
@@ -212,7 +215,7 @@ impl CricketClient {
     pub fn module_get_function(&mut self, module: u64, name: &str) -> ClientResult<u64> {
         self.pre_call("cuModuleGetFunction");
         self.stub
-            .cu_module_get_function(&module, &name.to_string())?
+            .cu_module_get_function(&module, name)?
             .into_result()
             .map_err(|c| ClientError::cuda("cuModuleGetFunction", c))
     }
@@ -246,14 +249,8 @@ impl CricketClient {
         };
         Self::int_status(
             "cuLaunchKernel",
-            self.stub.cuda_launch_kernel(
-                &func,
-                &grid,
-                &block,
-                &shared_mem,
-                &stream,
-                &params.to_vec(),
-            )?,
+            self.stub
+                .cuda_launch_kernel(&func, &grid, &block, &shared_mem, &stream, params)?,
         )
     }
 
@@ -295,7 +292,10 @@ impl CricketClient {
     /// cudaEventRecord.
     pub fn event_record(&mut self, event: u64, stream: u64) -> ClientResult<()> {
         self.pre_call("cudaEventRecord");
-        Self::int_status("cudaEventRecord", self.stub.cuda_event_record(&event, &stream)?)
+        Self::int_status(
+            "cudaEventRecord",
+            self.stub.cuda_event_record(&event, &stream)?,
+        )
     }
 
     /// cudaEventSynchronize.
@@ -500,7 +500,8 @@ impl CricketClient {
         self.pre_call("cufftExecC2C");
         Self::int_status(
             "cufftExecC2C",
-            self.stub.cufft_exec_c2c(&plan, &idata, &odata, &direction)?,
+            self.stub
+                .cufft_exec_c2c(&plan, &idata, &odata, &direction)?,
         )
     }
 
@@ -515,7 +516,8 @@ impl CricketClient {
         self.pre_call("cufftExecZ2Z");
         Self::int_status(
             "cufftExecZ2Z",
-            self.stub.cufft_exec_z2z(&plan, &idata, &odata, &direction)?,
+            self.stub
+                .cufft_exec_z2z(&plan, &idata, &odata, &direction)?,
         )
     }
 
@@ -531,7 +533,7 @@ impl CricketClient {
 
     /// Restore a checkpoint.
     pub fn restore(&mut self, blob: &[u8]) -> ClientResult<()> {
-        Self::int_status("ckptRestore", self.stub.ckpt_restore(&blob.to_vec())?)
+        Self::int_status("ckptRestore", self.stub.ckpt_restore(blob)?)
     }
 
     /// Server-side statistics.

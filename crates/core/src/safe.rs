@@ -245,7 +245,6 @@ impl<T: DeviceCopy> Drop for DeviceBuffer<'_, T> {
 
 /// A loaded kernel module, unloaded on drop.
 pub struct Module<'ctx> {
-
     ctx: &'ctx Context,
     handle: u64,
 }
@@ -272,7 +271,9 @@ impl<'ctx> Module<'ctx> {
 
 impl std::fmt::Debug for Module<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Module").field("handle", &self.handle).finish()
+        f.debug_struct("Module")
+            .field("handle", &self.handle)
+            .finish()
     }
 }
 
@@ -316,7 +317,9 @@ impl Stream<'_> {
 
 impl std::fmt::Debug for Stream<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Stream").field("handle", &self.handle).finish()
+        f.debug_struct("Stream")
+            .field("handle", &self.handle)
+            .finish()
     }
 }
 
@@ -357,7 +360,9 @@ impl Event<'_> {
 
 impl std::fmt::Debug for Event<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Event").field("handle", &self.handle).finish()
+        f.debug_struct("Event")
+            .field("handle", &self.handle)
+            .finish()
     }
 }
 

@@ -36,12 +36,13 @@ impl SimSetup {
 
     /// Connect a client in the given environment to this GPU node.
     pub fn client(&self, env: EnvConfig) -> CricketClient {
-        let transport = SimTransport::new(
-            Arc::clone(&self.rpc),
-            env.guest(),
-            Arc::clone(&self.clock),
-        );
-        CricketClient::new(Box::new(transport), env.flavor(), Some(Arc::clone(&self.clock)))
+        let transport =
+            SimTransport::new(Arc::clone(&self.rpc), env.guest(), Arc::clone(&self.clock));
+        CricketClient::new(
+            Box::new(transport),
+            env.flavor(),
+            Some(Arc::clone(&self.clock)),
+        )
     }
 
     /// Connect a safe-API context in the given environment.
@@ -100,19 +101,12 @@ mod tests {
             .ptr(db.ptr())
             .u32(n as u32)
             .build();
-        ctx.launch(
-            &f,
-            (4, 1, 1).into(),
-            (256, 1, 1).into(),
-            0,
-            None,
-            &params,
-        )
-        .unwrap();
+        ctx.launch(&f, (4, 1, 1).into(), (256, 1, 1).into(), 0, None, &params)
+            .unwrap();
         ctx.synchronize().unwrap();
         let c = dc.copy_to_vec().unwrap();
-        for i in 0..n {
-            assert_eq!(c[i], 3.0 * i as f32);
+        for (i, v) in c.iter().enumerate().take(n) {
+            assert_eq!(*v, 3.0 * i as f32);
         }
         assert!(setup.seconds() > 0.0);
         let stats = ctx.stats();

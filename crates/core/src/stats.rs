@@ -5,6 +5,10 @@
 //! CUDA API calls and 1.95 MiB of memory transfers, ..."). Every call
 //! through [`crate::raw::CricketClient`] updates these counters; the
 //! `table_calls` harness prints the reproduction of that table.
+//!
+//! [`CopyStats`] complements the per-client counters with the process-wide
+//! copy telemetry from the RPC stack (`oncrpc::telemetry`): bytes memmoved
+//! between internal buffers versus application payload bytes transferred.
 
 use std::collections::BTreeMap;
 
@@ -47,6 +51,48 @@ impl ApiStats {
     }
 }
 
+/// Process-wide copy/allocation accounting for the RPC data path.
+///
+/// Wraps `oncrpc::telemetry`: take one snapshot before a workload and one
+/// after, and [`CopyStats::since`] gives the workload's bytes-memmoved /
+/// bytes-transferred delta. The figure of merit for the Fig. 7 zero-copy
+/// path is [`CopyStats::copies_per_byte`] ≤ 2 on HtoD.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Bytes memcpy'd between internal buffers inside the RPC stack.
+    pub bytes_memmoved: u64,
+    /// Application payload bytes handed to the RPC layer.
+    pub bytes_transferred: u64,
+}
+
+impl CopyStats {
+    /// Current process-wide counters.
+    pub fn current() -> Self {
+        let s = oncrpc::telemetry::snapshot();
+        Self {
+            bytes_memmoved: s.bytes_memmoved,
+            bytes_transferred: s.bytes_transferred,
+        }
+    }
+
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &CopyStats) -> CopyStats {
+        CopyStats {
+            bytes_memmoved: self.bytes_memmoved - earlier.bytes_memmoved,
+            bytes_transferred: self.bytes_transferred - earlier.bytes_transferred,
+        }
+    }
+
+    /// Bytes memmoved per byte transferred.
+    pub fn copies_per_byte(&self) -> f64 {
+        if self.bytes_transferred == 0 {
+            0.0
+        } else {
+            self.bytes_memmoved as f64 / self.bytes_transferred as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,9 +110,11 @@ mod tests {
 
     #[test]
     fn byte_math() {
-        let mut s = ApiStats::default();
-        s.bytes_h2d = 1024 * 1024;
-        s.bytes_d2h = 1024 * 1024;
+        let mut s = ApiStats {
+            bytes_h2d: 1024 * 1024,
+            bytes_d2h: 1024 * 1024,
+            ..Default::default()
+        };
         assert_eq!(s.bytes_total(), 2 * 1024 * 1024);
         assert!((s.mib_total() - 2.0).abs() < 1e-12);
         s.reset();

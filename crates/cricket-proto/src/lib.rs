@@ -191,11 +191,7 @@ mod tests {
             fn cuda_free(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(0)
             }
-            fn cuda_memcpy_htod(
-                &self,
-                arg0: u64,
-                arg1: Vec<u8>,
-            ) -> Result<i32, oncrpc::AcceptStat> {
+            fn cuda_memcpy_htod(&self, arg0: u64, arg1: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(arg1.len() as i32)
             }
             fn cuda_memcpy_dtoh(
@@ -227,16 +223,13 @@ mod tests {
             fn cuda_get_last_error(&self) -> Result<IntResult, oncrpc::AcceptStat> {
                 Ok(IntResult::Data(0))
             }
-            fn cu_module_load_data(
-                &self,
-                arg0: Vec<u8>,
-            ) -> Result<U64Result, oncrpc::AcceptStat> {
+            fn cu_module_load_data(&self, arg0: &[u8]) -> Result<U64Result, oncrpc::AcceptStat> {
                 Ok(U64Result::Data(arg0.len() as u64))
             }
             fn cu_module_get_function(
                 &self,
                 arg0: u64,
-                arg1: String,
+                arg1: &str,
             ) -> Result<U64Result, oncrpc::AcceptStat> {
                 Ok(U64Result::Data(arg0 + arg1.len() as u64))
             }
@@ -250,7 +243,7 @@ mod tests {
                 arg2: RpcDim3,
                 arg3: u32,
                 arg4: u64,
-                arg5: Vec<u8>,
+                arg5: &[u8],
             ) -> Result<i32, oncrpc::AcceptStat> {
                 Ok((arg1.count() * arg2.count()) as i32)
             }
@@ -266,11 +259,7 @@ mod tests {
             fn cuda_event_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
                 Ok(U64Result::Data(2))
             }
-            fn cuda_event_record(
-                &self,
-                arg0: u64,
-                arg1: u64,
-            ) -> Result<i32, oncrpc::AcceptStat> {
+            fn cuda_event_record(&self, arg0: u64, arg1: u64) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(0)
             }
             fn cuda_event_synchronize(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
@@ -410,7 +399,7 @@ mod tests {
             fn ckpt_capture(&self) -> Result<DataResult, oncrpc::AcceptStat> {
                 Ok(DataResult::Data(vec![9, 9]))
             }
-            fn ckpt_restore(&self, arg0: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+            fn ckpt_restore(&self, arg0: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(arg0.len() as i32)
             }
             fn srv_get_stats(&self) -> Result<ServerStats, oncrpc::AcceptStat> {
@@ -446,7 +435,7 @@ mod tests {
             client.cuda_malloc(&256).unwrap().into_result().unwrap(),
             0x1100
         );
-        assert_eq!(client.cuda_memcpy_htod(&0x1000, &vec![1, 2, 3]).unwrap(), 3);
+        assert_eq!(client.cuda_memcpy_htod(&0x1000, &[1, 2, 3]).unwrap(), 3);
         let back = client
             .cuda_memcpy_dtoh(&0x1000, &5)
             .unwrap()
@@ -454,7 +443,7 @@ mod tests {
             .unwrap();
         assert_eq!(back, vec![7u8; 5]);
         let launched = client
-            .cuda_launch_kernel(&0xf, &(4, 2, 1).into(), &(32, 1, 1).into(), &0, &0, &vec![])
+            .cuda_launch_kernel(&0xf, &(4, 2, 1).into(), &(32, 1, 1).into(), &0, &0, &[])
             .unwrap();
         assert_eq!(launched, 8 * 32);
         let stats = client.srv_get_stats().unwrap();

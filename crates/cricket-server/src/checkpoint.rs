@@ -159,13 +159,8 @@ mod tests {
 
         let clock = SimClock::new();
         let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
-        let restored_images = restore(
-            &mut fresh,
-            &blob,
-            &DeviceProperties::a100(),
-            &clock,
-        )
-        .unwrap();
+        let restored_images =
+            restore(&mut fresh, &blob, &DeviceProperties::a100(), &clock).unwrap();
         assert_eq!(restored_images.len(), 1);
 
         // Memory contents survive at the same addresses.

@@ -115,12 +115,7 @@ impl Scheduler {
     /// Block until it is `session`'s turn; returns a guard holding the
     /// device.
     pub fn acquire(&self, session: SessionId) -> DeviceTurn<'_> {
-        let priority = self
-            .priorities
-            .lock()
-            .get(&session)
-            .copied()
-            .unwrap_or(100);
+        let priority = self.priorities.lock().get(&session).copied().unwrap_or(100);
         let mut st = self.state.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -181,9 +176,7 @@ impl Scheduler {
                 .queue
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.priority.cmp(&b.priority).then(a.ticket.cmp(&b.ticket))
-                })
+                .min_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(a.ticket.cmp(&b.ticket)))
                 .map(|(i, _)| i),
         };
         idx
@@ -280,7 +273,10 @@ mod tests {
         assert_eq!(s.policy(), SchedulerPolicy::Fifo);
         s.set_policy(SchedulerPolicy::Priority);
         assert_eq!(s.policy(), SchedulerPolicy::Priority);
-        assert_eq!(SchedulerPolicy::from_i32(1), Some(SchedulerPolicy::RoundRobin));
+        assert_eq!(
+            SchedulerPolicy::from_i32(1),
+            Some(SchedulerPolicy::RoundRobin)
+        );
         assert_eq!(SchedulerPolicy::from_i32(9), None);
     }
 

@@ -144,10 +144,10 @@ impl CricketServer {
 
     /// Which device a pointer or handle belongs to, if any.
     fn device_of_token(&self, token: u64) -> Option<usize> {
-        if token >= HEAP_STRIDE && token < LIB_HANDLE_BASE {
+        if (HEAP_STRIDE..LIB_HANDLE_BASE).contains(&token) {
             let idx = (token / HEAP_STRIDE - 1) as usize;
             (idx < self.devices.len()).then_some(idx)
-        } else if token >= 0x10 && token < HEAP_STRIDE {
+        } else if (0x10..HEAP_STRIDE).contains(&token) {
             let idx = ((token - 0x10) / HANDLE_STRIDE) as usize;
             (idx < self.devices.len()).then_some(idx)
         } else {
@@ -234,7 +234,6 @@ impl CricketServer {
         let r = if ordinal < 0 || ordinal as usize >= self.devices.len() {
             self.with_device(s, 2_000, |_d| {
                 Err::<(DeviceProperties, u64), _>(VgpuError::InvalidDevice(ordinal))
-                    .map(|x| x)
             })
         } else {
             self.with_device_at(s, ordinal as usize, 2_000, |d| {
@@ -310,11 +309,14 @@ impl CricketServer {
         Self::int_of(self.with_device_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t))))
     }
 
-    fn memcpy_htod(&self, s: SessionId, dst: u64, data: Vec<u8>) -> i32 {
+    fn memcpy_htod(&self, s: SessionId, dst: u64, data: &[u8]) -> i32 {
         self.stats.lock().bytes_in += data.len() as u64;
-        Self::int_of(self.with_device_for(s, dst, 3_000, |d| {
-            d.memcpy_htod(dst, &data).map(|t| ((), t))
-        }))
+        // `data` is still the borrowed wire record; the write into device
+        // memory below is the transfer endpoint itself (accounted as
+        // `bytes_transferred` by the client), not an RPC-stack memmove.
+        Self::int_of(
+            self.with_device_for(s, dst, 3_000, |d| d.memcpy_htod(dst, data).map(|t| ((), t))),
+        )
     }
 
     fn memcpy_dtoh(&self, s: SessionId, src: u64, len: u64) -> DataResult {
@@ -358,11 +360,13 @@ impl CricketServer {
         }
     }
 
-    fn module_load(&self, s: SessionId, image: Vec<u8>) -> U64Result {
+    fn module_load(&self, s: SessionId, image: &[u8]) -> U64Result {
         self.stats.lock().bytes_in += image.len() as u64;
-        match self.with_device(s, 25_000, |d| d.module_load(&image)) {
+        match self.with_device(s, 25_000, |d| d.module_load(image)) {
             Ok(h) => {
-                self.module_images.lock().insert(h, image);
+                // The retained copy is the only one: the image arrives as a
+                // borrowed slice of the request record.
+                self.module_images.lock().insert(h, image.to_vec());
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -377,7 +381,9 @@ impl CricketServer {
     }
 
     fn module_unload(&self, s: SessionId, module: u64) -> i32 {
-        let r = self.with_device_for(s, module, 3_000, |d| d.module_unload(module).map(|t| ((), t)));
+        let r = self.with_device_for(s, module, 3_000, |d| {
+            d.module_unload(module).map(|t| ((), t))
+        });
         if r.is_ok() {
             self.module_images.lock().remove(&module);
         }
@@ -417,7 +423,9 @@ impl CricketServer {
     }
 
     fn stream_synchronize(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, h, 1_000, |d| d.stream_synchronize(h).map(|t| ((), t))))
+        Self::int_of(
+            self.with_device_for(s, h, 1_000, |d| d.stream_synchronize(h).map(|t| ((), t))),
+        )
     }
 
     fn event_create(&self, s: SessionId) -> U64Result {
@@ -428,22 +436,30 @@ impl CricketServer {
     }
 
     fn event_record(&self, s: SessionId, event: u64, stream: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, event, 800, |d| d.event_record(event, stream).map(|t| ((), t))))
+        Self::int_of(self.with_device_for(s, event, 800, |d| {
+            d.event_record(event, stream).map(|t| ((), t))
+        }))
     }
 
     fn event_synchronize(&self, s: SessionId, event: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, event, 800, |d| d.event_synchronize(event).map(|t| ((), t))))
+        Self::int_of(self.with_device_for(s, event, 800, |d| {
+            d.event_synchronize(event).map(|t| ((), t))
+        }))
     }
 
     fn event_elapsed(&self, s: SessionId, start: u64, stop: u64) -> FloatResult {
-        match self.with_device_for(s, start, 800, |d| d.event_elapsed_ms(start, stop).map(|v| (v, 0))) {
+        match self.with_device_for(s, start, 800, |d| {
+            d.event_elapsed_ms(start, stop).map(|v| (v, 0))
+        }) {
             Ok(ms) => FloatResult::Data(ms),
             Err(e) => FloatResult::Default(Self::err_code(&e)),
         }
     }
 
     fn event_destroy(&self, s: SessionId, event: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t))))
+        Self::int_of(
+            self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t))),
+        )
     }
 
     fn new_lib_handle(&self) -> u64 {
@@ -502,8 +518,20 @@ impl CricketServer {
             let tb = vgpu::blas::Op::from_i32(transb)?;
             let t = if double {
                 vgpu::blas::dgemm(
-                    d, ta, tb, m as usize, n as usize, k as usize, alpha, a, lda as usize, b,
-                    ldb as usize, beta, c, ldc as usize,
+                    d,
+                    ta,
+                    tb,
+                    m as usize,
+                    n as usize,
+                    k as usize,
+                    alpha,
+                    a,
+                    lda as usize,
+                    b,
+                    ldb as usize,
+                    beta,
+                    c,
+                    ldc as usize,
                 )?
             } else {
                 vgpu::blas::sgemm(
@@ -531,9 +559,7 @@ impl CricketServer {
         match self.with_device(s, 10_000, |_d| Ok(((), 0))) {
             Ok(()) => {
                 let h = self.new_lib_handle();
-                self.solvers
-                    .lock()
-                    .insert(h, vgpu::solver::SolverDn::new());
+                self.solvers.lock().insert(h, vgpu::solver::SolverDn::new());
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -662,10 +688,10 @@ impl CricketServer {
         }
     }
 
-    fn ckpt_restore(&self, s: SessionId, blob: Vec<u8>) -> i32 {
+    fn ckpt_restore(&self, s: SessionId, blob: &[u8]) -> i32 {
         self.stats.lock().bytes_in += blob.len() as u64;
         Self::int_of(self.with_device_at(s, 0, 50_000, |d| {
-            let images = checkpoint::restore(d, &blob, &self.cfg.props, &self.clock)?;
+            let images = checkpoint::restore(d, blob, &self.cfg.props, &self.clock)?;
             *self.module_images.lock() = images;
             let t = (blob.len() as u64) / 8;
             Ok(((), t))
@@ -755,7 +781,7 @@ impl cricket_proto::CricketV1Service for Sessioned {
     fn cuda_free(&self, ptr: u64) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.free(self.session, ptr))
     }
-    fn cuda_memcpy_htod(&self, dst: u64, data: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+    fn cuda_memcpy_htod(&self, dst: u64, data: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.memcpy_htod(self.session, dst, data))
     }
     fn cuda_memcpy_dtoh(&self, src: u64, len: u64) -> Result<DataResult, oncrpc::AcceptStat> {
@@ -773,15 +799,15 @@ impl cricket_proto::CricketV1Service for Sessioned {
     fn cuda_get_last_error(&self) -> Result<IntResult, oncrpc::AcceptStat> {
         Ok(IntResult::Data(0))
     }
-    fn cu_module_load_data(&self, image: Vec<u8>) -> Result<U64Result, oncrpc::AcceptStat> {
+    fn cu_module_load_data(&self, image: &[u8]) -> Result<U64Result, oncrpc::AcceptStat> {
         Ok(self.srv.module_load(self.session, image))
     }
     fn cu_module_get_function(
         &self,
         module: u64,
-        name: String,
+        name: &str,
     ) -> Result<U64Result, oncrpc::AcceptStat> {
-        Ok(self.srv.module_get_function(self.session, module, &name))
+        Ok(self.srv.module_get_function(self.session, module, name))
     }
     fn cu_module_unload(&self, module: u64) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.module_unload(self.session, module))
@@ -793,11 +819,17 @@ impl cricket_proto::CricketV1Service for Sessioned {
         block: RpcDim3,
         shared: u32,
         stream: u64,
-        params: Vec<u8>,
+        params: &[u8],
     ) -> Result<i32, oncrpc::AcceptStat> {
-        Ok(self
-            .srv
-            .launch_kernel(self.session, func, dim(grid), dim(block), shared, stream, &params))
+        Ok(self.srv.launch_kernel(
+            self.session,
+            func,
+            dim(grid),
+            dim(block),
+            shared,
+            stream,
+            params,
+        ))
     }
     fn cuda_stream_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
         Ok(self.srv.stream_create(self.session))
@@ -935,7 +967,9 @@ impl cricket_proto::CricketV1Service for Sessioned {
         ipiv: u64,
         info: u64,
     ) -> Result<i32, oncrpc::AcceptStat> {
-        Ok(self.srv.getrf(self.session, h, m, n, a, lda, work, ipiv, info))
+        Ok(self
+            .srv
+            .getrf(self.session, h, m, n, a, lda, work, ipiv, info))
     }
     #[allow(clippy::too_many_arguments)]
     fn cusolver_dn_dgetrs(
@@ -955,22 +989,43 @@ impl cricket_proto::CricketV1Service for Sessioned {
             .srv
             .getrs(self.session, h, trans, n, nrhs, a, lda, ipiv, b, ldb, info))
     }
-    fn cufft_plan_1d(&self, n: i32, kind: i32, batch: i32) -> Result<U64Result, oncrpc::AcceptStat> {
+    fn cufft_plan_1d(
+        &self,
+        n: i32,
+        kind: i32,
+        batch: i32,
+    ) -> Result<U64Result, oncrpc::AcceptStat> {
         Ok(self.srv.fft_plan_1d(self.session, n, kind, batch))
     }
     fn cufft_destroy(&self, h: u64) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.fft_destroy(self.session, h))
     }
-    fn cufft_exec_c2c(&self, h: u64, idata: u64, odata: u64, dir: i32) -> Result<i32, oncrpc::AcceptStat> {
-        Ok(self.srv.fft_exec(self.session, h, vgpu::fft::CUFFT_C2C, idata, odata, dir))
+    fn cufft_exec_c2c(
+        &self,
+        h: u64,
+        idata: u64,
+        odata: u64,
+        dir: i32,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .fft_exec(self.session, h, vgpu::fft::CUFFT_C2C, idata, odata, dir))
     }
-    fn cufft_exec_z2z(&self, h: u64, idata: u64, odata: u64, dir: i32) -> Result<i32, oncrpc::AcceptStat> {
-        Ok(self.srv.fft_exec(self.session, h, vgpu::fft::CUFFT_Z2Z, idata, odata, dir))
+    fn cufft_exec_z2z(
+        &self,
+        h: u64,
+        idata: u64,
+        odata: u64,
+        dir: i32,
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .fft_exec(self.session, h, vgpu::fft::CUFFT_Z2Z, idata, odata, dir))
     }
     fn ckpt_capture(&self) -> Result<DataResult, oncrpc::AcceptStat> {
         Ok(self.srv.ckpt_capture(self.session))
     }
-    fn ckpt_restore(&self, blob: Vec<u8>) -> Result<i32, oncrpc::AcceptStat> {
+    fn ckpt_restore(&self, blob: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.ckpt_restore(self.session, blob))
     }
     fn srv_get_stats(&self) -> Result<ServerStats, oncrpc::AcceptStat> {
@@ -1032,8 +1087,8 @@ mod tests {
         s.cuda_set_device(1).unwrap();
         let p1 = s.cuda_malloc(4096).unwrap().into_result().unwrap();
         assert_ne!(p0 / HEAP_STRIDE, p1 / HEAP_STRIDE, "distinct heaps");
-        s.cuda_memcpy_htod(p0, vec![7u8; 16]).unwrap();
-        s.cuda_memcpy_htod(p1, vec![9u8; 16]).unwrap();
+        s.cuda_memcpy_htod(p0, &[7u8; 16]).unwrap();
+        s.cuda_memcpy_htod(p1, &[9u8; 16]).unwrap();
         assert_eq!(
             s.cuda_memcpy_dtoh(p0, 16).unwrap().into_result().unwrap(),
             vec![7u8; 16]
@@ -1052,7 +1107,7 @@ mod tests {
     fn malloc_copy_free_cycle() {
         let (_srv, s) = server();
         let ptr = s.cuda_malloc(1024).unwrap().into_result().unwrap();
-        assert_eq!(s.cuda_memcpy_htod(ptr, vec![7u8; 100]).unwrap(), 0);
+        assert_eq!(s.cuda_memcpy_htod(ptr, &[7u8; 100]).unwrap(), 0);
         let back = s.cuda_memcpy_dtoh(ptr, 100).unwrap().into_result().unwrap();
         assert_eq!(back, vec![7u8; 100]);
         assert_eq!(s.cuda_free(ptr).unwrap(), 0);
@@ -1086,7 +1141,7 @@ mod tests {
     fn stats_accumulate() {
         let (_srv, s) = server();
         let ptr = s.cuda_malloc(4096).unwrap().into_result().unwrap();
-        s.cuda_memcpy_htod(ptr, vec![0u8; 4096]).unwrap();
+        s.cuda_memcpy_htod(ptr, &[0u8; 4096]).unwrap();
         let _ = s.cuda_memcpy_dtoh(ptr, 1024).unwrap();
         let st = s.srv_get_stats().unwrap();
         assert!(st.total_calls >= 3);
@@ -1105,7 +1160,7 @@ mod tests {
         let pa = s.cuda_malloc(32).unwrap().into_result().unwrap();
         // A = [2] (1x1), C = A*A.
         let two = 2.0f64.to_le_bytes().to_vec();
-        s.cuda_memcpy_htod(pa, two).unwrap();
+        s.cuda_memcpy_htod(pa, &two).unwrap();
         let pc = s.cuda_malloc(8).unwrap().into_result().unwrap();
         assert_eq!(
             s.cublas_dgemm(h, 0, 0, 1, 1, 1, 1.0, pa, 1, pa, 1, 0.0, pc, 1)
@@ -1121,9 +1176,7 @@ mod tests {
     #[test]
     fn solver_requires_valid_handle() {
         let (_srv, s) = server();
-        let r = s
-            .cusolver_dn_dgetrf_buffer_size(0xbad, 4, 4, 0, 4)
-            .unwrap();
+        let r = s.cusolver_dn_dgetrf_buffer_size(0xbad, 4, 4, 0, 4).unwrap();
         assert_eq!(r, IntResult::Default(vgpu::CudaCode::InvalidHandle as i32));
     }
 

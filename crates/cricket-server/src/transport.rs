@@ -42,6 +42,12 @@ pub struct SimTransport {
     pending_out: Vec<u8>,
     incoming: Vec<u8>,
     incoming_off: usize,
+    /// Pooled server-side record reassembly buffer.
+    record_buf: Vec<u8>,
+    /// Pooled server-side reply encoder.
+    reply_enc: xdr::XdrEncoder,
+    /// Pooled record-marked reply bytes.
+    reply_wire: Vec<u8>,
     /// Telemetry.
     pub stats: TransportStats,
 }
@@ -76,6 +82,9 @@ impl SimTransport {
             pending_out: Vec::new(),
             incoming: Vec::new(),
             incoming_off: 0,
+            record_buf: Vec::with_capacity(4096),
+            reply_enc: xdr::XdrEncoder::with_capacity(4096),
+            reply_wire: Vec::with_capacity(4096),
             stats: TransportStats::default(),
         }
     }
@@ -129,10 +138,7 @@ impl SimTransport {
                 } else {
                     deliver_fixed(&seg.payload)
                 };
-                let seg = Segment {
-                    payload,
-                    ..seg
-                };
+                let seg = Segment { payload, ..seg };
                 if !to.receive(&seg) {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -146,9 +152,8 @@ impl SimTransport {
 
     /// Process one buffered request end-to-end.
     fn process_one(&mut self, record_len: usize) -> io::Result<()> {
-        let request: Vec<u8> = self.pending_out.drain(..record_len).collect();
-
-        // Client → server through the functional stacks.
+        // Client → server through the functional stacks. The request is
+        // carried straight out of `pending_out` — no per-call drain copy.
         let wire_mss = self.guest.costs.mtu.saturating_sub(40).max(1);
         let (at_server, segs_up) = Self::carry(
             &mut self.client_ep,
@@ -156,20 +161,30 @@ impl SimTransport {
             &mut self.server_ep,
             true, // GPU node negotiates mrg_rxbuf
             wire_mss,
-            &request,
+            &self.pending_out[..record_len],
         )?;
-        debug_assert_eq!(at_server, request);
+        debug_assert_eq!(&at_server[..], &self.pending_out[..record_len]);
+        self.pending_out.drain(..record_len);
 
         // Server executes (service methods charge the clock themselves).
+        // The record reassembly buffer and the reply encoder are pooled on
+        // the transport, so steady state costs one reassembly copy and no
+        // allocation.
         let mut cursor = io::Cursor::new(&at_server);
-        let record = oncrpc::record::read_record(&mut cursor, oncrpc::record::MAX_RECORD)
-            .map_err(rpc_to_io)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty record"))?;
-        let reply_payload = self.server.handle_record(&record).map_err(rpc_to_io)?;
-        let mut reply_wire = Vec::with_capacity(reply_payload.len() + 8);
+        oncrpc::record::read_record_into(
+            &mut cursor,
+            &mut self.record_buf,
+            oncrpc::record::MAX_RECORD,
+        )
+        .map_err(rpc_to_io)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty record"))?;
+        self.server
+            .handle_record_into(&self.record_buf, &mut self.reply_enc)
+            .map_err(rpc_to_io)?;
+        self.reply_wire.clear();
         oncrpc::record::write_record(
-            &mut reply_wire,
-            &reply_payload,
+            &mut self.reply_wire,
+            self.reply_enc.as_slice(),
             oncrpc::record::DEFAULT_MAX_FRAGMENT,
         )
         .map_err(rpc_to_io)?;
@@ -181,20 +196,22 @@ impl SimTransport {
             &mut self.client_ep,
             self.guest.costs.virtq.mrg_rxbuf,
             wire_mss,
-            &reply_wire,
+            &self.reply_wire,
         )?;
 
         // Charge the network legs (server exec already charged).
-        let timing = self.path.rpc_round(request.len(), at_client.len(), 0);
+        let timing = self.path.rpc_round(record_len, at_client.len(), 0);
         self.clock.advance(timing.total_ns());
 
         self.stats.round_trips += 1;
         self.stats.wire_segments += segs_up + segs_down;
-        self.stats.bytes_sent += request.len() as u64;
+        self.stats.bytes_sent += record_len as u64;
         self.stats.bytes_received += at_client.len() as u64;
 
         self.incoming.drain(..self.incoming_off);
         self.incoming_off = 0;
+        // Reply buffering copy on the receive side (tiny for HtoD calls).
+        oncrpc::telemetry::add_memmoved(at_client.len());
         self.incoming.extend_from_slice(&at_client);
         Ok(())
     }
@@ -206,6 +223,9 @@ fn rpc_to_io(e: RpcError) -> io::Error {
 
 impl Write for SimTransport {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // Buffering copy into the transport's send buffer — the analogue of
+        // a real socket's copy into the kernel; charged to copy telemetry.
+        oncrpc::telemetry::add_memmoved(buf.len());
         self.pending_out.extend_from_slice(buf);
         Ok(buf.len())
     }

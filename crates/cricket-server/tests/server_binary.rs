@@ -33,7 +33,7 @@ fn binary_serves_the_cricket_protocol() {
         client.rpc_null()?;
         assert_eq!(client.cuda_get_device_count()?.into_result().unwrap(), 2);
         let ptr = client.cuda_malloc(&4096)?.into_result().unwrap();
-        assert_eq!(client.cuda_memcpy_htod(&ptr, &vec![5u8; 64])?, 0);
+        assert_eq!(client.cuda_memcpy_htod(&ptr, &[5u8; 64])?, 0);
         let back = client.cuda_memcpy_dtoh(&ptr, &64)?.into_result().unwrap();
         assert_eq!(back, vec![5u8; 64]);
         assert_eq!(client.cuda_free(&ptr)?, 0);

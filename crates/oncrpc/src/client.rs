@@ -3,13 +3,20 @@
 //! [`RpcClient`] issues calls over any [`Transport`], matching replies by
 //! transaction id. Generated stubs (from `rpcl`) wrap it with typed methods;
 //! see `cricket-proto` for the Cricket CUDA interface.
+//!
+//! The data path is zero-copy in steady state: requests are encoded into a
+//! reused scratch buffer (bulk arguments can bypass even that via
+//! [`RpcClient::call_raw_sg`] and scatter-gather records), and replies are
+//! reassembled into a pooled buffer borrowed out through [`Reply`] — no
+//! per-call allocation and no reply-tail copy.
 
 use crate::auth::OpaqueAuth;
 use crate::error::{RpcError, RpcResult};
 use crate::msg::{AcceptStat, CallBody, MessageBody, ReplyBody, RpcMessage};
-use crate::record::{read_record, write_record, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
+use crate::record::{read_record_into, write_record_sg, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
+use crate::telemetry;
 use crate::transport::Transport;
-use xdr::{Xdr, XdrDecoder, XdrEncoder};
+use xdr::{Xdr, XdrDecoder, XdrEncoder, XdrSgEncoder};
 
 /// Running tallies of client activity.
 ///
@@ -19,10 +26,43 @@ use xdr::{Xdr, XdrDecoder, XdrEncoder};
 pub struct ClientStats {
     /// Completed calls.
     pub calls: u64,
-    /// Request bytes written (payload, excluding fragment headers).
+    /// Request bytes written (payload, excluding fragment headers). Only
+    /// counted once the record write succeeded — a failed write leaves the
+    /// counter untouched.
     pub bytes_sent: u64,
     /// Reply bytes read (payload, excluding fragment headers).
     pub bytes_received: u64,
+}
+
+/// Result payload of a successful call, borrowing the client's pooled reply
+/// buffer (offset past the RPC reply header — no tail copy).
+///
+/// Derefs to `[u8]`, so existing decode code (`XdrDecoder::new(&reply)`,
+/// `reply.len()`, `reply.is_empty()`) works unchanged. The borrow ends at
+/// the next call, which is when the pooled buffer is reused.
+#[derive(Debug)]
+pub struct Reply<'a> {
+    payload: &'a [u8],
+}
+
+impl std::ops::Deref for Reply<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.payload
+    }
+}
+
+impl AsRef<[u8]> for Reply<'_> {
+    fn as_ref(&self) -> &[u8] {
+        self.payload
+    }
+}
+
+impl Reply<'_> {
+    /// Copy the payload out, detaching it from the pooled buffer.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.payload.to_vec()
+    }
 }
 
 /// A synchronous ONC RPC client bound to one program+version on one transport.
@@ -36,6 +76,9 @@ pub struct RpcClient {
     stats: ClientStats,
     /// Scratch encoder reused across calls to avoid per-call allocation.
     scratch: XdrEncoder,
+    /// Pooled reply record buffer, reused across calls and borrowed out via
+    /// [`Reply`].
+    reply_buf: Vec<u8>,
 }
 
 impl RpcClient {
@@ -52,6 +95,7 @@ impl RpcClient {
             cred: OpaqueAuth::none(),
             stats: ClientStats::default(),
             scratch: XdrEncoder::with_capacity(256),
+            reply_buf: Vec::with_capacity(256),
         }
     }
 
@@ -86,14 +130,26 @@ impl RpcClient {
     }
 
     /// Issue procedure `proc` with a caller-controlled argument encoder,
-    /// returning the raw reply payload. This is the primitive the generated
-    /// stubs use; it avoids intermediate argument structs for multi-parameter
-    /// procedures.
+    /// returning the reply payload borrowed from the pooled record buffer.
+    /// This is the primitive the generated stubs use; it avoids intermediate
+    /// argument structs for multi-parameter procedures.
     pub fn call_raw(
         &mut self,
         proc: u32,
         encode_args: impl FnOnce(&mut XdrEncoder),
-    ) -> RpcResult<Vec<u8>> {
+    ) -> RpcResult<Reply<'_>> {
+        self.call_raw_sg(proc, |enc| encode_args(enc))
+    }
+
+    /// Like [`RpcClient::call_raw`], but the encoder supports deferred
+    /// (scatter-gather) opaques: bulk argument bytes are recorded as
+    /// borrowed slices with lifetime `'d` and written to the transport as an
+    /// iovec chain, never copied into the scratch buffer.
+    pub fn call_raw_sg<'d>(
+        &mut self,
+        proc: u32,
+        encode_args: impl FnOnce(&mut XdrSgEncoder<'d, '_>),
+    ) -> RpcResult<Reply<'_>> {
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
 
@@ -103,20 +159,20 @@ impl RpcClient {
 
         self.scratch.clear();
         msg.encode(&mut self.scratch);
-        encode_args(&mut self.scratch);
+        let mut sg = XdrSgEncoder::new(&mut self.scratch);
+        encode_args(&mut sg);
+        let total = sg.total_len();
+        // Only the owned stream was memcpy'd into scratch; deferred slices
+        // travel as borrowed iovec entries.
+        telemetry::add_memmoved(sg.len());
+        sg.with_segments(|segs| write_record_sg(&mut self.transport, segs, self.max_fragment))?;
+        self.stats.bytes_sent += total as u64;
 
-        write_record(
-            &mut self.transport,
-            self.scratch.as_slice(),
-            self.max_fragment,
-        )?;
-        self.stats.bytes_sent += self.scratch.len() as u64;
-
-        let record = read_record(&mut self.transport, MAX_RECORD)?
+        let received = read_record_into(&mut self.transport, &mut self.reply_buf, MAX_RECORD)?
             .ok_or(RpcError::ConnectionClosed)?;
-        self.stats.bytes_received += record.len() as u64;
+        self.stats.bytes_received += received as u64;
 
-        let mut dec = XdrDecoder::new(&record);
+        let mut dec = XdrDecoder::new(&self.reply_buf);
         let reply = RpcMessage::decode(&mut dec)?;
         if reply.xid != xid {
             return Err(RpcError::XidMismatch {
@@ -134,7 +190,9 @@ impl RpcClient {
                 ..
             } => {
                 self.stats.calls += 1;
-                Ok(record[dec.position()..].to_vec())
+                Ok(Reply {
+                    payload: &self.reply_buf[dec.position()..],
+                })
             }
             ReplyBody::Accepted { stat, .. } => Err(RpcError::Accepted(stat)),
             ReplyBody::Denied(stat) => Err(RpcError::Rejected(stat)),

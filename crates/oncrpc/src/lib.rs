@@ -36,11 +36,12 @@ pub mod msg;
 pub mod portmap;
 pub mod record;
 pub mod server;
+pub mod telemetry;
 pub mod transport;
 pub mod udp;
 
 pub use auth::{AuthFlavor, OpaqueAuth};
-pub use client::RpcClient;
+pub use client::{Reply, RpcClient};
 pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
 pub use record::{RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};

@@ -353,7 +353,10 @@ mod tests {
         ] {
             let msg = RpcMessage::reply(1, body.clone());
             let buf = xdr::encode(&msg);
-            assert_eq!(xdr::decode::<RpcMessage>(&buf).unwrap().body, MessageBody::Reply(body));
+            assert_eq!(
+                xdr::decode::<RpcMessage>(&buf).unwrap().body,
+                MessageBody::Reply(body)
+            );
         }
     }
 

@@ -6,8 +6,8 @@
 //! completeness and because tests use it to exercise a second, independently
 //! specified RPC program through the same stack.
 
-use crate::server::{Dispatch, DispatchResult};
 use crate::msg::AcceptStat;
+use crate::server::{Dispatch, DispatchResult};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -191,8 +191,7 @@ pub mod client {
 
         /// Register a mapping.
         pub fn set(&mut self, m: Mapping) -> RpcResult<bool> {
-            self.rpc
-                .call(procs::SET, &(m.prog, m.vers, m.prot, m.port))
+            self.rpc.call(procs::SET, &(m.prog, m.vers, m.prot, m.port))
         }
 
         /// Remove mappings for (prog, vers).

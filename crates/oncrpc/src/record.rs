@@ -8,7 +8,8 @@
 //! memory transfers would be capped at one fragment.
 
 use crate::error::{RpcError, RpcResult};
-use std::io::{Read, Write};
+use crate::telemetry;
+use std::io::{IoSlice, Read, Write};
 
 /// Default maximum bytes of payload per fragment when writing.
 ///
@@ -34,21 +35,93 @@ pub fn write_record<W: Write + ?Sized>(
     payload: &[u8],
     max_fragment: usize,
 ) -> RpcResult<()> {
+    write_record_sg(w, &[payload], max_fragment).map(|_| ())
+}
+
+/// Write one record whose payload is the concatenation of `segs`, as a chain
+/// of `IoSlice`s (fragment header + borrowed payload slices) handed to
+/// [`Write::write_vectored`]. The wire bytes are identical to
+/// [`write_record`] over the flattened payload, but the payload is never
+/// copied into an intermediate buffer and no heap allocation occurs.
+///
+/// Returns the number of fragments emitted.
+pub fn write_record_sg<W: Write + ?Sized>(
+    w: &mut W,
+    segs: &[&[u8]],
+    max_fragment: usize,
+) -> RpcResult<u64> {
     assert!(max_fragment > 0, "max_fragment must be positive");
+    // Fragment gather list: one header slot plus payload slices. A fragment
+    // spanning more than BATCH-1 segments is emitted with several vectored
+    // writes — still allocation-free.
+    const BATCH: usize = 16;
+    let total: usize = segs.iter().map(|s| s.len()).sum();
+    let (mut seg_idx, mut seg_off) = (0usize, 0usize);
     let mut offset = 0;
+    let mut fragments = 0u64;
     loop {
-        let remaining = payload.len() - offset;
+        let remaining = total - offset;
         let frag_len = remaining.min(max_fragment);
         let last = frag_len == remaining;
         let header = (frag_len as u32 & LENGTH_MASK) | if last { LAST_FRAGMENT } else { 0 };
-        w.write_all(&header.to_be_bytes())?;
-        w.write_all(&payload[offset..offset + frag_len])?;
+        let header_bytes = header.to_be_bytes();
+        let mut iov: [IoSlice<'_>; BATCH] = [IoSlice::new(&[]); BATCH];
+        iov[0] = IoSlice::new(&header_bytes);
+        let mut n = 1;
+        let mut needed = frag_len;
+        while needed > 0 {
+            if n == BATCH {
+                write_all_vectored(w, &mut iov[..n])?;
+                n = 0;
+                continue;
+            }
+            let seg = segs[seg_idx];
+            let avail = seg.len() - seg_off;
+            if avail == 0 {
+                seg_idx += 1;
+                seg_off = 0;
+                continue;
+            }
+            let take = avail.min(needed);
+            iov[n] = IoSlice::new(&seg[seg_off..seg_off + take]);
+            n += 1;
+            seg_off += take;
+            needed -= take;
+            if seg_off == seg.len() {
+                seg_idx += 1;
+                seg_off = 0;
+            }
+        }
+        if n > 0 {
+            write_all_vectored(w, &mut iov[..n])?;
+        }
+        fragments += 1;
         offset += frag_len;
         if last {
             break;
         }
     }
     w.flush()?;
+    Ok(fragments)
+}
+
+/// `write_all` over a gather list, advancing across short writes.
+fn write_all_vectored<W: Write + ?Sized>(w: &mut W, mut bufs: &mut [IoSlice<'_>]) -> RpcResult<()> {
+    // Drop leading empty slices so `write_vectored(&[])` is never reached.
+    IoSlice::advance_slices(&mut bufs, 0);
+    while !bufs.is_empty() {
+        match w.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(RpcError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole record",
+                )))
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(())
 }
 
@@ -59,6 +132,23 @@ pub fn write_record<W: Write + ?Sized>(
 /// detect client disconnects. EOF in the middle of a record is an error.
 pub fn read_record<R: Read + ?Sized>(r: &mut R, max_record: usize) -> RpcResult<Option<Vec<u8>>> {
     let mut record = Vec::new();
+    Ok(read_record_into(r, &mut record, max_record)?.map(|_| record))
+}
+
+/// Read one complete record into a caller-owned buffer, reusing its
+/// allocation. The buffer is cleared first; on success it holds exactly the
+/// record bytes and the record length is returned. `Ok(None)` means the
+/// stream closed cleanly before the first header byte.
+///
+/// Unlike building a fresh `Vec` per record, a pooled buffer in steady state
+/// costs no allocation and no zero-fill: each fragment is appended with a
+/// bounded `read_to_end`, which only writes bytes actually received.
+pub fn read_record_into<R: Read + ?Sized>(
+    r: &mut R,
+    record: &mut Vec<u8>,
+    max_record: usize,
+) -> RpcResult<Option<usize>> {
+    record.clear();
     let mut first = true;
     loop {
         let mut header = [0u8; 4];
@@ -81,11 +171,19 @@ pub fn read_record<R: Read + ?Sized>(r: &mut R, max_record: usize) -> RpcResult<
                 max: max_record,
             });
         }
-        let start = record.len();
-        record.resize(start + len, 0);
-        r.read_exact(&mut record[start..]).map_err(RpcError::from)?;
+        record.reserve(len);
+        // `take(len)` bounds the read; `read_to_end` appends without
+        // zero-filling and stops at the limit without an extra syscall.
+        let got = (&mut *r)
+            .take(len as u64)
+            .read_to_end(record)
+            .map_err(RpcError::from)?;
+        if got < len {
+            return Err(RpcError::ConnectionClosed);
+        }
         if last {
-            return Ok(Some(record));
+            telemetry::add_memmoved(record.len());
+            return Ok(Some(record.len()));
         }
     }
 }
@@ -140,11 +238,19 @@ impl<W: Write> RecordWriter<W> {
         }
     }
 
-    /// Write one record.
+    /// Write one record. The fragment counter reflects only records that
+    /// were written in full — a failed write no longer inflates it.
     pub fn write_record(&mut self, payload: &[u8]) -> RpcResult<()> {
-        let frags = payload.len().div_ceil(self.max_fragment).max(1);
-        self.fragments_written += frags as u64;
-        write_record(&mut self.inner, payload, self.max_fragment)
+        let frags = write_record_sg(&mut self.inner, &[payload], self.max_fragment)?;
+        self.fragments_written += frags;
+        Ok(())
+    }
+
+    /// Write one record from a gather list without flattening it first.
+    pub fn write_record_sg(&mut self, segs: &[&[u8]]) -> RpcResult<()> {
+        let frags = write_record_sg(&mut self.inner, segs, self.max_fragment)?;
+        self.fragments_written += frags;
+        Ok(())
     }
 
     /// Access the underlying stream.
@@ -153,30 +259,45 @@ impl<W: Write> RecordWriter<W> {
     }
 }
 
-/// Buffered record reader bound to a `Read` stream.
+/// Buffered record reader bound to a `Read` stream, owning a pooled
+/// reassembly buffer reused across records.
 #[derive(Debug)]
 pub struct RecordReader<R: Read> {
     inner: R,
     max_record: usize,
+    buf: Vec<u8>,
 }
 
 impl<R: Read> RecordReader<R> {
     /// Wrap `inner` with the default record size cap.
     pub fn new(inner: R) -> Self {
-        Self {
-            inner,
-            max_record: MAX_RECORD,
-        }
+        Self::with_max_record(inner, MAX_RECORD)
     }
 
     /// Wrap `inner` with a custom record size cap.
     pub fn with_max_record(inner: R, max_record: usize) -> Self {
-        Self { inner, max_record }
+        Self {
+            inner,
+            max_record,
+            buf: Vec::new(),
+        }
     }
 
-    /// Read the next record; `None` on clean end-of-stream.
+    /// Read the next record into a fresh `Vec`; `None` on clean
+    /// end-of-stream. Allocates per record — prefer
+    /// [`RecordReader::read_record_pooled`] on hot paths.
     pub fn read_record(&mut self) -> RpcResult<Option<Vec<u8>>> {
         read_record(&mut self.inner, self.max_record)
+    }
+
+    /// Read the next record into the pooled buffer and borrow it. In steady
+    /// state (record sizes repeat or shrink) this performs no allocation.
+    /// The returned slice is valid until the next read.
+    pub fn read_record_pooled(&mut self) -> RpcResult<Option<&[u8]>> {
+        match read_record_into(&mut self.inner, &mut self.buf, self.max_record)? {
+            Some(n) => Ok(Some(&self.buf[..n])),
+            None => Ok(None),
+        }
     }
 }
 
@@ -285,10 +406,7 @@ mod tests {
             read_record(&mut cursor, MAX_RECORD).unwrap().unwrap(),
             b"second-record"
         );
-        assert_eq!(
-            read_record(&mut cursor, MAX_RECORD).unwrap().unwrap(),
-            b""
-        );
+        assert_eq!(read_record(&mut cursor, MAX_RECORD).unwrap().unwrap(), b"");
         assert!(read_record(&mut cursor, MAX_RECORD).unwrap().is_none());
     }
 

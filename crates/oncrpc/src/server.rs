@@ -4,7 +4,7 @@
 
 use crate::error::{RpcError, RpcResult};
 use crate::msg::{AcceptStat, MessageBody, ReplyBody, RpcMessage};
-use crate::record::{read_record, write_record, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
+use crate::record::{read_record_into, write_record, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
 use crate::transport::Transport;
 use crate::RPC_VERSION;
 use parking_lot::RwLock;
@@ -26,8 +26,12 @@ pub type DispatchResult = Result<(), AcceptStat>;
 pub trait Dispatch: Send + Sync {
     /// Handle procedure `proc`. Arguments are read from `args`; results are
     /// appended to `reply` only on success.
-    fn dispatch(&self, proc: u32, args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder)
-        -> DispatchResult;
+    fn dispatch(
+        &self,
+        proc: u32,
+        args: &mut XdrDecoder<'_>,
+        reply: &mut XdrEncoder,
+    ) -> DispatchResult;
 }
 
 impl<F> Dispatch for F
@@ -82,9 +86,28 @@ impl RpcServer {
     }
 
     /// Process one already-read request record, producing the bytes of the
-    /// complete reply record. This is the core of the server and is also the
-    /// entry point for the in-process (simulated-network) mode.
+    /// complete reply record.
+    ///
+    /// Allocating convenience wrapper over [`RpcServer::handle_record_into`];
+    /// callers with a call loop should pass a reused encoder to that method
+    /// instead.
     pub fn handle_record(&self, record: &[u8]) -> RpcResult<Vec<u8>> {
+        let mut reply_enc = XdrEncoder::with_capacity(64);
+        self.handle_record_into(record, &mut reply_enc)?;
+        Ok(reply_enc.into_inner())
+    }
+
+    /// Process one already-read request record, encoding the complete reply
+    /// record into `reply_enc` (cleared first). This is the core of the
+    /// server and also the entry point for the in-process
+    /// (simulated-network) mode.
+    ///
+    /// The reply header is encoded optimistically as `Success` and the
+    /// service appends results directly after it — no intermediate result
+    /// buffer, no post-dispatch copy. If the service fails, the encoder is
+    /// rolled back and the error header is encoded instead.
+    pub fn handle_record_into(&self, record: &[u8], reply_enc: &mut XdrEncoder) -> RpcResult<()> {
+        reply_enc.clear();
         let mut dec = XdrDecoder::new(record);
         let msg = RpcMessage::decode(&mut dec)?;
         let call = match msg.body {
@@ -92,7 +115,6 @@ impl RpcServer {
             MessageBody::Reply(_) => return Err(RpcError::UnexpectedMessageType),
         };
 
-        let mut reply_enc = XdrEncoder::with_capacity(64);
         if call.rpcvers != RPC_VERSION {
             RpcMessage::reply(
                 msg.xid,
@@ -101,8 +123,8 @@ impl RpcServer {
                     high: RPC_VERSION,
                 }),
             )
-            .encode(&mut reply_enc);
-            return Ok(reply_enc.into_inner());
+            .encode(reply_enc);
+            return Ok(());
         }
 
         let service = self.services.read().get(&(call.prog, call.vers)).cloned();
@@ -111,33 +133,33 @@ impl RpcServer {
                 Some((lo, hi)) => ReplyBody::prog_mismatch(lo, hi),
                 None => ReplyBody::failure(AcceptStat::ProgUnavail),
             };
-            RpcMessage::reply(msg.xid, body).encode(&mut reply_enc);
-            return Ok(reply_enc.into_inner());
+            RpcMessage::reply(msg.xid, body).encode(reply_enc);
+            return Ok(());
         };
 
-        // Encode an optimistic success header, then let the service append
-        // results. On failure, re-encode the header with the error status.
-        let mut result_enc = XdrEncoder::with_capacity(64);
-        match service.dispatch(call.proc, &mut dec, &mut result_enc) {
-            Ok(()) => {
-                RpcMessage::reply(msg.xid, ReplyBody::success()).encode(&mut reply_enc);
-                reply_enc.extend_raw(result_enc.as_slice());
-            }
-            Err(stat) => {
-                RpcMessage::reply(msg.xid, ReplyBody::failure(stat)).encode(&mut reply_enc);
-            }
+        RpcMessage::reply(msg.xid, ReplyBody::success()).encode(reply_enc);
+        let header_len = reply_enc.len();
+        if let Err(stat) = service.dispatch(call.proc, &mut dec, reply_enc) {
+            // Roll back any partial results plus the optimistic header.
+            reply_enc.truncate(0);
+            debug_assert!(header_len > 0);
+            RpcMessage::reply(msg.xid, ReplyBody::failure(stat)).encode(reply_enc);
         }
-        Ok(reply_enc.into_inner())
+        Ok(())
     }
 
-    /// Serve one connection until the peer disconnects.
+    /// Serve one connection until the peer disconnects. The request record
+    /// buffer and reply encoder are pooled per connection, so steady-state
+    /// service does not allocate.
     pub fn serve_connection<T: Read + Write>(&self, conn: &mut T) -> RpcResult<()> {
+        let mut record = Vec::with_capacity(4096);
+        let mut reply_enc = XdrEncoder::with_capacity(4096);
         loop {
-            let Some(record) = read_record(conn, MAX_RECORD)? else {
+            if read_record_into(conn, &mut record, MAX_RECORD)?.is_none() {
                 return Ok(());
-            };
-            let reply = self.handle_record(&record)?;
-            write_record(conn, &reply, DEFAULT_MAX_FRAGMENT)?;
+            }
+            self.handle_record_into(&record, &mut reply_enc)?;
+            write_record(conn, reply_enc.as_slice(), DEFAULT_MAX_FRAGMENT)?;
         }
     }
 

@@ -130,6 +130,10 @@ impl Read for MemTransport {
 
 impl Write for MemTransport {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // The chunk copy into the channel stands in for a real socket's
+        // copy-into-kernel-buffer; it is the one buffering copy on the send
+        // side and is charged to the copy telemetry.
+        crate::telemetry::add_memmoved(buf.len());
         self.tx
             .send(buf.to_vec())
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))?;

@@ -179,7 +179,7 @@ pub fn serve_udp<A: ToSocketAddrs>(
                 };
                 received += 1;
                 if let Some(every) = loss_every {
-                    if received % every == 0 {
+                    if received.is_multiple_of(every) {
                         continue; // simulated datagram loss
                     }
                 }
@@ -220,8 +220,7 @@ mod tests {
                             Ok(())
                         }
                         2 => {
-                            let data =
-                                args.get_opaque().map_err(|_| AcceptStat::GarbageArgs)?;
+                            let data = args.get_opaque().map_err(|_| AcceptStat::GarbageArgs)?;
                             reply.put_opaque(data);
                             Ok(())
                         }
@@ -283,7 +282,10 @@ mod tests {
         client.attempts = 2;
         let err = client.call::<(), ()>(0, &()).unwrap_err();
         // ICMP port-unreachable may surface as an IO error, or we time out.
-        assert!(matches!(err, RpcError::TimedOut | RpcError::Io(_) | RpcError::ConnectionClosed));
+        assert!(matches!(
+            err,
+            RpcError::TimedOut | RpcError::Io(_) | RpcError::ConnectionClosed
+        ));
     }
 
     #[test]

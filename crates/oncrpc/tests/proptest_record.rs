@@ -2,10 +2,96 @@
 //! contrasts against the `onc_rpc` crate (which "lacks support for
 //! fragmented messages").
 
-use oncrpc::record::{read_record, write_record, MAX_RECORD};
+use oncrpc::record::{read_record, write_record, write_record_sg, MAX_RECORD};
 use proptest::prelude::*;
+use std::io::{self, Write};
+
+/// Reference implementation: the seed's copying record writer — build each
+/// fragment as header-then-payload with plain `extend_from_slice`. The
+/// scatter-gather path must be byte-identical to this.
+fn legacy_write_record(payload: &[u8], max_fragment: usize) -> Vec<u8> {
+    let mut wire = Vec::new();
+    let mut offset = 0;
+    loop {
+        let remaining = payload.len() - offset;
+        let frag = remaining.min(max_fragment);
+        let last = frag == remaining;
+        let header = (frag as u32) | if last { 0x8000_0000 } else { 0 };
+        wire.extend_from_slice(&header.to_be_bytes());
+        wire.extend_from_slice(&payload[offset..offset + frag]);
+        offset += frag;
+        if last {
+            break;
+        }
+    }
+    wire
+}
+
+/// Split `payload` at the (deduplicated, sorted) cut points into a gather
+/// list, including any empty segments the cuts produce.
+fn split_segments<'a>(payload: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % (payload.len() + 1)).collect();
+    points.sort_unstable();
+    let mut segs = Vec::new();
+    let mut prev = 0;
+    for c in points {
+        segs.push(&payload[prev..c]);
+        prev = c;
+    }
+    segs.push(&payload[prev..]);
+    segs
+}
+
+/// A writer that accepts at most `max` bytes per `write` call, forcing the
+/// vectored writer through its short-write/advance paths.
+struct ShortWriter {
+    out: Vec<u8>,
+    max: usize,
+}
+
+impl Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.max);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
 
 proptest! {
+    /// The scatter-gather writer must emit byte-identical wire output to
+    /// the legacy copying path for any segmentation of the payload, any
+    /// fragment size.
+    #[test]
+    fn sg_wire_output_identical_to_legacy(
+        payload in proptest::collection::vec(any::<u8>(), 0..50_000),
+        max_fragment in 1usize..10_000,
+        cuts in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let segs = split_segments(&payload, &cuts);
+        let mut wire = Vec::new();
+        write_record_sg(&mut wire, &segs, max_fragment).unwrap();
+        prop_assert_eq!(wire, legacy_write_record(&payload, max_fragment));
+    }
+
+    /// Same equivalence through a writer that only accepts a few bytes per
+    /// call — exercises `write_vectored` slice advancement across short
+    /// writes and fragment-header boundaries.
+    #[test]
+    fn sg_wire_output_survives_short_writes(
+        payload in proptest::collection::vec(any::<u8>(), 0..5_000),
+        max_fragment in 1usize..600,
+        cuts in proptest::collection::vec(any::<usize>(), 0..4),
+        max_write in 1usize..7,
+    ) {
+        let segs = split_segments(&payload, &cuts);
+        let mut w = ShortWriter { out: Vec::new(), max: max_write };
+        write_record_sg(&mut w, &segs, max_fragment).unwrap();
+        prop_assert_eq!(w.out, legacy_write_record(&payload, max_fragment));
+    }
+
     #[test]
     fn roundtrip_any_payload_any_fragment_size(
         payload in proptest::collection::vec(any::<u8>(), 0..50_000),
@@ -60,13 +146,10 @@ proptest! {
         let cut = ((wire.len() as f64) * cut_fraction) as usize;
         if cut < wire.len() {
             let mut cursor = std::io::Cursor::new(&wire[..cut]);
-            match read_record(&mut cursor, MAX_RECORD) {
-                Ok(Some(got)) => prop_assert!(
-                    got.len() < payload.len(),
-                    "a truncated stream cannot yield the full record"
-                ),
-                Ok(None) | Err(_) => {}
-            }
+            if let Ok(Some(got)) = read_record(&mut cursor, MAX_RECORD) { prop_assert!(
+                got.len() < payload.len(),
+                "a truncated stream cannot yield the full record"
+            ) }
         }
     }
 

@@ -181,7 +181,11 @@ mod tests {
         let (ctx, _setup) = simulated(EnvConfig::RustNative);
         let cfg = LinearSolverConfig::small();
         let report = run(&ctx, &cfg).unwrap();
-        assert!(report.valid, "info={}, stats={:?}", report.last_info, report.stats);
+        assert!(
+            report.valid,
+            "info={}, stats={:?}",
+            report.last_info, report.stats
+        );
         assert_eq!(report.stats.api_calls, cfg.expected_api_calls());
         assert_eq!(report.stats.per_api["cusolverDnDgetrf"] as usize, 5);
     }

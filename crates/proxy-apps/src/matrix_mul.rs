@@ -84,7 +84,9 @@ pub struct MatrixMulReport {
 /// matrices; we use low-entropy deterministic values to keep validation
 /// meaningful).
 fn input_matrices(cfg: &MatrixMulConfig) -> (Vec<f32>, Vec<f32>) {
-    let a: Vec<f32> = (0..cfg.ha * cfg.wa).map(|i| ((i % 7) as f32) * 0.25).collect();
+    let a: Vec<f32> = (0..cfg.ha * cfg.wa)
+        .map(|i| ((i % 7) as f32) * 0.25)
+        .collect();
     let b: Vec<f32> = (0..cfg.wa * cfg.wb)
         .map(|i| ((i % 5) as f32) * 0.5 - 1.0)
         .collect();
@@ -109,7 +111,9 @@ fn reference(cfg: &MatrixMulConfig, a: &[f32], b: &[f32]) -> Vec<f32> {
 /// Run the proxy app on `ctx`.
 pub fn run(ctx: &Context, cfg: &MatrixMulConfig) -> ClientResult<MatrixMulReport> {
     assert!(
-        cfg.ha % BLOCK as usize == 0 && cfg.wa % BLOCK as usize == 0 && cfg.wb % BLOCK as usize == 0,
+        cfg.ha.is_multiple_of(BLOCK as usize)
+            && cfg.wa.is_multiple_of(BLOCK as usize)
+            && cfg.wb.is_multiple_of(BLOCK as usize),
         "dimensions must be multiples of the {BLOCK}-wide tile"
     );
     ctx.with_raw(|r| r.stats.reset());
@@ -206,10 +210,7 @@ mod tests {
         let report = run(&ctx, &cfg).unwrap();
         assert!(report.valid, "device product must match host reference");
         assert_eq!(report.stats.api_calls, cfg.expected_api_calls());
-        assert_eq!(
-            report.stats.launches as usize,
-            cfg.iterations + cfg.warmups
-        );
+        assert_eq!(report.stats.launches as usize, cfg.iterations + cfg.warmups);
         assert!(report.kernel_ms > 0.0);
     }
 
@@ -228,7 +229,12 @@ mod tests {
         let cfg = MatrixMulConfig::small();
         let report = run(&ctx, &cfg).unwrap();
         let memcpy_bytes = report.stats.bytes_h2d + report.stats.bytes_d2h
-            - report.stats.per_api.get("cuModuleLoadData").map(|_| 0).unwrap_or(0);
+            - report
+                .stats
+                .per_api
+                .get("cuModuleLoadData")
+                .map(|_| 0)
+                .unwrap_or(0);
         // bytes_h2d includes the module image; subtract it for comparison.
         let module_bytes = memcpy_bytes
             .checked_sub(cfg.expected_bytes())

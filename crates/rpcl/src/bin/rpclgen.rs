@@ -32,9 +32,7 @@ fn main() -> ExitCode {
                 None => return usage("-o requires a value"),
             },
             "-h" | "--help" => return usage(""),
-            other if other.starts_with('-') => {
-                return usage(&format!("unknown flag {other}"))
-            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
             other => {
                 if input.replace(other.to_string()).is_some() {
                     return usage("multiple input files given");

@@ -122,55 +122,94 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                 }
             }
             b'{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             b'}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             b'[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             b']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             b'<' => {
-                tokens.push(Token { kind: TokenKind::Lt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Lt,
+                    line,
+                });
                 i += 1;
             }
             b'>' => {
-                tokens.push(Token { kind: TokenKind::Gt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Gt,
+                    line,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, line });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    line,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, line });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 i += 1;
             }
             b':' => {
-                tokens.push(Token { kind: TokenKind::Colon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             b'-' | b'0'..=b'9' => {
@@ -189,10 +228,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, Error> {
                     if bytes[i] == b'0' && i + 1 < n && (bytes[i + 1] | 0x20) == b'x' {
                         i += 2;
                         (16, i)
-                    } else if bytes[i] == b'0'
-                        && i + 1 < n
-                        && bytes[i + 1].is_ascii_digit()
-                    {
+                    } else if bytes[i] == b'0' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
                         i += 1;
                         (8, i)
                     } else {

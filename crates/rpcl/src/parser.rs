@@ -385,9 +385,7 @@ impl Parser {
             "hyper" => TypeSpec::Hyper,
             "float" => TypeSpec::Float,
             "double" => TypeSpec::Double,
-            "quadruple" => {
-                return self.err("quadruple-precision floats are not supported")
-            }
+            "quadruple" => return self.err("quadruple-precision floats are not supported"),
             "bool" => TypeSpec::Bool,
             "void" => TypeSpec::Void,
             "string" => TypeSpec::StringType,
@@ -462,10 +460,7 @@ mod tests {
 
     #[test]
     fn parse_consts_and_enum() {
-        let spec = parse(
-            "const A = 5; const B = A; enum color { RED = 1, GREEN = 2 };",
-        )
-        .unwrap();
+        let spec = parse("const A = 5; const B = A; enum color { RED = 1, GREEN = 2 };").unwrap();
         assert_eq!(spec.definitions.len(), 3);
         match &spec.definitions[1] {
             Definition::Const(c) => assert_eq!(c.value, 5),
@@ -536,10 +531,7 @@ mod tests {
 
     #[test]
     fn duplicate_case_rejected() {
-        assert!(parse(
-            "union u switch (int d) { case 0: int a; case 0: int b; };"
-        )
-        .is_err());
+        assert!(parse("union u switch (int d) { case 0: int a; case 0: int b; };").is_err());
     }
 
     #[test]
@@ -567,10 +559,9 @@ mod tests {
 
     #[test]
     fn typedef_forms() {
-        let spec = parse(
-            "typedef opaque mem_data<>; typedef unsigned hyper ptr; typedef int four[4];",
-        )
-        .unwrap();
+        let spec =
+            parse("typedef opaque mem_data<>; typedef unsigned hyper ptr; typedef int four[4];")
+                .unwrap();
         assert_eq!(spec.definitions.len(), 3);
     }
 
@@ -590,10 +581,10 @@ mod tests {
 
     #[test]
     fn duplicate_proc_number_rejected() {
-        assert!(parse(
-            "program P { version V { void A(void) = 1; void B(void) = 1; } = 1; } = 9;"
-        )
-        .is_err());
+        assert!(
+            parse("program P { version V { void A(void) = 1; void B(void) = 1; } = 1; } = 9;")
+                .is_err()
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn generates_to_stdout() {
     std::fs::create_dir_all(&dir).unwrap();
     let spec = write_spec(&dir);
     let out = rpclgen().arg(&spec).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let code = String::from_utf8(out.stdout).unwrap();
     assert!(code.contains("pub struct Point"));
     assert!(code.contains("pub struct DemoV1Client"));
@@ -50,7 +54,10 @@ fn writes_output_file_and_respects_flags() {
     assert!(out.status.success());
     let code = std::fs::read_to_string(&out_path).unwrap();
     assert!(code.contains("DemoV1Client"));
-    assert!(!code.contains("DemoV1Service"), "--client-only must skip the server");
+    assert!(
+        !code.contains("DemoV1Service"),
+        "--client-only must skip the server"
+    );
     assert!(code.contains("::my_xdr::Xdr"));
 }
 

@@ -29,13 +29,10 @@ fn cricket_codegen_contains_every_expected_item() {
         "pub struct CricketV1Client",
         "pub trait CricketV1Service",
         "pub struct CricketV1Dispatch<S>(pub S);",
-        "fn cuda_memcpy_htod(&mut self, arg0: &u64, arg1: &MemData)",
+        "fn cuda_memcpy_htod(&mut self, arg0: &u64, arg1: &[u8])",
         "fn cusolver_dn_dgetrs(&self,",
     ] {
-        assert!(
-            code.contains(item),
-            "generated code is missing `{item}`"
-        );
+        assert!(code.contains(item), "generated code is missing `{item}`");
     }
 }
 

@@ -39,12 +39,10 @@ impl SimClock {
     pub fn advance_to(&self, t_ns: u64) -> u64 {
         let mut cur = self.now_ns.load(Ordering::Relaxed);
         while cur < t_ns {
-            match self.now_ns.compare_exchange_weak(
-                cur,
-                t_ns,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .now_ns
+                .compare_exchange_weak(cur, t_ns, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return t_ns,
                 Err(actual) => cur = actual,
             }

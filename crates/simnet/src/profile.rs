@@ -167,8 +167,7 @@ impl GuestCosts {
 
         let seg_total = plan.software_segments as u64 * self.tx_seg_ns;
         let kick_total = acc.kicks as u64 * vmexit;
-        let copies = 1 + self.tx_extra_copies
-            + if self.offloads.scatter_gather { 0 } else { 1 };
+        let copies = 1 + self.tx_extra_copies + if self.offloads.scatter_gather { 0 } else { 1 };
         let byte_costs = (plan.checksum_bytes as f64 * self.csum_ns_per_byte
             + bytes as f64 * self.copy_ns_per_byte * copies as f64) as u64;
 
@@ -199,11 +198,8 @@ impl GuestCosts {
             + bytes as f64 * self.copy_ns_per_byte * acc.copies_per_segment as f64)
             as u64;
 
-        let fixed_ns = self.syscall_ns
-            + self.rx_fixed_ns
-            + self.rx_seg_ns
-            + vmexit
-            + self.context_switch_ns;
+        let fixed_ns =
+            self.syscall_ns + self.rx_fixed_ns + self.rx_seg_ns + vmexit + self.context_switch_ns;
         let bulk_ns = (seg_total - self.rx_seg_ns) + (intr_total - vmexit) + byte_costs;
         CostParts { fixed_ns, bulk_ns }
     }

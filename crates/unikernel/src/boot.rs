@@ -53,14 +53,14 @@ impl Footprint {
                 min_memory_mib: 16.0,
                 syscall_ns: 200.0,
             },
-            GuestKind::RustyHermit
-            | GuestKind::RustyHermitLegacy
-            | GuestKind::RustyHermitTso => Footprint {
-                image_mib: 4.0,
-                boot_ms: 60.0,
-                min_memory_mib: 32.0,
-                syscall_ns: 150.0,
-            },
+            GuestKind::RustyHermit | GuestKind::RustyHermitLegacy | GuestKind::RustyHermitTso => {
+                Footprint {
+                    image_mib: 4.0,
+                    boot_ms: 60.0,
+                    min_memory_mib: 32.0,
+                    syscall_ns: 150.0,
+                }
+            }
         }
     }
 }

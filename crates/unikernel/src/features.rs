@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn negotiation_is_intersection() {
-        let n = negotiate(VirtioFeatures::qemu_device(), VirtioFeatures::hermit_driver());
+        let n = negotiate(
+            VirtioFeatures::qemu_device(),
+            VirtioFeatures::hermit_driver(),
+        );
         assert!(n.contains(VirtioFeatures::CSUM));
         assert!(n.contains(VirtioFeatures::GUEST_CSUM));
         assert!(n.contains(VirtioFeatures::MRG_RXBUF));
@@ -159,17 +162,26 @@ mod tests {
 
     #[test]
     fn linux_negotiates_everything() {
-        let n = negotiate(VirtioFeatures::qemu_device(), VirtioFeatures::linux_driver());
+        let n = negotiate(
+            VirtioFeatures::qemu_device(),
+            VirtioFeatures::linux_driver(),
+        );
         let o = n.offloads();
         assert!(o.tso && o.tx_csum && o.rx_csum && o.mrg_rxbuf && o.scatter_gather);
     }
 
     #[test]
     fn hermit_offloads_match_paper() {
-        let o = negotiate(VirtioFeatures::qemu_device(), VirtioFeatures::hermit_driver())
-            .offloads();
+        let o = negotiate(
+            VirtioFeatures::qemu_device(),
+            VirtioFeatures::hermit_driver(),
+        )
+        .offloads();
         assert!(!o.tso, "RustyHermit has no TSO (the paper's future work)");
-        assert!(o.tx_csum && o.rx_csum && o.mrg_rxbuf, "the paper's §3.1 additions");
+        assert!(
+            o.tx_csum && o.rx_csum && o.mrg_rxbuf,
+            "the paper's §3.1 additions"
+        );
     }
 
     #[test]
@@ -179,7 +191,10 @@ mod tests {
             VirtioFeatures::unikraft_driver(),
         )
         .offloads();
-        assert!(!o.tx_csum && !o.rx_csum, "no checksum offload in Unikraft yet");
+        assert!(
+            !o.tx_csum && !o.rx_csum,
+            "no checksum offload in Unikraft yet"
+        );
         assert!(!o.tso);
         assert!(o.mrg_rxbuf);
     }

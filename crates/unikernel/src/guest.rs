@@ -222,7 +222,10 @@ impl Guest {
     /// data path by allowing direct access to hardware queues" — kicks
     /// become doorbell writes to hardware instead of vm-exits.
     pub fn with_vdpa(mut self) -> Self {
-        assert!(self.costs.virtualized, "vDPA only applies to virtualized guests");
+        assert!(
+            self.costs.virtualized,
+            "vDPA only applies to virtualized guests"
+        );
         self.costs.name = format!("{}+vdpa", self.costs.name);
         // A doorbell write to a hardware queue costs ~0.5 µs instead of a
         // ~12.5 µs trap into the hypervisor.
@@ -251,7 +254,9 @@ mod tests {
 
     fn round_ns(kind: GuestKind) -> u64 {
         let g = Guest::new(kind);
-        NetPath::to_gpu_node(g.costs).rpc_round(48, 32, 8_000).total_ns()
+        NetPath::to_gpu_node(g.costs)
+            .rpc_round(48, 32, 8_000)
+            .total_ns()
     }
 
     #[test]
@@ -271,14 +276,15 @@ mod tests {
             hermit > 2 * native,
             "hermit {hermit} must exceed 2x native {native}"
         );
-        assert!(vm < 4 * native, "vm {vm} implausibly slow vs native {native}");
+        assert!(
+            vm < 4 * native,
+            "vm {vm} implausibly slow vs native {native}"
+        );
     }
 
     #[test]
     fn fig7_bandwidth_shape_matches_paper() {
-        let bw = |g: Guest| {
-            NetPath::to_gpu_node(g.costs).bulk_bandwidth_bps(512 << 20, true)
-        };
+        let bw = |g: Guest| NetPath::to_gpu_node(g.costs).bulk_bandwidth_bps(512 << 20, true);
         let native = bw(Guest::new(GuestKind::NativeLinux));
         let vm = bw(Guest::new(GuestKind::LinuxVm));
         let hermit = bw(Guest::new(GuestKind::RustyHermit));
@@ -334,7 +340,10 @@ mod tests {
 
     #[test]
     fn unikernels_have_no_guest_context_switches() {
-        assert_eq!(Guest::new(GuestKind::RustyHermit).costs.context_switch_ns, 0);
+        assert_eq!(
+            Guest::new(GuestKind::RustyHermit).costs.context_switch_ns,
+            0
+        );
         assert_eq!(Guest::new(GuestKind::Unikraft).costs.context_switch_ns, 0);
         assert!(Guest::new(GuestKind::LinuxVm).costs.context_switch_ns > 0);
     }
@@ -355,7 +364,11 @@ mod tests {
     fn future_work_vdpa_cuts_per_call_latency() {
         let plain = Guest::new(GuestKind::RustyHermit);
         let vdpa = Guest::new(GuestKind::RustyHermit).with_vdpa();
-        let t = |g: Guest| NetPath::to_gpu_node(g.costs).rpc_round(48, 32, 8_000).total_ns();
+        let t = |g: Guest| {
+            NetPath::to_gpu_node(g.costs)
+                .rpc_round(48, 32, 8_000)
+                .total_ns()
+        };
         let (t_plain, t_vdpa) = (t(plain), t(vdpa));
         assert!(
             t_vdpa + 15_000 < t_plain,

@@ -121,7 +121,14 @@ impl TcpEndpoint {
         }
     }
 
-    fn make_segment(&self, seq: u32, ack: u32, syn: bool, ack_flag: bool, payload: Vec<u8>) -> Segment {
+    fn make_segment(
+        &self,
+        seq: u32,
+        ack: u32,
+        syn: bool,
+        ack_flag: bool,
+        payload: Vec<u8>,
+    ) -> Segment {
         let mut seg = Segment {
             header: SegHeader {
                 seq,
@@ -230,7 +237,9 @@ impl TcpEndpoint {
 pub fn handshake(client: &mut TcpEndpoint, server: &mut TcpEndpoint) {
     let syn = client.connect();
     let synack = server.accept(&syn).expect("server accepts SYN");
-    let ack = client.complete_handshake(&synack).expect("client completes");
+    let ack = client
+        .complete_handshake(&synack)
+        .expect("client completes");
     assert!(server.finish_accept(&ack), "server finishes");
 }
 
@@ -270,7 +279,10 @@ mod tests {
         };
         assert!(c.complete_handshake(&bogus).is_none());
         // A second connect attempt from a non-Closed state is also refused.
-        assert!(s.accept(&bogus).is_some(), "fresh passive endpoint accepts a SYN");
+        assert!(
+            s.accept(&bogus).is_some(),
+            "fresh passive endpoint accepts a SYN"
+        );
         assert!(s.accept(&bogus).is_none(), "but only once");
     }
 

@@ -152,11 +152,7 @@ mod tests {
         let data = vec![0xa5u8; 100_000];
         let supers = guest.send(&data);
         assert_eq!(supers.len(), 2, "two 64 KiB super-segments");
-        let frames = guest_tx(
-            VirtioFeatures::qemu_device(),
-            supers,
-            9000 - 40,
-        );
+        let frames = guest_tx(VirtioFeatures::qemu_device(), supers, 9000 - 40);
         let mut wire: Vec<Segment> = Vec::new();
         for f in frames {
             wire.extend(host_segment(f));
@@ -177,7 +173,9 @@ mod tests {
         let segs = c.send(&data);
         let frames = guest_tx(VirtioFeatures::MRG_RXBUF, segs, 8960);
         // No GSO marking, no device checksum work.
-        assert!(frames.iter().all(|f| f.hdr.gso_size == 0 && !f.hdr.needs_csum));
+        assert!(frames
+            .iter()
+            .all(|f| f.hdr.gso_size == 0 && !f.hdr.needs_csum));
         let wire: Vec<Segment> = frames.into_iter().flat_map(host_segment).collect();
         assert_eq!(wire.len(), 50_000usize.div_ceil(8960));
         assert!(wire.iter().all(|s| s.verify()));

@@ -143,7 +143,23 @@ mod tests {
         let pa = upload_f64(&mut dev, &a);
         let pi = upload_f64(&mut dev, &ident);
         let pc = upload_f64(&mut dev, &vec![0f64; n * n]);
-        dgemm(&mut dev, Op::N, Op::N, n, n, n, 1.0, pa, n, pi, n, 0.0, pc, n).unwrap();
+        dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            n,
+            n,
+            n,
+            1.0,
+            pa,
+            n,
+            pi,
+            n,
+            0.0,
+            pc,
+            n,
+        )
+        .unwrap();
         let c = bytes_to_f64(dev.mem.read(pc, (n * n * 8) as u64).unwrap());
         assert_eq!(c, a);
     }
@@ -155,7 +171,23 @@ mod tests {
         let pa = upload_f32(&mut dev, &[1.0, 3.0, 2.0, 4.0]);
         let pb = upload_f32(&mut dev, &[5.0, 7.0, 6.0, 8.0]);
         let pc = upload_f32(&mut dev, &[0.0; 4]);
-        sgemm(&mut dev, Op::N, Op::N, 2, 2, 2, 1.0, pa, 2, pb, 2, 0.0, pc, 2).unwrap();
+        sgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            2,
+            2,
+            2,
+            1.0,
+            pa,
+            2,
+            pb,
+            2,
+            0.0,
+            pc,
+            2,
+        )
+        .unwrap();
         let c = bytes_to_f32(dev.mem.read(pc, 16).unwrap());
         // C = A*B = [[19,22],[43,50]] col-major [19,43,22,50].
         assert_eq!(c, vec![19.0, 43.0, 22.0, 50.0]);
@@ -166,9 +198,25 @@ mod tests {
         let mut dev = Device::a100();
         // A 2x3 col-major (rows=2, cols=3): [[1,2,3],[4,5,6]] → [1,4,2,5,3,6].
         let pa = upload_f64(&mut dev, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
-        let pc = upload_f64(&mut dev, &vec![0f64; 9]);
+        let pc = upload_f64(&mut dev, &[0f64; 9]);
         // C (3x3) = A^T * A.
-        dgemm(&mut dev, Op::T, Op::N, 3, 3, 2, 1.0, pa, 2, pa, 2, 0.0, pc, 3).unwrap();
+        dgemm(
+            &mut dev,
+            Op::T,
+            Op::N,
+            3,
+            3,
+            2,
+            1.0,
+            pa,
+            2,
+            pa,
+            2,
+            0.0,
+            pc,
+            3,
+        )
+        .unwrap();
         let c = bytes_to_f64(dev.mem.read(pc, 72).unwrap());
         // A^T A = [[17,22,27],[22,29,36],[27,36,45]] (symmetric).
         assert_eq!(c[0], 17.0);
@@ -183,7 +231,23 @@ mod tests {
         let pa = upload_f64(&mut dev, &[1.0]);
         let pb = upload_f64(&mut dev, &[2.0]);
         let pc = upload_f64(&mut dev, &[10.0]);
-        dgemm(&mut dev, Op::N, Op::N, 1, 1, 1, 3.0, pa, 1, pb, 1, 0.5, pc, 1).unwrap();
+        dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            1,
+            1,
+            1,
+            3.0,
+            pa,
+            1,
+            pb,
+            1,
+            0.5,
+            pc,
+            1,
+        )
+        .unwrap();
         let c = bytes_to_f64(dev.mem.read(pc, 8).unwrap());
         assert_eq!(c[0], 3.0 * 2.0 + 0.5 * 10.0);
     }
@@ -192,9 +256,41 @@ mod tests {
     fn invalid_arguments_rejected() {
         let mut dev = Device::a100();
         let pa = upload_f64(&mut dev, &[0.0; 4]);
-        assert!(dgemm(&mut dev, Op::N, Op::N, 0, 1, 1, 1.0, pa, 1, pa, 1, 0.0, pa, 1).is_err());
+        assert!(dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            0,
+            1,
+            1,
+            1.0,
+            pa,
+            1,
+            pa,
+            1,
+            0.0,
+            pa,
+            1
+        )
+        .is_err());
         // lda < rows.
-        assert!(dgemm(&mut dev, Op::N, Op::N, 2, 2, 2, 1.0, pa, 1, pa, 2, 0.0, pa, 2).is_err());
+        assert!(dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            2,
+            2,
+            2,
+            1.0,
+            pa,
+            1,
+            pa,
+            2,
+            0.0,
+            pa,
+            2
+        )
+        .is_err());
         assert!(Op::from_i32(7).is_err());
     }
 
@@ -203,8 +299,40 @@ mod tests {
         let mut dev = Device::a100();
         let small = upload_f64(&mut dev, &vec![1.0; 16 * 16]);
         let big = upload_f64(&mut dev, &vec![1.0; 64 * 64]);
-        let t1 = dgemm(&mut dev, Op::N, Op::N, 16, 16, 16, 1.0, small, 16, small, 16, 0.0, small, 16).unwrap();
-        let t2 = dgemm(&mut dev, Op::N, Op::N, 64, 64, 64, 1.0, big, 64, big, 64, 0.0, big, 64).unwrap();
+        let t1 = dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            16,
+            16,
+            16,
+            1.0,
+            small,
+            16,
+            small,
+            16,
+            0.0,
+            small,
+            16,
+        )
+        .unwrap();
+        let t2 = dgemm(
+            &mut dev,
+            Op::N,
+            Op::N,
+            64,
+            64,
+            64,
+            1.0,
+            big,
+            64,
+            big,
+            64,
+            0.0,
+            big,
+            64,
+        )
+        .unwrap();
         assert!(t2 > t1);
     }
 }

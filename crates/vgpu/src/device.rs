@@ -401,7 +401,8 @@ impl Device {
         }
         let builtin = kernels::lookup(name)
             .ok_or_else(|| VgpuError::BadModule(format!("unknown kernel `{name}`")))?;
-        self.functions.insert(handle, FunctionEntry { module, builtin });
+        self.functions
+            .insert(handle, FunctionEntry { module, builtin });
         Ok(())
     }
 
@@ -432,7 +433,9 @@ impl Device {
     /// cudaStreamDestroy (waits for pending work, like CUDA).
     pub fn stream_destroy(&mut self, stream: u64) -> VgpuResult<u64> {
         if stream == 0 {
-            return Err(VgpuError::InvalidValue("cannot destroy default stream".into()));
+            return Err(VgpuError::InvalidValue(
+                "cannot destroy default stream".into(),
+            ));
         }
         let wait = self.stream_wait(stream);
         self.streams
@@ -510,8 +513,7 @@ impl Device {
             .events
             .get(&event)
             .ok_or(VgpuError::InvalidHandle(event))?;
-        Ok(e
-            .recorded_at_ns
+        Ok(e.recorded_at_ns
             .map(|t| t.saturating_sub(self.clock.now_ns()))
             .unwrap_or(0))
     }
@@ -562,7 +564,9 @@ mod tests {
     #[test]
     fn module_with_unknown_kernel_rejected() {
         let mut d = Device::a100();
-        let image = CubinBuilder::new().kernel("notARealKernel", &[8]).build(false);
+        let image = CubinBuilder::new()
+            .kernel("notARealKernel", &[8])
+            .build(false);
         assert!(matches!(
             d.module_load(&image),
             Err(VgpuError::BadModule(_))
@@ -572,7 +576,9 @@ mod tests {
     #[test]
     fn module_with_wrong_param_count_rejected() {
         let mut d = Device::a100();
-        let image = CubinBuilder::new().kernel("vectorAdd", &[8, 8]).build(false);
+        let image = CubinBuilder::new()
+            .kernel("vectorAdd", &[8, 8])
+            .build(false);
         assert!(d.module_load(&image).is_err());
     }
 
@@ -595,9 +601,16 @@ mod tests {
         let (a, _) = d.malloc(n * 4).unwrap();
         let (b, _) = d.malloc(n * 4).unwrap();
         let (c, _) = d.malloc(n * 4).unwrap();
-        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
-        d.memcpy_htod(b, &f32_to_bytes(&vec![2.5; n as usize])).unwrap();
-        let params = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize]))
+            .unwrap();
+        d.memcpy_htod(b, &f32_to_bytes(&vec![2.5; n as usize]))
+            .unwrap();
+        let params = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(n as u32)
+            .build();
         d.launch_kernel(f, Dim3::linear(1), Dim3::linear(256), 0, 0, &params)
             .unwrap();
         let wait = d.stream_synchronize(0).unwrap();
@@ -612,7 +625,18 @@ mod tests {
         let (f, _) = d.module_get_function(module, "empty").unwrap();
         // Too many threads per block.
         assert!(d
-            .launch_kernel(f, Dim3::one(), Dim3 { x: 2048, y: 1, z: 1 }, 0, 0, &[])
+            .launch_kernel(
+                f,
+                Dim3::one(),
+                Dim3 {
+                    x: 2048,
+                    y: 1,
+                    z: 1
+                },
+                0,
+                0,
+                &[]
+            )
             .is_err());
         // Zero grid.
         assert!(d
@@ -636,9 +660,16 @@ mod tests {
         let (a, _) = d.malloc(n * 4).unwrap();
         let (b, _) = d.malloc(n * 4).unwrap();
         let (c, _) = d.malloc(n * 4).unwrap();
-        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
-        d.memcpy_htod(b, &f32_to_bytes(&vec![2.0; n as usize])).unwrap();
-        let params = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        d.memcpy_htod(a, &f32_to_bytes(&vec![1.0; n as usize]))
+            .unwrap();
+        d.memcpy_htod(b, &f32_to_bytes(&vec![2.0; n as usize]))
+            .unwrap();
+        let params = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(n as u32)
+            .build();
         for _ in 0..10 {
             d.launch_kernel(f, Dim3::linear(1), Dim3::linear(64), 0, 0, &params)
                 .unwrap();
@@ -646,7 +677,8 @@ mod tests {
         assert_eq!(d.stats.launches, 10);
         assert_eq!(d.stats.memo_hits, 9);
         // Rewriting an input invalidates the cache.
-        d.memcpy_htod(a, &f32_to_bytes(&vec![5.0; n as usize])).unwrap();
+        d.memcpy_htod(a, &f32_to_bytes(&vec![5.0; n as usize]))
+            .unwrap();
         d.launch_kernel(f, Dim3::linear(1), Dim3::linear(64), 0, 0, &params)
             .unwrap();
         assert_eq!(d.stats.memo_hits, 9);
@@ -661,7 +693,8 @@ mod tests {
         let (mut d, module) = loaded_device();
         let (f, _) = d.module_get_function(module, "empty").unwrap();
         for _ in 0..5 {
-            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[]).unwrap();
+            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+                .unwrap();
         }
         let per_launch = d.properties().launch_overhead_ns;
         assert_eq!(d.stats.device_time_ns, 5 * per_launch);
@@ -676,7 +709,8 @@ mod tests {
         let (e1, _) = d.event_create();
         d.event_record(e0, s).unwrap();
         for _ in 0..3 {
-            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, s, &[]).unwrap();
+            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, s, &[])
+                .unwrap();
         }
         d.event_record(e1, s).unwrap();
         let ms = d.event_elapsed_ms(e0, e1).unwrap();

@@ -82,7 +82,10 @@ impl fmt::Display for VgpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VgpuError::OutOfMemory { requested, free } => {
-                write!(f, "out of device memory: requested {requested}, free {free}")
+                write!(
+                    f,
+                    "out of device memory: requested {requested}, free {free}"
+                )
             }
             VgpuError::InvalidPointer(p) => write!(f, "invalid device pointer {p:#x}"),
             VgpuError::InvalidFree(p) => write!(f, "invalid free of {p:#x}"),

@@ -35,18 +35,19 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut i = 0;
     let mut flag_pos = None::<usize>;
     let mut flag_bit = 8;
-    let push_flag = |out: &mut Vec<u8>, bit: bool, flag_pos: &mut Option<usize>, flag_bit: &mut usize| {
-        if *flag_bit == 8 {
-            out.push(0);
-            *flag_pos = Some(out.len() - 1);
-            *flag_bit = 0;
-        }
-        if bit {
-            let p = flag_pos.expect("flag byte exists");
-            out[p] |= 1 << *flag_bit;
-        }
-        *flag_bit += 1;
-    };
+    let push_flag =
+        |out: &mut Vec<u8>, bit: bool, flag_pos: &mut Option<usize>, flag_bit: &mut usize| {
+            if *flag_bit == 8 {
+                out.push(0);
+                *flag_pos = Some(out.len() - 1);
+                *flag_bit = 0;
+            }
+            if bit {
+                let p = flag_pos.expect("flag byte exists");
+                out[p] |= 1 << *flag_bit;
+            }
+            *flag_bit += 1;
+        };
 
     while i < data.len() {
         let mut best_len = 0;
@@ -218,10 +219,7 @@ mod tests {
         let data = b"some compressible compressible data".repeat(20);
         let c = compress(&data);
         for cut in [0, 2, 4, 5, c.len() / 2, c.len() - 1] {
-            assert!(
-                decompress(&c[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -146,10 +146,8 @@ pub fn exec(
             let mut out = Vec::with_capacity(vals.len());
             for b in 0..plan.batch {
                 let base = b * plan.n * 2;
-                let mut re: Vec<f64> =
-                    (0..plan.n).map(|i| vals[base + 2 * i] as f64).collect();
-                let mut im: Vec<f64> =
-                    (0..plan.n).map(|i| vals[base + 2 * i + 1] as f64).collect();
+                let mut re: Vec<f64> = (0..plan.n).map(|i| vals[base + 2 * i] as f64).collect();
+                let mut im: Vec<f64> = (0..plan.n).map(|i| vals[base + 2 * i + 1] as f64).collect();
                 fft_radix2(&mut re, &mut im, inverse);
                 for i in 0..plan.n {
                     out.push(re[i] as f32);
@@ -164,8 +162,7 @@ pub fn exec(
             for b in 0..plan.batch {
                 let base = b * plan.n * 2;
                 let mut re: Vec<f64> = (0..plan.n).map(|i| vals[base + 2 * i]).collect();
-                let mut im: Vec<f64> =
-                    (0..plan.n).map(|i| vals[base + 2 * i + 1]).collect();
+                let mut im: Vec<f64> = (0..plan.n).map(|i| vals[base + 2 * i + 1]).collect();
                 fft_radix2(&mut re, &mut im, inverse);
                 for i in 0..plan.n {
                     out.push(re[i]);
@@ -214,11 +211,17 @@ mod tests {
     #[test]
     fn plan_validation() {
         assert!(FftPlan::plan_1d(1024, CUFFT_C2C, 4).is_ok());
-        assert!(FftPlan::plan_1d(1000, CUFFT_C2C, 1).is_err(), "non power of two");
+        assert!(
+            FftPlan::plan_1d(1000, CUFFT_C2C, 1).is_err(),
+            "non power of two"
+        );
         assert!(FftPlan::plan_1d(0, CUFFT_C2C, 1).is_err());
         assert!(FftPlan::plan_1d(64, 0x12, 1).is_err(), "bad type");
         assert!(FftPlan::plan_1d(64, CUFFT_Z2Z, 0).is_err());
-        assert_eq!(FftPlan::plan_1d(64, CUFFT_Z2Z, 2).unwrap().buffer_bytes(), 64 * 2 * 16);
+        assert_eq!(
+            FftPlan::plan_1d(64, CUFFT_Z2Z, 2).unwrap().buffer_bytes(),
+            64 * 2 * 16
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub struct Params<'a>(&'a [u8]);
 impl<'a> Params<'a> {
     /// Wrap a parameter blob, validating slot alignment.
     pub fn new(blob: &'a [u8]) -> VgpuResult<Self> {
-        if blob.len() % 8 != 0 {
+        if !blob.len().is_multiple_of(8) {
             return Err(VgpuError::InvalidValue(format!(
                 "parameter blob of {} bytes is not 8-byte aligned",
                 blob.len()
@@ -86,9 +86,7 @@ impl<'a> Params<'a> {
         self.0
             .get(i * 8..i * 8 + 8)
             .map(|s| s.try_into().unwrap())
-            .ok_or_else(|| {
-                VgpuError::InvalidValue(format!("missing kernel parameter {i}"))
-            })
+            .ok_or_else(|| VgpuError::InvalidValue(format!("missing kernel parameter {i}")))
     }
 
     /// Parameter `i` as a device pointer / u64.
@@ -256,13 +254,18 @@ fn vector_add_execute(m: &mut MemoryManager, cfg: &LaunchConfig, p: Params<'_>) 
 // so hA = grid.y * 32. C (hA×wB) = A (hA×wA) × B (wA×wB), row-major.
 // ---------------------------------------------------------------------------
 
-fn matrix_mul_dims(cfg: &LaunchConfig, p: Params<'_>) -> VgpuResult<(u64, u64, u64, u64, u64, u64)> {
+fn matrix_mul_dims(
+    cfg: &LaunchConfig,
+    p: Params<'_>,
+) -> VgpuResult<(u64, u64, u64, u64, u64, u64)> {
     let (c, a, b) = (p.ptr(0)?, p.ptr(1)?, p.ptr(2)?);
     let wa = p.u32(3)? as u64;
     let wb = p.u32(4)? as u64;
     let ha = cfg.grid.y as u64 * cfg.block.y as u64;
     if wa == 0 || wb == 0 || ha == 0 {
-        return Err(VgpuError::InvalidValue("matrixMul with zero dimension".into()));
+        return Err(VgpuError::InvalidValue(
+            "matrixMul with zero dimension".into(),
+        ));
     }
     Ok((c, a, b, wa, wb, ha))
 }
@@ -546,7 +549,12 @@ mod tests {
         let bv: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
         m.write(a, &f32_to_bytes(&av)).unwrap();
         m.write(b, &f32_to_bytes(&bv)).unwrap();
-        let blob = ParamBuilder::new().ptr(c).ptr(a).ptr(b).u32(n as u32).build();
+        let blob = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(n as u32)
+            .build();
         let k = lookup("vectorAdd").unwrap();
         (k.execute)(
             &mut m,
@@ -555,8 +563,8 @@ mod tests {
         )
         .unwrap();
         let cv = bytes_to_f32(m.read(c, n * 4).unwrap());
-        for i in 0..n as usize {
-            assert_eq!(cv[i], 3.0 * i as f32);
+        for (i, v) in cv.iter().enumerate().take(n as usize) {
+            assert_eq!(*v, 3.0 * i as f32);
         }
     }
 
@@ -675,7 +683,12 @@ mod tests {
         let y = m.alloc(n * 4).unwrap();
         m.write(x, &f32_to_bytes(&vec![2.0; n as usize])).unwrap();
         m.write(y, &f32_to_bytes(&vec![1.0; n as usize])).unwrap();
-        let blob = ParamBuilder::new().ptr(y).ptr(x).f32(3.0).u32(n as u32).build();
+        let blob = ParamBuilder::new()
+            .ptr(y)
+            .ptr(x)
+            .f32(3.0)
+            .u32(n as u32)
+            .build();
         (lookup("saxpy").unwrap().execute)(
             &mut m,
             &cfg(Dim3::linear(1), Dim3::linear(128)),
@@ -688,7 +701,13 @@ mod tests {
 
     #[test]
     fn analyze_reports_sane_access_sets() {
-        let blob = ParamBuilder::new().ptr(0x100).ptr(0x200).ptr(0x300).u32(64).u32(32).build();
+        let blob = ParamBuilder::new()
+            .ptr(0x100)
+            .ptr(0x200)
+            .ptr(0x300)
+            .u32(64)
+            .u32(32)
+            .build();
         let k = lookup("matrixMulCUDA").unwrap();
         let launch = cfg(Dim3 { x: 1, y: 2, z: 1 }, Dim3 { x: 32, y: 32, z: 1 });
         let acc = (k.analyze)(&launch, Params::new(&blob).unwrap()).unwrap();

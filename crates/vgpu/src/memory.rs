@@ -283,7 +283,8 @@ impl MemoryManager {
             self.free_list.insert(start, base - start);
         }
         if start + len > base + size {
-            self.free_list.insert(base + size, (start + len) - (base + size));
+            self.free_list
+                .insert(base + size, (start + len) - (base + size));
         }
         self.blocks.insert(
             base,
@@ -404,10 +405,7 @@ mod tests {
         let mut m = mm();
         let p = m.alloc(64).unwrap();
         // 64 rounds to 256; access past the rounded size fails.
-        assert!(matches!(
-            m.read(p, 257),
-            Err(VgpuError::OutOfBounds { .. })
-        ));
+        assert!(matches!(m.read(p, 257), Err(VgpuError::OutOfBounds { .. })));
         assert!(matches!(
             m.read(0xdead, 1),
             Err(VgpuError::InvalidPointer(0xdead))

@@ -262,7 +262,10 @@ mod tests {
         let image = sample().build(false);
         let cubin = Cubin::parse(&image).unwrap();
         assert_eq!(cubin.kernels.len(), 2);
-        assert_eq!(cubin.kernel("matrixMul").unwrap().param_sizes, [8, 8, 8, 4, 4]);
+        assert_eq!(
+            cubin.kernel("matrixMul").unwrap().param_sizes,
+            [8, 8, 8, 4, 4]
+        );
         assert_eq!(cubin.kernel("matrixMul").unwrap().param_bytes(), 40);
         assert_eq!(cubin.globals[0].name, "g_seed");
         assert_eq!(cubin.code, b"fake SASS fake SASS fake SASS");
@@ -274,7 +277,10 @@ mod tests {
         let plain = sample().build(false);
         let compressed = sample().build(true);
         assert_ne!(plain, compressed);
-        assert_eq!(Cubin::parse(&plain).unwrap(), Cubin::parse(&compressed).unwrap());
+        assert_eq!(
+            Cubin::parse(&plain).unwrap(),
+            Cubin::parse(&compressed).unwrap()
+        );
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl SolverDn {
             let (ipiv, info) = lu_factor(&mut a, m, n, lda);
             let lu = f64_to_bytes(&a);
             let work = Workload {
-                flops: 2.0 / 3.0 * (m.min(n) as f64).powi(3)
-                    + (m as f64 * n as f64), // pivot search passes
+                flops: 2.0 / 3.0 * (m.min(n) as f64).powi(3) + (m as f64 * n as f64), // pivot search passes
                 bytes: 3.0 * (m * n * 8) as f64,
                 precision: Precision::F64,
             };
@@ -262,8 +261,8 @@ fn lu_solve_notrans(
     for col in 0..nrhs {
         let x = &mut b[col * ldb..col * ldb + n];
         // Apply row interchanges.
-        for k in 0..n {
-            let p = (ipiv[k] - 1) as usize;
+        for (k, &piv) in ipiv.iter().enumerate().take(n) {
+            let p = (piv - 1) as usize;
             if p != k {
                 x.swap(k, p);
             }
@@ -371,8 +370,10 @@ mod tests {
         let (mut dev, pa, pb, pipiv, pinfo, pwork, _a, x_true) = setup(n);
         let mut ctx = SolverDn::new();
         assert!(ctx.dgetrf_buffer_size(n as i32, n as i32).unwrap() >= n as i32);
-        ctx.dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo)
-            .unwrap();
+        ctx.dgetrf(
+            &mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo,
+        )
+        .unwrap();
         let info = i32::from_le_bytes(dev.mem.read(pinfo, 4).unwrap().try_into().unwrap());
         assert_eq!(info, 0);
         ctx.dgetrs(
@@ -404,8 +405,10 @@ mod tests {
         let (pbt, _) = dev.malloc((n * 8) as u64).unwrap();
         dev.memcpy_htod(pbt, &f64_to_bytes(&bt)).unwrap();
         let mut ctx = SolverDn::new();
-        ctx.dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo)
-            .unwrap();
+        ctx.dgetrf(
+            &mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo,
+        )
+        .unwrap();
         ctx.dgetrs(
             &mut dev, 1, n as i32, 1, pa, n as i32, pipiv, pbt, n as i32, pinfo,
         )
@@ -426,13 +429,17 @@ mod tests {
         let n = 12;
         let (mut dev, pa, _pb, pipiv, pinfo, pwork, a, _x) = setup(n);
         let mut ctx = SolverDn::new();
-        ctx.dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo)
-            .unwrap();
+        ctx.dgetrf(
+            &mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo,
+        )
+        .unwrap();
         let lu1 = dev.mem.read(pa, (n * n * 8) as u64).unwrap().to_vec();
         // Re-upload the same A (as the benchmark does each iteration).
         dev.memcpy_htod(pa, &f64_to_bytes(&a)).unwrap();
-        ctx.dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo)
-            .unwrap();
+        ctx.dgetrf(
+            &mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo,
+        )
+        .unwrap();
         let lu2 = dev.mem.read(pa, (n * n * 8) as u64).unwrap().to_vec();
         assert_eq!(lu1, lu2);
         assert_eq!(ctx.factorizations, 1);
@@ -450,7 +457,8 @@ mod tests {
         let (pwork, _) = dev.malloc(24).unwrap();
         dev.memcpy_htod(pa, &f64_to_bytes(&a)).unwrap();
         let mut ctx = SolverDn::new();
-        ctx.dgetrf(&mut dev, 3, 3, pa, 3, pwork, pipiv, pinfo).unwrap();
+        ctx.dgetrf(&mut dev, 3, 3, pa, 3, pwork, pipiv, pinfo)
+            .unwrap();
         let info = i32::from_le_bytes(dev.mem.read(pinfo, 4).unwrap().try_into().unwrap());
         assert_eq!(info, 1);
     }
@@ -464,7 +472,10 @@ mod tests {
             .dgetrf(&mut dev, 4, 4, 0x1000, 2 /* lda < m */, 0, 0, 0)
             .is_err());
         assert!(ctx
-            .dgetrs(&mut dev, 7 /* bad trans */, 4, 1, 0x1000, 4, 0x2000, 0x3000, 4, 0x4000)
+            .dgetrs(
+                &mut dev, 7, /* bad trans */
+                4, 1, 0x1000, 4, 0x2000, 0x3000, 4, 0x4000
+            )
             .is_err());
     }
 
@@ -473,8 +484,10 @@ mod tests {
         let n = 4;
         let (mut dev, pa, pb, pipiv, pinfo, pwork, _a, _x) = setup(n);
         let mut ctx = SolverDn::new();
-        ctx.dgetrf(&mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo)
-            .unwrap();
+        ctx.dgetrf(
+            &mut dev, n as i32, n as i32, pa, n as i32, pwork, pipiv, pinfo,
+        )
+        .unwrap();
         dev.memcpy_htod(pipiv, &99i32.to_le_bytes()).unwrap();
         assert!(ctx
             .dgetrs(&mut dev, 0, n as i32, 1, pa, n as i32, pipiv, pb, n as i32, pinfo)

@@ -161,12 +161,30 @@ impl<'a> XdrDecoder<'a> {
         self.get_opaque_fixed(len)
     }
 
+    /// Read variable-length opaque data **without copying**: the returned
+    /// slice borrows the decoder's input for its full lifetime `'a`, so it
+    /// can outlive the decoder itself (e.g. be handed to a service method
+    /// while the request record stays pooled). Identical wire format to
+    /// [`XdrDecoder::get_opaque`]; the separate name marks call sites on the
+    /// zero-copy path.
+    #[inline]
+    pub fn get_opaque_ref(&mut self) -> XdrResult<&'a [u8]> {
+        self.get_opaque()
+    }
+
     /// Read an XDR string (UTF-8 validated).
     pub fn get_string(&mut self) -> XdrResult<String> {
         let bytes = self.get_opaque()?;
         std::str::from_utf8(bytes)
             .map(str::to_owned)
             .map_err(|_| XdrError::InvalidUtf8)
+    }
+
+    /// Read an XDR string without copying: UTF-8 validated view borrowing
+    /// the decoder's input for its full lifetime `'a`.
+    pub fn get_str_ref(&mut self) -> XdrResult<&'a str> {
+        let bytes = self.get_opaque()?;
+        std::str::from_utf8(bytes).map_err(|_| XdrError::InvalidUtf8)
     }
 
     /// Read a variable-length array of `T`.

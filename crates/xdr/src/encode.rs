@@ -47,6 +47,13 @@ impl XdrEncoder {
         self.buf.clear();
     }
 
+    /// Roll the stream back to `len` bytes. Used by the RPC server to drop
+    /// an optimistically written success header when dispatch fails, so the
+    /// reply can be re-encoded into the same buffer without copying.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
     /// Consume the encoder, returning the encoded bytes.
     pub fn into_inner(self) -> Vec<u8> {
         self.buf
@@ -60,7 +67,7 @@ impl XdrEncoder {
 
     /// Encode any [`Xdr`] value.
     #[inline]
-    pub fn put<T: Xdr + ?Sized>(&mut self, value: &T) -> &mut Self {
+    pub fn put<T: Xdr>(&mut self, value: &T) -> &mut Self {
         value.encode(self);
         self
     }
@@ -128,10 +135,17 @@ impl XdrEncoder {
     }
 
     /// Write the zero fill that follows `payload_len` bytes of opaque data.
+    /// Public so scatter-gather encoding can emit the padding for a payload
+    /// that lives outside the owned stream.
     #[inline]
-    fn put_padding(&mut self, payload_len: usize) {
+    pub fn put_padding_for(&mut self, payload_len: usize) {
         const ZEROS: [u8; 4] = [0; 4];
         self.buf.extend_from_slice(&ZEROS[..pad_bytes(payload_len)]);
+    }
+
+    #[inline]
+    fn put_padding(&mut self, payload_len: usize) {
+        self.put_padding_for(payload_len);
     }
 
     /// Append pre-encoded XDR bytes verbatim. The caller asserts the bytes
@@ -188,7 +202,10 @@ mod tests {
     fn opaque_is_padded() {
         let mut e = XdrEncoder::new();
         e.put_opaque(b"abcde");
-        assert_eq!(e.as_slice(), [0, 0, 0, 5, b'a', b'b', b'c', b'd', b'e', 0, 0, 0]);
+        assert_eq!(
+            e.as_slice(),
+            [0, 0, 0, 5, b'a', b'b', b'c', b'd', b'e', 0, 0, 0]
+        );
         assert_eq!(e.len() % 4, 0);
     }
 

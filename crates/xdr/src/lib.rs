@@ -20,11 +20,13 @@
 mod decode;
 mod encode;
 mod error;
+mod sg;
 mod traits;
 
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::{XdrError, XdrResult};
+pub use sg::{XdrSgEncoder, MAX_DEFERRED, MAX_SEGMENTS};
 pub use traits::{Xdr, XdrVec};
 
 /// XDR unit of alignment: every item occupies a multiple of four bytes.
@@ -43,7 +45,7 @@ pub const fn pad_bytes(n: usize) -> usize {
 }
 
 /// Encode a value into a fresh buffer. Convenience for tests and one-shot use.
-pub fn encode<T: Xdr + ?Sized>(value: &T) -> Vec<u8> {
+pub fn encode<T: Xdr>(value: &T) -> Vec<u8> {
     let mut enc = XdrEncoder::new();
     value.encode(&mut enc);
     enc.into_inner()

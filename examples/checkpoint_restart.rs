@@ -33,7 +33,14 @@ fn main() -> ClientResult<()> {
         .f32(10.0)
         .u32(N as u32)
         .build();
-    ctx.launch(&saxpy, (16, 1, 1).into(), (256, 1, 1).into(), 0, None, &params)?;
+    ctx.launch(
+        &saxpy,
+        (16, 1, 1).into(),
+        (256, 1, 1).into(),
+        0,
+        None,
+        &params,
+    )?;
     ctx.synchronize()?;
     println!("node A: y = 10*x + y computed (y[0] = 21)");
 

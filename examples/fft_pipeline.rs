@@ -55,8 +55,8 @@ fn main() -> ClientResult<()> {
         let mut acc = 0.0;
         for i in 0..N {
             let t = i as f64 / N as f64;
-            acc += (filtered[2 * i] / N as f64)
-                * (2.0 * std::f64::consts::PI * bin as f64 * t).sin();
+            acc +=
+                (filtered[2 * i] / N as f64) * (2.0 * std::f64::consts::PI * bin as f64 * t).sin();
         }
         2.0 * acc / N as f64
     };

@@ -22,7 +22,10 @@ fn main() {
         "matrixMul: A {}x{}, B {}x{}, {} iterations",
         cfg.ha, cfg.wa, cfg.wa, cfg.wb, cfg.iterations
     );
-    println!("{:<10} {:>12} {:>14} {:>12} {:>8}", "config", "time [s]", "API calls", "moved MiB", "valid");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>8}",
+        "config", "time [s]", "API calls", "moved MiB", "valid"
+    );
 
     for env in EnvConfig::table1() {
         let (ctx, setup) = simulated(env);

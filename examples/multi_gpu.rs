@@ -45,7 +45,7 @@ fn main() -> ClientResult<()> {
         for _ in 0..5 {
             ctx.launch(
                 &saxpy,
-                (((N as u32) + 255) / 256, 1, 1).into(),
+                ((N as u32).div_ceil(256), 1, 1).into(),
                 (256, 1, 1).into(),
                 0,
                 None,

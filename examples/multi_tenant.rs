@@ -12,7 +12,7 @@
 //! ```
 
 use cricket_repro::prelude::*;
-use cricket_server::{make_rpc_server, CricketServer, ServerConfig, SchedulerPolicy, SimTransport};
+use cricket_server::{make_rpc_server, CricketServer, SchedulerPolicy, ServerConfig, SimTransport};
 use simnet::SimClock;
 use std::sync::Arc;
 use unikernel::{Guest, GuestKind};

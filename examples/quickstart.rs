@@ -48,7 +48,7 @@ fn main() -> ClientResult<()> {
         .build();
     ctx.launch(
         &vector_add,
-        (((N as u32) + 255) / 256, 1, 1).into(),
+        ((N as u32).div_ceil(256), 1, 1).into(),
         (256, 1, 1).into(),
         0,
         None,

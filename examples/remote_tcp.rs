@@ -49,7 +49,7 @@ fn main() -> ClientResult<()> {
     let wall = std::time::Instant::now();
     ctx.launch(
         &f,
-        (((N as u32) + 255) / 256, 1, 1).into(),
+        ((N as u32).div_ceil(256), 1, 1).into(),
         (256, 1, 1).into(),
         0,
         None,

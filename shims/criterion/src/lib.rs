@@ -1,0 +1,265 @@
+//! Vendored stand-in for the `criterion` API surface the workspace's benches
+//! use. The workspace builds offline, so the real crates-io criterion is not
+//! available. Timing is plain wall-clock: a short warm-up, then batches of
+//! iterations until the measurement window closes, reporting mean and best
+//! per-iteration time (plus throughput when configured). No statistics,
+//! plotting, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(400),
+            default_samples: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.0, self.measurement, None, f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work amount used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.default_samples = n;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.criterion.measurement,
+            self.throughput.clone(),
+            f,
+        );
+        self
+    }
+
+    /// Benchmark one function with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(
+            &label,
+            self.criterion.measurement,
+            self.throughput.clone(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// No-op; groups need no explicit teardown here.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    measurement: Duration,
+    /// (mean, best) seconds per iteration, filled by `iter`.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `f`, running it repeatedly until the measurement window closes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for ~1ms batches.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let mut best = f64::INFINITY;
+        while total_time < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            best = best.min(dt.as_secs_f64() / batch as f64);
+            total_iters += batch;
+            total_time += dt;
+        }
+        self.result = Some((total_time.as_secs_f64() / total_iters as f64, best));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, best)) => {
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>10.1} MiB/s", n as f64 / mean / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>10.1} elem/s", n as f64 / mean)
+                }
+                None => String::new(),
+            };
+            println!(
+                "  {label:<40} mean {:>12}  best {:>12}{rate}",
+                fmt_time(mean),
+                fmt_time(best)
+            );
+        }
+        None => println!("  {label:<40} (no iter() call)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            default_samples: 5,
+        };
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("sized", 8usize), &8usize, |b, &n| {
+            b.iter(|| vec![0u8; n])
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,137 @@
+//! Minimal `crossbeam-channel`-compatible channels backed by `std::sync::mpsc`.
+//!
+//! The workspace builds offline, so the real crates-io crate is not
+//! available. Only the surface the workspace uses is provided: `unbounded()`
+//! with cloneable senders and blocking `recv()`.
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+/// The unsent message is handed back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when all senders have been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// All senders were dropped and the channel is drained.
+    Disconnected,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, failing only if the receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn recv_errors_when_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_when_receiver_dropped() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let err = tx.send(3u8).unwrap_err();
+        assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+}

@@ -1,0 +1,114 @@
+//! Vendored stand-in for the `proptest` API surface this workspace uses.
+//!
+//! The workspace builds offline, so the real crates-io `proptest` is not
+//! available. This crate keeps the property tests runnable by providing the
+//! same macros and strategy combinators over a deterministic xorshift RNG.
+//! Differences from real proptest, accepted for the offline build:
+//!
+//! - **No shrinking.** A failing case reports the panic message with the
+//!   generated inputs left to `Debug` formatting in the assertion text.
+//! - **Deterministic seeding.** Each test function derives its seed from its
+//!   own name, so runs are reproducible across machines and CI.
+//! - **Regex strategies** support the subset the workspace's tests use:
+//!   character classes with ranges, `\PC` (printable), and `{m,n}`/`{n}`/
+//!   `*`/`+`/`?` quantifiers over single-character atoms.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Generate one value per declared parameter and run the body `cases` times.
+///
+/// Supports the two real-proptest parameter forms the workspace uses:
+/// `pat in strategy` (including `mut name in ...`) and `name: Type`
+/// (shorthand for `name in any::<Type>()`), plus an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let _ = case;
+                $crate::__proptest_bind!(rng; ($($params)*); $body);
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; (); $body:block) => { $body };
+    ($rng:ident; (,); $body:block) => { $body };
+    // `name: Type` — shorthand for `name in any::<Type>()`.
+    ($rng:ident; ($name:ident : $ty:ty $(, $($rest:tt)*)?); $body:block) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind!($rng; ($($($rest)*)?); $body);
+    };
+    // `pat in strategy` — `in` is in the follow set of `:pat`.
+    ($rng:ident; ($pat:pat in $strat:expr $(, $($rest:tt)*)?); $body:block) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; ($($($rest)*)?); $body);
+    };
+}
+
+/// Assert within a property body (no shrink machinery — plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+/// All arms are boxed; weights are not supported (the workspace uses none).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,39 @@
+//! Option strategies (`option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S>(S);
+
+/// `Option<T>` that is `Some` about three quarters of the time, matching
+/// real proptest's default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn of_generates_both_variants() {
+        let mut rng = TestRng::from_name("option");
+        let s = of(any::<u64>());
+        let vals: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+}

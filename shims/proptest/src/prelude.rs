@@ -1,0 +1,13 @@
+//! Glob-import surface matching `proptest::prelude::*` usage.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Alias module so `prop::collection::vec(..)` style paths work.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}

@@ -1,0 +1,240 @@
+//! Regex-driven string strategies for the subset of syntax the workspace's
+//! tests use: literal characters, character classes with ranges, `\PC`
+//! (printable), and `{m,n}`/`{m}`/`*`/`+`/`?` quantifiers on single atoms.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Parse error from [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One generatable unit: a set of candidate characters plus a repeat range.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (uniform choice).
+    chars: Vec<char>,
+    /// Repeat count bounds, inclusive.
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching the parsed pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.range_u64(atom.min as u64, atom.max as u64 + 1) as usize;
+            for _ in 0..n {
+                let idx = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+/// Printable characters for `\PC` (ASCII printable; enough for the XDR and
+/// parser fuzz tests, which only require valid UTF-8).
+fn printable() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+/// Build a string strategy from a regex pattern.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidate = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => parse_escape(&mut chars)?,
+            '.' => printable(),
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("metacharacter {c:?} in {pattern:?}")))
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        atoms.push(Atom {
+            chars: candidate,
+            min,
+            max,
+        });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+    match chars.next() {
+        Some('P') => {
+            // Only `\PC` (complement of control) is supported.
+            match chars.next() {
+                Some('C') => Ok(printable()),
+                other => Err(Error(format!("unsupported \\P class {other:?}"))),
+            }
+        }
+        Some('n') => Ok(vec!['\n']),
+        Some('t') => Ok(vec!['\t']),
+        Some('r') => Ok(vec!['\r']),
+        Some(c @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '*' | '+' | '?' | '-')) => {
+            Ok(vec![c])
+        }
+        other => Err(Error(format!("unsupported escape {other:?}"))),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+    let mut set = Vec::new();
+    loop {
+        let c = chars.next().ok_or_else(|| Error("unclosed [".into()))?;
+        match c {
+            ']' => break,
+            '\\' => set.extend(parse_escape(chars)?),
+            lit => {
+                // Range `a-z` when '-' is followed by a non-']' char.
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next(); // consume '-'
+                    match lookahead.peek() {
+                        Some(&end) if end != ']' => {
+                            chars.next(); // '-'
+                            chars.next(); // end
+                            if (lit as u32) > (end as u32) {
+                                return Err(Error(format!("bad range {lit}-{end}")));
+                            }
+                            for cp in lit as u32..=end as u32 {
+                                if let Some(ch) = char::from_u32(cp) {
+                                    set.push(ch);
+                                }
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                set.push(lit);
+            }
+        }
+    }
+    if set.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok(set)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parts: Vec<&str> = spec.split(',').collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| Error(format!("bad quantifier {{{spec}}}")))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse(n)?;
+                    Ok((n, n))
+                }
+                [lo, hi] => Ok((parse(lo)?, parse(hi)?)),
+                _ => Err(Error(format!("bad quantifier {{{spec}}}"))),
+            }
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str) -> String {
+        let mut rng = TestRng::from_name(pattern);
+        string_regex(pattern).unwrap().generate(&mut rng)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::from_name("ident");
+        let s = string_regex("[a-zA-Z][a-zA-Z0-9_]{0,24}").unwrap();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 25, "{v:?}");
+            assert!(v.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(v.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class_bounds_length() {
+        let mut rng = TestRng::from_name("pc");
+        let s = string_regex("\\PC{0,64}").unwrap();
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 64);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn class_with_braces_and_newline_escape() {
+        let mut rng = TestRng::from_name("src");
+        let s = string_regex("[a-z{}();=<>,*0-9 \\n]{0,300}").unwrap();
+        let allowed =
+            |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || "{}();=<>,* \n".contains(c);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 300);
+            assert!(v.chars().all(allowed), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_literals_concatenate() {
+        assert_eq!(gen("abc"), "abc");
+        assert_eq!(gen("a{3}"), "aaa");
+    }
+
+    #[test]
+    fn unsupported_syntax_is_an_error() {
+        assert!(string_regex("(group)").is_err());
+        assert!(string_regex("[unclosed").is_err());
+    }
+}

@@ -18,7 +18,12 @@ fn populated() -> (Context, SimSetup, u64, u64) {
     let (xp, yp, fh) = (x.ptr(), y.ptr(), f.handle());
     // Leak the wrappers so drops don't free the state we checkpoint.
     std::mem::forget((module, x, y));
-    let params = ParamBuilder::new().ptr(yp).ptr(xp).f32(2.0).u32(512).build();
+    let params = ParamBuilder::new()
+        .ptr(yp)
+        .ptr(xp)
+        .f32(2.0)
+        .u32(512)
+        .build();
     ctx.with_raw(|r| r.launch_kernel(fh, (2, 1, 1).into(), (256, 1, 1).into(), 0, 0, &params))
         .unwrap();
     ctx.with_raw(|r| r.device_synchronize()).unwrap();
@@ -43,7 +48,12 @@ fn state_survives_migration_between_servers() {
         .all(|c| f32::from_le_bytes(c.try_into().unwrap()) == 7.0));
 
     // The function handle still launches on node B.
-    let params = ParamBuilder::new().ptr(yp).ptr(yp).f32(1.0).u32(512).build();
+    let params = ParamBuilder::new()
+        .ptr(yp)
+        .ptr(yp)
+        .f32(1.0)
+        .u32(512)
+        .build();
     ctx_b
         .with_raw(|r| r.launch_kernel(fh, (2, 1, 1).into(), (256, 1, 1).into(), 0, 0, &params))
         .unwrap();

@@ -57,7 +57,11 @@ fn concurrent_tcp_clients_share_the_gpu() {
             let data: Vec<f32> = (0..2048).map(|i| (i * (t + 1)) as f32).collect();
             let buf = ctx.upload(&data).unwrap();
             for _ in 0..20 {
-                assert_eq!(buf.copy_to_vec().unwrap(), data, "client {t} data corrupted");
+                assert_eq!(
+                    buf.copy_to_vec().unwrap(),
+                    data,
+                    "client {t} data corrupted"
+                );
             }
         }));
     }
@@ -91,7 +95,9 @@ fn cuda_error_codes_cross_the_wire() {
         Some(cricket_repro::vgpu::CudaCode::MemoryAllocation as i32)
     );
     // Unknown kernels in a module are BadModule → NotFound on the wire.
-    let image = CubinBuilder::new().kernel("noSuchKernel", &[8]).build(false);
+    let image = CubinBuilder::new()
+        .kernel("noSuchKernel", &[8])
+        .build(false);
     let err = ctx.load_module(&image).unwrap_err();
     assert_eq!(
         err.cuda_code(),

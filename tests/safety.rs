@@ -22,7 +22,9 @@ fn use_after_free_is_rejected_by_the_server() {
     let (ctx, _s) = simulated(EnvConfig::RustNative);
     let ptr = ctx.with_raw(|r| r.malloc(4096)).unwrap();
     ctx.with_raw(|r| r.free(ptr)).unwrap();
-    let err = ctx.with_raw(|r| r.memcpy_htod(ptr, &[1, 2, 3])).unwrap_err();
+    let err = ctx
+        .with_raw(|r| r.memcpy_htod(ptr, &[1, 2, 3]))
+        .unwrap_err();
     assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
 }
 
@@ -40,9 +42,7 @@ fn out_of_bounds_copies_rejected() {
     let (ctx, _s) = simulated(EnvConfig::RustyHermit);
     let buf = ctx.alloc::<u8>(100).unwrap();
     // 100 rounds up to 256 on the device; past that must fail.
-    let err = ctx
-        .with_raw(|r| r.memcpy_dtoh(buf.ptr(), 257))
-        .unwrap_err();
+    let err = ctx.with_raw(|r| r.memcpy_dtoh(buf.ptr(), 257)).unwrap_err();
     assert_eq!(err.cuda_code(), Some(CudaCode::InvalidValue as i32));
 }
 
@@ -52,12 +52,11 @@ fn oom_then_recovery() {
     // device to exercise the OOM path without exhausting the host.
     let mut props = cricket_repro::vgpu::DeviceProperties::a100();
     props.total_global_mem = 1 << 30; // a 1 GiB "A100"
-    let setup = cricket_repro::client::sim::SimSetup::with_config(
-        cricket_repro::server::ServerConfig {
+    let setup =
+        cricket_repro::client::sim::SimSetup::with_config(cricket_repro::server::ServerConfig {
             props,
             ..Default::default()
-        },
-    );
+        });
     let ctx = setup.context(EnvConfig::RustNative);
     // Grab a huge chunk, fail on the next huge one, recover after drop.
     let big = ctx.alloc::<u8>(700 << 20).unwrap();

@@ -18,4 +18,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos: deterministic fault matrix (failing seeds are named in the panic)"
+cargo test --test chaos -q
+cargo test --test proptest_stack -q -- lossy_fault any_fault
+cargo test --test checkpoint_restart -q connection_reset_mid_checkpoint
+
 echo "CI OK"

@@ -50,6 +50,12 @@ impl CricketClient {
         self.stub.rpc.set_max_fragment(max_fragment);
     }
 
+    /// The underlying RPC client, for resilience configuration: retry
+    /// policy, per-call deadline, reconnect hook, client credential.
+    pub fn rpc(&mut self) -> &mut oncrpc::RpcClient {
+        &mut self.stub.rpc
+    }
+
     /// Charge client-side host nanoseconds (simulated mode only).
     pub fn charge(&self, ns: u64) {
         if let Some(c) = &self.clock {

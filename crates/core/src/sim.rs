@@ -50,6 +50,28 @@ impl SimSetup {
         Context::from_client(self.client(env))
     }
 
+    /// Build one simulated transport to this GPU node (the raw material for
+    /// chaos wrappers and reconnect hooks).
+    pub fn transport(&self, env: EnvConfig) -> Box<dyn oncrpc::Transport> {
+        Box::new(SimTransport::new(
+            Arc::clone(&self.rpc),
+            env.guest(),
+            Arc::clone(&self.clock),
+        ))
+    }
+
+    /// Connect a client whose RPC records pass through a fault-injecting
+    /// [`oncrpc::FaultyTransport`] driven by the shared `plan`.
+    pub fn chaos_client(&self, env: EnvConfig, plan: &oncrpc::SharedFaultPlan) -> CricketClient {
+        let inner = self.transport(env);
+        let faulty = oncrpc::FaultyTransport::new(inner, Arc::clone(plan));
+        CricketClient::new(
+            Box::new(faulty),
+            env.flavor(),
+            Some(Arc::clone(&self.clock)),
+        )
+    }
+
     /// Current virtual time in seconds.
     pub fn seconds(&self) -> f64 {
         self.clock.now_ns() as f64 / 1e9

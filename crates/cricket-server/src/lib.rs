@@ -25,9 +25,10 @@ pub mod service;
 pub mod transport;
 
 pub use scheduler::{SchedulerPolicy, SessionId};
-pub use service::{CricketServer, ServerConfig};
+pub use service::{CricketServer, ServerConfig, SessionCleanup};
 pub use transport::SimTransport;
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Register a [`CricketServer`] on an [`oncrpc::RpcServer`] and return both.
@@ -41,4 +42,46 @@ pub fn make_rpc_server(server: Arc<CricketServer>) -> Arc<oncrpc::RpcServer> {
         ))),
     );
     rpc
+}
+
+/// Serve `server` over TCP with hardened per-connection sessions:
+///
+/// * every accepted connection becomes its own [`SessionId`], so the
+///   scheduler arbitrates clients individually;
+/// * all connections share one at-most-once [`oncrpc::ReplayCache`] — a
+///   client that retransmits a non-idempotent call (same client token, same
+///   xid), even over a fresh connection after a reset, gets the original
+///   reply instead of a second execution;
+/// * when a connection ends — clean close or mid-call reset — the session's
+///   vGPU resources (memory, streams, events, modules, library handles) are
+///   reclaimed via [`CricketServer::release_session`].
+///
+/// Returns the listener handle plus the shared replay cache (its
+/// [`oncrpc::ReplayCache::stats`] telemetry counts replay hits).
+pub fn serve_tcp_sessions<A: std::net::ToSocketAddrs>(
+    server: Arc<CricketServer>,
+    addr: A,
+) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
+    let replay = Arc::new(oncrpc::ReplayCache::default());
+    let shared = Arc::clone(&replay);
+    let next_session = AtomicU32::new(1);
+    let handle = oncrpc::server::serve_tcp_with(addr, move |mut conn| {
+        let session = next_session.fetch_add(1, Ordering::Relaxed);
+        let rpc = oncrpc::RpcServer::new();
+        rpc.set_replay_cache(Arc::clone(&shared));
+        rpc.register(
+            cricket_proto::CRICKET_CUDA,
+            cricket_proto::CRICKET_V1,
+            Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
+                Arc::clone(&server),
+                session,
+            ))),
+        );
+        let _ = rpc.serve_connection(&mut conn);
+        // The client is gone (or reset): reclaim everything it still holds.
+        // Replay-cache entries are deliberately kept — a reconnecting client
+        // may still retransmit calls it sent on the dead connection.
+        server.release_session(session);
+    })?;
+    Ok((handle, replay))
 }

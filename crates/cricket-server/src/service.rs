@@ -68,6 +68,42 @@ struct StatsInner {
     kernels_launched: u64,
 }
 
+/// Everything a session has created and not yet destroyed. Tracked so the
+/// server can reclaim it all when the client vanishes mid-session (TCP
+/// reset, unikernel crash) instead of leaking vGPU state forever.
+#[derive(Debug, Default)]
+struct SessionResources {
+    mem: HashSet<u64>,
+    streams: HashSet<u64>,
+    events: HashSet<u64>,
+    modules: HashSet<u64>,
+    blas: HashSet<u64>,
+    solvers: HashSet<u64>,
+    ffts: HashSet<u64>,
+}
+
+/// What [`CricketServer::release_session`] reclaimed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCleanup {
+    /// Device memory allocations freed.
+    pub allocations: usize,
+    /// Streams destroyed.
+    pub streams: usize,
+    /// Events destroyed.
+    pub events: usize,
+    /// Modules unloaded.
+    pub modules: usize,
+    /// cuBLAS/cuSolver/cuFFT handles dropped.
+    pub lib_handles: usize,
+}
+
+impl SessionCleanup {
+    /// Total number of reclaimed resources.
+    pub fn total(&self) -> usize {
+        self.allocations + self.streams + self.events + self.modules + self.lib_handles
+    }
+}
+
 /// The Cricket server state shared by all sessions.
 pub struct CricketServer {
     devices: Vec<Mutex<Device>>,
@@ -79,6 +115,8 @@ pub struct CricketServer {
     fft_plans: Mutex<HashMap<u64, vgpu::fft::FftPlan>>,
     blas_handles: Mutex<HashSet<u64>>,
     next_lib_handle: AtomicU64,
+    /// Live resources per session, reclaimed on [`Self::release_session`].
+    session_resources: Mutex<HashMap<SessionId, SessionResources>>,
     /// GPU-sharing scheduler.
     pub scheduler: Scheduler,
     clock: Arc<SimClock>,
@@ -115,6 +153,7 @@ impl CricketServer {
             fft_plans: Mutex::new(HashMap::new()),
             blas_handles: Mutex::new(HashSet::new()),
             next_lib_handle: AtomicU64::new(LIB_HANDLE_BASE),
+            session_resources: Mutex::new(HashMap::new()),
             scheduler: Scheduler::new(SchedulerPolicy::Fifo),
             clock,
             stats: Mutex::new(StatsInner::default()),
@@ -160,6 +199,68 @@ impl CricketServer {
     fn route(&self, session: SessionId, token: u64) -> usize {
         self.device_of_token(token)
             .unwrap_or_else(|| self.current_device(session))
+    }
+
+    /// Mutate the session's live-resource record.
+    fn track(&self, session: SessionId, f: impl FnOnce(&mut SessionResources)) {
+        f(self.session_resources.lock().entry(session).or_default());
+    }
+
+    /// Reclaim everything `session` still holds: free its device memory,
+    /// destroy its streams/events, unload its modules, and drop its library
+    /// handles. Called when a client connection vanishes so a crashed or
+    /// partitioned unikernel cannot leak vGPU state. Individual teardown
+    /// errors are ignored — the resource may already be gone (explicit
+    /// destroy raced with the disconnect, or a `device_reset` cleared it).
+    pub fn release_session(&self, session: SessionId) -> SessionCleanup {
+        let res = self.session_resources.lock().remove(&session);
+        self.session_device.lock().remove(&session);
+        self.sessions_seen.lock().remove(&session);
+        let mut out = SessionCleanup::default();
+        let Some(res) = res else { return out };
+        let on_device = |token: u64, f: &mut dyn FnMut(&mut Device, u64) -> bool| -> bool {
+            match self.device_of_token(token) {
+                Some(idx) => f(&mut self.devices[idx].lock(), token),
+                None => false,
+            }
+        };
+        for ptr in res.mem {
+            if on_device(ptr, &mut |d, t| d.free(t).is_ok()) {
+                out.allocations += 1;
+            }
+        }
+        for h in res.streams {
+            if on_device(h, &mut |d, t| d.stream_destroy(t).is_ok()) {
+                out.streams += 1;
+            }
+        }
+        for h in res.events {
+            if on_device(h, &mut |d, t| d.event_destroy(t).is_ok()) {
+                out.events += 1;
+            }
+        }
+        for h in res.modules {
+            if on_device(h, &mut |d, t| d.module_unload(t).is_ok()) {
+                self.module_images.lock().remove(&h);
+                out.modules += 1;
+            }
+        }
+        for h in res.blas {
+            if self.blas_handles.lock().remove(&h) {
+                out.lib_handles += 1;
+            }
+        }
+        for h in res.solvers {
+            if self.solvers.lock().remove(&h).is_some() {
+                out.lib_handles += 1;
+            }
+        }
+        for h in res.ffts {
+            if self.fft_plans.lock().remove(&h).is_some() {
+                out.lib_handles += 1;
+            }
+        }
+        out
     }
 
     /// Run `f` with exclusive device access for `session` on the session's
@@ -300,13 +401,24 @@ impl CricketServer {
 
     fn malloc(&self, s: SessionId, size: u64) -> U64Result {
         match self.with_device(s, 4_000, |d| d.malloc(size)) {
-            Ok(ptr) => U64Result::Data(ptr),
+            Ok(ptr) => {
+                self.track(s, |r| {
+                    r.mem.insert(ptr);
+                });
+                U64Result::Data(ptr)
+            }
             Err(e) => U64Result::Default(Self::err_code(&e)),
         }
     }
 
     fn free(&self, s: SessionId, ptr: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t))))
+        let r = self.with_device_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t)));
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.mem.remove(&ptr);
+            });
+        }
+        Self::int_of(r)
     }
 
     fn memcpy_htod(&self, s: SessionId, dst: u64, data: &[u8]) -> i32 {
@@ -367,6 +479,9 @@ impl CricketServer {
                 // The retained copy is the only one: the image arrives as a
                 // borrowed slice of the request record.
                 self.module_images.lock().insert(h, image.to_vec());
+                self.track(s, |r| {
+                    r.modules.insert(h);
+                });
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -386,6 +501,9 @@ impl CricketServer {
         });
         if r.is_ok() {
             self.module_images.lock().remove(&module);
+            self.track(s, |res| {
+                res.modules.remove(&module);
+            });
         }
         Self::int_of(r)
     }
@@ -413,13 +531,24 @@ impl CricketServer {
 
     fn stream_create(&self, s: SessionId) -> U64Result {
         match self.with_device(s, 1_500, |d| Ok(d.stream_create())) {
-            Ok(h) => U64Result::Data(h),
+            Ok(h) => {
+                self.track(s, |r| {
+                    r.streams.insert(h);
+                });
+                U64Result::Data(h)
+            }
             Err(e) => U64Result::Default(Self::err_code(&e)),
         }
     }
 
     fn stream_destroy(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, h, 1_000, |d| d.stream_destroy(h).map(|t| ((), t))))
+        let r = self.with_device_for(s, h, 1_000, |d| d.stream_destroy(h).map(|t| ((), t)));
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.streams.remove(&h);
+            });
+        }
+        Self::int_of(r)
     }
 
     fn stream_synchronize(&self, s: SessionId, h: u64) -> i32 {
@@ -430,7 +559,12 @@ impl CricketServer {
 
     fn event_create(&self, s: SessionId) -> U64Result {
         match self.with_device(s, 800, |d| Ok(d.event_create())) {
-            Ok(h) => U64Result::Data(h),
+            Ok(h) => {
+                self.track(s, |r| {
+                    r.events.insert(h);
+                });
+                U64Result::Data(h)
+            }
             Err(e) => U64Result::Default(Self::err_code(&e)),
         }
     }
@@ -457,9 +591,13 @@ impl CricketServer {
     }
 
     fn event_destroy(&self, s: SessionId, event: u64) -> i32 {
-        Self::int_of(
-            self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t))),
-        )
+        let r = self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t)));
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.events.remove(&event);
+            });
+        }
+        Self::int_of(r)
     }
 
     fn new_lib_handle(&self) -> u64 {
@@ -471,6 +609,9 @@ impl CricketServer {
             Ok(()) => {
                 let h = self.new_lib_handle();
                 self.blas_handles.lock().insert(h);
+                self.track(s, |r| {
+                    r.blas.insert(h);
+                });
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -478,13 +619,19 @@ impl CricketServer {
     }
 
     fn blas_destroy(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(self.with_device(s, 2_000, |_d| {
+        let r = self.with_device(s, 2_000, |_d| {
             if self.blas_handles.lock().remove(&h) {
                 Ok(((), 0))
             } else {
                 Err(VgpuError::InvalidHandle(h))
             }
-        }))
+        });
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.blas.remove(&h);
+            });
+        }
+        Self::int_of(r)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -560,6 +707,9 @@ impl CricketServer {
             Ok(()) => {
                 let h = self.new_lib_handle();
                 self.solvers.lock().insert(h, vgpu::solver::SolverDn::new());
+                self.track(s, |r| {
+                    r.solvers.insert(h);
+                });
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -567,13 +717,19 @@ impl CricketServer {
     }
 
     fn solver_destroy(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(self.with_device(s, 3_000, |_d| {
+        let r = self.with_device(s, 3_000, |_d| {
             if self.solvers.lock().remove(&h).is_some() {
                 Ok(((), 0))
             } else {
                 Err(VgpuError::InvalidHandle(h))
             }
-        }))
+        });
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.solvers.remove(&h);
+            });
+        }
+        Self::int_of(r)
     }
 
     fn getrf_buffer_size(&self, s: SessionId, h: u64, m: i32, n: i32) -> IntResult {
@@ -639,6 +795,9 @@ impl CricketServer {
             Ok(plan) => {
                 let h = self.new_lib_handle();
                 self.fft_plans.lock().insert(h, plan);
+                self.track(s, |r| {
+                    r.ffts.insert(h);
+                });
                 U64Result::Data(h)
             }
             Err(e) => U64Result::Default(Self::err_code(&e)),
@@ -646,13 +805,19 @@ impl CricketServer {
     }
 
     fn fft_destroy(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(self.with_device(s, 2_000, |_d| {
+        let r = self.with_device(s, 2_000, |_d| {
             if self.fft_plans.lock().remove(&h).is_some() {
                 Ok(((), 0))
             } else {
                 Err(VgpuError::InvalidHandle(h))
             }
-        }))
+        });
+        if r.is_ok() {
+            self.track(s, |res| {
+                res.ffts.remove(&h);
+            });
+        }
+        Self::int_of(r)
     }
 
     fn fft_exec(&self, s: SessionId, h: u64, kind: i32, idata: u64, odata: u64, dir: i32) -> i32 {
@@ -1178,6 +1343,52 @@ mod tests {
         let (_srv, s) = server();
         let r = s.cusolver_dn_dgetrf_buffer_size(0xbad, 4, 4, 0, 4).unwrap();
         assert_eq!(r, IntResult::Default(vgpu::CudaCode::InvalidHandle as i32));
+    }
+
+    #[test]
+    fn release_session_reclaims_everything() {
+        let (srv, s) = server();
+        let MemInfoResult::Info(before) = s.cuda_mem_get_info().unwrap() else {
+            panic!("mem_get_info failed");
+        };
+        let ptr = s.cuda_malloc(1 << 20).unwrap().into_result().unwrap();
+        s.cuda_memcpy_htod(ptr, &[1u8; 64]).unwrap();
+        let stream = s.cuda_stream_create().unwrap().into_result().unwrap();
+        let event = s.cuda_event_create().unwrap().into_result().unwrap();
+        let blas = s.cublas_create().unwrap().into_result().unwrap();
+        let MemInfoResult::Info(held) = s.cuda_mem_get_info().unwrap() else {
+            panic!("mem_get_info failed");
+        };
+        assert!(held.free < before.free);
+
+        let cleanup = srv.release_session(1);
+        assert_eq!(cleanup.allocations, 1);
+        assert_eq!(cleanup.streams, 1);
+        assert_eq!(cleanup.events, 1);
+        assert_eq!(cleanup.lib_handles, 1);
+        assert_eq!(cleanup.total(), 4);
+
+        // The memory is back and every handle is dead.
+        let MemInfoResult::Info(after) = s.cuda_mem_get_info().unwrap() else {
+            panic!("mem_get_info failed");
+        };
+        assert_eq!(after.free, before.free);
+        assert_ne!(s.cuda_free(ptr).unwrap(), 0);
+        assert_ne!(s.cuda_stream_destroy(stream).unwrap(), 0);
+        assert_ne!(s.cuda_event_destroy(event).unwrap(), 0);
+        assert_ne!(s.cublas_destroy(blas).unwrap(), 0);
+
+        // Releasing an unknown session is a no-op.
+        assert_eq!(srv.release_session(99).total(), 0);
+    }
+
+    #[test]
+    fn explicitly_destroyed_resources_are_not_double_released() {
+        let (srv, s) = server();
+        let ptr = s.cuda_malloc(4096).unwrap().into_result().unwrap();
+        assert_eq!(s.cuda_free(ptr).unwrap(), 0);
+        let cleanup = srv.release_session(1);
+        assert_eq!(cleanup.total(), 0, "freed ptr must not be freed again");
     }
 
     #[test]

@@ -67,6 +67,25 @@ impl OpaqueAuth {
         }
         xdr::decode(&self.body).ok()
     }
+
+    /// Build a credential carrying a stable client-instance token, used to
+    /// key the server's at-most-once replay cache. `AUTH_SHORT` is the
+    /// natural carrier: RFC 5531 defines it as an opaque server-interpreted
+    /// handle, and Cricket does not otherwise use it.
+    pub fn client_token(token: u64) -> Self {
+        Self {
+            flavor: AuthFlavor::Short as u32,
+            body: token.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// Extract a client token written by [`OpaqueAuth::client_token`].
+    pub fn as_client_token(&self) -> Option<u64> {
+        if self.flavor != AuthFlavor::Short as u32 {
+            return None;
+        }
+        Some(u64::from_be_bytes(self.body.as_slice().try_into().ok()?))
+    }
 }
 
 impl Xdr for OpaqueAuth {
@@ -172,6 +191,15 @@ mod tests {
     #[test]
     fn as_sys_on_wrong_flavor_is_none() {
         assert!(OpaqueAuth::none().as_sys().is_none());
+    }
+
+    #[test]
+    fn client_token_roundtrip() {
+        let auth = OpaqueAuth::client_token(0xdead_beef_cafe_f00d);
+        assert_eq!(auth.flavor, AuthFlavor::Short as u32);
+        let back = xdr::decode::<OpaqueAuth>(&xdr::encode(&auth)).unwrap();
+        assert_eq!(back.as_client_token(), Some(0xdead_beef_cafe_f00d));
+        assert!(OpaqueAuth::none().as_client_token().is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::msg::{AcceptStat, CallBody, MessageBody, ReplyBody, RpcMessage};
 use crate::record::{read_record_into, write_record_sg, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
 use crate::telemetry;
 use crate::transport::Transport;
+use std::time::Duration;
 use xdr::{Xdr, XdrDecoder, XdrEncoder, XdrSgEncoder};
 
 /// Running tallies of client activity.
@@ -32,7 +33,53 @@ pub struct ClientStats {
     pub bytes_sent: u64,
     /// Reply bytes read (payload, excluding fragment headers).
     pub bytes_received: u64,
+    /// Attempts beyond the first (timeouts, resets, corrupt replies).
+    pub retries: u64,
+    /// Transports replaced after a dead connection.
+    pub reconnects: u64,
+    /// Reply records discarded because their xid belonged to an abandoned
+    /// earlier call (late replies after a timed-out attempt).
+    pub stale_replies: u64,
 }
+
+/// Retry behavior for [`RpcClient::call_raw_sg_tagged`].
+///
+/// The default policy performs a single attempt — exactly the pre-resilience
+/// behavior. With more attempts, only calls tagged *idempotent* are retried
+/// unless [`RetryPolicy::retry_non_idempotent`] is set, which is safe only
+/// when the server runs an at-most-once replay cache
+/// ([`crate::replay::ReplayCache`]) and the client tags itself with
+/// [`OpaqueAuth::client_token`]: retransmissions reuse the original xid, so
+/// the server replays the recorded reply instead of re-executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = never retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base_delay: Duration,
+    /// Cap on the exponential backoff.
+    pub max_delay: Duration,
+    /// Also retry non-idempotent calls (requires server replay cache).
+    pub retry_non_idempotent: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            retry_non_idempotent: false,
+        }
+    }
+}
+
+/// Builder for a transport replacing one that died mid-call.
+pub type Reconnector = Box<dyn FnMut() -> RpcResult<Box<dyn Transport>> + Send>;
+
+/// Stale reply records drained per receive before giving up; with same-xid
+/// retransmission a longer backlog means a desynchronized peer.
+const MAX_STALE_REPLIES: u32 = 8;
 
 /// Result payload of a successful call, borrowing the client's pooled reply
 /// buffer (offset past the RPC reply header — no tail copy).
@@ -74,6 +121,14 @@ pub struct RpcClient {
     max_fragment: usize,
     cred: OpaqueAuth,
     stats: ClientStats,
+    policy: RetryPolicy,
+    /// Per-call reply deadline, installed on the transport (and re-installed
+    /// after every reconnect).
+    call_timeout: Option<Duration>,
+    /// Replacement-transport factory used when the connection dies mid-call.
+    reconnect: Option<Reconnector>,
+    /// Deterministic jitter state for backoff (simple LCG).
+    jitter: u64,
     /// Scratch encoder reused across calls to avoid per-call allocation.
     scratch: XdrEncoder,
     /// Pooled reply record buffer, reused across calls and borrowed out via
@@ -94,9 +149,36 @@ impl RpcClient {
             max_fragment: DEFAULT_MAX_FRAGMENT,
             cred: OpaqueAuth::none(),
             stats: ClientStats::default(),
+            policy: RetryPolicy::default(),
+            call_timeout: None,
+            reconnect: None,
+            jitter: 0x1234_5678_9abc_def0,
             scratch: XdrEncoder::with_capacity(256),
             reply_buf: Vec::with_capacity(256),
         }
+    }
+
+    /// Install a retry policy (attempts, backoff, non-idempotent opt-in).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts > 0);
+        self.policy = policy;
+    }
+
+    /// Bound how long each attempt may wait for its reply. Applied to the
+    /// current transport immediately and to every reconnected transport.
+    pub fn set_call_timeout(&mut self, dur: Option<Duration>) -> RpcResult<()> {
+        self.call_timeout = dur;
+        self.transport.set_read_timeout(dur)
+    }
+
+    /// Install a factory producing a replacement transport when the
+    /// connection dies (reset, EOF). Without one, connection loss is fatal
+    /// to the call.
+    pub fn set_reconnect(
+        &mut self,
+        f: impl FnMut() -> RpcResult<Box<dyn Transport>> + Send + 'static,
+    ) {
+        self.reconnect = Some(Box::new(f));
     }
 
     /// Override the maximum fragment size (fragmentation ablation).
@@ -138,7 +220,18 @@ impl RpcClient {
         proc: u32,
         encode_args: impl FnOnce(&mut XdrEncoder),
     ) -> RpcResult<Reply<'_>> {
-        self.call_raw_sg(proc, |enc| encode_args(enc))
+        self.call_raw_sg_tagged(proc, false, |enc| encode_args(enc))
+    }
+
+    /// [`RpcClient::call_raw`] for a procedure tagged idempotent in its
+    /// RPCL definition: eligible for automatic retry under the policy.
+    pub fn call_raw_tagged(
+        &mut self,
+        proc: u32,
+        idempotent: bool,
+        encode_args: impl FnOnce(&mut XdrEncoder),
+    ) -> RpcResult<Reply<'_>> {
+        self.call_raw_sg_tagged(proc, idempotent, |enc| encode_args(enc))
     }
 
     /// Like [`RpcClient::call_raw`], but the encoder supports deferred
@@ -148,6 +241,23 @@ impl RpcClient {
     pub fn call_raw_sg<'d>(
         &mut self,
         proc: u32,
+        encode_args: impl FnOnce(&mut XdrSgEncoder<'d, '_>),
+    ) -> RpcResult<Reply<'_>> {
+        self.call_raw_sg_tagged(proc, false, encode_args)
+    }
+
+    /// The full-featured call primitive: scatter-gather argument encoding
+    /// plus the resilience machinery. The request is encoded *once*; each
+    /// attempt re-sends the same bytes under the same xid, so a server-side
+    /// replay cache can recognize retransmissions. Retries happen only for
+    /// transport-level failures (timeout, reset, EOF, corrupt reply) and only
+    /// when the call is `idempotent` or the policy opts non-idempotent calls
+    /// in; RPC-level failures (accepted-but-failed, rejection) are returned
+    /// immediately.
+    pub fn call_raw_sg_tagged<'d>(
+        &mut self,
+        proc: u32,
+        idempotent: bool,
         encode_args: impl FnOnce(&mut XdrSgEncoder<'d, '_>),
     ) -> RpcResult<Reply<'_>> {
         let xid = self.next_xid;
@@ -165,38 +275,117 @@ impl RpcClient {
         // Only the owned stream was memcpy'd into scratch; deferred slices
         // travel as borrowed iovec entries.
         telemetry::add_memmoved(sg.len());
-        sg.with_segments(|segs| write_record_sg(&mut self.transport, segs, self.max_fragment))?;
-        self.stats.bytes_sent += total as u64;
 
-        let received = read_record_into(&mut self.transport, &mut self.reply_buf, MAX_RECORD)?
-            .ok_or(RpcError::ConnectionClosed)?;
-        self.stats.bytes_received += received as u64;
-
-        let mut dec = XdrDecoder::new(&self.reply_buf);
-        let reply = RpcMessage::decode(&mut dec)?;
-        if reply.xid != xid {
-            return Err(RpcError::XidMismatch {
-                expected: xid,
-                got: reply.xid,
-            });
-        }
-        let body = match reply.body {
-            MessageBody::Reply(b) => b,
-            MessageBody::Call(_) => return Err(RpcError::UnexpectedMessageType),
-        };
-        match body {
-            ReplyBody::Accepted {
-                stat: AcceptStat::Success,
-                ..
-            } => {
-                self.stats.calls += 1;
-                Ok(Reply {
-                    payload: &self.reply_buf[dec.position()..],
-                })
+        let may_retry = idempotent || self.policy.retry_non_idempotent;
+        let mut attempt = 0u32;
+        let payload_start = loop {
+            attempt += 1;
+            let outcome = sg
+                .with_segments(|segs| write_record_sg(&mut self.transport, segs, self.max_fragment))
+                .and_then(|_| {
+                    self.stats.bytes_sent += total as u64;
+                    Self::receive_reply(
+                        &mut self.transport,
+                        &mut self.reply_buf,
+                        &mut self.stats,
+                        xid,
+                    )
+                });
+            match outcome {
+                Ok(pos) => break pos,
+                Err(e) => {
+                    let transient = matches!(
+                        e,
+                        RpcError::Io(_)
+                            | RpcError::ConnectionClosed
+                            | RpcError::TimedOut
+                            | RpcError::Xdr(_)
+                    );
+                    if !(may_retry && transient && attempt < self.policy.max_attempts) {
+                        return Err(e);
+                    }
+                    self.stats.retries += 1;
+                    if matches!(e, RpcError::Io(_) | RpcError::ConnectionClosed) {
+                        // The stream is dead or desynchronized: only a fresh
+                        // transport can carry the retransmission.
+                        let Some(reconnect) = self.reconnect.as_mut() else {
+                            return Err(e);
+                        };
+                        let mut fresh = reconnect()?;
+                        fresh.set_read_timeout(self.call_timeout)?;
+                        self.transport = fresh;
+                        self.stats.reconnects += 1;
+                    }
+                    let delay = Self::backoff_delay(&self.policy, attempt, &mut self.jitter);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
             }
-            ReplyBody::Accepted { stat, .. } => Err(RpcError::Accepted(stat)),
-            ReplyBody::Denied(stat) => Err(RpcError::Rejected(stat)),
+        };
+        self.stats.calls += 1;
+        Ok(Reply {
+            payload: &self.reply_buf[payload_start..],
+        })
+    }
+
+    /// Read reply records until `xid` answers, draining stale replies from
+    /// abandoned attempts. On success returns the offset where the result
+    /// payload begins in `reply_buf`.
+    fn receive_reply(
+        transport: &mut Box<dyn Transport>,
+        reply_buf: &mut Vec<u8>,
+        stats: &mut ClientStats,
+        xid: u32,
+    ) -> RpcResult<usize> {
+        let mut last_got = 0u32;
+        for _ in 0..MAX_STALE_REPLIES {
+            let received = read_record_into(transport, reply_buf, MAX_RECORD)?
+                .ok_or(RpcError::ConnectionClosed)?;
+            stats.bytes_received += received as u64;
+
+            let mut dec = XdrDecoder::new(reply_buf);
+            let reply = RpcMessage::decode(&mut dec)?;
+            if reply.xid != xid {
+                // A late or duplicated reply to an earlier call: with
+                // same-xid retransmission the answer we want is still ahead.
+                last_got = reply.xid;
+                stats.stale_replies += 1;
+                continue;
+            }
+            let body = match reply.body {
+                MessageBody::Reply(b) => b,
+                MessageBody::Call(_) => return Err(RpcError::UnexpectedMessageType),
+            };
+            return match body {
+                ReplyBody::Accepted {
+                    stat: AcceptStat::Success,
+                    ..
+                } => Ok(dec.position()),
+                ReplyBody::Accepted { stat, .. } => Err(RpcError::Accepted(stat)),
+                ReplyBody::Denied(stat) => Err(RpcError::Rejected(stat)),
+            };
         }
+        Err(RpcError::XidMismatch {
+            expected: xid,
+            got: last_got,
+        })
+    }
+
+    /// Capped exponential backoff with deterministic jitter in [75%, 125%].
+    fn backoff_delay(policy: &RetryPolicy, attempt: u32, jitter: &mut u64) -> Duration {
+        if policy.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(16);
+        let scaled = policy.base_delay.saturating_mul(1u32 << exp);
+        let capped = scaled.min(policy.max_delay);
+        *jitter = jitter
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let permille = 750 + (*jitter >> 33) % 500; // 750..1250
+        let us = capped.as_micros() as u64;
+        Duration::from_micros(us * permille / 1000)
     }
 
     /// The conventional "null" procedure (proc 0): no args, no results.

@@ -83,10 +83,12 @@ impl std::error::Error for RpcError {
 
 impl From<std::io::Error> for RpcError {
     fn from(e: std::io::Error) -> Self {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            RpcError::ConnectionClosed
-        } else {
-            RpcError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => RpcError::ConnectionClosed,
+            // Read-deadline expiry surfaces as either kind depending on the
+            // platform and transport; both mean the same typed timeout.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RpcError::TimedOut,
+            _ => RpcError::Io(e),
         }
     }
 }

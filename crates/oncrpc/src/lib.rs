@@ -30,21 +30,27 @@
 //! ```
 
 pub mod auth;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod msg;
 pub mod portmap;
 pub mod record;
+pub mod replay;
 pub mod server;
 pub mod telemetry;
 pub mod transport;
 pub mod udp;
 
 pub use auth::{AuthFlavor, OpaqueAuth};
-pub use client::{Reply, RpcClient};
+pub use chaos::{
+    ChaosRng, Fault, FaultConfig, FaultPlan, FaultyTransport, SharedFaultPlan, TraceEvent,
+};
+pub use client::{Reply, RetryPolicy, RpcClient};
 pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
 pub use record::{RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
+pub use replay::{ReplayCache, ReplayStats};
 pub use server::{Dispatch, RpcServer, ServerHandle};
 pub use transport::{duplex_pair, MemTransport, TcpTransport, Transport};
 

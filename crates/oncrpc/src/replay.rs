@@ -1,0 +1,158 @@
+//! At-most-once duplicate-request cache (the classic ONC RPC "DRC").
+//!
+//! A client that retransmits a call after a timeout or reconnect reuses the
+//! original transaction id, and tags itself with a stable client token in
+//! its credential ([`crate::OpaqueAuth::client_token`]). The server keeps the
+//! encoded reply of each recent call keyed by `(client token, xid)`;
+//! when the same call arrives again the cached reply bytes are replayed
+//! verbatim instead of re-executing the procedure. That is what makes
+//! retrying *non-idempotent* procedures (`cuMemAlloc`, module load) safe:
+//! the side effect happens exactly once, while the wire sees the answer as
+//! many times as it asks.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Observability counters; `hits` is the acceptance-criteria telemetry for
+/// "non-idempotent call executed exactly once".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Retransmissions answered from the cache (procedure not re-executed).
+    pub hits: u64,
+    /// Replies stored.
+    pub stores: u64,
+    /// Entries evicted to respect the per-client capacity.
+    pub evictions: u64,
+}
+
+/// Per-client FIFO of (xid, encoded reply record).
+type ClientWindow = VecDeque<(u32, Vec<u8>)>;
+
+/// Bounded per-client reply cache keyed by `(client token, xid)`.
+#[derive(Debug)]
+pub struct ReplayCache {
+    per_client: Mutex<HashMap<u64, ClientWindow>>,
+    capacity_per_client: usize,
+    hits: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Replies a client can have in flight is tiny (the client here is
+/// synchronous), so a short window per client is plenty.
+pub const DEFAULT_REPLAY_WINDOW: usize = 64;
+
+impl Default for ReplayCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_REPLAY_WINDOW)
+    }
+}
+
+impl ReplayCache {
+    /// Create a cache retaining at most `capacity_per_client` replies per
+    /// client token.
+    pub fn new(capacity_per_client: usize) -> Self {
+        assert!(capacity_per_client > 0);
+        Self {
+            per_client: Mutex::new(HashMap::new()),
+            capacity_per_client,
+            hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached reply for `(client, xid)`, if the call was already served.
+    pub fn lookup(&self, client: u64, xid: u32) -> Option<Vec<u8>> {
+        let map = self.per_client.lock();
+        let reply = map
+            .get(&client)?
+            .iter()
+            .find(|(x, _)| *x == xid)
+            .map(|(_, r)| r.clone())?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(reply)
+    }
+
+    /// Remember the reply produced for `(client, xid)`.
+    pub fn store(&self, client: u64, xid: u32, reply: &[u8]) {
+        let mut map = self.per_client.lock();
+        let window = map.entry(client).or_default();
+        // A retransmission that raced past the lookup must not duplicate
+        // the entry.
+        if window.iter().any(|(x, _)| *x == xid) {
+            return;
+        }
+        if window.len() >= self.capacity_per_client {
+            window.pop_front();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        window.push_back((xid, reply.to_vec()));
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop all state for a client (connection teardown / session release).
+    pub fn forget_client(&self, client: u64) {
+        self.per_client.lock().remove(&client);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ReplayStats {
+        ReplayStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_lookup_hits() {
+        let c = ReplayCache::new(4);
+        assert!(c.lookup(1, 10).is_none());
+        c.store(1, 10, b"abcd");
+        assert_eq!(c.lookup(1, 10).unwrap(), b"abcd");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().stores, 1);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let c = ReplayCache::new(4);
+        c.store(1, 10, b"one!");
+        assert!(c.lookup(2, 10).is_none());
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let c = ReplayCache::new(2);
+        c.store(1, 1, b"a...");
+        c.store(1, 2, b"b...");
+        c.store(1, 3, b"c...");
+        assert!(c.lookup(1, 1).is_none());
+        assert!(c.lookup(1, 3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_store_is_ignored() {
+        let c = ReplayCache::new(4);
+        c.store(1, 7, b"orig");
+        c.store(1, 7, b"dupe");
+        assert_eq!(c.lookup(1, 7).unwrap(), b"orig");
+        assert_eq!(c.stats().stores, 1);
+    }
+
+    #[test]
+    fn forget_client_clears_window() {
+        let c = ReplayCache::new(4);
+        c.store(9, 1, b"gone");
+        c.forget_client(9);
+        assert!(c.lookup(9, 1).is_none());
+    }
+}

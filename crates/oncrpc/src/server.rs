@@ -52,12 +52,29 @@ where
 #[derive(Default)]
 pub struct RpcServer {
     services: RwLock<HashMap<(u32, u32), Arc<dyn Dispatch>>>,
+    /// Optional at-most-once duplicate-request cache. Only calls carrying a
+    /// client token in their credential participate; `AUTH_NONE` traffic is
+    /// untouched.
+    replay: RwLock<Option<Arc<crate::replay::ReplayCache>>>,
 }
 
 impl RpcServer {
     /// Create an empty server.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable at-most-once semantics for token-tagged clients. The cache is
+    /// shared (`Arc`) so several `RpcServer` instances — e.g. one per
+    /// connection — can dedupe retransmissions that arrive on a *new*
+    /// connection after a reset.
+    pub fn set_replay_cache(&self, cache: Arc<crate::replay::ReplayCache>) {
+        *self.replay.write() = Some(cache);
+    }
+
+    /// The installed replay cache, if any.
+    pub fn replay_cache(&self) -> Option<Arc<crate::replay::ReplayCache>> {
+        self.replay.read().clone()
     }
 
     /// Register `service` for `prog`/`vers`, replacing any prior entry.
@@ -137,6 +154,18 @@ impl RpcServer {
             return Ok(());
         };
 
+        // At-most-once: a retransmission (same client token, same xid)
+        // replays the reply that was already produced — the procedure body
+        // never runs twice.
+        let replay = self.replay.read().clone();
+        let token = replay.as_ref().and_then(|_| call.cred.as_client_token());
+        if let (Some(cache), Some(token)) = (&replay, token) {
+            if let Some(cached) = cache.lookup(token, msg.xid) {
+                reply_enc.extend_raw(&cached);
+                return Ok(());
+            }
+        }
+
         RpcMessage::reply(msg.xid, ReplyBody::success()).encode(reply_enc);
         let header_len = reply_enc.len();
         if let Err(stat) = service.dispatch(call.proc, &mut dec, reply_enc) {
@@ -144,6 +173,11 @@ impl RpcServer {
             reply_enc.truncate(0);
             debug_assert!(header_len > 0);
             RpcMessage::reply(msg.xid, ReplyBody::failure(stat)).encode(reply_enc);
+        }
+        // Cache the outcome — success *or* failure — so a retransmission
+        // observes the identical reply.
+        if let (Some(cache), Some(token)) = (&replay, token) {
+            cache.store(token, msg.xid, reply_enc.as_slice());
         }
         Ok(())
     }
@@ -205,13 +239,20 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind a TCP listener and serve `server` on background threads
-/// (one thread per connection, as libtirpc-based Cricket does).
-pub fn serve_tcp<A: ToSocketAddrs>(server: Arc<RpcServer>, addr: A) -> RpcResult<ServerHandle> {
+/// Bind a TCP listener and run `handler` on a dedicated thread for every
+/// accepted connection. This is the generic accept loop behind
+/// [`serve_tcp`]; servers that need per-connection state (session ids,
+/// cleanup when a client vanishes) pass their own handler.
+pub fn serve_tcp_with<A, F>(addr: A, handler: F) -> RpcResult<ServerHandle>
+where
+    A: ToSocketAddrs,
+    F: Fn(crate::transport::TcpTransport) + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let handler = Arc::new(handler);
     let join = std::thread::Builder::new()
         .name("oncrpc-accept".into())
         .spawn(move || {
@@ -220,12 +261,12 @@ pub fn serve_tcp<A: ToSocketAddrs>(server: Arc<RpcServer>, addr: A) -> RpcResult
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let server = Arc::clone(&server);
+                let handler = Arc::clone(&handler);
                 let _ = std::thread::Builder::new()
                     .name("oncrpc-conn".into())
                     .spawn(move || {
-                        if let Ok(mut t) = crate::transport::TcpTransport::from_stream(stream) {
-                            let _ = server.serve_connection(&mut t);
+                        if let Ok(t) = crate::transport::TcpTransport::from_stream(stream) {
+                            handler(t);
                         }
                     });
             }
@@ -235,6 +276,14 @@ pub fn serve_tcp<A: ToSocketAddrs>(server: Arc<RpcServer>, addr: A) -> RpcResult
         addr: local,
         stop,
         join: Some(join),
+    })
+}
+
+/// Bind a TCP listener and serve `server` on background threads
+/// (one thread per connection, as libtirpc-based Cricket does).
+pub fn serve_tcp<A: ToSocketAddrs>(server: Arc<RpcServer>, addr: A) -> RpcResult<ServerHandle> {
+    serve_tcp_with(addr, move |mut t| {
+        let _ = server.serve_connection(&mut t);
     })
 }
 

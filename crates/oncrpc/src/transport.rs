@@ -16,6 +16,16 @@ pub trait Transport: Read + Write + Send {
     fn describe(&self) -> String {
         "transport".into()
     }
+
+    /// Bound how long a single `read` may block waiting for the peer.
+    ///
+    /// When the deadline expires, `read` fails with `WouldBlock`/`TimedOut`,
+    /// which the record layer surfaces as [`crate::RpcError::TimedOut`].
+    /// Transports without a timing source (e.g. the virtual-time simulated
+    /// paths, which can never block) accept and ignore the setting.
+    fn set_read_timeout(&mut self, _dur: Option<Duration>) -> RpcResult<()> {
+        Ok(())
+    }
 }
 
 /// TCP transport. `TCP_NODELAY` is enabled because RPC is latency-bound:
@@ -68,6 +78,10 @@ impl Transport for TcpTransport {
             Err(_) => "tcp:?".into(),
         }
     }
+
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> RpcResult<()> {
+        TcpTransport::set_read_timeout(self, dur)
+    }
 }
 
 /// One end of an in-memory duplex pipe built on unbounded channels.
@@ -80,6 +94,8 @@ pub struct MemTransport {
     /// Partially consumed incoming chunk.
     pending: Vec<u8>,
     pending_off: usize,
+    /// Per-read deadline; `None` blocks indefinitely.
+    read_timeout: Option<Duration>,
     label: &'static str,
 }
 
@@ -93,6 +109,7 @@ pub fn duplex_pair() -> (MemTransport, MemTransport) {
             rx: b_rx,
             pending: Vec::new(),
             pending_off: 0,
+            read_timeout: None,
             label: "mem:client",
         },
         MemTransport {
@@ -100,6 +117,7 @@ pub fn duplex_pair() -> (MemTransport, MemTransport) {
             rx: a_rx,
             pending: Vec::new(),
             pending_off: 0,
+            read_timeout: None,
             label: "mem:server",
         },
     )
@@ -111,13 +129,23 @@ impl Read for MemTransport {
             return Ok(0);
         }
         if self.pending_off >= self.pending.len() {
-            match self.rx.recv() {
-                Ok(chunk) => {
+            let chunk = match self.read_timeout {
+                // A recv error means the sender dropped: clean EOF.
+                None => self.rx.recv().ok(),
+                Some(dur) => match self.rx.recv_timeout(dur) {
+                    Ok(chunk) => Some(chunk),
+                    Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "read timed out"));
+                    }
+                    Err(crossbeam_channel::RecvTimeoutError::Disconnected) => None,
+                },
+            };
+            match chunk {
+                Some(chunk) => {
                     self.pending = chunk;
                     self.pending_off = 0;
                 }
-                // Sender dropped: clean EOF.
-                Err(_) => return Ok(0),
+                None => return Ok(0),
             }
         }
         let avail = &self.pending[self.pending_off..];
@@ -147,6 +175,11 @@ impl Write for MemTransport {
 impl Transport for MemTransport {
     fn describe(&self) -> String {
         self.label.into()
+    }
+
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> RpcResult<()> {
+        self.read_timeout = dur;
+        Ok(())
     }
 }
 

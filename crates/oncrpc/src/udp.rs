@@ -13,7 +13,7 @@ use crate::server::RpcServer;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xdr::{Xdr, XdrDecoder, XdrEncoder};
 
 /// Practical maximum UDP payload (IPv4 reassembly limit minus headers).
@@ -66,15 +66,24 @@ impl UdpClient {
             });
         }
 
-        self.socket.set_read_timeout(Some(self.timeout))?;
         let mut buf = vec![0u8; MAX_DATAGRAM];
         for attempt in 0..self.attempts {
             if attempt > 0 {
                 self.retransmissions += 1;
             }
             self.socket.send(enc.as_slice())?;
-            // Drain datagrams until our xid answers or the timeout fires.
+            // Drain datagrams until our xid answers or the attempt deadline
+            // fires. The deadline is absolute (`Instant`), not per `recv`:
+            // a stream of stale replies from earlier attempts or calls must
+            // not keep extending the wait, or a reissued call could block
+            // for as long as a chatty peer keeps talking.
+            let deadline = Instant::now() + self.timeout;
             loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break; // retransmit
+                }
+                self.socket.set_read_timeout(Some(remaining))?;
                 let n = match self.socket.recv(&mut buf) {
                     Ok(n) => n,
                     Err(e)
@@ -148,6 +157,18 @@ impl Drop for UdpServerHandle {
     }
 }
 
+/// Fault schedule for [`serve_udp_with`] — the datagram-mode analogue of
+/// the chaos transport's scripted events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplySchedule {
+    /// Silently drop every n-th request (exercises retransmission).
+    pub loss_every: Option<u64>,
+    /// Withhold the reply to the n-th request (1-based) for the given
+    /// duration, then send it *twice*: the classic delayed-duplicate that a
+    /// correct client must tolerate across reissued calls.
+    pub delay_duplicate: Option<(u64, Duration)>,
+}
+
 /// Serve `server` on a UDP socket (one datagram in, one datagram out).
 /// `loss_every` is a test hook: when `Some(n)`, every n-th request is
 /// silently dropped, exercising client retransmission.
@@ -155,6 +176,22 @@ pub fn serve_udp<A: ToSocketAddrs>(
     server: Arc<RpcServer>,
     addr: A,
     loss_every: Option<u64>,
+) -> RpcResult<UdpServerHandle> {
+    serve_udp_with(
+        server,
+        addr,
+        ReplySchedule {
+            loss_every,
+            delay_duplicate: None,
+        },
+    )
+}
+
+/// [`serve_udp`] with a full [`ReplySchedule`].
+pub fn serve_udp_with<A: ToSocketAddrs>(
+    server: Arc<RpcServer>,
+    addr: A,
+    schedule: ReplySchedule,
 ) -> RpcResult<UdpServerHandle> {
     let socket = UdpSocket::bind(addr)?;
     let local = socket.local_addr()?;
@@ -178,13 +215,19 @@ pub fn serve_udp<A: ToSocketAddrs>(
                     Err(_) => break,
                 };
                 received += 1;
-                if let Some(every) = loss_every {
+                if let Some(every) = schedule.loss_every {
                     if received.is_multiple_of(every) {
                         continue; // simulated datagram loss
                     }
                 }
                 if let Ok(reply) = server.handle_record(&buf[..n]) {
                     if reply.len() <= MAX_DATAGRAM {
+                        if let Some((nth, delay)) = schedule.delay_duplicate {
+                            if received == nth {
+                                std::thread::sleep(delay);
+                                let _ = socket.send_to(&reply, peer);
+                            }
+                        }
                         let _ = socket.send_to(&reply, peer);
                     }
                 }
@@ -286,6 +329,67 @@ mod tests {
             err,
             RpcError::TimedOut | RpcError::Io(_) | RpcError::ConnectionClosed
         ));
+    }
+
+    #[test]
+    fn delayed_duplicate_reply_not_taken_by_reissued_call() {
+        // The reply to the first request is withheld past the client's
+        // attempt timeout, then delivered twice. The retransmissions produce
+        // further duplicates. The first call must still return the right
+        // answer, and the *next* call (fresh xid) must skip every stale
+        // duplicate instead of accepting one as its own reply.
+        let handle = serve_udp_with(
+            adder(),
+            "127.0.0.1:0",
+            ReplySchedule {
+                loss_every: None,
+                delay_duplicate: Some((1, Duration::from_millis(150))),
+            },
+        )
+        .unwrap();
+        let mut client = UdpClient::connect(handle.addr(), 700, 1).unwrap();
+        client.timeout = Duration::from_millis(60);
+        let sum: u32 = client.call(1, &(20u32, 22u32)).unwrap();
+        assert_eq!(sum, 42);
+        assert!(client.retransmissions >= 1);
+        // Reissued call: stale xid-A duplicates are still queued.
+        let sum: u32 = client.call(1, &(100u32, 1u32)).unwrap();
+        assert_eq!(sum, 101);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stale_reply_stream_cannot_extend_the_deadline() {
+        // A peer that answers every request with a firehose of wrong-xid
+        // datagrams must not keep resetting the attempt timeout: the
+        // deadline is absolute, so the call fails in bounded time.
+        use crate::msg::{ReplyBody, RpcMessage};
+        let noisy = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = noisy.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            let Ok((_, peer)) = noisy.recv_from(&mut buf) else {
+                return;
+            };
+            let mut enc = XdrEncoder::new();
+            RpcMessage::reply(1, ReplyBody::success()).encode(&mut enc);
+            let started = std::time::Instant::now();
+            while started.elapsed() < Duration::from_secs(2) {
+                let _ = noisy.send_to(enc.as_slice(), peer);
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        });
+        let mut client = UdpClient::connect(addr, 700, 1).unwrap();
+        client.timeout = Duration::from_millis(60);
+        client.attempts = 2;
+        let started = std::time::Instant::now();
+        let err = client.call::<(), ()>(0, &()).unwrap_err();
+        assert!(matches!(err, RpcError::TimedOut));
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "stale datagrams extended the deadline: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub struct ProcedureDef {
     pub result: TypeSpec,
     /// Argument types (empty or `[Void]` for `(void)`).
     pub args: Vec<TypeSpec>,
+    /// Declared `idempotent` in the interface: safe to retransmit without
+    /// at-most-once protection, so generated clients may auto-retry it.
+    pub idempotent: bool,
 }
 
 /// A variable declaration: a type applied to a name with an optional

@@ -316,6 +316,12 @@ impl Parser {
     }
 
     fn procedure_def(&mut self) -> Result<ProcedureDef, Error> {
+        // Optional leading `idempotent` qualifier (an RPCL extension): marks
+        // the procedure safe for automatic client-side retry.
+        let idempotent = self.at_keyword("idempotent");
+        if idempotent {
+            self.bump();
+        }
         let result = self.type_spec()?;
         let name = self.expect_ident()?;
         self.expect(&TokenKind::LParen)?;
@@ -346,6 +352,7 @@ impl Parser {
             number,
             result,
             args,
+            idempotent,
         })
     }
 

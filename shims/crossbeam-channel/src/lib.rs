@@ -46,6 +46,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// All senders were dropped and the channel is drained.
+    Disconnected,
+}
+
 /// The sending half of an unbounded channel.
 pub struct Sender<T>(mpsc::Sender<T>);
 
@@ -82,6 +91,15 @@ impl<T> Receiver<T> {
         self.0.try_recv().map_err(|e| match e {
             mpsc::TryRecvError::Empty => TryRecvError::Empty,
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Block until a message arrives, all senders are dropped, or `timeout`
+    /// elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
         })
     }
 }
@@ -122,6 +140,22 @@ mod tests {
         drop(rx);
         let err = tx.send(3u8).unwrap_err();
         assert_eq!(err.0, 3);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(11u32).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(11));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! Integration: checkpoint/restart through the RPC interface — Cricket's
 //! migration story. State captured on one simulated GPU node restores onto
-//! another; client handles stay valid; corrupted snapshots are rejected.
+//! another; client handles stay valid; corrupted snapshots are rejected;
+//! a connection reset mid-checkpoint still converges to the fault-free
+//! snapshot once the client reconnects and retries.
 
+use cricket_repro::oncrpc::{
+    Fault, FaultPlan, FaultyTransport, OpaqueAuth, ReplayCache, RetryPolicy,
+};
 use cricket_repro::prelude::*;
+use cricket_repro::server::SimTransport;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn populated() -> (Context, SimSetup, u64, u64) {
     let setup = SimSetup::new();
@@ -96,6 +104,67 @@ fn corrupted_snapshots_rejected() {
     // The target still works after rejected restores.
     let buf = ctx_b.upload(&[1.0f32, 2.0]).unwrap();
     assert_eq!(buf.copy_to_vec().unwrap(), vec![1.0, 2.0]);
+}
+
+/// Failure model meets migration: the connection resets while the
+/// checkpoint is being captured, and the reply of the retried capture is
+/// then dropped. The hardened client reconnects and retransmits
+/// (CKPT_CAPTURE is declared `idempotent`, so auto-retry is safe), the
+/// snapshot it finally receives is byte-identical to a fault-free capture,
+/// and restoring it onto a fresh node reproduces the exact device state.
+#[test]
+fn connection_reset_mid_checkpoint_converges_to_fault_free_state() {
+    let (ctx_a, setup_a, yp, _fh) = populated();
+    let reference = ctx_a.with_raw(|r| r.checkpoint()).unwrap();
+
+    let replay = Arc::new(ReplayCache::default());
+    setup_a.rpc.set_replay_cache(Arc::clone(&replay));
+    // op 0: the capture request dies mid-send → reconnect + retransmit;
+    // op 2: the retried capture's reply is dropped → same-xid retransmit.
+    let plan =
+        FaultPlan::scripted(vec![(0, Fault::ResetOnSend), (2, Fault::DropReply)]).into_shared();
+    let env = EnvConfig::RustyHermit;
+    let mut client = setup_a.chaos_client(env, &plan);
+    {
+        let rpc_srv = Arc::clone(&setup_a.rpc);
+        let clock = Arc::clone(&setup_a.clock);
+        let plan2 = Arc::clone(&plan);
+        let rpc = client.rpc();
+        rpc.set_credential(OpaqueAuth::client_token(0xCAFE_0003));
+        rpc.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_millis(1),
+            retry_non_idempotent: false, // capture is idempotent — enough
+        });
+        rpc.set_call_timeout(Some(Duration::from_millis(40)))
+            .unwrap();
+        rpc.set_reconnect(move || {
+            let fresh = SimTransport::new(Arc::clone(&rpc_srv), env.guest(), Arc::clone(&clock));
+            Ok(Box::new(FaultyTransport::new(
+                Box::new(fresh),
+                Arc::clone(&plan2),
+            )))
+        });
+    }
+
+    let snapshot = client.checkpoint().unwrap();
+    assert_eq!(
+        snapshot, reference,
+        "capture under faults diverged from the fault-free snapshot"
+    );
+    let stats = client.rpc().stats();
+    assert_eq!(stats.reconnects, 1, "stats: {stats:?}");
+    assert!(stats.retries >= 2, "stats: {stats:?}");
+
+    // The snapshot restores onto a fresh node: y is still 1 + 2*3 = 7.
+    let setup_b = SimSetup::new();
+    let ctx_b = setup_b.context(EnvConfig::Unikraft);
+    ctx_b.with_raw(|r| r.restore(&snapshot)).unwrap();
+    let y = ctx_b.with_raw(|r| r.memcpy_dtoh(yp, 512 * 4)).unwrap();
+    assert!(y
+        .chunks_exact(4)
+        .all(|c| f32::from_le_bytes(c.try_into().unwrap()) == 7.0));
 }
 
 #[test]

@@ -1,10 +1,49 @@
 //! Property-based integration tests over the full stack: arbitrary
 //! payloads and allocation patterns must round-trip through XDR → record
 //! marking → guest TCP/virtio → server → device memory, in every
-//! environment, at every fragment size.
+//! environment, at every fragment size — and, under proptest-generated
+//! fault schedules, every call must return the correct result or a typed
+//! error, never a wrong result, a panic, or a leaked server allocation.
 
+use cricket_repro::oncrpc::{
+    FaultConfig, FaultPlan, FaultyTransport, OpaqueAuth, ReplayCache, RetryPolicy, SharedFaultPlan,
+};
 use cricket_repro::prelude::*;
+use cricket_repro::server::SimTransport;
 use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same resilience wiring as `tests/chaos.rs`: client token for
+/// at-most-once dedupe, capped-backoff retries, a short per-call deadline,
+/// and a reconnector continuing the same fault schedule.
+fn harden_chaos(
+    client: &mut CricketClient,
+    setup: &SimSetup,
+    env: EnvConfig,
+    plan: &SharedFaultPlan,
+) {
+    let rpc_srv = Arc::clone(&setup.rpc);
+    let clock = Arc::clone(&setup.clock);
+    let plan2 = Arc::clone(plan);
+    let rpc = client.rpc();
+    rpc.set_credential(OpaqueAuth::client_token(0x9999_0042));
+    rpc.set_retry_policy(RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_micros(50),
+        max_delay: Duration::from_millis(1),
+        retry_non_idempotent: true,
+    });
+    rpc.set_call_timeout(Some(Duration::from_millis(40)))
+        .unwrap();
+    rpc.set_reconnect(move || {
+        let fresh = SimTransport::new(Arc::clone(&rpc_srv), env.guest(), Arc::clone(&clock));
+        Ok(Box::new(FaultyTransport::new(
+            Box::new(fresh),
+            Arc::clone(&plan2),
+        )))
+    });
+}
 
 fn env_strategy() -> impl Strategy<Value = EnvConfig> {
     prop_oneof![
@@ -90,5 +129,73 @@ proptest! {
             .with_raw(|r| r.memcpy_dtoh(buf.ptr() + offset as u64, (base_len - offset) as u64))
             .unwrap();
         prop_assert_eq!(&tail[..], &data[offset..]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under any seeded *lossy* schedule (resets, drops, delays,
+    /// duplicates, truncations — every fault the stack can detect or
+    /// mask), a hardened client completes every call with the correct
+    /// result and the server leaks nothing.
+    #[test]
+    fn lossy_fault_schedules_never_corrupt_results_or_leak(
+        seed in any::<u64>(),
+        env in env_strategy(),
+        sizes in proptest::collection::vec(64u64..65_536, 1..5),
+    ) {
+        let setup = SimSetup::new();
+        let replay = Arc::new(ReplayCache::default());
+        setup.rpc.set_replay_cache(Arc::clone(&replay));
+        let plan = FaultPlan::from_seed_with(seed, FaultConfig::lossy()).into_shared();
+        let mut client = setup.chaos_client(env, &plan);
+        harden_chaos(&mut client, &setup, env, &plan);
+
+        let baseline = client.mem_get_info().unwrap().free;
+        for (i, &size) in sizes.iter().enumerate() {
+            let ptr = client.malloc(size).unwrap();
+            let pat = vec![(i as u8).wrapping_mul(31).wrapping_add(7); 48];
+            client.memcpy_htod(ptr, &pat).unwrap();
+            prop_assert_eq!(
+                client.memcpy_dtoh(ptr, 48).unwrap(), pat,
+                "seed {} corrupted a readback", seed
+            );
+            client.free(ptr).unwrap();
+        }
+        prop_assert_eq!(
+            client.mem_get_info().unwrap().free, baseline,
+            "seed {} leaked a server allocation", seed
+        );
+    }
+
+    /// Under the *full* fault mix — including payload corruption, which
+    /// RPC/XDR cannot detect — every call still returns a typed `Result`:
+    /// no panic, no hang (per-call deadlines and the retry cap bound every
+    /// outcome).
+    #[test]
+    fn any_fault_schedule_yields_typed_outcomes_never_panics(
+        seed in any::<u64>(),
+        env in env_strategy(),
+    ) {
+        let setup = SimSetup::new();
+        let replay = Arc::new(ReplayCache::default());
+        setup.rpc.set_replay_cache(Arc::clone(&replay));
+        let plan = FaultPlan::from_seed(seed).into_shared();
+        let mut client = setup.chaos_client(env, &plan);
+        harden_chaos(&mut client, &setup, env, &plan);
+
+        let mut live = Vec::new();
+        for _ in 0..6 {
+            if let Ok(ptr) = client.malloc(4096) {
+                live.push(ptr);
+            }
+        }
+        let _ = client.device_count();
+        for ptr in live {
+            let _ = client.free(ptr);
+        }
+        // Reaching here is the property: every outcome above was a typed
+        // `Result`, bounded in time by deadlines and the retry cap.
     }
 }

@@ -23,4 +23,8 @@ cargo test --test chaos -q
 cargo test --test proptest_stack -q -- lossy_fault any_fault
 cargo test --test checkpoint_restart -q connection_reset_mid_checkpoint
 
+echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
+cargo run --release --example multi_tenant
+cargo run --release --example fft_pipeline
+
 echo "CI OK"

@@ -1,0 +1,223 @@
+//! Multi-tenant asynchronous-execution snapshot: serial vs pipelined
+//! virtual time for two tenants sharing one simulated A100, the device
+//! busy-span/overlap telemetry behind the speedup, and the per-policy
+//! served-time ledgers — written to `BENCH_multitenant.json`.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin multitenant
+//! cargo run --release -p cricket-bench --bin multitenant -- --launches 96
+//! ```
+
+use cricket_proto::CricketV1Service;
+use cricket_server::service::Sessioned;
+use cricket_server::{CricketServer, SchedulerPolicy, ServerConfig};
+use std::sync::Arc;
+use vgpu::kernels::ParamBuilder;
+use vgpu::module::CubinBuilder;
+
+/// 4 Mi f32 elements per vector — ~30 µs of device time per launch.
+const N: usize = 1 << 22;
+
+struct Tenant {
+    api: Sessioned,
+    func: u64,
+    params: Vec<u8>,
+}
+
+impl Tenant {
+    fn new(server: Arc<CricketServer>, session: u32) -> Self {
+        let api = Sessioned::new(server, session);
+        let image = CubinBuilder::new()
+            .kernel("vectorAdd", &[8, 8, 8, 4])
+            .code(b"vectorAdd SASS")
+            .build(false);
+        let module = api
+            .cu_module_load_data(&image)
+            .unwrap()
+            .into_result()
+            .unwrap();
+        let func = api
+            .cu_module_get_function(module, "vectorAdd")
+            .unwrap()
+            .into_result()
+            .unwrap();
+        let bytes = (N * 4) as u64;
+        let a = api.cuda_malloc(bytes).unwrap().into_result().unwrap();
+        let b = api.cuda_malloc(bytes).unwrap().into_result().unwrap();
+        let c = api.cuda_malloc(bytes).unwrap().into_result().unwrap();
+        let fill: Vec<u8> = 1.0f32
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(N * 4)
+            .collect();
+        api.cuda_memcpy_htod(a, &fill).unwrap();
+        api.cuda_memcpy_htod(b, &fill).unwrap();
+        let params = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(N as u32)
+            .build();
+        Self { api, func, params }
+    }
+
+    fn launch(&self) {
+        let grid = ((N as u32).div_ceil(256), 1, 1).into();
+        let block = (256, 1, 1).into();
+        assert_eq!(
+            self.api
+                .cuda_launch_kernel(self.func, grid, block, 0, 0, &self.params)
+                .unwrap(),
+            0
+        );
+    }
+
+    fn synchronize(&self) {
+        assert_eq!(self.api.cuda_device_synchronize().unwrap(), 0);
+    }
+}
+
+struct OverlapRun {
+    serial_ns: u64,
+    pipelined_ns: u64,
+    busy_span_ns: u64,
+    device_time_ns: u64,
+}
+
+/// Two tenants, `launches` kernels each: back-to-back, then interleaved on
+/// a fresh server. Returns both virtual durations plus the pipelined run's
+/// device utilization telemetry.
+fn overlap(launches: usize) -> OverlapRun {
+    let run = |interleave: bool| -> (u64, u64, u64) {
+        let clock = simnet::SimClock::new();
+        let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
+        let ta = Tenant::new(Arc::clone(&server), 1);
+        let tb = Tenant::new(Arc::clone(&server), 2);
+        let t0 = clock.now_ns();
+        if interleave {
+            for _ in 0..launches {
+                ta.launch();
+                tb.launch();
+            }
+            ta.synchronize();
+            tb.synchronize();
+        } else {
+            for t in [&ta, &tb] {
+                for _ in 0..launches {
+                    t.launch();
+                }
+                t.synchronize();
+            }
+        }
+        let elapsed = clock.now_ns() - t0;
+        let (span, device) = server.device_utilization(0).unwrap();
+        (elapsed, span, device)
+    };
+    let (serial_ns, _, _) = run(false);
+    let (pipelined_ns, busy_span_ns, device_time_ns) = run(true);
+    OverlapRun {
+        serial_ns,
+        pipelined_ns,
+        busy_span_ns,
+        device_time_ns,
+    }
+}
+
+/// Four sessions with a 1:1:2:4 offered load under `policy`; returns
+/// `(session, served_ops, served_ns)` rows.
+fn fairness(policy: SchedulerPolicy, launches: usize) -> Vec<(u32, u64, u64)> {
+    let clock = simnet::SimClock::new();
+    let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
+    server.scheduler.set_policy(policy);
+    let weights = [1usize, 1, 2, 4];
+    let tenants: Vec<_> = (1..=4u32)
+        .map(|s| {
+            if policy == SchedulerPolicy::Priority {
+                server.scheduler.set_priority(s, s * 10);
+            }
+            Tenant::new(Arc::clone(&server), s)
+        })
+        .collect();
+    let base_ops = server.scheduler.served_ops();
+    let base_ns = server.scheduler.served_ns();
+    for (t, w) in tenants.iter().zip(weights) {
+        for _ in 0..launches * w {
+            t.launch();
+        }
+    }
+    for t in &tenants {
+        t.synchronize();
+    }
+    let ops = server.scheduler.served_ops();
+    let ns = server.scheduler.served_ns();
+    (1..=4u32)
+        .map(|s| (s, ops[&s] - base_ops[&s], ns[&s] - base_ns[&s]))
+        .collect()
+}
+
+fn main() {
+    let launches = parse_launches().unwrap_or(48);
+    println!("Multi-tenant async execution — 2 tenants × {launches} vectorAdd launches\n");
+
+    let o = overlap(launches);
+    let speedup = o.serial_ns as f64 / o.pipelined_ns as f64;
+    let overlap_factor = o.device_time_ns as f64 / o.busy_span_ns.max(1) as f64;
+    println!(
+        "  serial    {:>10.3} ms\n  pipelined {:>10.3} ms   speedup {speedup:.2}x",
+        o.serial_ns as f64 / 1e6,
+        o.pipelined_ns as f64 / 1e6,
+    );
+    println!(
+        "  device busy span {:.3} ms for {:.3} ms of queued work → overlap {overlap_factor:.2}x\n",
+        o.busy_span_ns as f64 / 1e6,
+        o.device_time_ns as f64 / 1e6,
+    );
+
+    let policies = [
+        ("fifo", SchedulerPolicy::Fifo),
+        ("round_robin", SchedulerPolicy::RoundRobin),
+        ("priority", SchedulerPolicy::Priority),
+    ];
+    let mut policy_json = Vec::new();
+    for (name, policy) in policies {
+        let rows = fairness(policy, launches / 4);
+        println!("  {name}: per-session (ops, device-ms) with 1:1:2:4 offered load");
+        let mut row_json = Vec::new();
+        for (s, ops, ns) in &rows {
+            println!("    session {s}: {ops} ops, {:.3} ms", *ns as f64 / 1e6);
+            row_json.push(format!(
+                "{{\"session\": {s}, \"served_ops\": {ops}, \"served_ns\": {ns}}}"
+            ));
+        }
+        policy_json.push(format!("    \"{name}\": [{}]", row_json.join(", ")));
+    }
+
+    let json = format!(
+        "{{\n  \"launches_per_tenant\": {launches},\n  \"elements_per_vector\": {N},\n  \
+         \"serial_ns\": {},\n  \"pipelined_ns\": {},\n  \"speedup\": {speedup:.4},\n  \
+         \"busy_span_ns\": {},\n  \"device_time_ns\": {},\n  \
+         \"overlap_factor\": {overlap_factor:.4},\n  \"fairness\": {{\n{}\n  }}\n}}\n",
+        o.serial_ns,
+        o.pipelined_ns,
+        o.busy_span_ns,
+        o.device_time_ns,
+        policy_json.join(",\n"),
+    );
+    let path = "BENCH_multitenant.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n  → wrote {path}"),
+        Err(e) => eprintln!("\n  ! could not write {path}: {e}"),
+    }
+}
+
+fn parse_launches() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--launches" {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}

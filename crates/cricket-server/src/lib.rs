@@ -54,7 +54,13 @@ pub fn make_rpc_server(server: Arc<CricketServer>) -> Arc<oncrpc::RpcServer> {
 ///   reply instead of a second execution;
 /// * when a connection ends — clean close or mid-call reset — the session's
 ///   vGPU resources (memory, streams, events, modules, library handles) are
-///   reclaimed via [`CricketServer::release_session`].
+///   reclaimed via [`CricketServer::release_session`];
+/// * each connection is served through the *pipelined* reply path
+///   ([`oncrpc::RpcServer::serve_pipelined`]): requests are read and
+///   dispatched in order while a writer thread drains replies, so a client
+///   streaming asynchronous calls (kernel launches that only enqueue device
+///   work) is not serialized on reply round trips. If the socket cannot be
+///   duplicated the connection falls back to the classic serial loop.
 ///
 /// Returns the listener handle plus the shared replay cache (its
 /// [`oncrpc::ReplayCache::stats`] telemetry counts replay hits).
@@ -77,7 +83,14 @@ pub fn serve_tcp_sessions<A: std::net::ToSocketAddrs>(
                 session,
             ))),
         );
-        let _ = rpc.serve_connection(&mut conn);
+        match conn.try_clone() {
+            Ok(writer) => {
+                let _ = rpc.serve_pipelined(&mut conn, writer);
+            }
+            Err(_) => {
+                let _ = rpc.serve_connection(&mut conn);
+            }
+        }
         // The client is gone (or reset): reclaim everything it still holds.
         // Replay-cache entries are deliberately kept — a reconnecting client
         // may still retransmit calls it sent on the dead connection.

@@ -1,9 +1,15 @@
-//! GPU-sharing scheduler.
+//! GPU-sharing scheduler: an arbiter of device *time*, not a device lock.
 //!
 //! "Our approach allows the flexibility of sharing GPU devices across many
 //! unikernels, managing the shared access through configurable schedulers"
-//! (paper §5). Every API call acquires the device through the scheduler;
-//! when several sessions contend, the policy decides who goes next.
+//! (paper §5). Under the asynchronous execution engine, API calls no longer
+//! hold the device for their full simulated duration — async work enqueues
+//! onto per-stream command queues and runs on virtual timelines. What the
+//! scheduler arbitrates is the *issue slot*: when several sessions contend,
+//! the policy decides whose command is appended to the device next, and the
+//! per-session ledger charges each session for the device time its commands
+//! occupy. The critical section is the enqueue itself (microseconds of host
+//! time), never the device time.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -48,11 +54,14 @@ struct State {
     queue: Vec<Waiter>,
     next_ticket: u64,
     last_served: Option<SessionId>,
-    /// Ops served per session (telemetry / fairness tests).
-    served: HashMap<SessionId, u64>,
+    /// Issue slots granted per session (telemetry / fairness tests).
+    served_ops: HashMap<SessionId, u64>,
+    /// Device-time nanoseconds charged per session.
+    served_ns: HashMap<SessionId, u64>,
 }
 
-/// The scheduler: a policy-aware device lock.
+/// The scheduler: orders issue slots by policy and keeps the per-session
+/// device-time ledger.
 pub struct Scheduler {
     policy: Mutex<SchedulerPolicy>,
     state: Mutex<State>,
@@ -66,12 +75,21 @@ impl Default for Scheduler {
     }
 }
 
-/// RAII guard for device access; releasing wakes the next waiter.
-pub struct DeviceTurn<'a> {
+/// RAII guard for one issue slot; releasing wakes the next waiter. Hold it
+/// only for the enqueue/wait bookkeeping, never for simulated device time.
+pub struct IssueTurn<'a> {
     sched: &'a Scheduler,
+    session: SessionId,
 }
 
-impl Drop for DeviceTurn<'_> {
+impl IssueTurn<'_> {
+    /// Charge `ns` of device time to this turn's session.
+    pub fn charge(&self, ns: u64) {
+        self.sched.charge(self.session, ns);
+    }
+}
+
+impl Drop for IssueTurn<'_> {
     fn drop(&mut self) {
         let mut st = self.sched.state.lock();
         st.busy = false;
@@ -107,14 +125,46 @@ impl Scheduler {
         self.priorities.lock().insert(session, priority);
     }
 
-    /// Ops served per session so far.
-    pub fn served(&self) -> HashMap<SessionId, u64> {
-        self.state.lock().served.clone()
+    /// Issue slots granted per session so far.
+    pub fn served_ops(&self) -> HashMap<SessionId, u64> {
+        self.state.lock().served_ops.clone()
     }
 
-    /// Block until it is `session`'s turn; returns a guard holding the
-    /// device.
-    pub fn acquire(&self, session: SessionId) -> DeviceTurn<'_> {
+    /// Device-time nanoseconds charged per session so far.
+    pub fn served_ns(&self) -> HashMap<SessionId, u64> {
+        self.state.lock().served_ns.clone()
+    }
+
+    /// Charge `ns` of device time to `session`'s ledger.
+    pub fn charge(&self, session: SessionId, ns: u64) {
+        *self.state.lock().served_ns.entry(session).or_insert(0) += ns;
+    }
+
+    /// Drop all per-session state (priority, ledgers) for a released
+    /// session. Without this, session churn grows the maps without bound.
+    pub fn forget(&self, session: SessionId) {
+        self.priorities.lock().remove(&session);
+        let mut st = self.state.lock();
+        st.served_ops.remove(&session);
+        st.served_ns.remove(&session);
+        if st.last_served == Some(session) {
+            st.last_served = None;
+        }
+    }
+
+    /// Whether the scheduler still tracks any state for `session`
+    /// (regression hook for `forget`).
+    pub fn knows(&self, session: SessionId) -> bool {
+        if self.priorities.lock().contains_key(&session) {
+            return true;
+        }
+        let st = self.state.lock();
+        st.served_ops.contains_key(&session) || st.served_ns.contains_key(&session)
+    }
+
+    /// Block until it is `session`'s turn to issue; returns a guard holding
+    /// the issue slot.
+    pub fn begin(&self, session: SessionId) -> IssueTurn<'_> {
         let priority = self.priorities.lock().get(&session).copied().unwrap_or(100);
         let mut st = self.state.lock();
         let ticket = st.next_ticket;
@@ -132,8 +182,11 @@ impl Scheduler {
                         st.queue.swap_remove(idx);
                         st.busy = true;
                         st.last_served = Some(session);
-                        *st.served.entry(session).or_insert(0) += 1;
-                        return DeviceTurn { sched: self };
+                        *st.served_ops.entry(session).or_insert(0) += 1;
+                        return IssueTurn {
+                            sched: self,
+                            session,
+                        };
                     }
                 }
             }
@@ -192,12 +245,12 @@ mod tests {
     fn fifo_serves_in_arrival_order() {
         let s = Scheduler::new(SchedulerPolicy::Fifo);
         {
-            let _turn = s.acquire(1);
+            let _turn = s.begin(1);
         }
         {
-            let _turn = s.acquire(2);
+            let _turn = s.begin(2);
         }
-        let served = s.served();
+        let served = s.served_ops();
         assert_eq!(served[&1], 1);
         assert_eq!(served[&2], 1);
     }
@@ -205,16 +258,16 @@ mod tests {
     #[test]
     fn guard_releases_on_drop() {
         let s = Arc::new(Scheduler::new(SchedulerPolicy::Fifo));
-        let turn = s.acquire(1);
+        let turn = s.begin(1);
         let s2 = Arc::clone(&s);
         let waiter = std::thread::spawn(move || {
-            let _turn = s2.acquire(2);
+            let _turn = s2.begin(2);
         });
         // Give the waiter time to queue, then release.
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(turn);
         waiter.join().unwrap();
-        assert_eq!(s.served()[&2], 1);
+        assert_eq!(s.served_ops()[&2], 1);
     }
 
     #[test]
@@ -222,14 +275,14 @@ mod tests {
         let s = Arc::new(Scheduler::new(SchedulerPolicy::Priority));
         s.set_priority(1, 200);
         s.set_priority(2, 1);
-        let gate = s.acquire(0); // hold the device while waiters queue
+        let gate = s.begin(0); // hold the issue slot while waiters queue
         let mut handles = Vec::new();
         let order = Arc::new(Mutex::new(Vec::new()));
         for sess in [1u32, 2] {
             let s2 = Arc::clone(&s);
             let order2 = Arc::clone(&order);
             handles.push(std::thread::spawn(move || {
-                let _t = s2.acquire(sess);
+                let _t = s2.begin(sess);
                 order2.lock().push(sess);
             }));
             // Ensure deterministic queueing order (1 queues first).
@@ -245,7 +298,7 @@ mod tests {
     #[test]
     fn round_robin_alternates_sessions() {
         let s = Arc::new(Scheduler::new(SchedulerPolicy::RoundRobin));
-        let gate = s.acquire(7); // last_served = 7
+        let gate = s.begin(7); // last_served = 7
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         // Queue: 7 again (ticket 1), then 8 (ticket 2). RR should pick 8
@@ -254,7 +307,7 @@ mod tests {
             let s2 = Arc::clone(&s);
             let order2 = Arc::clone(&order);
             handles.push(std::thread::spawn(move || {
-                let _t = s2.acquire(sess);
+                let _t = s2.begin(sess);
                 std::thread::sleep(std::time::Duration::from_millis(5));
                 order2.lock().push(sess);
             }));
@@ -288,15 +341,49 @@ mod tests {
             let s2 = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
-                    let _t = s2.acquire(sess);
+                    let _t = s2.begin(sess);
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        let served = s.served();
+        let served = s.served_ops();
         assert_eq!(served.values().sum::<u64>(), 200);
         assert!(served.values().all(|&v| v == 50));
+    }
+
+    #[test]
+    fn charge_accumulates_device_time_per_session() {
+        let s = Scheduler::new(SchedulerPolicy::Fifo);
+        {
+            let t = s.begin(1);
+            t.charge(10_000);
+        }
+        {
+            let t = s.begin(1);
+            t.charge(2_500);
+        }
+        s.charge(2, 7); // direct charge, outside a turn
+        let ns = s.served_ns();
+        assert_eq!(ns[&1], 12_500);
+        assert_eq!(ns[&2], 7);
+    }
+
+    #[test]
+    fn forget_drops_all_per_session_state() {
+        let s = Scheduler::new(SchedulerPolicy::Priority);
+        s.set_priority(9, 3);
+        {
+            let t = s.begin(9);
+            t.charge(1_000);
+        }
+        assert!(s.knows(9));
+        s.forget(9);
+        assert!(!s.knows(9));
+        assert!(!s.served_ops().contains_key(&9));
+        assert!(!s.served_ns().contains_key(&9));
+        // Forgetting an unknown session is a no-op.
+        s.forget(12345);
     }
 }

@@ -17,7 +17,7 @@ use simnet::SimClock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vgpu::{Device, DeviceProperties, Dim3, VgpuError};
+use vgpu::{Device, DeviceProperties, Dim3, Submit, VgpuError};
 
 /// Handles for library contexts (cuBLAS/cuSolver) live in a range disjoint
 /// from device handles.
@@ -117,6 +117,11 @@ pub struct CricketServer {
     next_lib_handle: AtomicU64,
     /// Live resources per session, reclaimed on [`Self::release_session`].
     session_resources: Mutex<HashMap<SessionId, SessionResources>>,
+    /// Lazily created per-session default streams, one per (session,
+    /// device): the stream the client's handle `0` is remapped to. Giving
+    /// each session its own timeline is what lets independent sessions
+    /// overlap on the device instead of serializing on stream 0.
+    session_streams: Mutex<HashMap<(SessionId, usize), u64>>,
     /// GPU-sharing scheduler.
     pub scheduler: Scheduler,
     clock: Arc<SimClock>,
@@ -154,6 +159,7 @@ impl CricketServer {
             blas_handles: Mutex::new(HashSet::new()),
             next_lib_handle: AtomicU64::new(LIB_HANDLE_BASE),
             session_resources: Mutex::new(HashMap::new()),
+            session_streams: Mutex::new(HashMap::new()),
             scheduler: Scheduler::new(SchedulerPolicy::Fifo),
             clock,
             stats: Mutex::new(StatsInner::default()),
@@ -165,6 +171,25 @@ impl CricketServer {
     /// A default A100 server on a fresh clock.
     pub fn a100() -> Arc<Self> {
         Self::new(ServerConfig::default(), SimClock::new())
+    }
+
+    /// Device-utilization telemetry for device `idx`: `(busy_span_ns,
+    /// device_time_ns)` — the merged span during which at least one stream
+    /// had work running vs. the sum of all enqueued command durations.
+    /// `device_time / busy_span > 1` means streams genuinely overlapped.
+    pub fn device_utilization(&self, idx: usize) -> Option<(u64, u64)> {
+        let mut d = self.devices.get(idx)?.lock();
+        let span = d.busy_span_ns();
+        Some((span, d.stats.device_time_ns))
+    }
+
+    /// Retired-command log of device `idx` (drains the log). Test hook for
+    /// asserting retirement order.
+    pub fn drain_retired(&self, idx: usize) -> Vec<vgpu::Retired> {
+        self.devices
+            .get(idx)
+            .map(|d| d.lock().take_retired())
+            .unwrap_or_default()
     }
 
     /// The clock this server charges.
@@ -216,6 +241,12 @@ impl CricketServer {
         let res = self.session_resources.lock().remove(&session);
         self.session_device.lock().remove(&session);
         self.sessions_seen.lock().remove(&session);
+        self.session_streams
+            .lock()
+            .retain(|&(sess, _), _| sess != session);
+        // Drop the session's scheduler state (priority, served ledgers) or
+        // session churn grows those maps without bound.
+        self.scheduler.forget(session);
         let mut out = SessionCleanup::default();
         let Some(res) = res else { return out };
         let on_device = |token: u64, f: &mut dyn FnMut(&mut Device, u64) -> bool| -> bool {
@@ -263,32 +294,105 @@ impl CricketServer {
         out
     }
 
-    /// Run `f` with exclusive device access for `session` on the session's
-    /// current device, charging `host_ns` of dispatch cost plus whatever
-    /// device time `f` reports.
-    fn with_device<R>(
-        &self,
-        session: SessionId,
-        host_ns: u64,
-        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
-    ) -> Result<R, VgpuError> {
-        let idx = self.current_device(session);
-        self.with_device_at(session, idx, host_ns, f)
+    /// The session's default stream on device `idx`, lazily created. The
+    /// client's stream handle `0` is remapped here so every session gets
+    /// its own device timeline (streams from different sessions overlap;
+    /// work within one session's stream retires in issue order). Guards
+    /// against `cudaDeviceReset` having destroyed the stream under us.
+    fn session_stream(&self, session: SessionId, idx: usize) -> u64 {
+        {
+            let map = self.session_streams.lock();
+            if let Some(&h) = map.get(&(session, idx)) {
+                if self.devices[idx].lock().has_stream(h) {
+                    return h;
+                }
+            }
+        }
+        let (h, _t) = self.devices[idx].lock().stream_create();
+        self.session_streams.lock().insert((session, idx), h);
+        self.track(session, |r| {
+            r.streams.insert(h);
+        });
+        h
     }
 
-    /// Like [`Self::with_device`], but on the device owning `token`.
-    fn with_device_for<R>(
-        &self,
-        session: SessionId,
-        token: u64,
-        host_ns: u64,
-        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
-    ) -> Result<R, VgpuError> {
-        let idx = self.route(session, token);
-        self.with_device_at(session, idx, host_ns, f)
+    /// Remap the wire stream handle: `0` means "the session's default
+    /// stream on this device"; explicit handles pass through.
+    fn resolve_stream(&self, session: SessionId, idx: usize, stream: u64) -> u64 {
+        if stream == 0 {
+            self.session_stream(session, idx)
+        } else {
+            stream
+        }
     }
 
-    fn with_device_at<R>(
+    /// Host-only path: charge the RPC dispatch cost but take no scheduler
+    /// turn and hold no device for simulated time. For queries over
+    /// host-visible state (device count, properties, current device).
+    fn host_call<R>(&self, session: SessionId, host_ns: u64, f: impl FnOnce() -> R) -> R {
+        self.sessions_seen.lock().insert(session);
+        self.stats.lock().total_calls += 1;
+        self.clock.advance(DISPATCH_NS + host_ns);
+        f()
+    }
+
+    /// Asynchronous path: win an issue slot from the scheduler, enqueue
+    /// onto the device, advance the clock only by the submission cost, and
+    /// charge the queued device time to the session's ledger. The RPC
+    /// returns while the work is still in flight on its stream.
+    fn enqueue_at<R>(
+        &self,
+        session: SessionId,
+        idx: usize,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, Submit), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        self.sessions_seen.lock().insert(session);
+        let turn = self.scheduler.begin(session);
+        let mut dev = self.devices[idx].lock();
+        self.stats.lock().total_calls += 1;
+        self.clock.advance(DISPATCH_NS + host_ns);
+        match f(&mut dev) {
+            Ok((r, sub)) => {
+                self.clock.advance(sub.submit_ns);
+                turn.charge(sub.queued_ns);
+                Ok(r)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Synchronous-transfer path: enqueue like [`Self::enqueue_at`], then
+    /// block the virtual clock until the command completes (sync memcpy
+    /// semantics: ordered behind prior stream work, returns when done).
+    fn sync_enqueue_at<R>(
+        &self,
+        session: SessionId,
+        idx: usize,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, Submit), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        self.sessions_seen.lock().insert(session);
+        let turn = self.scheduler.begin(session);
+        let mut dev = self.devices[idx].lock();
+        self.stats.lock().total_calls += 1;
+        self.clock.advance(DISPATCH_NS + host_ns);
+        match f(&mut dev) {
+            Ok((r, sub)) => {
+                self.clock.advance(sub.submit_ns);
+                self.clock.advance_to(sub.completes_at_ns);
+                turn.charge(sub.queued_ns);
+                Ok(r)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Synchronization path: win an issue slot, run the op, then advance
+    /// the clock by the wait `f` reports (time until the relevant timeline
+    /// drains). Nothing new is charged to the ledger — the waited-on work
+    /// was charged when it was enqueued.
+    fn wait_at<R>(
         &self,
         session: SessionId,
         idx: usize,
@@ -296,17 +400,40 @@ impl CricketServer {
         f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
     ) -> Result<R, VgpuError> {
         self.sessions_seen.lock().insert(session);
-        let _turn = self.scheduler.acquire(session);
+        let _turn = self.scheduler.begin(session);
         let mut dev = self.devices[idx].lock();
         self.stats.lock().total_calls += 1;
         self.clock.advance(DISPATCH_NS + host_ns);
         match f(&mut dev) {
-            Ok((r, device_ns)) => {
-                self.clock.advance(device_ns);
+            Ok((r, wait_ns)) => {
+                self.clock.advance(wait_ns);
                 Ok(r)
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// [`Self::wait_at`] on the session's current device.
+    fn wait_here<R>(
+        &self,
+        session: SessionId,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        let idx = self.current_device(session);
+        self.wait_at(session, idx, host_ns, f)
+    }
+
+    /// [`Self::wait_at`] on the device owning `token`.
+    fn wait_for<R>(
+        &self,
+        session: SessionId,
+        token: u64,
+        host_ns: u64,
+        f: impl FnOnce(&mut Device) -> Result<(R, u64), VgpuError>,
+    ) -> Result<R, VgpuError> {
+        let idx = self.route(session, token);
+        self.wait_at(session, idx, host_ns, f)
     }
 
     fn err_code(e: &VgpuError) -> i32 {
@@ -324,23 +451,22 @@ impl CricketServer {
     // ---- API implementations (called by `Sessioned`) ----
 
     fn get_device_count(&self, s: SessionId) -> IntResult {
-        let count = self.devices.len() as i32;
-        match self.with_device(s, 1_000, |_d| Ok((count, 0))) {
-            Ok(v) => IntResult::Data(v),
-            Err(e) => IntResult::Default(Self::err_code(&e)),
-        }
+        // Host-only: the count is immutable server state; no scheduler
+        // turn, no device mutex.
+        let count = self.host_call(s, 1_000, || self.devices.len() as i32);
+        IntResult::Data(count)
     }
 
     fn get_device_properties(&self, s: SessionId, ordinal: i32) -> PropResult {
-        let r = if ordinal < 0 || ordinal as usize >= self.devices.len() {
-            self.with_device(s, 2_000, |_d| {
-                Err::<(DeviceProperties, u64), _>(VgpuError::InvalidDevice(ordinal))
-            })
-        } else {
-            self.with_device_at(s, ordinal as usize, 2_000, |d| {
-                Ok((d.properties().clone(), 0))
-            })
-        };
+        // Host-only: properties are immutable; the brief lock below copies
+        // them out without taking a scheduler turn or device time.
+        let r = self.host_call(s, 2_000, || {
+            if ordinal < 0 || ordinal as usize >= self.devices.len() {
+                Err(VgpuError::InvalidDevice(ordinal))
+            } else {
+                Ok(self.devices[ordinal as usize].lock().properties().clone())
+            }
+        });
         match r {
             Ok(p) => PropResult::Prop(DeviceProp {
                 name: p.name,
@@ -358,40 +484,68 @@ impl CricketServer {
     }
 
     fn set_device(&self, s: SessionId, ordinal: i32) -> i32 {
-        let valid = (0..self.devices.len() as i32).contains(&ordinal);
-        let r = self.with_device(s, 500, |_d| {
-            if valid {
-                Ok(((), 0))
+        // Host-only: updates per-session routing state, never the device.
+        let r = self.host_call(s, 500, || {
+            if (0..self.devices.len() as i32).contains(&ordinal) {
+                self.session_device.lock().insert(s, ordinal as usize);
+                Ok(())
             } else {
                 Err(VgpuError::InvalidDevice(ordinal))
             }
         });
-        if r.is_ok() {
-            self.session_device.lock().insert(s, ordinal as usize);
-        }
         Self::int_of(r)
     }
 
     fn get_device(&self, s: SessionId) -> IntResult {
-        let current = self.current_device(s) as i32;
-        match self.with_device(s, 500, |_d| Ok((current, 0))) {
-            Ok(v) => IntResult::Data(v),
-            Err(e) => IntResult::Default(Self::err_code(&e)),
-        }
+        let current = self.host_call(s, 500, || self.current_device(s) as i32);
+        IntResult::Data(current)
+    }
+
+    /// Streams belonging to `session` on device `idx` (its lazy default
+    /// stream plus any it created explicitly).
+    fn streams_of(&self, session: SessionId, idx: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .session_resources
+            .lock()
+            .get(&session)
+            .map(|r| {
+                r.streams
+                    .iter()
+                    .copied()
+                    .filter(|&h| self.device_of_token(h) == Some(idx))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
     }
 
     fn device_synchronize(&self, s: SessionId) -> i32 {
-        Self::int_of(self.with_device(s, 1_000, |d| {
-            let wait = d.device_synchronize();
+        // Waits for *this session's* timelines on its current device —
+        // other sessions' streams keep running (each client is its own
+        // context behind the virtualization layer).
+        let idx = self.current_device(s);
+        let streams = self.streams_of(s, idx);
+        Self::int_of(self.wait_at(s, idx, 1_000, |d| {
+            let wait = streams
+                .iter()
+                .map(|&h| d.stream_synchronize(h).unwrap_or(0))
+                .max()
+                .unwrap_or(0);
             Ok(((), wait))
         }))
     }
 
     fn device_reset(&self, s: SessionId) -> i32 {
-        let r = self.with_device(s, 5_000, |d| {
+        let idx = self.current_device(s);
+        let r = self.wait_at(s, idx, 5_000, |d| {
             let t = d.device_reset();
             Ok(((), t))
         });
+        // The reset destroyed every stream on the device, including other
+        // sessions' default streams; drop the stale mappings so they are
+        // lazily recreated on next use.
+        self.session_streams.lock().retain(|&(_, i), _| i != idx);
         self.module_images.lock().clear();
         self.solvers.lock().clear();
         self.fft_plans.lock().clear();
@@ -400,7 +554,7 @@ impl CricketServer {
     }
 
     fn malloc(&self, s: SessionId, size: u64) -> U64Result {
-        match self.with_device(s, 4_000, |d| d.malloc(size)) {
+        match self.wait_here(s, 4_000, |d| d.malloc(size)) {
             Ok(ptr) => {
                 self.track(s, |r| {
                     r.mem.insert(ptr);
@@ -412,7 +566,7 @@ impl CricketServer {
     }
 
     fn free(&self, s: SessionId, ptr: u64) -> i32 {
-        let r = self.with_device_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t)));
+        let r = self.wait_for(s, ptr, 3_500, |d| d.free(ptr).map(|t| ((), t)));
         if r.is_ok() {
             self.track(s, |res| {
                 res.mem.remove(&ptr);
@@ -423,16 +577,23 @@ impl CricketServer {
 
     fn memcpy_htod(&self, s: SessionId, dst: u64, data: &[u8]) -> i32 {
         self.stats.lock().bytes_in += data.len() as u64;
+        let idx = self.route(s, dst);
+        let st = self.session_stream(s, idx);
         // `data` is still the borrowed wire record; the write into device
         // memory below is the transfer endpoint itself (accounted as
         // `bytes_transferred` by the client), not an RPC-stack memmove.
-        Self::int_of(
-            self.with_device_for(s, dst, 3_000, |d| d.memcpy_htod(dst, data).map(|t| ((), t))),
-        )
+        // Sync copy: ordered on the session's stream, blocks to completion.
+        Self::int_of(self.sync_enqueue_at(s, idx, 3_000, |d| {
+            d.memcpy_htod_stream(dst, data, st).map(|sub| ((), sub))
+        }))
     }
 
     fn memcpy_dtoh(&self, s: SessionId, src: u64, len: u64) -> DataResult {
-        match self.with_device_for(s, src, 3_000, |d| d.memcpy_dtoh(src, len)) {
+        let idx = self.route(s, src);
+        let st = self.session_stream(s, idx);
+        // Sync D2H memcpy is the canonical wait point: it drains the
+        // session's stream, then pays the PCIe transfer.
+        match self.sync_enqueue_at(s, idx, 3_000, |d| d.memcpy_dtoh_stream(src, len, st)) {
             Ok(bytes) => {
                 self.stats.lock().bytes_out += bytes.len() as u64;
                 DataResult::Data(bytes)
@@ -445,36 +606,46 @@ impl CricketServer {
         let src_dev = self.route(s, src);
         let dst_dev = self.route(s, dst);
         if src_dev == dst_dev {
-            return Self::int_of(self.with_device_at(s, src_dev, 2_500, |d| {
-                d.memcpy_dtod(dst, src, len).map(|t| ((), t))
+            // Same-device copy is asynchronous: it rides the session's
+            // stream and the RPC returns at submission.
+            let st = self.session_stream(s, src_dev);
+            return Self::int_of(self.enqueue_at(s, src_dev, 2_500, |d| {
+                d.memcpy_dtod(dst, src, len, st).map(|sub| ((), sub))
             }));
         }
         // Peer copy (cudaMemcpyPeer semantics): staged through the host,
-        // paying PCIe on both devices.
-        let staged = self.with_device_at(s, src_dev, 2_500, |d| d.memcpy_dtoh(src, len));
+        // paying PCIe on both devices — synchronous on both legs.
+        let src_st = self.session_stream(s, src_dev);
+        let dst_st = self.session_stream(s, dst_dev);
+        let staged = self.sync_enqueue_at(s, src_dev, 2_500, |d| {
+            d.memcpy_dtoh_stream(src, len, src_st)
+        });
         Self::int_of(staged.and_then(|bytes| {
-            self.with_device_at(s, dst_dev, 2_500, |d| {
-                d.memcpy_htod(dst, &bytes).map(|t| ((), t))
+            self.sync_enqueue_at(s, dst_dev, 2_500, |d| {
+                d.memcpy_htod_stream(dst, &bytes, dst_st)
+                    .map(|sub| ((), sub))
             })
         }))
     }
 
     fn memset(&self, s: SessionId, ptr: u64, value: i32, len: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, ptr, 2_000, |d| {
-            d.memset(ptr, value, len).map(|t| ((), t))
+        let idx = self.route(s, ptr);
+        let st = self.session_stream(s, idx);
+        Self::int_of(self.enqueue_at(s, idx, 2_000, |d| {
+            d.memset(ptr, value, len, st).map(|sub| ((), sub))
         }))
     }
 
     fn mem_get_info(&self, s: SessionId) -> MemInfoResult {
-        match self.with_device(s, 1_500, |d| Ok((d.mem_info(), 0))) {
-            Ok((free, total)) => MemInfoResult::Info(MemInfo { free, total }),
-            Err(e) => MemInfoResult::Default(Self::err_code(&e)),
-        }
+        // Host-only: a bookkeeping read; the brief lock copies two counters.
+        let idx = self.current_device(s);
+        let (free, total) = self.host_call(s, 1_500, || self.devices[idx].lock().mem_info());
+        MemInfoResult::Info(MemInfo { free, total })
     }
 
     fn module_load(&self, s: SessionId, image: &[u8]) -> U64Result {
         self.stats.lock().bytes_in += image.len() as u64;
-        match self.with_device(s, 25_000, |d| d.module_load(image)) {
+        match self.wait_here(s, 25_000, |d| d.module_load(image)) {
             Ok(h) => {
                 // The retained copy is the only one: the image arrives as a
                 // borrowed slice of the request record.
@@ -489,14 +660,14 @@ impl CricketServer {
     }
 
     fn module_get_function(&self, s: SessionId, module: u64, name: &str) -> U64Result {
-        match self.with_device_for(s, module, 2_000, |d| d.module_get_function(module, name)) {
+        match self.wait_for(s, module, 2_000, |d| d.module_get_function(module, name)) {
             Ok(h) => U64Result::Data(h),
             Err(e) => U64Result::Default(Self::err_code(&e)),
         }
     }
 
     fn module_unload(&self, s: SessionId, module: u64) -> i32 {
-        let r = self.with_device_for(s, module, 3_000, |d| {
+        let r = self.wait_for(s, module, 3_000, |d| {
             d.module_unload(module).map(|t| ((), t))
         });
         if r.is_ok() {
@@ -519,9 +690,13 @@ impl CricketServer {
         stream: u64,
         params: &[u8],
     ) -> i32 {
-        let r = self.with_device_for(s, func, 3_500, |d| {
-            d.launch_kernel(func, grid, block, shared, stream, params)
-                .map(|t| ((), t))
+        let idx = self.route(s, func);
+        let st = self.resolve_stream(s, idx, stream);
+        // The launch is asynchronous: the RPC returns at submission and the
+        // kernel's duration rides the session's stream timeline.
+        let r = self.enqueue_at(s, idx, 3_500, |d| {
+            d.launch_kernel(func, grid, block, shared, st, params)
+                .map(|sub| ((), sub))
         });
         if r.is_ok() {
             self.stats.lock().kernels_launched += 1;
@@ -530,7 +705,10 @@ impl CricketServer {
     }
 
     fn stream_create(&self, s: SessionId) -> U64Result {
-        match self.with_device(s, 1_500, |d| Ok(d.stream_create())) {
+        match self.wait_here(s, 1_500, |d| {
+            let (h, t) = d.stream_create();
+            Ok((h, t))
+        }) {
             Ok(h) => {
                 self.track(s, |r| {
                     r.streams.insert(h);
@@ -542,7 +720,7 @@ impl CricketServer {
     }
 
     fn stream_destroy(&self, s: SessionId, h: u64) -> i32 {
-        let r = self.with_device_for(s, h, 1_000, |d| d.stream_destroy(h).map(|t| ((), t)));
+        let r = self.wait_for(s, h, 1_000, |d| d.stream_destroy(h).map(|t| ((), t)));
         if r.is_ok() {
             self.track(s, |res| {
                 res.streams.remove(&h);
@@ -552,13 +730,16 @@ impl CricketServer {
     }
 
     fn stream_synchronize(&self, s: SessionId, h: u64) -> i32 {
-        Self::int_of(
-            self.with_device_for(s, h, 1_000, |d| d.stream_synchronize(h).map(|t| ((), t))),
-        )
+        let idx = self.route(s, h);
+        let st = self.resolve_stream(s, idx, h);
+        Self::int_of(self.wait_at(s, idx, 1_000, |d| d.stream_synchronize(st).map(|t| ((), t))))
     }
 
     fn event_create(&self, s: SessionId) -> U64Result {
-        match self.with_device(s, 800, |d| Ok(d.event_create())) {
+        match self.wait_here(s, 800, |d| {
+            let (h, t) = d.event_create();
+            Ok((h, t))
+        }) {
             Ok(h) => {
                 self.track(s, |r| {
                     r.events.insert(h);
@@ -570,19 +751,22 @@ impl CricketServer {
     }
 
     fn event_record(&self, s: SessionId, event: u64, stream: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, event, 800, |d| {
-            d.event_record(event, stream).map(|t| ((), t))
-        }))
+        // Event record is an enqueue: it stamps the stream's completion
+        // frontier and returns immediately (the small cost below is the
+        // device front-end work, not a wait).
+        let idx = self.route(s, event);
+        let st = self.resolve_stream(s, idx, stream);
+        Self::int_of(self.wait_at(s, idx, 800, |d| d.event_record(event, st).map(|t| ((), t))))
     }
 
     fn event_synchronize(&self, s: SessionId, event: u64) -> i32 {
-        Self::int_of(self.with_device_for(s, event, 800, |d| {
+        Self::int_of(self.wait_for(s, event, 800, |d| {
             d.event_synchronize(event).map(|t| ((), t))
         }))
     }
 
     fn event_elapsed(&self, s: SessionId, start: u64, stop: u64) -> FloatResult {
-        match self.with_device_for(s, start, 800, |d| {
+        match self.wait_for(s, start, 800, |d| {
             d.event_elapsed_ms(start, stop).map(|v| (v, 0))
         }) {
             Ok(ms) => FloatResult::Data(ms),
@@ -591,7 +775,7 @@ impl CricketServer {
     }
 
     fn event_destroy(&self, s: SessionId, event: u64) -> i32 {
-        let r = self.with_device_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t)));
+        let r = self.wait_for(s, event, 600, |d| d.event_destroy(event).map(|t| ((), t)));
         if r.is_ok() {
             self.track(s, |res| {
                 res.events.remove(&event);
@@ -605,7 +789,7 @@ impl CricketServer {
     }
 
     fn blas_create(&self, s: SessionId) -> U64Result {
-        match self.with_device(s, 5_000, |_d| Ok(((), 0))) {
+        match self.wait_here(s, 5_000, |_d| Ok(((), 0))) {
             Ok(()) => {
                 let h = self.new_lib_handle();
                 self.blas_handles.lock().insert(h);
@@ -619,7 +803,7 @@ impl CricketServer {
     }
 
     fn blas_destroy(&self, s: SessionId, h: u64) -> i32 {
-        let r = self.with_device(s, 2_000, |_d| {
+        let r = self.wait_here(s, 2_000, |_d| {
             if self.blas_handles.lock().remove(&h) {
                 Ok(((), 0))
             } else {
@@ -654,7 +838,9 @@ impl CricketServer {
         c: u64,
         ldc: i32,
     ) -> i32 {
-        Self::int_of(self.with_device_for(s, a, 4_000, |d| {
+        let idx = self.route(s, a);
+        let st = self.resolve_stream(s, idx, 0);
+        Self::int_of(self.enqueue_at(s, idx, 4_000, |d| {
             if !self.blas_handles.lock().contains(&h) {
                 return Err(VgpuError::InvalidHandle(h));
             }
@@ -698,12 +884,15 @@ impl CricketServer {
                     ldc as usize,
                 )?
             };
-            Ok(((), t))
+            // Results are materialized eagerly (the simulation computes in
+            // host code) but the device-time cost rides the stream timeline.
+            let sub = d.enqueue_library(st, "gemm", t)?;
+            Ok(((), sub))
         }))
     }
 
     fn solver_create(&self, s: SessionId) -> U64Result {
-        match self.with_device(s, 10_000, |_d| Ok(((), 0))) {
+        match self.wait_here(s, 10_000, |_d| Ok(((), 0))) {
             Ok(()) => {
                 let h = self.new_lib_handle();
                 self.solvers.lock().insert(h, vgpu::solver::SolverDn::new());
@@ -717,7 +906,7 @@ impl CricketServer {
     }
 
     fn solver_destroy(&self, s: SessionId, h: u64) -> i32 {
-        let r = self.with_device(s, 3_000, |_d| {
+        let r = self.wait_here(s, 3_000, |_d| {
             if self.solvers.lock().remove(&h).is_some() {
                 Ok(((), 0))
             } else {
@@ -733,10 +922,10 @@ impl CricketServer {
     }
 
     fn getrf_buffer_size(&self, s: SessionId, h: u64, m: i32, n: i32) -> IntResult {
-        let r = self.with_device(s, 2_000, |_d| {
+        let r = self.host_call(s, 2_000, || {
             let solvers = self.solvers.lock();
             let solver = solvers.get(&h).ok_or(VgpuError::InvalidHandle(h))?;
-            Ok((solver.dgetrf_buffer_size(m, n)?, 0))
+            solver.dgetrf_buffer_size(m, n)
         });
         match r {
             Ok(v) => IntResult::Data(v),
@@ -757,11 +946,14 @@ impl CricketServer {
         ipiv: u64,
         info: u64,
     ) -> i32 {
-        Self::int_of(self.with_device_for(s, a, 8_000, |d| {
+        let idx = self.route(s, a);
+        let st = self.resolve_stream(s, idx, 0);
+        Self::int_of(self.enqueue_at(s, idx, 8_000, |d| {
             let mut solvers = self.solvers.lock();
             let solver = solvers.get_mut(&h).ok_or(VgpuError::InvalidHandle(h))?;
             let t = solver.dgetrf(d, m, n, a, lda, work, ipiv, info)?;
-            Ok(((), t))
+            let sub = d.enqueue_library(st, "getrf", t)?;
+            Ok(((), sub))
         }))
     }
 
@@ -780,16 +972,19 @@ impl CricketServer {
         ldb: i32,
         info: u64,
     ) -> i32 {
-        Self::int_of(self.with_device_for(s, a, 6_000, |d| {
+        let idx = self.route(s, a);
+        let st = self.resolve_stream(s, idx, 0);
+        Self::int_of(self.enqueue_at(s, idx, 6_000, |d| {
             let mut solvers = self.solvers.lock();
             let solver = solvers.get_mut(&h).ok_or(VgpuError::InvalidHandle(h))?;
             let t = solver.dgetrs(d, trans, n, nrhs, a, lda, ipiv, b, ldb, info)?;
-            Ok(((), t))
+            let sub = d.enqueue_library(st, "getrs", t)?;
+            Ok(((), sub))
         }))
     }
 
     fn fft_plan_1d(&self, s: SessionId, n: i32, kind: i32, batch: i32) -> U64Result {
-        match self.with_device(s, 6_000, |_d| {
+        match self.wait_here(s, 6_000, |_d| {
             Ok((vgpu::fft::FftPlan::plan_1d(n, kind, batch)?, 0))
         }) {
             Ok(plan) => {
@@ -805,7 +1000,7 @@ impl CricketServer {
     }
 
     fn fft_destroy(&self, s: SessionId, h: u64) -> i32 {
-        let r = self.with_device(s, 2_000, |_d| {
+        let r = self.wait_here(s, 2_000, |_d| {
             if self.fft_plans.lock().remove(&h).is_some() {
                 Ok(((), 0))
             } else {
@@ -821,7 +1016,9 @@ impl CricketServer {
     }
 
     fn fft_exec(&self, s: SessionId, h: u64, kind: i32, idata: u64, odata: u64, dir: i32) -> i32 {
-        Self::int_of(self.with_device_for(s, idata, 5_000, |d| {
+        let idx = self.route(s, idata);
+        let st = self.resolve_stream(s, idx, 0);
+        Self::int_of(self.enqueue_at(s, idx, 5_000, |d| {
             let plans = self.fft_plans.lock();
             let plan = plans.get(&h).ok_or(VgpuError::InvalidHandle(h))?;
             if plan.kind != kind {
@@ -831,17 +1028,21 @@ impl CricketServer {
                 )));
             }
             let t = vgpu::fft::exec(d, plan, idata, odata, dir)?;
-            Ok(((), t))
+            let sub = d.enqueue_library(st, "fft", t)?;
+            Ok(((), sub))
         }))
     }
 
     fn ckpt_capture(&self, s: SessionId) -> DataResult {
         // Checkpoints cover device 0 (the A100 the evaluation uses).
-        let r = self.with_device_at(s, 0, 50_000, |d| {
+        let r = self.wait_at(s, 0, 50_000, |d| {
+            // A checkpoint is a full-device sync point: drain all streams
+            // before reading device state.
+            let drain = d.device_synchronize();
             let images = self.module_images.lock();
             let blob = checkpoint::capture(d, &images);
             // Serialization cost scales with snapshot size.
-            let t = (blob.len() as u64) / 8;
+            let t = drain + (blob.len() as u64) / 8;
             Ok((blob, t))
         });
         match r {
@@ -855,7 +1056,7 @@ impl CricketServer {
 
     fn ckpt_restore(&self, s: SessionId, blob: &[u8]) -> i32 {
         self.stats.lock().bytes_in += blob.len() as u64;
-        Self::int_of(self.with_device_at(s, 0, 50_000, |d| {
+        Self::int_of(self.wait_at(s, 0, 50_000, |d| {
             let images = checkpoint::restore(d, blob, &self.cfg.props, &self.clock)?;
             *self.module_images.lock() = images;
             let t = (blob.len() as u64) / 8;
@@ -1363,10 +1564,15 @@ mod tests {
 
         let cleanup = srv.release_session(1);
         assert_eq!(cleanup.allocations, 1);
-        assert_eq!(cleanup.streams, 1);
+        // Two streams: the explicitly created one plus the session's lazily
+        // materialized default stream (created by the first async memcpy).
+        assert_eq!(cleanup.streams, 2);
         assert_eq!(cleanup.events, 1);
         assert_eq!(cleanup.lib_handles, 1);
-        assert_eq!(cleanup.total(), 4);
+        assert_eq!(cleanup.total(), 5);
+
+        // The scheduler forgets the session's ledger too (the leak fix).
+        assert!(!srv.scheduler.knows(1));
 
         // The memory is back and every handle is dead.
         let MemInfoResult::Info(after) = s.cuda_mem_get_info().unwrap() else {
@@ -1389,6 +1595,24 @@ mod tests {
         assert_eq!(s.cuda_free(ptr).unwrap(), 0);
         let cleanup = srv.release_session(1);
         assert_eq!(cleanup.total(), 0, "freed ptr must not be freed again");
+    }
+
+    #[test]
+    fn host_only_queries_take_no_scheduler_turn() {
+        let (srv, s) = server();
+        s.cuda_get_device_count().unwrap();
+        s.cuda_get_device_properties(0).unwrap();
+        s.cuda_get_device().unwrap();
+        s.cuda_mem_get_info().unwrap();
+        assert!(
+            srv.scheduler.served_ops().is_empty(),
+            "host-only queries must not be arbitrated as device work"
+        );
+
+        // Device work, by contrast, does take a turn.
+        let ptr = s.cuda_malloc(256).unwrap().into_result().unwrap();
+        s.cuda_free(ptr).unwrap();
+        assert_eq!(srv.scheduler.served_ops().get(&1), Some(&2));
     }
 
     #[test]

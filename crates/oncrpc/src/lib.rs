@@ -51,7 +51,7 @@ pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
 pub use record::{RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
 pub use replay::{ReplayCache, ReplayStats};
-pub use server::{Dispatch, RpcServer, ServerHandle};
+pub use server::{Dispatch, RpcServer, ServerHandle, PIPELINE_DEPTH};
 pub use transport::{duplex_pair, MemTransport, TcpTransport, Transport};
 
 /// The RPC protocol version this crate speaks (RFC 5531 mandates 2).

@@ -54,6 +54,15 @@ impl TcpTransport {
         self.stream.set_read_timeout(dur)?;
         Ok(())
     }
+
+    /// A second handle onto the same socket (`dup(2)` underneath), so one
+    /// thread can keep reading requests while another writes replies —
+    /// the carrier for [`crate::RpcServer::serve_pipelined`].
+    pub fn try_clone(&self) -> RpcResult<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+        })
+    }
 }
 
 impl Read for TcpTransport {

@@ -96,23 +96,33 @@ fn steady_state_call_loop_is_allocation_free() {
             .unwrap();
     }
 
-    let before = allocation_count();
-    for i in 0..1000u64 {
-        // Small-args call (covers the owned-scratch path)…
-        let r = client.call_raw(3, |enc| enc.put_u64(i)).unwrap();
-        assert!(r.is_empty());
-        // …and a bulk scatter-gather call (covers the deferred iovec path).
-        let r = client
-            .call_raw_sg(9, |enc| {
-                enc.put_u64(0x1000 + i);
-                enc.put_opaque_deferred(&bulk);
-            })
-            .unwrap();
-        assert!(r.is_empty());
+    // The counter is process-wide, so allocations from other threads (the
+    // libtest harness) can leak into a measured window. A genuine per-call
+    // leak allocates in *every* round; ambient noise does not. Measure
+    // several rounds and require at least one to be exactly zero.
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let before = allocation_count();
+        for i in 0..1000u64 {
+            // Small-args call (covers the owned-scratch path)…
+            let r = client.call_raw(3, |enc| enc.put_u64(i)).unwrap();
+            assert!(r.is_empty());
+            // …and a bulk scatter-gather call (covers the deferred iovec path).
+            let r = client
+                .call_raw_sg(9, |enc| {
+                    enc.put_u64(0x1000 + i);
+                    enc.put_opaque_deferred(&bulk);
+                })
+                .unwrap();
+            assert!(r.is_empty());
+        }
+        best = best.min(allocation_count() - before);
+        if best == 0 {
+            break;
+        }
     }
-    let allocs = allocation_count() - before;
     assert_eq!(
-        allocs, 0,
-        "steady-state client loop performed {allocs} heap allocations"
+        best, 0,
+        "steady-state client loop performed {best} heap allocations per 1000-call round"
     );
 }

@@ -1,17 +1,28 @@
 //! The device facade: the driver-level API the Cricket server calls.
 //!
-//! Every operation returns the *device time* it consumes (nanoseconds); the
-//! caller (the Cricket server service) charges that time to the shared
-//! virtual clock as part of server-side execution. Asynchronous operations
-//! (kernel launches) enqueue onto streams and return only their submission
-//! cost; synchronization operations return the remaining wait.
+//! The device is split into **shared state** (memory, modules, functions,
+//! events, the memo cache) and **per-stream [`CommandQueue`]s** holding work
+//! in flight. Asynchronous operations (kernel launches, async copies,
+//! memsets, library routines) *enqueue*: they cost the host only a small
+//! submission fee (returned in a [`Submit`] receipt) while the device-time
+//! cost rides the stream's virtual timeline. Synchronization points
+//! (stream/event/device synchronize, sync D2H copies, frees) *wait*: they
+//! return the nanoseconds the host must block until the relevant timeline
+//! drains. Commands retire strictly in issue order per stream; overlapping
+//! work on different streams costs the device the max, not the sum, of the
+//! timelines.
+//!
+//! Everything is charged to the shared virtual clock by the caller (the
+//! Cricket server service), so identical workloads produce identical
+//! timelines — determinism is part of the contract.
 
 use crate::error::{VgpuError, VgpuResult};
 use crate::kernels::{self, Dim3, LaunchConfig, Params};
 use crate::memory::MemoryManager;
 use crate::module::Cubin;
 use crate::properties::DeviceProperties;
-use crate::stream::{EventState, StreamState};
+use crate::queue::{CommandKind, CommandQueue, IntervalUnion, Retired, Submit};
+use crate::stream::EventState;
 use crate::timemodel::{kernel_duration_ns, Workload};
 use simnet::SimClock;
 use std::collections::HashMap;
@@ -21,6 +32,14 @@ use std::sync::Arc;
 /// Distinct ranges make stray-handle bugs visible in logs.
 const HANDLE_BASE: u64 = 0x10;
 
+/// Submission cost of a kernel launch on the device front-end (ns).
+const KERNEL_SUBMIT_NS: u64 = 600;
+/// Submission cost of an async copy/memset/library enqueue (ns).
+const ENQUEUE_SUBMIT_NS: u64 = 500;
+/// Retired-command log high-water mark; oldest entries are dropped beyond
+/// this so long-running servers don't grow without bound.
+const RETIRED_LOG_CAP: usize = 4096;
+
 /// Execution statistics (memoization effectiveness, launch counts).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ExecStats {
@@ -28,7 +47,7 @@ pub struct ExecStats {
     pub launches: u64,
     /// Launches satisfied from the memo cache (time advanced, no compute).
     pub memo_hits: u64,
-    /// Total device-time nanoseconds of all completed work.
+    /// Total device-time nanoseconds of all enqueued work.
     pub device_time_ns: u64,
 }
 
@@ -58,10 +77,16 @@ pub struct Device {
     clock: Arc<SimClock>,
     modules: HashMap<u64, Cubin>,
     functions: HashMap<u64, FunctionEntry>,
-    streams: HashMap<u64, StreamState>,
+    streams: HashMap<u64, CommandQueue>,
     events: HashMap<u64, EventState>,
     next_handle: u64,
     memo: HashMap<MemoKey, MemoEntry>,
+    /// Device-global issue sequence; total order over all enqueues.
+    issue_seq: u64,
+    /// Completed commands, retired in per-stream issue order.
+    retired: Vec<Retired>,
+    /// Union of busy intervals of retired commands (overlap telemetry).
+    busy: IntervalUnion,
     /// Execution statistics.
     pub stats: ExecStats,
 }
@@ -83,7 +108,7 @@ impl Device {
     ) -> Self {
         let mem = MemoryManager::with_base(props.total_global_mem, heap_base);
         let mut streams = HashMap::new();
-        streams.insert(0, StreamState::default()); // default stream
+        streams.insert(0, CommandQueue::default()); // default stream
         Self {
             props,
             mem,
@@ -94,6 +119,9 @@ impl Device {
             events: HashMap::new(),
             next_handle: handle_base.max(HANDLE_BASE),
             memo: HashMap::new(),
+            issue_seq: 0,
+            retired: Vec::new(),
+            busy: IntervalUnion::default(),
             stats: ExecStats::default(),
         }
     }
@@ -119,9 +147,100 @@ impl Device {
         h
     }
 
+    fn next_seq(&mut self) -> u64 {
+        self.issue_seq += 1;
+        self.issue_seq
+    }
+
     /// (free, total) device memory.
     pub fn mem_info(&self) -> (u64, u64) {
         (self.mem.free_bytes(), self.mem.total())
+    }
+
+    // -- observation / retirement ----------------------------------------
+
+    /// Retire every command whose completion time has passed on the shared
+    /// clock, in issue order per stream. Called at the top of device entry
+    /// points so the retired log and busy span track the clock.
+    pub fn observe(&mut self) {
+        let now = self.clock.now_ns();
+        let mut batch = Vec::new();
+        // Deterministic iteration: stream handle order.
+        let mut handles: Vec<u64> = self.streams.keys().copied().collect();
+        handles.sort_unstable();
+        for h in handles {
+            let q = self.streams.get_mut(&h).expect("handle from keys");
+            q.retire_until(now, h, &mut batch);
+        }
+        // Global retire order: by completion time, ties by issue seq.
+        batch.sort_by_key(|r| (r.completes_at_ns, r.seq));
+        for r in &batch {
+            self.busy.add(r.starts_at_ns, r.completes_at_ns);
+        }
+        self.retired.extend(batch);
+        if self.retired.len() > RETIRED_LOG_CAP {
+            let excess = self.retired.len() - RETIRED_LOG_CAP;
+            self.retired.drain(..excess);
+        }
+    }
+
+    /// Drain the retired-command log (retires completed work first).
+    pub fn take_retired(&mut self) -> Vec<Retired> {
+        self.observe();
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Commands enqueued but not yet retired across all streams.
+    pub fn pending_ops(&self) -> usize {
+        self.streams.values().map(|q| q.pending_len()).sum()
+    }
+
+    /// Total virtual time during which at least one stream had work running,
+    /// counting work enqueued so far (pending commands included). Comparing
+    /// this to the sum of per-command durations measures cross-stream
+    /// overlap.
+    pub fn busy_span_ns(&mut self) -> u64 {
+        self.observe();
+        let mut u = self.busy.clone();
+        for q in self.streams.values() {
+            for c in q.iter_pending() {
+                u.add(c.starts_at_ns, c.completes_at_ns);
+            }
+        }
+        u.total_ns()
+    }
+
+    /// Whether `handle` names a live stream.
+    pub fn has_stream(&self, handle: u64) -> bool {
+        self.streams.contains_key(&handle)
+    }
+
+    fn queue_mut(&mut self, stream: u64) -> VgpuResult<&mut CommandQueue> {
+        self.streams
+            .get_mut(&stream)
+            .ok_or(VgpuError::InvalidHandle(stream))
+    }
+
+    /// Enqueue `duration_ns` on `stream`, charging device-time stats.
+    fn enqueue_on(
+        &mut self,
+        stream: u64,
+        kind: CommandKind,
+        duration_ns: u64,
+        submit_ns: u64,
+    ) -> VgpuResult<Submit> {
+        let now = self.clock.now_ns();
+        let seq = self.next_seq();
+        let q = self.queue_mut(stream)?;
+        let cmd = q.enqueue(now, seq, kind, duration_ns);
+        self.stats.device_time_ns += duration_ns;
+        Ok(Submit {
+            stream,
+            seq,
+            submit_ns,
+            queued_ns: duration_ns,
+            completes_at_ns: cmd.completes_at_ns,
+        })
     }
 
     // -- memory ---------------------------------------------------------
@@ -135,47 +254,118 @@ impl Device {
         Ok((ptr, 1_500))
     }
 
-    /// cudaFree. Returns device-time ns. `cudaFree(0)` is a valid no-op
-    /// (the classic context-initialization idiom).
+    /// cudaFree. Returns device-time ns (including the implicit
+    /// synchronization with all outstanding work, as on real devices).
+    /// `cudaFree(0)` is a valid no-op (the classic context-init idiom).
     pub fn free(&mut self, ptr: u64) -> VgpuResult<u64> {
         if ptr == 0 {
             return Ok(500);
         }
-        // Free synchronizes with outstanding work touching the allocation;
-        // we conservatively sync the default stream.
-        let wait = self.stream_wait(0);
+        self.observe();
+        let wait = self.wait_all_ns();
         self.mem.free(ptr)?;
         Ok(1_000 + wait)
     }
 
-    /// cudaMemcpy host→device. Returns device-time ns (PCIe transfer).
+    /// Synchronous cudaMemcpy host→device on the default stream.
+    /// Returns the wait in ns until the transfer completes.
     pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> VgpuResult<u64> {
+        let sub = self.memcpy_htod_stream(dst, data, 0)?;
+        Ok(sub.completes_at_ns.saturating_sub(self.clock.now_ns()))
+    }
+
+    /// cudaMemcpy host→device ordered on `stream`: the transfer is enqueued
+    /// behind prior work on the stream. The returned [`Submit`] carries the
+    /// completion time; a synchronous caller blocks until then (CUDA's
+    /// sync-memcpy contract).
+    pub fn memcpy_htod_stream(&mut self, dst: u64, data: &[u8], stream: u64) -> VgpuResult<Submit> {
+        self.observe();
         self.mem.write(dst, data)?;
-        Ok(self.pcie_ns(data.len()))
+        let dur = self.pcie_ns(data.len());
+        self.enqueue_on(
+            stream,
+            CommandKind::MemcpyH2D {
+                bytes: data.len() as u64,
+            },
+            dur,
+            0,
+        )
     }
 
-    /// cudaMemcpy device→host. Returns (bytes, device-time ns).
+    /// Synchronous cudaMemcpy device→host on the default stream.
+    /// Returns (bytes, wait ns).
     pub fn memcpy_dtoh(&mut self, src: u64, len: u64) -> VgpuResult<(Vec<u8>, u64)> {
-        let bytes = self.mem.read(src, len)?.to_vec();
-        let t = self.pcie_ns(bytes.len());
-        Ok((bytes, t))
+        let (bytes, sub) = self.memcpy_dtoh_stream(src, len, 0)?;
+        let wait = sub.completes_at_ns.saturating_sub(self.clock.now_ns());
+        Ok((bytes, wait))
     }
 
-    /// cudaMemcpy device→device.
-    pub fn memcpy_dtod(&mut self, dst: u64, src: u64, len: u64) -> VgpuResult<u64> {
+    /// cudaMemcpy device→host ordered on `stream`: waits for prior work on
+    /// the stream, then the PCIe transfer (the "sync D2H memcpy waits" rule
+    /// — the only memcpy that must always block).
+    pub fn memcpy_dtoh_stream(
+        &mut self,
+        src: u64,
+        len: u64,
+        stream: u64,
+    ) -> VgpuResult<(Vec<u8>, Submit)> {
+        self.observe();
+        let bytes = self.mem.read(src, len)?.to_vec();
+        let dur = self.pcie_ns(bytes.len());
+        let sub = self.enqueue_on(
+            stream,
+            CommandKind::MemcpyD2H {
+                bytes: bytes.len() as u64,
+            },
+            dur,
+            0,
+        )?;
+        Ok((bytes, sub))
+    }
+
+    /// cudaMemcpy device→device: asynchronous, enqueued on `stream`.
+    pub fn memcpy_dtod(&mut self, dst: u64, src: u64, len: u64, stream: u64) -> VgpuResult<Submit> {
+        self.observe();
         self.mem.copy_dtod(dst, src, len)?;
         // On-device copy at memory bandwidth (read + write).
-        let t = kernel_duration_ns(&self.props, &Workload::memory(2.0 * len as f64));
-        Ok(t)
+        let dur = kernel_duration_ns(&self.props, &Workload::memory(2.0 * len as f64));
+        self.enqueue_on(
+            stream,
+            CommandKind::MemcpyD2D { bytes: len },
+            dur,
+            ENQUEUE_SUBMIT_NS,
+        )
     }
 
-    /// cudaMemset.
-    pub fn memset(&mut self, ptr: u64, value: i32, len: u64) -> VgpuResult<u64> {
+    /// cudaMemset: asynchronous, enqueued on `stream`.
+    pub fn memset(&mut self, ptr: u64, value: i32, len: u64, stream: u64) -> VgpuResult<Submit> {
+        self.observe();
         self.mem.memset(ptr, value as u8, len)?;
-        Ok(kernel_duration_ns(
-            &self.props,
-            &Workload::memory(len as f64),
-        ))
+        let dur = kernel_duration_ns(&self.props, &Workload::memory(len as f64));
+        self.enqueue_on(
+            stream,
+            CommandKind::Memset { bytes: len },
+            dur,
+            ENQUEUE_SUBMIT_NS,
+        )
+    }
+
+    /// Enqueue a library routine (cuBLAS / cuSOLVER / cuFFT) whose result
+    /// was just computed server-side: the device-time cost rides `stream`'s
+    /// timeline instead of blocking the host.
+    pub fn enqueue_library(
+        &mut self,
+        stream: u64,
+        what: &'static str,
+        duration_ns: u64,
+    ) -> VgpuResult<Submit> {
+        self.observe();
+        self.enqueue_on(
+            stream,
+            CommandKind::Library { what },
+            duration_ns,
+            ENQUEUE_SUBMIT_NS,
+        )
     }
 
     fn pcie_ns(&self, bytes: usize) -> u64 {
@@ -234,9 +424,9 @@ impl Device {
 
     // -- launches -------------------------------------------------------
 
-    /// cuLaunchKernel: enqueue a kernel on a stream. Returns the submission
-    /// cost (the kernel itself runs "on the device", advancing the stream's
-    /// completion frontier).
+    /// cuLaunchKernel: enqueue a kernel on a stream. Returns a [`Submit`]
+    /// receipt; the host pays only `submit_ns`, the kernel itself runs "on
+    /// the device", advancing the stream's timeline by its duration.
     pub fn launch_kernel(
         &mut self,
         func: u64,
@@ -245,7 +435,8 @@ impl Device {
         shared_mem: u32,
         stream: u64,
         params: &[u8],
-    ) -> VgpuResult<u64> {
+    ) -> VgpuResult<Submit> {
+        self.observe();
         let entry = self
             .functions
             .get(&func)
@@ -315,19 +506,29 @@ impl Device {
             self.memo.insert(key, MemoEntry { out_versions });
         }
 
-        let now = self.clock.now_ns();
-        let s = self.streams.get_mut(&stream).expect("checked");
-        s.enqueue(now, duration);
-        self.stats.device_time_ns += duration;
-        // Submission cost on the device front-end.
-        Ok(600)
+        self.enqueue_on(
+            stream,
+            CommandKind::Kernel { func },
+            duration,
+            KERNEL_SUBMIT_NS,
+        )
     }
 
     /// Remaining wait for a stream, without consuming it.
     fn stream_wait(&self, stream: u64) -> u64 {
         self.streams
             .get(&stream)
-            .map(|s| s.wait_ns(self.clock.now_ns()))
+            .map(|q| q.wait_ns(self.clock.now_ns()))
+            .unwrap_or(0)
+    }
+
+    /// Remaining wait until every stream drains.
+    fn wait_all_ns(&self) -> u64 {
+        let now = self.clock.now_ns();
+        self.streams
+            .values()
+            .map(|q| q.wait_ns(now))
+            .max()
             .unwrap_or(0)
     }
 
@@ -408,7 +609,7 @@ impl Device {
 
     /// Restore-only: place a stream handle.
     pub fn restore_stream(&mut self, handle: u64) {
-        self.streams.insert(handle, StreamState::default());
+        self.streams.insert(handle, CommandQueue::default());
     }
 
     /// Restore-only: place an event handle.
@@ -426,26 +627,32 @@ impl Device {
     /// cudaStreamCreate.
     pub fn stream_create(&mut self) -> (u64, u64) {
         let h = self.new_handle();
-        self.streams.insert(h, StreamState::default());
+        self.streams.insert(h, CommandQueue::default());
         (h, 900)
     }
 
-    /// cudaStreamDestroy (waits for pending work, like CUDA).
+    /// cudaStreamDestroy (waits for pending work, like CUDA). Pending
+    /// commands are deemed complete once the wait elapses, so they are
+    /// force-retired into the log rather than lost.
     pub fn stream_destroy(&mut self, stream: u64) -> VgpuResult<u64> {
         if stream == 0 {
             return Err(VgpuError::InvalidValue(
                 "cannot destroy default stream".into(),
             ));
         }
+        self.observe();
         let wait = self.stream_wait(stream);
-        self.streams
+        let mut q = self
+            .streams
             .remove(&stream)
             .ok_or(VgpuError::InvalidHandle(stream))?;
+        q.retire_until(u64::MAX, stream, &mut self.retired);
         Ok(500 + wait)
     }
 
     /// cudaStreamSynchronize: returns the wait time the host must spend.
     pub fn stream_synchronize(&mut self, stream: u64) -> VgpuResult<u64> {
+        self.observe();
         if !self.streams.contains_key(&stream) {
             return Err(VgpuError::InvalidHandle(stream));
         }
@@ -454,23 +661,24 @@ impl Device {
 
     /// cudaDeviceSynchronize: wait for all streams.
     pub fn device_synchronize(&mut self) -> u64 {
-        let now = self.clock.now_ns();
-        self.streams
-            .values()
-            .map(|s| s.wait_ns(now))
-            .max()
-            .unwrap_or(0)
+        self.observe();
+        self.wait_all_ns()
     }
 
     /// cudaDeviceReset: drop all state.
     pub fn device_reset(&mut self) -> u64 {
         let wait = self.device_synchronize();
+        // Pending work is deemed complete after the wait; keep the log
+        // coherent before dropping the queues.
+        for (&h, q) in self.streams.iter_mut() {
+            q.retire_until(u64::MAX, h, &mut self.retired);
+        }
         let total = self.props.total_global_mem;
         self.mem = MemoryManager::new(total);
         self.modules.clear();
         self.functions.clear();
         self.streams.clear();
-        self.streams.insert(0, StreamState::default());
+        self.streams.insert(0, CommandQueue::default());
         self.events.clear();
         self.memo.clear();
         wait + 50_000
@@ -491,13 +699,15 @@ impl Device {
         Ok(300)
     }
 
-    /// cudaEventRecord.
+    /// cudaEventRecord: capture the stream's completion frontier. The event
+    /// "completes" when the stream drains past everything enqueued before
+    /// the record — enqueue semantics, no host wait.
     pub fn event_record(&mut self, event: u64, stream: u64) -> VgpuResult<u64> {
         let frontier = self
             .streams
             .get(&stream)
             .ok_or(VgpuError::InvalidHandle(stream))?
-            .completes_at_ns
+            .frontier_ns()
             .max(self.clock.now_ns());
         let e = self
             .events
@@ -758,5 +968,112 @@ mod tests {
         let (_p, _) = d.malloc(1 << 20).unwrap();
         let (free1, _) = d.mem_info();
         assert_eq!(free0 - free1, 1 << 20);
+    }
+
+    // -- async engine ----------------------------------------------------
+
+    #[test]
+    fn cross_stream_overlap_is_max_not_sum() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let (s1, _) = d.stream_create();
+        let (s2, _) = d.stream_create();
+        let t0 = d.clock().now_ns();
+        let a = d
+            .launch_kernel(f, Dim3::one(), Dim3::one(), 0, s1, &[])
+            .unwrap();
+        let b = d
+            .launch_kernel(f, Dim3::one(), Dim3::one(), 0, s2, &[])
+            .unwrap();
+        let per = d.properties().launch_overhead_ns;
+        // Both timelines start at t0: the device finishes both after one
+        // kernel duration, not two.
+        assert_eq!(a.completes_at_ns, t0 + per);
+        assert_eq!(b.completes_at_ns, t0 + per);
+        let wait = d.device_synchronize();
+        assert_eq!(wait, per, "overlap: max of timelines, not sum");
+        d.clock().advance(wait);
+        assert_eq!(d.device_synchronize(), 0);
+    }
+
+    #[test]
+    fn same_stream_commands_retire_in_issue_order() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let (s, _) = d.stream_create();
+        let mut seqs = Vec::new();
+        for _ in 0..4 {
+            let sub = d
+                .launch_kernel(f, Dim3::one(), Dim3::one(), 0, s, &[])
+                .unwrap();
+            seqs.push(sub.seq);
+        }
+        let wait = d.stream_synchronize(s).unwrap();
+        d.clock().advance(wait);
+        let retired: Vec<_> = d
+            .take_retired()
+            .into_iter()
+            .filter(|r| r.stream == s)
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(retired, seqs, "retire order == issue order");
+    }
+
+    #[test]
+    fn partial_retirement_respects_clock() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let per = d.properties().launch_overhead_ns;
+        for _ in 0..3 {
+            d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+                .unwrap();
+        }
+        assert_eq!(d.pending_ops(), 3);
+        d.clock().advance(per + per / 2); // 1.5 kernels in
+        d.observe();
+        assert_eq!(d.pending_ops(), 2, "only the first kernel has completed");
+        d.clock().advance(2 * per);
+        d.observe();
+        assert_eq!(d.pending_ops(), 0);
+    }
+
+    #[test]
+    fn busy_span_counts_overlap_once() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let (s1, _) = d.stream_create();
+        let (s2, _) = d.stream_create();
+        let per = d.properties().launch_overhead_ns;
+        d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, s1, &[])
+            .unwrap();
+        d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, s2, &[])
+            .unwrap();
+        let span = d.busy_span_ns();
+        assert_eq!(span, per, "two overlapped kernels occupy one duration");
+        assert_eq!(d.stats.device_time_ns, 2 * per, "but both are charged");
+    }
+
+    #[test]
+    fn sync_htod_waits_for_prior_stream_work() {
+        let (mut d, module) = loaded_device();
+        let (f, _) = d.module_get_function(module, "empty").unwrap();
+        let (p, _) = d.malloc(64).unwrap();
+        let per = d.properties().launch_overhead_ns;
+        d.launch_kernel(f, Dim3::one(), Dim3::one(), 0, 0, &[])
+            .unwrap();
+        let wait = d.memcpy_htod(p, &[0u8; 64]).unwrap();
+        assert!(wait >= per, "sync copy is ordered behind the kernel");
+    }
+
+    #[test]
+    fn enqueue_library_rides_the_stream_timeline() {
+        let mut d = Device::a100();
+        let (s, _) = d.stream_create();
+        let sub = d.enqueue_library(s, "gemm", 10_000).unwrap();
+        assert_eq!(sub.queued_ns, 10_000);
+        let sub2 = d.enqueue_library(s, "gemm", 5_000).unwrap();
+        assert_eq!(sub2.completes_at_ns, sub.completes_at_ns + 5_000);
+        assert!(d.enqueue_library(777, "gemm", 1).is_err());
+        assert_eq!(d.stream_synchronize(s).unwrap(), 15_000);
     }
 }

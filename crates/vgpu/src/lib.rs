@@ -14,8 +14,10 @@
 //!   (vector add, tiled matrix multiply, 64/256-bin histograms, ...) as Rust
 //!   functions that *really execute* against device memory, plus an analytic
 //!   A100 timing model ([`timemodel`]) charging virtual nanoseconds;
-//! * **streams and events** ([`stream`]) with CUDA ordering semantics on the
-//!   shared [`simnet::SimClock`];
+//! * **per-stream command queues and events** ([`queue`], [`stream`]) with
+//!   CUDA ordering semantics on the shared [`simnet::SimClock`]: async work
+//!   enqueues and retires in issue order per stream, overlapping across
+//!   streams; only synchronization points wait;
 //! * host-side **libraries** ([`blas`], [`solver`], [`fft`]) standing in
 //!   for cuBLAS GEMM, cuSolverDn LU factor/solve and cuFFT 1D transforms,
 //!   executing on device memory.
@@ -38,6 +40,7 @@ pub mod kernels;
 pub mod memory;
 pub mod module;
 pub mod properties;
+pub mod queue;
 pub mod solver;
 pub mod stream;
 pub mod timemodel;
@@ -47,3 +50,4 @@ pub use error::{CudaCode, VgpuError, VgpuResult};
 pub use kernels::{Dim3, LaunchConfig};
 pub use memory::DevicePtr;
 pub use properties::DeviceProperties;
+pub use queue::{Command, CommandKind, CommandQueue, Retired, Submit};

@@ -1,36 +1,11 @@
-//! Streams and events with CUDA ordering semantics on the virtual clock.
+//! Events with CUDA ordering semantics on the virtual clock.
 //!
-//! A stream is a FIFO of device work; work enqueued on a stream starts after
-//! all previously enqueued work on that stream has finished. An event
-//! records the stream's completion frontier at record time;
-//! `cudaEventElapsedTime` measures between two recorded events in device
-//! time — which is how the proxy applications time their kernels, exactly
-//! like the CUDA samples.
-
-/// State of one stream: the virtual time at which all enqueued work is done.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StreamState {
-    /// Completion frontier (ns on the shared clock).
-    pub completes_at_ns: u64,
-    /// Number of operations enqueued (telemetry).
-    pub ops_enqueued: u64,
-}
-
-impl StreamState {
-    /// Enqueue `duration_ns` of device work at current time `now_ns`;
-    /// returns the new completion time.
-    pub fn enqueue(&mut self, now_ns: u64, duration_ns: u64) -> u64 {
-        let start = self.completes_at_ns.max(now_ns);
-        self.completes_at_ns = start + duration_ns;
-        self.ops_enqueued += 1;
-        self.completes_at_ns
-    }
-
-    /// Nanoseconds a host thread at `now_ns` must wait for completion.
-    pub fn wait_ns(&self, now_ns: u64) -> u64 {
-        self.completes_at_ns.saturating_sub(now_ns)
-    }
-}
+//! Streams themselves are per-stream command queues ([`crate::queue`]): a
+//! FIFO of device work where each command starts after all previously
+//! enqueued work on that stream has finished. An event records the stream's
+//! completion frontier at record time; `cudaEventElapsedTime` measures
+//! between two recorded events in device time — which is how the proxy
+//! applications time their kernels, exactly like the CUDA samples.
 
 /// State of one event.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,36 +33,18 @@ impl EventState {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stream_serializes_work() {
-        let mut s = StreamState::default();
-        assert_eq!(s.enqueue(100, 50), 150);
-        // Second op enqueued while first still running: starts at 150.
-        assert_eq!(s.enqueue(120, 30), 180);
-        // Op enqueued after an idle gap starts at now.
-        assert_eq!(s.enqueue(500, 10), 510);
-        assert_eq!(s.ops_enqueued, 3);
-    }
-
-    #[test]
-    fn wait_time() {
-        let mut s = StreamState::default();
-        s.enqueue(0, 1000);
-        assert_eq!(s.wait_ns(200), 800);
-        assert_eq!(s.wait_ns(1000), 0);
-        assert_eq!(s.wait_ns(2000), 0);
-    }
+    use crate::queue::{CommandKind, CommandQueue};
 
     #[test]
     fn events_measure_stream_time() {
-        let mut s = StreamState::default();
+        let mut q = CommandQueue::default();
         let mut start = EventState::default();
         let mut stop = EventState::default();
-        start.record(s.completes_at_ns);
-        s.enqueue(0, 3_000_000); // 3 ms of kernels
-        s.enqueue(0, 1_500_000);
-        stop.record(s.completes_at_ns);
+        start.record(q.frontier_ns());
+        let k = CommandKind::Kernel { func: 1 };
+        q.enqueue(0, 1, k, 3_000_000); // 3 ms of kernels
+        q.enqueue(0, 2, k, 1_500_000);
+        stop.record(q.frontier_ns());
         let ms = EventState::elapsed_ms(&start, &stop).unwrap();
         assert!((ms - 4.5).abs() < 1e-6);
     }

@@ -2,7 +2,8 @@
 //!
 //! The workspace builds offline, so the real crates-io crate is not
 //! available. Only the surface the workspace uses is provided: `unbounded()`
-//! with cloneable senders and blocking `recv()`.
+//! and `bounded()` with cloneable senders, blocking `recv()`, and
+//! non-blocking `try_send()`/`try_recv()`.
 
 use std::fmt;
 use std::sync::mpsc;
@@ -55,19 +56,54 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
-/// The sending half of an unbounded channel.
-pub struct Sender<T>(mpsc::Sender<T>);
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the unsent message is returned.
+    Full(T),
+    /// The receiver was dropped; the unsent message is returned.
+    Disconnected(T),
+}
+
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half of a channel.
+pub struct Sender<T>(SenderInner<T>);
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Self(self.0.clone())
+        Self(match &self.0 {
+            SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+        })
     }
 }
 
 impl<T> Sender<T> {
-    /// Send a message, failing only if the receiver is gone.
+    /// Send a message, failing only if the receiver is gone. On a bounded
+    /// channel this blocks while the channel is full.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        match &self.0 {
+            SenderInner::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+    /// blocking when a bounded channel is at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.0 {
+            SenderInner::Unbounded(tx) => tx
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+            SenderInner::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            }),
+        }
     }
 }
 
@@ -113,7 +149,15 @@ impl<T> fmt::Debug for Receiver<T> {
 /// Create an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(rx))
+    (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+}
+
+/// Create a bounded channel holding at most `cap` in-flight messages;
+/// `send` blocks and `try_send` fails with [`TrySendError::Full`] when the
+/// channel is at capacity.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(SenderInner::Bounded(tx)), Receiver(rx))
 }
 
 #[cfg(test)]
@@ -156,6 +200,21 @@ mod tests {
             rx.recv_timeout(std::time::Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1u8).unwrap();
+        tx.try_send(2u8).unwrap();
+        assert!(matches!(tx.try_send(3u8), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3u8).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4u8),
+            Err(TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]

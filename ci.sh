@@ -23,6 +23,13 @@ cargo test --test chaos -q
 cargo test --test proptest_stack -q -- lossy_fault any_fault
 cargo test --test checkpoint_restart -q connection_reset_mid_checkpoint
 
+echo "==> chaos: batch replay (dropped/reset CRICKET_BATCH_EXEC, full seed matrix)"
+cargo test --test chaos -q batch
+cargo test --test proptest_stack -q record_flush_interleavings
+
+echo "==> bench smoke: smallop (self-asserts >=4x RPC reduction, <5% single-op regression)"
+cargo run --release -p cricket-bench --bin smallop -- --launches 1024 --single-iters 128
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

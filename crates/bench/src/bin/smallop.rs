@@ -1,0 +1,192 @@
+//! Small-op round-trip snapshot: RPC round trips per async CUDA op on a
+//! launch-heavy workload, batched (adaptive coalescing) vs. unbatched,
+//! plus the single-op latency guard — written to `BENCH_smallop.json`.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin smallop
+//! cargo run --release -p cricket-bench --bin smallop -- --launches 512
+//! ```
+//!
+//! The launch-heavy phase issues thousands of tiny kernel launches with a
+//! sync every 64; coalescing folds each 64-launch window into one
+//! `CRICKET_BATCH_EXEC` round trip. The single-op phase syncs after every
+//! launch — the adaptive watermark collapses to 1 and per-op latency must
+//! stay within noise of the unbatched client.
+
+use cricket_client::sim::SimSetup;
+use cricket_client::{CricketClient, EnvConfig};
+use vgpu::kernels::ParamBuilder;
+use vgpu::module::CubinBuilder;
+
+/// Tiny vectors: device time is negligible, the round trip dominates.
+const N: usize = 1 << 10;
+
+struct Bench {
+    _sim: SimSetup,
+    client: CricketClient,
+    func: u64,
+    params: Vec<u8>,
+}
+
+impl Bench {
+    fn new(batched: bool) -> Self {
+        let sim = SimSetup::new();
+        let mut client = sim.client(EnvConfig::RustyHermit);
+        if batched {
+            client.enable_batching();
+        }
+        let image = CubinBuilder::new()
+            .kernel("vectorAdd", &[8, 8, 8, 4])
+            .code(b"vectorAdd SASS")
+            .build(false);
+        let module = client.module_load(&image).unwrap();
+        let func = client.module_get_function(module, "vectorAdd").unwrap();
+        let bytes = (N * 4) as u64;
+        let a = client.malloc(bytes).unwrap();
+        let b = client.malloc(bytes).unwrap();
+        let c = client.malloc(bytes).unwrap();
+        let fill = vec![0u8; N * 4];
+        client.memcpy_htod(a, &fill).unwrap();
+        client.memcpy_htod(b, &fill).unwrap();
+        let params = ParamBuilder::new()
+            .ptr(c)
+            .ptr(a)
+            .ptr(b)
+            .u32(N as u32)
+            .build();
+        client.device_synchronize().unwrap();
+        Self {
+            _sim: sim,
+            client,
+            func,
+            params,
+        }
+    }
+
+    fn launch(&mut self) {
+        self.client
+            .launch_kernel(
+                self.func,
+                ((N as u32).div_ceil(256), 1, 1).into(),
+                (256, 1, 1).into(),
+                0,
+                0,
+                &self.params,
+            )
+            .unwrap();
+    }
+
+    /// `launches` launches with a device sync every `sync_every`; returns
+    /// (rpc round trips, virtual ns) for the phase.
+    fn launch_heavy(&mut self, launches: usize, sync_every: usize) -> (u64, u64) {
+        self.client.rpc().reset_stats();
+        let t0 = self.client.clock().unwrap().now_ns();
+        for i in 1..=launches {
+            self.launch();
+            if i % sync_every == 0 {
+                self.client.device_synchronize().unwrap();
+            }
+        }
+        self.client.device_synchronize().unwrap();
+        let t1 = self.client.clock().unwrap().now_ns();
+        (self.client.rpc().stats().calls, t1 - t0)
+    }
+
+    /// `iters` iterations of launch-then-sync; returns virtual ns.
+    fn single_op(&mut self, iters: usize) -> u64 {
+        let t0 = self.client.clock().unwrap().now_ns();
+        for _ in 0..iters {
+            self.launch();
+            self.client.device_synchronize().unwrap();
+        }
+        let t1 = self.client.clock().unwrap().now_ns();
+        t1 - t0
+    }
+}
+
+fn main() {
+    let launches = parse_arg("--launches").unwrap_or(4096);
+    let sync_every = parse_arg("--sync-every").unwrap_or(64);
+    let single_iters = parse_arg("--single-iters").unwrap_or(512);
+    println!(
+        "smallop — {launches} launches, sync every {sync_every}, {single_iters} single-op iters\n"
+    );
+
+    // Launch-heavy phase.
+    let (rpcs_unbatched, ns_unbatched) = Bench::new(false).launch_heavy(launches, sync_every);
+    let mut batched = Bench::new(true);
+    let (rpcs_batched, ns_batched) = batched.launch_heavy(launches, sync_every);
+    let bstats = batched.client.batch_stats().unwrap().clone();
+    let rpcs_per_op_batched = batched.client.rpcs_per_op();
+    let rpc_reduction = rpcs_unbatched as f64 / rpcs_batched as f64;
+    let async_op_rpc_reduction = 1.0 / rpcs_per_op_batched;
+    println!("launch-heavy ({launches} async ops):");
+    println!(
+        "  unbatched: {rpcs_unbatched:>6} RPCs  ({:.3} per async op)  {:>9.3} ms virtual",
+        rpcs_unbatched as f64 / launches as f64,
+        ns_unbatched as f64 / 1e6
+    );
+    println!(
+        "  batched:   {rpcs_batched:>6} RPCs  ({rpcs_per_op_batched:.3} per async op)  {:>9.3} ms virtual",
+        ns_batched as f64 / 1e6
+    );
+    println!(
+        "  → {rpc_reduction:.1}x fewer round trips overall, {async_op_rpc_reduction:.1}x per async op"
+    );
+    println!(
+        "  batches {} (sync {}, depth {}, bytes {}), size histogram {:?}\n",
+        bstats.batches,
+        bstats.flush_sync,
+        bstats.flush_depth,
+        bstats.flush_bytes,
+        bstats.size_histogram
+    );
+
+    // Single-op latency guard: fresh clients, sync after every launch.
+    let ns_single_unbatched = Bench::new(false).single_op(single_iters);
+    let ns_single_batched = Bench::new(true).single_op(single_iters);
+    let us_unbatched = ns_single_unbatched as f64 / single_iters as f64 / 1e3;
+    let us_batched = ns_single_batched as f64 / single_iters as f64 / 1e3;
+    let regression_pct = (us_batched - us_unbatched) / us_unbatched * 100.0;
+    println!("single-op (sync after every launch, {single_iters} iters):");
+    println!("  unbatched {us_unbatched:.3} µs/op, batched {us_batched:.3} µs/op → {regression_pct:+.2} %");
+
+    let json = format!(
+        "{{\n  \"bench\": \"smallop\",\n  \"launches\": {launches},\n  \"sync_every\": {sync_every},\n  \
+         \"unbatched\": {{\"rpcs\": {rpcs_unbatched}, \"rpcs_per_async_op\": {:.4}, \"virt_ns\": {ns_unbatched}}},\n  \
+         \"batched\": {{\"rpcs\": {rpcs_batched}, \"rpcs_per_async_op\": {rpcs_per_op_batched:.4}, \"virt_ns\": {ns_batched}, \
+         \"batches\": {}, \"flush_sync\": {}, \"flush_depth\": {}, \"flush_bytes\": {}, \"size_histogram\": {:?}}},\n  \
+         \"rpc_reduction\": {rpc_reduction:.4},\n  \"async_op_rpc_reduction\": {async_op_rpc_reduction:.4},\n  \
+         \"single_op\": {{\"iters\": {single_iters}, \"unbatched_us_per_op\": {us_unbatched:.4}, \
+         \"batched_us_per_op\": {us_batched:.4}, \"regression_pct\": {regression_pct:.4}}}\n}}\n",
+        rpcs_unbatched as f64 / launches as f64,
+        bstats.batches,
+        bstats.flush_sync,
+        bstats.flush_depth,
+        bstats.flush_bytes,
+        bstats.size_histogram,
+    );
+    let path = "BENCH_smallop.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\n  → wrote {path}"),
+        Err(e) => eprintln!("\n  ! could not write {path}: {e}"),
+    }
+    assert!(
+        async_op_rpc_reduction >= 4.0,
+        "coalescing should cut round trips per async op by ≥4x, got {async_op_rpc_reduction:.2}x"
+    );
+    assert!(
+        regression_pct < 5.0,
+        "single-op latency regressed {regression_pct:.2} % (budget 5 %)"
+    );
+}
+
+fn parse_arg(name: &str) -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}

@@ -17,6 +17,18 @@ pub enum ClientError {
         /// Which API failed.
         api: &'static str,
     },
+    /// A sub-op of a coalesced command batch failed on the server. The
+    /// error surfaces at the flush point (a sync call or a non-batchable
+    /// call), naming the originating recorded call and its index in the
+    /// batch; later sub-ops of the same stream slice were skipped.
+    Batch {
+        /// The CUDA error number of the failed sub-op.
+        code: i32,
+        /// The recorded API call that failed.
+        api: &'static str,
+        /// Zero-based index of the failed sub-op within the batch.
+        index: usize,
+    },
 }
 
 impl ClientError {
@@ -28,7 +40,7 @@ impl ClientError {
     /// The CUDA error code, if this is a CUDA-level failure.
     pub fn cuda_code(&self) -> Option<i32> {
         match self {
-            ClientError::Cuda { code, .. } => Some(*code),
+            ClientError::Cuda { code, .. } | ClientError::Batch { code, .. } => Some(*code),
             ClientError::Rpc(_) => None,
         }
     }
@@ -44,6 +56,12 @@ impl fmt::Display for ClientError {
                     .unwrap_or_else(|| format!("cudaError({code})"));
                 write!(f, "{api} failed: {name}")
             }
+            ClientError::Batch { code, api, index } => {
+                let name = cricket_proto::CudaError::from_i32(*code)
+                    .map(|e| format!("{e:?}"))
+                    .unwrap_or_else(|| format!("cudaError({code})"));
+                write!(f, "{api} failed in batch at sub-op {index}: {name}")
+            }
         }
     }
 }
@@ -52,7 +70,7 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Rpc(e) => Some(e),
-            ClientError::Cuda { .. } => None,
+            ClientError::Cuda { .. } | ClientError::Batch { .. } => None,
         }
     }
 }
@@ -80,6 +98,20 @@ mod tests {
     fn display_handles_unknown_codes() {
         let e = ClientError::cuda("cudaFree", 9999);
         assert!(e.to_string().contains("cudaError(9999)"));
+    }
+
+    #[test]
+    fn batch_errors_name_the_sub_op() {
+        let e = ClientError::Batch {
+            code: 1,
+            api: "cuLaunchKernel",
+            index: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cuLaunchKernel"), "{s}");
+        assert!(s.contains("sub-op 3"), "{s}");
+        assert!(s.contains("InvalidValue"), "{s}");
+        assert_eq!(e.cuda_code(), Some(1));
     }
 
     #[test]

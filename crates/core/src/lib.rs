@@ -37,7 +37,12 @@ pub mod stats;
 
 pub use env::EnvConfig;
 pub use error::{ClientError, ClientResult};
-pub use raw::CricketClient;
+pub use raw::{CricketClient, BATCH_INLINE_HTOD_MAX};
+
+/// Coalescing policy/telemetry re-exports (configure via
+/// [`CricketClient::enable_batching_with`], read via
+/// [`CricketClient::batch_stats`]).
+pub use oncrpc::{BatchPolicy, BatchStats};
 pub use safe::{Context, DeviceBuffer, Event, Function, Module, Stream};
 pub use stats::{ApiStats, CopyStats};
 

@@ -5,9 +5,27 @@ use crate::ccompat::{launch_compat_marshal, LAUNCH_COMPAT_NS, TIRPC_CALL_NS};
 use crate::env::ClientFlavor;
 use crate::error::{ClientError, ClientResult};
 use crate::stats::ApiStats;
-use cricket_proto::{CricketV1Client, DeviceProp, MemInfo, RpcDim3, ServerStats};
+use cricket_proto::{
+    cricket_v1, BatchResult, CricketV1Client, DeviceProp, MemInfo, RpcDim3, ServerStats,
+};
+use oncrpc::{BatchBuilder, BatchPolicy, BatchStats, FlushReason, BATCH_SKIPPED};
 use simnet::SimClock;
 use std::sync::Arc;
+
+/// H2D copies at or below this size may ride inside a command batch;
+/// larger payloads flush the batch and take the ordinary scatter-gather
+/// path so a bulk transfer never sits behind a deferral watermark.
+pub const BATCH_INLINE_HTOD_MAX: usize = 16 * 1024;
+
+/// Client-side coalescing state: the pending batch plus the flush policy
+/// and telemetry, and the api name of every recorded op so a failed
+/// status index maps back to the originating call.
+struct BatchState {
+    builder: BatchBuilder,
+    policy: BatchPolicy,
+    stats: BatchStats,
+    apis: Vec<&'static str>,
+}
 
 /// The Cricket client: one connection to a Cricket server.
 pub struct CricketClient {
@@ -18,6 +36,8 @@ pub struct CricketClient {
     clock: Option<Arc<SimClock>>,
     /// Accounting.
     pub stats: ApiStats,
+    /// Command coalescing, when enabled (`None` = every call is eager).
+    batch: Option<BatchState>,
 }
 
 impl CricketClient {
@@ -32,6 +52,136 @@ impl CricketClient {
             flavor,
             clock,
             stats: ApiStats::default(),
+            batch: None,
+        }
+    }
+
+    // ---- command coalescing -------------------------------------------
+
+    /// Enable adaptive command coalescing with the default policy: async,
+    /// non-result-bearing calls are recorded into a batch and flushed as
+    /// one `CRICKET_BATCH_EXEC` round trip at the next sync point, depth
+    /// watermark, or byte budget.
+    pub fn enable_batching(&mut self) {
+        self.enable_batching_with(BatchPolicy::default());
+    }
+
+    /// Enable coalescing with an explicit flush policy.
+    pub fn enable_batching_with(&mut self, policy: BatchPolicy) {
+        self.batch = Some(BatchState {
+            builder: BatchBuilder::new(),
+            policy,
+            stats: BatchStats::default(),
+            apis: Vec::new(),
+        });
+    }
+
+    /// Flush any pending batch and turn coalescing off.
+    pub fn disable_batching(&mut self) -> ClientResult<()> {
+        self.flush_batch()?;
+        self.batch = None;
+        Ok(())
+    }
+
+    /// True if coalescing is on.
+    pub fn batching_enabled(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Coalescing telemetry, when batching is enabled.
+    pub fn batch_stats(&self) -> Option<&BatchStats> {
+        self.batch.as_ref().map(|b| &b.stats)
+    }
+
+    /// RPC round trips per batchable op: 1.0 when coalescing is off or
+    /// has seen no ops, below 1.0 once ops share round trips.
+    pub fn rpcs_per_op(&self) -> f64 {
+        self.batch_stats().map_or(1.0, |s| s.rpcs_per_op())
+    }
+
+    /// Flush the pending batch, if any, as one `CRICKET_BATCH_EXEC` RPC.
+    /// Called implicitly by every sync point and non-batchable call; call
+    /// it explicitly to bound deferral without a sync.
+    pub fn flush_batch(&mut self) -> ClientResult<()> {
+        self.flush_batch_as(FlushReason::Sync)
+    }
+
+    fn flush_batch_as(&mut self, reason: FlushReason) -> ClientResult<()> {
+        let Some(state) = self.batch.as_mut() else {
+            return Ok(());
+        };
+        if state.builder.is_empty() {
+            return Ok(());
+        }
+        let ops = state.builder.len();
+        // The flush RPC is retryable under at-most-once only if every
+        // recorded sub-op was declared idempotent.
+        let idem = state.builder.all_idempotent();
+        let mut apis = std::mem::take(&mut state.apis);
+        let body = state.builder.finish();
+        state.policy.on_flush(reason, ops);
+        state.stats.record_flush(reason, ops);
+        let sent = self.send_batch(idem, &body, &apis);
+        let state = self.batch.as_mut().expect("batch state present");
+        state.builder.recycle(body);
+        apis.clear();
+        state.apis = apis;
+        sent
+    }
+
+    /// One flush round trip: the whole batch body travels as a single
+    /// deferred scatter-gather segment, so recorded payloads are copied
+    /// once (at record time) and never again on the client.
+    fn send_batch(&mut self, idem: bool, body: &[u8], apis: &[&'static str]) -> ClientResult<()> {
+        let receipt = {
+            let reply = self
+                .stub
+                .rpc
+                .call_raw_sg_tagged(cricket_v1::CRICKET_BATCH_EXEC, idem, |enc| {
+                    enc.put_opaque_deferred(body);
+                })
+                .map_err(ClientError::Rpc)?;
+            let mut dec = xdr::XdrDecoder::new(&reply);
+            let result: BatchResult = xdr::Xdr::decode(&mut dec).map_err(oncrpc::RpcError::from)?;
+            dec.finish().map_err(oncrpc::RpcError::from)?;
+            result
+        };
+        match receipt {
+            BatchResult::Receipt(r) => {
+                for (index, &code) in r.statuses.iter().enumerate() {
+                    if code != 0 && code != BATCH_SKIPPED {
+                        return Err(ClientError::Batch {
+                            code,
+                            api: apis.get(index).copied().unwrap_or("cricketBatchExec"),
+                            index,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            BatchResult::Default(code) => Err(ClientError::cuda("cricketBatchExec", code)),
+        }
+    }
+
+    /// Accounting for a call that is being *recorded* rather than sent:
+    /// same per-call bookkeeping as [`Self::pre_call`] but no flush.
+    fn pre_record(&mut self, api: &'static str) {
+        self.stats.count(api);
+        if self.flavor == ClientFlavor::CTirpc {
+            self.charge(TIRPC_CALL_NS);
+        }
+    }
+
+    /// Record bookkeeping plus the policy check: flush if the op just
+    /// recorded reached the depth watermark or the byte budget.
+    fn after_record(&mut self) -> ClientResult<()> {
+        let state = self.batch.as_mut().expect("batch state present");
+        match state
+            .policy
+            .should_flush(state.builder.len(), state.builder.body_bytes())
+        {
+            Some(reason) => self.flush_batch_as(reason),
+            None => Ok(()),
         }
     }
 
@@ -63,11 +213,14 @@ impl CricketClient {
         }
     }
 
-    fn pre_call(&mut self, api: &'static str) {
-        self.stats.count(api);
-        if self.flavor == ClientFlavor::CTirpc {
-            self.charge(TIRPC_CALL_NS);
-        }
+    fn pre_call(&mut self, api: &'static str) -> ClientResult<()> {
+        // Any eager RPC is an ordering barrier: recorded ops must reach
+        // the server before it, so a pending batch flushes first. A
+        // deferred sub-op's failure therefore surfaces here, as a
+        // [`ClientError::Batch`] naming the originating call.
+        self.flush_batch_as(FlushReason::Sync)?;
+        self.pre_record(api);
+        Ok(())
     }
 
     fn int_status(api: &'static str, code: i32) -> ClientResult<()> {
@@ -82,7 +235,7 @@ impl CricketClient {
 
     /// cudaGetDeviceCount.
     pub fn device_count(&mut self) -> ClientResult<i32> {
-        self.pre_call("cudaGetDeviceCount");
+        self.pre_call("cudaGetDeviceCount")?;
         self.stub
             .cuda_get_device_count()?
             .into_result()
@@ -91,7 +244,7 @@ impl CricketClient {
 
     /// cudaGetDeviceProperties.
     pub fn device_properties(&mut self, ordinal: i32) -> ClientResult<DeviceProp> {
-        self.pre_call("cudaGetDeviceProperties");
+        self.pre_call("cudaGetDeviceProperties")?;
         match self.stub.cuda_get_device_properties(&ordinal)? {
             cricket_proto::PropResult::Prop(p) => Ok(p),
             cricket_proto::PropResult::Default(c) => {
@@ -102,13 +255,13 @@ impl CricketClient {
 
     /// cudaSetDevice.
     pub fn set_device(&mut self, ordinal: i32) -> ClientResult<()> {
-        self.pre_call("cudaSetDevice");
+        self.pre_call("cudaSetDevice")?;
         Self::int_status("cudaSetDevice", self.stub.cuda_set_device(&ordinal)?)
     }
 
     /// cudaGetDevice.
     pub fn get_device(&mut self) -> ClientResult<i32> {
-        self.pre_call("cudaGetDevice");
+        self.pre_call("cudaGetDevice")?;
         self.stub
             .cuda_get_device()?
             .into_result()
@@ -117,7 +270,7 @@ impl CricketClient {
 
     /// cudaDeviceSynchronize.
     pub fn device_synchronize(&mut self) -> ClientResult<()> {
-        self.pre_call("cudaDeviceSynchronize");
+        self.pre_call("cudaDeviceSynchronize")?;
         Self::int_status(
             "cudaDeviceSynchronize",
             self.stub.cuda_device_synchronize()?,
@@ -126,7 +279,7 @@ impl CricketClient {
 
     /// cudaDeviceReset.
     pub fn device_reset(&mut self) -> ClientResult<()> {
-        self.pre_call("cudaDeviceReset");
+        self.pre_call("cudaDeviceReset")?;
         Self::int_status("cudaDeviceReset", self.stub.cuda_device_reset()?)
     }
 
@@ -134,7 +287,7 @@ impl CricketClient {
 
     /// cudaMalloc.
     pub fn malloc(&mut self, size: u64) -> ClientResult<u64> {
-        self.pre_call("cudaMalloc");
+        self.pre_call("cudaMalloc")?;
         self.stub
             .cuda_malloc(&size)?
             .into_result()
@@ -143,15 +296,29 @@ impl CricketClient {
 
     /// cudaFree.
     pub fn free(&mut self, ptr: u64) -> ClientResult<()> {
-        self.pre_call("cudaFree");
+        self.pre_call("cudaFree")?;
         Self::int_status("cudaFree", self.stub.cuda_free(&ptr)?)
     }
 
     /// cudaMemcpy host→device. The payload travels borrowed end to end:
     /// the stub defers it into a scatter-gather record, so the only copies
     /// left are inside the transport and the server's device write.
+    ///
+    /// With coalescing enabled, copies up to [`BATCH_INLINE_HTOD_MAX`]
+    /// bytes are recorded as *async* descriptors inside the batch (the
+    /// payload is staged into the batch body, so the caller's buffer is
+    /// free immediately); larger copies flush the batch and go eagerly.
     pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> ClientResult<()> {
-        self.pre_call("cudaMemcpy(H2D)");
+        if self.batch.is_some() && data.len() <= BATCH_INLINE_HTOD_MAX {
+            self.pre_record("cudaMemcpy(H2D)");
+            self.stats.bytes_h2d += data.len() as u64;
+            oncrpc::telemetry::add_transferred(data.len());
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_memcpy_htod_record(&mut state.builder, &dst, data);
+            state.apis.push("cudaMemcpy(H2D)");
+            return self.after_record();
+        }
+        self.pre_call("cudaMemcpy(H2D)")?;
         self.stats.bytes_h2d += data.len() as u64;
         oncrpc::telemetry::add_transferred(data.len());
         Self::int_status("cudaMemcpy(H2D)", self.stub.cuda_memcpy_htod(&dst, data)?)
@@ -159,7 +326,7 @@ impl CricketClient {
 
     /// cudaMemcpy device→host.
     pub fn memcpy_dtoh(&mut self, src: u64, len: u64) -> ClientResult<Vec<u8>> {
-        self.pre_call("cudaMemcpy(D2H)");
+        self.pre_call("cudaMemcpy(D2H)")?;
         let out = self
             .stub
             .cuda_memcpy_dtoh(&src, &len)?
@@ -172,7 +339,14 @@ impl CricketClient {
 
     /// cudaMemcpy device→device.
     pub fn memcpy_dtod(&mut self, dst: u64, src: u64, len: u64) -> ClientResult<()> {
-        self.pre_call("cudaMemcpy(D2D)");
+        if self.batch.is_some() {
+            self.pre_record("cudaMemcpy(D2D)");
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_memcpy_dtod_record(&mut state.builder, &dst, &src, &len);
+            state.apis.push("cudaMemcpy(D2D)");
+            return self.after_record();
+        }
+        self.pre_call("cudaMemcpy(D2D)")?;
         Self::int_status(
             "cudaMemcpy(D2D)",
             self.stub.cuda_memcpy_dtod(&dst, &src, &len)?,
@@ -181,13 +355,20 @@ impl CricketClient {
 
     /// cudaMemset.
     pub fn memset(&mut self, ptr: u64, value: i32, len: u64) -> ClientResult<()> {
-        self.pre_call("cudaMemset");
+        if self.batch.is_some() {
+            self.pre_record("cudaMemset");
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_memset_record(&mut state.builder, &ptr, &value, &len);
+            state.apis.push("cudaMemset");
+            return self.after_record();
+        }
+        self.pre_call("cudaMemset")?;
         Self::int_status("cudaMemset", self.stub.cuda_memset(&ptr, &value, &len)?)
     }
 
     /// cudaGetLastError.
     pub fn get_last_error(&mut self) -> ClientResult<i32> {
-        self.pre_call("cudaGetLastError");
+        self.pre_call("cudaGetLastError")?;
         self.stub
             .cuda_get_last_error()?
             .into_result()
@@ -196,7 +377,7 @@ impl CricketClient {
 
     /// cudaMemGetInfo.
     pub fn mem_get_info(&mut self) -> ClientResult<MemInfo> {
-        self.pre_call("cudaMemGetInfo");
+        self.pre_call("cudaMemGetInfo")?;
         match self.stub.cuda_mem_get_info()? {
             cricket_proto::MemInfoResult::Info(i) => Ok(i),
             cricket_proto::MemInfoResult::Default(c) => Err(ClientError::cuda("cudaMemGetInfo", c)),
@@ -208,7 +389,7 @@ impl CricketClient {
     /// cuModuleLoadData: ship a cubin image read on the client side to the
     /// server (the paper's §3.3 loading path).
     pub fn module_load(&mut self, image: &[u8]) -> ClientResult<u64> {
-        self.pre_call("cuModuleLoadData");
+        self.pre_call("cuModuleLoadData")?;
         self.stats.bytes_h2d += image.len() as u64;
         oncrpc::telemetry::add_transferred(image.len());
         self.stub
@@ -219,7 +400,7 @@ impl CricketClient {
 
     /// cuModuleGetFunction.
     pub fn module_get_function(&mut self, module: u64, name: &str) -> ClientResult<u64> {
-        self.pre_call("cuModuleGetFunction");
+        self.pre_call("cuModuleGetFunction")?;
         self.stub
             .cu_module_get_function(&module, name)?
             .into_result()
@@ -228,7 +409,7 @@ impl CricketClient {
 
     /// cuModuleUnload.
     pub fn module_unload(&mut self, module: u64) -> ClientResult<()> {
-        self.pre_call("cuModuleUnload");
+        self.pre_call("cuModuleUnload")?;
         Self::int_status("cuModuleUnload", self.stub.cu_module_unload(&module)?)
     }
 
@@ -243,7 +424,31 @@ impl CricketClient {
         stream: u64,
         params: &[u8],
     ) -> ClientResult<()> {
-        self.pre_call("cuLaunchKernel");
+        if self.batch.is_some() {
+            self.pre_record("cuLaunchKernel");
+            self.stats.launches += 1;
+            let staged;
+            let params = if self.flavor == ClientFlavor::CTirpc {
+                staged = launch_compat_marshal(params);
+                self.charge(LAUNCH_COMPAT_NS);
+                &staged[..]
+            } else {
+                params
+            };
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_launch_kernel_record(
+                &mut state.builder,
+                &func,
+                &grid,
+                &block,
+                &shared_mem,
+                &stream,
+                params,
+            );
+            state.apis.push("cuLaunchKernel");
+            return self.after_record();
+        }
+        self.pre_call("cuLaunchKernel")?;
         self.stats.launches += 1;
         let staged;
         let params = if self.flavor == ClientFlavor::CTirpc {
@@ -264,7 +469,7 @@ impl CricketClient {
 
     /// cudaStreamCreate.
     pub fn stream_create(&mut self) -> ClientResult<u64> {
-        self.pre_call("cudaStreamCreate");
+        self.pre_call("cudaStreamCreate")?;
         self.stub
             .cuda_stream_create()?
             .into_result()
@@ -273,13 +478,13 @@ impl CricketClient {
 
     /// cudaStreamDestroy.
     pub fn stream_destroy(&mut self, h: u64) -> ClientResult<()> {
-        self.pre_call("cudaStreamDestroy");
+        self.pre_call("cudaStreamDestroy")?;
         Self::int_status("cudaStreamDestroy", self.stub.cuda_stream_destroy(&h)?)
     }
 
     /// cudaStreamSynchronize.
     pub fn stream_synchronize(&mut self, h: u64) -> ClientResult<()> {
-        self.pre_call("cudaStreamSynchronize");
+        self.pre_call("cudaStreamSynchronize")?;
         Self::int_status(
             "cudaStreamSynchronize",
             self.stub.cuda_stream_synchronize(&h)?,
@@ -288,7 +493,7 @@ impl CricketClient {
 
     /// cudaEventCreate.
     pub fn event_create(&mut self) -> ClientResult<u64> {
-        self.pre_call("cudaEventCreate");
+        self.pre_call("cudaEventCreate")?;
         self.stub
             .cuda_event_create()?
             .into_result()
@@ -297,7 +502,14 @@ impl CricketClient {
 
     /// cudaEventRecord.
     pub fn event_record(&mut self, event: u64, stream: u64) -> ClientResult<()> {
-        self.pre_call("cudaEventRecord");
+        if self.batch.is_some() {
+            self.pre_record("cudaEventRecord");
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_event_record_record(&mut state.builder, &event, &stream);
+            state.apis.push("cudaEventRecord");
+            return self.after_record();
+        }
+        self.pre_call("cudaEventRecord")?;
         Self::int_status(
             "cudaEventRecord",
             self.stub.cuda_event_record(&event, &stream)?,
@@ -306,7 +518,7 @@ impl CricketClient {
 
     /// cudaEventSynchronize.
     pub fn event_synchronize(&mut self, event: u64) -> ClientResult<()> {
-        self.pre_call("cudaEventSynchronize");
+        self.pre_call("cudaEventSynchronize")?;
         Self::int_status(
             "cudaEventSynchronize",
             self.stub.cuda_event_synchronize(&event)?,
@@ -315,7 +527,7 @@ impl CricketClient {
 
     /// cudaEventElapsedTime (milliseconds).
     pub fn event_elapsed_ms(&mut self, start: u64, stop: u64) -> ClientResult<f32> {
-        self.pre_call("cudaEventElapsedTime");
+        self.pre_call("cudaEventElapsedTime")?;
         self.stub
             .cuda_event_elapsed_time(&start, &stop)?
             .into_result()
@@ -324,7 +536,7 @@ impl CricketClient {
 
     /// cudaEventDestroy.
     pub fn event_destroy(&mut self, event: u64) -> ClientResult<()> {
-        self.pre_call("cudaEventDestroy");
+        self.pre_call("cudaEventDestroy")?;
         Self::int_status("cudaEventDestroy", self.stub.cuda_event_destroy(&event)?)
     }
 
@@ -332,7 +544,7 @@ impl CricketClient {
 
     /// cublasCreate.
     pub fn blas_create(&mut self) -> ClientResult<u64> {
-        self.pre_call("cublasCreate");
+        self.pre_call("cublasCreate")?;
         self.stub
             .cublas_create()?
             .into_result()
@@ -341,7 +553,7 @@ impl CricketClient {
 
     /// cublasDestroy.
     pub fn blas_destroy(&mut self, h: u64) -> ClientResult<()> {
-        self.pre_call("cublasDestroy");
+        self.pre_call("cublasDestroy")?;
         Self::int_status("cublasDestroy", self.stub.cublas_destroy(&h)?)
     }
 
@@ -364,7 +576,7 @@ impl CricketClient {
         c: u64,
         ldc: i32,
     ) -> ClientResult<()> {
-        self.pre_call("cublasSgemm");
+        self.pre_call("cublasSgemm")?;
         Self::int_status(
             "cublasSgemm",
             self.stub.cublas_sgemm(
@@ -392,7 +604,7 @@ impl CricketClient {
         c: u64,
         ldc: i32,
     ) -> ClientResult<()> {
-        self.pre_call("cublasDgemm");
+        self.pre_call("cublasDgemm")?;
         Self::int_status(
             "cublasDgemm",
             self.stub.cublas_dgemm(
@@ -405,7 +617,7 @@ impl CricketClient {
 
     /// cusolverDnCreate.
     pub fn solver_create(&mut self) -> ClientResult<u64> {
-        self.pre_call("cusolverDnCreate");
+        self.pre_call("cusolverDnCreate")?;
         self.stub
             .cusolver_dn_create()?
             .into_result()
@@ -414,7 +626,7 @@ impl CricketClient {
 
     /// cusolverDnDestroy.
     pub fn solver_destroy(&mut self, h: u64) -> ClientResult<()> {
-        self.pre_call("cusolverDnDestroy");
+        self.pre_call("cusolverDnDestroy")?;
         Self::int_status("cusolverDnDestroy", self.stub.cusolver_dn_destroy(&h)?)
     }
 
@@ -427,7 +639,7 @@ impl CricketClient {
         a: u64,
         lda: i32,
     ) -> ClientResult<i32> {
-        self.pre_call("cusolverDnDgetrf_bufferSize");
+        self.pre_call("cusolverDnDgetrf_bufferSize")?;
         self.stub
             .cusolver_dn_dgetrf_buffer_size(&h, &m, &n, &a, &lda)?
             .into_result()
@@ -447,7 +659,7 @@ impl CricketClient {
         ipiv: u64,
         info: u64,
     ) -> ClientResult<()> {
-        self.pre_call("cusolverDnDgetrf");
+        self.pre_call("cusolverDnDgetrf")?;
         Self::int_status(
             "cusolverDnDgetrf",
             self.stub
@@ -470,7 +682,7 @@ impl CricketClient {
         ldb: i32,
         info: u64,
     ) -> ClientResult<()> {
-        self.pre_call("cusolverDnDgetrs");
+        self.pre_call("cusolverDnDgetrs")?;
         Self::int_status(
             "cusolverDnDgetrs",
             self.stub
@@ -482,7 +694,7 @@ impl CricketClient {
 
     /// cufftPlan1d (n must be a power of two; type is CUFFT_C2C/Z2Z).
     pub fn fft_plan_1d(&mut self, n: i32, kind: i32, batch: i32) -> ClientResult<u64> {
-        self.pre_call("cufftPlan1d");
+        self.pre_call("cufftPlan1d")?;
         self.stub
             .cufft_plan_1d(&n, &kind, &batch)?
             .into_result()
@@ -491,7 +703,7 @@ impl CricketClient {
 
     /// cufftDestroy.
     pub fn fft_destroy(&mut self, plan: u64) -> ClientResult<()> {
-        self.pre_call("cufftDestroy");
+        self.pre_call("cufftDestroy")?;
         Self::int_status("cufftDestroy", self.stub.cufft_destroy(&plan)?)
     }
 
@@ -503,7 +715,20 @@ impl CricketClient {
         odata: u64,
         direction: i32,
     ) -> ClientResult<()> {
-        self.pre_call("cufftExecC2C");
+        if self.batch.is_some() {
+            self.pre_record("cufftExecC2C");
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cufft_exec_c2c_record(
+                &mut state.builder,
+                &plan,
+                &idata,
+                &odata,
+                &direction,
+            );
+            state.apis.push("cufftExecC2C");
+            return self.after_record();
+        }
+        self.pre_call("cufftExecC2C")?;
         Self::int_status(
             "cufftExecC2C",
             self.stub
@@ -519,7 +744,20 @@ impl CricketClient {
         odata: u64,
         direction: i32,
     ) -> ClientResult<()> {
-        self.pre_call("cufftExecZ2Z");
+        if self.batch.is_some() {
+            self.pre_record("cufftExecZ2Z");
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cufft_exec_z2z_record(
+                &mut state.builder,
+                &plan,
+                &idata,
+                &odata,
+                &direction,
+            );
+            state.apis.push("cufftExecZ2Z");
+            return self.after_record();
+        }
+        self.pre_call("cufftExecZ2Z")?;
         Self::int_status(
             "cufftExecZ2Z",
             self.stub
@@ -528,9 +766,13 @@ impl CricketClient {
     }
 
     // ---- server management (not counted as CUDA API calls) --------------
+    //
+    // These still flush any pending batch first: a checkpoint must see
+    // recorded work, and server statistics must not race deferred ops.
 
     /// Capture a checkpoint of the server-side GPU state.
     pub fn checkpoint(&mut self) -> ClientResult<Vec<u8>> {
+        self.flush_batch()?;
         self.stub
             .ckpt_capture()?
             .into_result()
@@ -539,26 +781,148 @@ impl CricketClient {
 
     /// Restore a checkpoint.
     pub fn restore(&mut self, blob: &[u8]) -> ClientResult<()> {
+        self.flush_batch()?;
         Self::int_status("ckptRestore", self.stub.ckpt_restore(blob)?)
     }
 
     /// Server-side statistics.
     pub fn server_stats(&mut self) -> ClientResult<ServerStats> {
+        self.flush_batch()?;
         Ok(self.stub.srv_get_stats()?)
     }
 
     /// Reset server-side statistics.
     pub fn server_reset_stats(&mut self) -> ClientResult<()> {
+        self.flush_batch()?;
         Self::int_status("srvResetStats", self.stub.srv_reset_stats()?)
     }
 
     /// Select the GPU-sharing scheduler (0 FIFO, 1 RR, 2 priority).
     pub fn set_scheduler(&mut self, policy: i32) -> ClientResult<()> {
+        self.flush_batch()?;
         Self::int_status("srvSetScheduler", self.stub.srv_set_scheduler(&policy)?)
     }
 
     /// Liveness probe.
     pub fn ping(&mut self) -> ClientResult<()> {
+        self.flush_batch()?;
         Ok(self.stub.rpc_null()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+    use crate::sim::SimSetup;
+
+    fn batched_and_eager_clients() -> (SimSetup, CricketClient, SimSetup, CricketClient) {
+        let sim_b = SimSetup::new();
+        let mut batched = sim_b.client(EnvConfig::RustyHermit);
+        batched.enable_batching();
+        let sim_e = SimSetup::new();
+        let eager = sim_e.client(EnvConfig::RustyHermit);
+        (sim_b, batched, sim_e, eager)
+    }
+
+    /// Same op sequence, same device state — but the batched client needs
+    /// far fewer RPC round trips than the eager one.
+    #[test]
+    fn batched_ops_match_eager_state_with_fewer_rpcs() {
+        let (_sb, mut batched, _se, mut eager) = batched_and_eager_clients();
+        let run = |c: &mut CricketClient| -> ClientResult<Vec<u8>> {
+            let ptr = c.malloc(256)?;
+            for i in 0..16u64 {
+                c.memset(ptr + i * 16, i as i32, 16)?;
+            }
+            c.memcpy_htod(ptr, &[0xAB; 8])?;
+            let out = c.memcpy_dtoh(ptr, 256)?;
+            c.free(ptr)?;
+            Ok(out)
+        };
+        let out_b = run(&mut batched).unwrap();
+        let out_e = run(&mut eager).unwrap();
+        assert_eq!(out_b, out_e);
+        assert_eq!(&out_b[0..8], &[0xAB; 8]);
+        assert_eq!(out_b[16], 1);
+        let calls_b = batched.rpc().stats().calls;
+        let calls_e = eager.rpc().stats().calls;
+        // 17 async ops coalesced into one flush: malloc + flush + dtoh +
+        // free = 4 round trips vs. 20 eager.
+        assert!(
+            calls_b * 4 <= calls_e,
+            "batched {calls_b} vs eager {calls_e}"
+        );
+        let stats = batched.batch_stats().unwrap().clone();
+        assert_eq!(stats.ops_batched, 17);
+        assert_eq!(stats.batches, 1);
+        assert!(batched.rpcs_per_op() < 0.25, "{}", batched.rpcs_per_op());
+    }
+
+    /// A failed sub-op surfaces at the flush point as a typed error naming
+    /// the originating call and its batch index; later ops of the slice
+    /// are skipped, and the builder is reusable afterwards.
+    #[test]
+    fn batch_failure_names_the_originating_call() {
+        let sim = SimSetup::new();
+        let mut c = sim.client(EnvConfig::RustyHermit);
+        c.enable_batching();
+        let ptr = c.malloc(64).unwrap();
+        c.memset(ptr, 1, 64).unwrap();
+        c.memset(0xdead_beef_0000, 2, 8).unwrap(); // recorded, fails at flush
+        c.memset(ptr, 3, 64).unwrap(); // same slice: skipped
+        let err = c.device_synchronize().unwrap_err();
+        match err {
+            ClientError::Batch { api, index, code } => {
+                assert_eq!(api, "cudaMemset");
+                assert_eq!(index, 1);
+                assert_ne!(code, 0);
+            }
+            other => panic!("expected batch error, got {other}"),
+        }
+        // The failed flush did not poison the connection or the builder.
+        c.memset(ptr, 4, 64).unwrap();
+        c.device_synchronize().unwrap();
+        assert_eq!(c.memcpy_dtoh(ptr, 1).unwrap(), vec![4]);
+        c.free(ptr).unwrap();
+    }
+
+    /// Sync-after-every-op load shrinks the adaptive watermark to 1 so
+    /// single ops stop being deferred (latency guard).
+    #[test]
+    fn low_offered_load_degenerates_to_eager_flushes() {
+        let sim = SimSetup::new();
+        let mut c = sim.client(EnvConfig::RustyHermit);
+        c.enable_batching_with(BatchPolicy::new(64, 48 * 1024));
+        let ptr = c.malloc(64).unwrap();
+        for _ in 0..8 {
+            c.memset(ptr, 0, 64).unwrap();
+            c.device_synchronize().unwrap();
+        }
+        let stats = c.batch_stats().unwrap();
+        // After the watermark collapses, records flush immediately (depth
+        // reason at watermark 1) instead of waiting for the sync.
+        assert!(
+            stats.flush_depth >= 1,
+            "watermark never collapsed: {stats:?}"
+        );
+        c.free(ptr).unwrap();
+    }
+
+    /// Large H2D copies bypass the batch (and flush what was pending) so
+    /// bulk transfers never wait behind a deferral watermark.
+    #[test]
+    fn large_htod_bypasses_the_batch() {
+        let sim = SimSetup::new();
+        let mut c = sim.client(EnvConfig::RustyHermit);
+        c.enable_batching();
+        let big = vec![7u8; BATCH_INLINE_HTOD_MAX + 1];
+        let ptr = c.malloc(big.len() as u64).unwrap();
+        c.memset(ptr, 0, 64).unwrap(); // pending
+        c.memcpy_htod(ptr, &big).unwrap(); // flushes, then goes eagerly
+        let stats = c.batch_stats().unwrap();
+        assert_eq!(stats.ops_batched, 1, "only the memset was deferred");
+        assert_eq!(c.memcpy_dtoh(ptr, 4).unwrap(), vec![7; 4]);
+        c.free(ptr).unwrap();
     }
 }

@@ -91,6 +91,59 @@ mod tests {
         assert_eq!(cricket_v1::SRV_SET_SCHEDULER, 64);
     }
 
+    /// The batch-exec procedure must stay out of the idempotent table: a
+    /// batch may contain non-idempotent sub-ops, so only the *client* may
+    /// tag a flush retryable (and only when every recorded op is
+    /// idempotent). The batchable table must list exactly the async
+    /// status-only ops.
+    #[test]
+    fn batch_exec_tagging() {
+        use cricket_v1::*;
+        assert_eq!(CRICKET_BATCH_EXEC, 80);
+        assert!(!is_idempotent(CRICKET_BATCH_EXEC));
+        assert!(!is_batchable(CRICKET_BATCH_EXEC));
+        for proc in [
+            CUDA_MEMCPY_HTOD,
+            CUDA_MEMCPY_DTOD,
+            CUDA_MEMSET,
+            CUDA_LAUNCH_KERNEL,
+            CUDA_EVENT_RECORD,
+            CUFFT_EXEC_C2C,
+            CUFFT_EXEC_Z2Z,
+        ] {
+            assert!(is_batchable(proc), "proc {proc} must be batchable");
+            assert!(
+                !is_idempotent(proc),
+                "batchable proc {proc} is async/state-changing"
+            );
+        }
+        // Sync points and handle-creating calls must never be batchable.
+        for proc in [
+            CUDA_DEVICE_SYNCHRONIZE,
+            CUDA_STREAM_SYNCHRONIZE,
+            CUDA_EVENT_SYNCHRONIZE,
+            CUDA_MALLOC,
+            CUDA_MEMCPY_DTOH,
+        ] {
+            assert!(!is_batchable(proc), "proc {proc} must not be batchable");
+        }
+    }
+
+    #[test]
+    fn batch_receipt_roundtrips() {
+        let r = BatchResult::Receipt(BatchReceipt {
+            statuses: vec![0, 0, 719, -1].into(),
+            executed: 3,
+            queued_ns: 12_000,
+            last_completes_at_ns: 99_000,
+        });
+        let buf = xdr::encode(&r);
+        assert_eq!(xdr::decode::<BatchResult>(&buf).unwrap(), r);
+        let e = BatchResult::Default(400);
+        let buf = xdr::encode(&e);
+        assert_eq!(xdr::decode::<BatchResult>(&buf).unwrap(), e);
+    }
+
     #[test]
     fn cuda_error_codes() {
         assert_eq!(CudaError::CudaSuccess as i32, 0);
@@ -395,6 +448,17 @@ mod tests {
                 arg3: i32,
             ) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(0)
+            }
+            fn cricket_batch_exec(&self, arg0: &[u8]) -> Result<BatchResult, oncrpc::AcceptStat> {
+                // Count the sub-ops without interpreting them.
+                let mut dec = xdr::XdrDecoder::new(arg0);
+                let count = dec.get_u32().map_err(|_| oncrpc::AcceptStat::GarbageArgs)?;
+                Ok(BatchResult::Receipt(BatchReceipt {
+                    statuses: vec![0; count as usize].into(),
+                    executed: count,
+                    queued_ns: 0,
+                    last_completes_at_ns: 0,
+                }))
             }
             fn ckpt_capture(&self) -> Result<DataResult, oncrpc::AcceptStat> {
                 Ok(DataResult::Data(vec![9, 9]))

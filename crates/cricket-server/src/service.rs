@@ -9,8 +9,8 @@
 use crate::checkpoint;
 use crate::scheduler::{Scheduler, SchedulerPolicy, SessionId};
 use cricket_proto::{
-    DataResult, DeviceProp, FloatResult, IntResult, MemInfo, MemInfoResult, PropResult, RpcDim3,
-    ServerStats, U64Result,
+    cricket_v1, BatchReceipt, BatchResult, DataResult, DeviceProp, FloatResult, IntResult, MemInfo,
+    MemInfoResult, PropResult, RpcDim3, ServerStats, U64Result,
 };
 use parking_lot::Mutex;
 use simnet::SimClock;
@@ -38,6 +38,108 @@ pub const MAX_DEVICES: usize = 8;
 /// Host-side cost of one API call: Cricket's RPC dispatch + CUDA driver
 /// entry. Dominates simple calls like `cudaGetDeviceCount` (Fig. 6a).
 const DISPATCH_NS: u64 = 6_000;
+
+/// Host-side cost of one sub-op inside a command batch: the CUDA driver
+/// entry alone. The RPC dispatch share of [`DISPATCH_NS`] is paid once per
+/// batch, which is exactly the per-call overhead coalescing amortizes.
+const BATCH_OP_NS: u64 = 800;
+
+/// One decoded `CRICKET_BATCH_EXEC` sub-op. Bulk payloads borrow from the
+/// request record — the batch body rides the same zero-copy path as
+/// immediate calls.
+#[derive(Debug, Clone, Copy)]
+enum BatchOp<'a> {
+    MemcpyHtod {
+        dst: u64,
+        data: &'a [u8],
+    },
+    MemcpyDtod {
+        dst: u64,
+        src: u64,
+        len: u64,
+    },
+    Memset {
+        ptr: u64,
+        value: i32,
+        len: u64,
+    },
+    LaunchKernel {
+        func: u64,
+        grid: Dim3,
+        block: Dim3,
+        shared: u32,
+        stream: u64,
+        params: &'a [u8],
+    },
+    EventRecord {
+        event: u64,
+        stream: u64,
+    },
+    FftExec {
+        plan: u64,
+        kind: i32,
+        idata: u64,
+        odata: u64,
+        dir: i32,
+    },
+}
+
+/// Decode a batch body: `u32` op count, then per op a `u32` proc number
+/// followed by that procedure's ordinary XDR argument stream. Any decode
+/// error or unknown/non-batchable proc rejects the whole batch as garbage
+/// — nothing has been issued yet, so the reject is side-effect free.
+fn decode_batch(body: &[u8]) -> Result<Vec<BatchOp<'_>>, oncrpc::AcceptStat> {
+    let garbage = |_| oncrpc::AcceptStat::GarbageArgs;
+    let mut dec = xdr::XdrDecoder::new(body);
+    let count = dec.get_u32().map_err(garbage)? as usize;
+    let mut ops = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let proc = dec.get_u32().map_err(garbage)?;
+        let op = match proc {
+            cricket_v1::CUDA_MEMCPY_HTOD => BatchOp::MemcpyHtod {
+                dst: dec.get_u64().map_err(garbage)?,
+                data: dec.get_opaque_ref().map_err(garbage)?,
+            },
+            cricket_v1::CUDA_MEMCPY_DTOD => BatchOp::MemcpyDtod {
+                dst: dec.get_u64().map_err(garbage)?,
+                src: dec.get_u64().map_err(garbage)?,
+                len: dec.get_u64().map_err(garbage)?,
+            },
+            cricket_v1::CUDA_MEMSET => BatchOp::Memset {
+                ptr: dec.get_u64().map_err(garbage)?,
+                value: dec.get_i32().map_err(garbage)?,
+                len: dec.get_u64().map_err(garbage)?,
+            },
+            cricket_v1::CUDA_LAUNCH_KERNEL => BatchOp::LaunchKernel {
+                func: dec.get_u64().map_err(garbage)?,
+                grid: dim(dec.get::<RpcDim3>().map_err(garbage)?),
+                block: dim(dec.get::<RpcDim3>().map_err(garbage)?),
+                shared: dec.get_u32().map_err(garbage)?,
+                stream: dec.get_u64().map_err(garbage)?,
+                params: dec.get_opaque_ref().map_err(garbage)?,
+            },
+            cricket_v1::CUDA_EVENT_RECORD => BatchOp::EventRecord {
+                event: dec.get_u64().map_err(garbage)?,
+                stream: dec.get_u64().map_err(garbage)?,
+            },
+            cricket_v1::CUFFT_EXEC_C2C | cricket_v1::CUFFT_EXEC_Z2Z => BatchOp::FftExec {
+                plan: dec.get_u64().map_err(garbage)?,
+                kind: if proc == cricket_v1::CUFFT_EXEC_C2C {
+                    vgpu::fft::CUFFT_C2C
+                } else {
+                    vgpu::fft::CUFFT_Z2Z
+                },
+                idata: dec.get_u64().map_err(garbage)?,
+                odata: dec.get_u64().map_err(garbage)?,
+                dir: dec.get_i32().map_err(garbage)?,
+            },
+            _ => return Err(oncrpc::AcceptStat::GarbageArgs),
+        };
+        ops.push(op);
+    }
+    dec.finish().map_err(garbage)?;
+    Ok(ops)
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -1033,6 +1135,181 @@ impl CricketServer {
         }))
     }
 
+    // ---- command batches (CRICKET_BATCH_EXEC) ----
+
+    /// Execute a coalesced command batch: decode every sub-op, then issue
+    /// them in order, taking **one scheduler turn per consecutive
+    /// (device, stream) slice** instead of one per op, and paying the RPC
+    /// dispatch cost once for the whole batch plus a small driver-entry
+    /// cost per sub-op. A failed sub-op records its error code at its
+    /// index and aborts the remainder of its slice (`BATCH_SKIPPED`);
+    /// later slices — other streams' work — still run.
+    fn batch_exec(&self, s: SessionId, body: &[u8]) -> Result<BatchResult, oncrpc::AcceptStat> {
+        let ops = decode_batch(body)?;
+        self.sessions_seen.lock().insert(s);
+        {
+            // Each sub-op is one CUDA API call in the paper's accounting;
+            // coalescing changes the wire shape, not the call count.
+            let mut st = self.stats.lock();
+            st.total_calls += ops.len() as u64;
+            for op in &ops {
+                if let BatchOp::MemcpyHtod { data, .. } = op {
+                    st.bytes_in += data.len() as u64;
+                }
+            }
+        }
+        // One RPC dispatch for the whole batch — the coalescing win.
+        self.clock.advance(DISPATCH_NS);
+        let mut statuses = vec![0i32; ops.len()];
+        let mut agg = vgpu::SubmitAggregate::default();
+        let mut executed: u32 = 0;
+        let mut kernels: u64 = 0;
+        let mut i = 0;
+        while i < ops.len() {
+            // Cross-device D2D peer copies stage through the host on two
+            // devices; they cannot share a single-device turn, so they run
+            // through the ordinary synchronous path as their own slice.
+            if let BatchOp::MemcpyDtod { dst, src, len } = ops[i] {
+                if self.route(s, src) != self.route(s, dst) {
+                    let code = self.memcpy_dtod(s, dst, src, len);
+                    statuses[i] = code;
+                    if code == 0 {
+                        executed += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+            }
+            let idx = self.op_device(s, &ops[i]);
+            let stream = self.op_stream(s, idx, &ops[i]);
+            let mut j = i + 1;
+            while j < ops.len()
+                && self.op_device(s, &ops[j]) == idx
+                && self.op_stream(s, idx, &ops[j]) == stream
+                && !matches!(ops[j], BatchOp::MemcpyDtod { dst, src, .. }
+                    if self.route(s, src) != self.route(s, dst))
+            {
+                j += 1;
+            }
+            // Issue the whole slice under one turn; the device lock and
+            // turn drop together at the end of the slice.
+            let turn = self.scheduler.begin(s);
+            let mut dev = self.devices[idx].lock();
+            let mut failed = false;
+            for (k, op) in ops.iter().enumerate().take(j).skip(i) {
+                if failed {
+                    statuses[k] = oncrpc::BATCH_SKIPPED;
+                    continue;
+                }
+                self.clock.advance(BATCH_OP_NS);
+                match self.issue_batch_op(&mut dev, op, stream) {
+                    Ok(Some(sub)) => {
+                        self.clock.advance(sub.submit_ns);
+                        turn.charge(sub.queued_ns);
+                        agg.absorb(&sub);
+                        executed += 1;
+                        if matches!(op, BatchOp::LaunchKernel { .. }) {
+                            kernels += 1;
+                        }
+                    }
+                    Ok(None) => {
+                        executed += 1;
+                    }
+                    Err(e) => {
+                        statuses[k] = Self::err_code(&e);
+                        failed = true;
+                    }
+                }
+            }
+            drop(dev);
+            drop(turn);
+            i = j;
+        }
+        if kernels > 0 {
+            self.stats.lock().kernels_launched += kernels;
+        }
+        Ok(BatchResult::Receipt(BatchReceipt {
+            statuses: statuses.into(),
+            executed,
+            queued_ns: agg.queued_ns,
+            last_completes_at_ns: agg.last_completes_at_ns,
+        }))
+    }
+
+    /// Device a batch sub-op routes to (same rules as the immediate paths).
+    fn op_device(&self, s: SessionId, op: &BatchOp<'_>) -> usize {
+        match *op {
+            BatchOp::MemcpyHtod { dst, .. } => self.route(s, dst),
+            BatchOp::MemcpyDtod { src, .. } => self.route(s, src),
+            BatchOp::Memset { ptr, .. } => self.route(s, ptr),
+            BatchOp::LaunchKernel { func, .. } => self.route(s, func),
+            BatchOp::EventRecord { event, .. } => self.route(s, event),
+            BatchOp::FftExec { idata, .. } => self.route(s, idata),
+        }
+    }
+
+    /// Resolved stream of a batch sub-op on device `idx`. Ops without a
+    /// wire stream argument ride the session's default stream, exactly as
+    /// their immediate counterparts do.
+    fn op_stream(&self, s: SessionId, idx: usize, op: &BatchOp<'_>) -> u64 {
+        match *op {
+            BatchOp::LaunchKernel { stream, .. } | BatchOp::EventRecord { stream, .. } => {
+                self.resolve_stream(s, idx, stream)
+            }
+            _ => self.session_stream(s, idx),
+        }
+    }
+
+    /// Issue one decoded sub-op on the locked device. `Ok(Some(sub))` for
+    /// queue-backed commands, `Ok(None)` for host-side stamps (event
+    /// record). All batched ops are asynchronous: the clock never advances
+    /// to completion here — the next sync point drains the stream.
+    fn issue_batch_op(
+        &self,
+        dev: &mut Device,
+        op: &BatchOp<'_>,
+        st: u64,
+    ) -> Result<Option<Submit>, VgpuError> {
+        match *op {
+            BatchOp::MemcpyHtod { dst, data } => dev.memcpy_htod_stream(dst, data, st).map(Some),
+            BatchOp::MemcpyDtod { dst, src, len } => dev.memcpy_dtod(dst, src, len, st).map(Some),
+            BatchOp::Memset { ptr, value, len } => dev.memset(ptr, value, len, st).map(Some),
+            BatchOp::LaunchKernel {
+                func,
+                grid,
+                block,
+                shared,
+                params,
+                ..
+            } => dev
+                .launch_kernel(func, grid, block, shared, st, params)
+                .map(Some),
+            BatchOp::EventRecord { event, .. } => {
+                let host_ns = dev.event_record(event, st)?;
+                self.clock.advance(host_ns);
+                Ok(None)
+            }
+            BatchOp::FftExec {
+                plan,
+                kind,
+                idata,
+                odata,
+                dir,
+            } => {
+                let plans = self.fft_plans.lock();
+                let p = plans.get(&plan).ok_or(VgpuError::InvalidHandle(plan))?;
+                if p.kind != kind {
+                    return Err(VgpuError::InvalidValue(format!(
+                        "plan type {:#x} does not match exec type {kind:#x}",
+                        p.kind
+                    )));
+                }
+                let t = vgpu::fft::exec(dev, p, idata, odata, dir)?;
+                dev.enqueue_library(st, "fft", t).map(Some)
+            }
+        }
+    }
+
     fn ckpt_capture(&self, s: SessionId) -> DataResult {
         // Checkpoints cover device 0 (the A100 the evaluation uses).
         let r = self.wait_at(s, 0, 50_000, |d| {
@@ -1196,6 +1473,9 @@ impl cricket_proto::CricketV1Service for Sessioned {
             stream,
             params,
         ))
+    }
+    fn cricket_batch_exec(&self, body: &[u8]) -> Result<BatchResult, oncrpc::AcceptStat> {
+        self.srv.batch_exec(self.session, body)
     }
     fn cuda_stream_create(&self) -> Result<U64Result, oncrpc::AcceptStat> {
         Ok(self.srv.stream_create(self.session))

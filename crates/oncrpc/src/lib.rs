@@ -30,6 +30,7 @@
 //! ```
 
 pub mod auth;
+pub mod batch;
 pub mod chaos;
 pub mod client;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod transport;
 pub mod udp;
 
 pub use auth::{AuthFlavor, OpaqueAuth};
+pub use batch::{BatchBuilder, BatchPolicy, BatchStats, FlushReason, BATCH_SKIPPED};
 pub use chaos::{
     ChaosRng, Fault, FaultConfig, FaultPlan, FaultyTransport, SharedFaultPlan, TraceEvent,
 };

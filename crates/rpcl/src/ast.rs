@@ -117,6 +117,11 @@ pub struct ProcedureDef {
     /// Declared `idempotent` in the interface: safe to retransmit without
     /// at-most-once protection, so generated clients may auto-retry it.
     pub idempotent: bool,
+    /// Declared `batchable` in the interface: an async, non-result-bearing
+    /// op (plain `int` status result) that clients may record into a
+    /// command batch instead of sending immediately. Codegen emits a
+    /// `*_record` stub and an `is_batchable` table for these.
+    pub batchable: bool,
 }
 
 /// A variable declaration: a type applied to a name with an optional

@@ -316,11 +316,21 @@ impl Parser {
     }
 
     fn procedure_def(&mut self) -> Result<ProcedureDef, Error> {
-        // Optional leading `idempotent` qualifier (an RPCL extension): marks
-        // the procedure safe for automatic client-side retry.
-        let idempotent = self.at_keyword("idempotent");
-        if idempotent {
-            self.bump();
+        // Optional leading qualifiers (RPCL extensions), in any order:
+        // `idempotent` marks the procedure safe for automatic client-side
+        // retry; `batchable` marks it recordable into a command batch.
+        let mut idempotent = false;
+        let mut batchable = false;
+        loop {
+            if !idempotent && self.at_keyword("idempotent") {
+                idempotent = true;
+                self.bump();
+            } else if !batchable && self.at_keyword("batchable") {
+                batchable = true;
+                self.bump();
+            } else {
+                break;
+            }
         }
         let result = self.type_spec()?;
         let name = self.expect_ident()?;
@@ -347,12 +357,20 @@ impl Parser {
         if args.iter().any(TypeSpec::is_void) {
             return self.err("`void` cannot be combined with other arguments");
         }
+        // Batch replies carry one status int per sub-op, so only procedures
+        // whose whole result is that status can be deferred into a batch.
+        if batchable && result != TypeSpec::Int {
+            return self.err(format!(
+                "`batchable` procedure `{name}` must return plain `int`"
+            ));
+        }
         Ok(ProcedureDef {
             name,
             number,
             result,
             args,
             idempotent,
+            batchable,
         })
     }
 

@@ -50,4 +50,4 @@ pub use error::{CudaCode, VgpuError, VgpuResult};
 pub use kernels::{Dim3, LaunchConfig};
 pub use memory::DevicePtr;
 pub use properties::DeviceProperties;
-pub use queue::{Command, CommandKind, CommandQueue, Retired, Submit};
+pub use queue::{Command, CommandKind, CommandQueue, Retired, Submit, SubmitAggregate};

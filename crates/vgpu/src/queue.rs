@@ -71,6 +71,30 @@ pub struct Submit {
     pub completes_at_ns: u64,
 }
 
+/// Aggregate over many [`Submit`] receipts: the per-batch receipt a server
+/// returns when a whole slice of commands is issued under one turn.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitAggregate {
+    /// Receipts absorbed.
+    pub ops: u32,
+    /// Total host-side submission cost.
+    pub submit_ns: u64,
+    /// Total device time enqueued (ledger charge).
+    pub queued_ns: u64,
+    /// Latest completion frontier across the absorbed commands.
+    pub last_completes_at_ns: u64,
+}
+
+impl SubmitAggregate {
+    /// Fold one receipt into the aggregate.
+    pub fn absorb(&mut self, sub: &Submit) {
+        self.ops += 1;
+        self.submit_ns += sub.submit_ns;
+        self.queued_ns += sub.queued_ns;
+        self.last_completes_at_ns = self.last_completes_at_ns.max(sub.completes_at_ns);
+    }
+}
+
 /// A command that has completed and left its queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Retired {

@@ -37,4 +37,43 @@ fn main() {
             r.d2h_mib_s
         );
     }
+
+    // Small transfers are round-trip-bound, not wire-bound: each 4 KiB
+    // copy pays a full RPC. Adaptive coalescing folds them into
+    // CRICKET_BATCH_EXEC batches, so the same copies need a fraction of
+    // the round trips.
+    const SMALL: usize = 4 << 10;
+    const COUNT: usize = 256;
+    println!(
+        "\nsmall transfers (Hermit): {COUNT} x {} KiB H2D, eager vs. coalesced",
+        SMALL >> 10
+    );
+    let chunk = vec![0x5Au8; SMALL];
+    for batched in [false, true] {
+        let (ctx, setup) = simulated(EnvConfig::RustyHermit);
+        if batched {
+            ctx.with_raw(|r| r.enable_batching());
+        }
+        let buf = ctx.alloc::<u8>(SMALL).expect("alloc");
+        let t0 = setup.clock.now_ns();
+        ctx.with_raw(|r| -> ClientResult<()> {
+            let rpc0 = r.rpc().stats().calls;
+            for _ in 0..COUNT {
+                r.memcpy_htod(buf.ptr(), &chunk)?;
+            }
+            r.device_synchronize()?;
+            let elapsed = setup.clock.now_ns() - t0;
+            let rpcs = r.rpc().stats().calls - rpc0;
+            let mib_s = (SMALL * COUNT) as f64 / (1 << 20) as f64 / (elapsed as f64 / 1e9);
+            println!(
+                "{:<24} {:>14.1} MiB/s  {:>5} RPCs  ({:.3} per copy)",
+                if batched { "coalesced" } else { "eager" },
+                mib_s,
+                rpcs,
+                rpcs as f64 / COUNT as f64
+            );
+            Ok(())
+        })
+        .expect("small-transfer run");
+    }
 }

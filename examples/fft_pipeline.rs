@@ -56,6 +56,18 @@ fn main() -> ClientResult<()> {
     // The download is the synchronization point: it waits for the stream.
     let filtered: Vec<f64> = dev_buf.copy_to_vec()?;
     let drained_ns = setup.clock.now_ns() - issue_t0 - issued_ns;
+
+    // Run the same async chain once more with adaptive RPC coalescing on:
+    // the three calls are recorded client-side and travel as a single
+    // CRICKET_BATCH_EXEC round trip at the flush.
+    let rpcs_per_op_before = ctx.with_raw(|r| r.rpcs_per_op());
+    ctx.with_raw(|r| r.enable_batching());
+    ctx.with_raw(|r| r.fft_exec_z2z(plan, dev_buf.ptr(), dev_buf.ptr(), CUFFT_FORWARD))?;
+    ctx.with_raw(|r| r.memset(dev_buf.ptr() + start, 0, len))?;
+    ctx.with_raw(|r| r.fft_exec_z2z(plan, dev_buf.ptr(), dev_buf.ptr(), CUFFT_INVERSE))?;
+    ctx.with_raw(|r| r.flush_batch())?;
+    let rpcs_per_op_after = ctx.with_raw(|r| r.rpcs_per_op());
+
     ctx.with_raw(|r| r.fft_destroy(plan))?;
 
     // The kept tone must survive; the killed tone must be gone.
@@ -90,5 +102,10 @@ fn main() -> ClientResult<()> {
         issued_ns as f64 / 1e3,
         drained_ns as f64 / 1e3,
     );
+    println!(
+        "RPC round trips per async op: {rpcs_per_op_before:.3} before coalescing, \
+         {rpcs_per_op_after:.3} after (3 calls → 1 CRICKET_BATCH_EXEC)",
+    );
+    assert!(rpcs_per_op_after < rpcs_per_op_before);
     Ok(())
 }

@@ -133,6 +133,142 @@ fn fault_matrix_fixed_seeds() {
     }
 }
 
+/// Acceptance criterion: a coalesced batch whose reply is dropped
+/// mid-flight is retransmitted under the same xid and served from the
+/// replay cache with a **byte-identical status vector** — its sub-ops
+/// execute exactly once, and the typed error decoded from the cached
+/// reply names the same failing sub-op the original execution recorded.
+#[test]
+fn dropped_batch_reply_is_replayed_with_identical_status_vector() {
+    let setup = SimSetup::new();
+    let replay = Arc::new(ReplayCache::default());
+    setup.rpc.set_replay_cache(Arc::clone(&replay));
+    // Events alternate request/reply: malloc is 0/1, the
+    // CRICKET_BATCH_EXEC flush is 2/3 — drop the batch *reply*.
+    let plan = FaultPlan::scripted(vec![(3, Fault::DropReply)]).into_shared();
+    let env = EnvConfig::RustyHermit;
+    let mut client = setup.chaos_client(env, &plan);
+    harden(&mut client, &setup, env, &plan);
+    client.enable_batching();
+
+    let ptr = client.malloc(4096).unwrap();
+    client.memset(ptr, 1, 64).unwrap(); // sub-op 0: executes
+    client.memset(0xdead_beef_0000, 2, 8).unwrap(); // sub-op 1: fails
+    client.memset(ptr + 64, 3, 64).unwrap(); // sub-op 2: skipped (same slice)
+    let err = client.flush_batch().unwrap_err();
+    match err {
+        ClientError::Batch { api, index, code } => {
+            assert_eq!(api, "cudaMemset");
+            assert_eq!(index, 1, "cached status vector named a different sub-op");
+            assert_ne!(code, 0);
+        }
+        other => panic!("expected a typed batch error, got {other}"),
+    }
+    // The error above was decoded from the *retransmitted* reply: the
+    // first one died on the wire, so the client retried and the server
+    // answered from the replay cache instead of executing again.
+    assert!(client.rpc().stats().retries >= 1);
+    assert!(
+        replay.stats().hits >= 1,
+        "batch retransmission bypassed the replay cache: {:?}",
+        replay.stats()
+    );
+    // Exactly-once, observable in device memory: sub-op 0 applied once,
+    // sub-op 2 never ran.
+    let back = client.memcpy_dtoh(ptr, 128).unwrap();
+    assert_eq!(&back[..64], &[1u8; 64][..]);
+    assert_eq!(&back[64..], &[0u8; 64][..], "skipped sub-op executed");
+    client.free(ptr).unwrap();
+}
+
+/// A connection reset while the batch request itself is in flight: the
+/// server never saw it, so the reconnect-and-retransmit path must execute
+/// the batch exactly once (no replay hit, no double execution).
+#[test]
+fn reset_batch_request_executes_exactly_once_after_reconnect() {
+    let setup = SimSetup::new();
+    let replay = Arc::new(ReplayCache::default());
+    setup.rpc.set_replay_cache(Arc::clone(&replay));
+    // Event 2 is the batch *request* record (malloc is events 0/1).
+    let plan = FaultPlan::scripted(vec![(2, Fault::ResetOnSend)]).into_shared();
+    let env = EnvConfig::Unikraft;
+    let mut client = setup.chaos_client(env, &plan);
+    harden(&mut client, &setup, env, &plan);
+    client.enable_batching();
+
+    let ptr = client.malloc(4096).unwrap();
+    for i in 0..8u64 {
+        client.memset(ptr + i * 8, i as i32, 8).unwrap();
+    }
+    client.flush_batch().unwrap();
+    assert_eq!(client.rpc().stats().reconnects, 1);
+    let back = client.memcpy_dtoh(ptr, 64).unwrap();
+    for i in 0..8usize {
+        assert_eq!(&back[i * 8..(i + 1) * 8], &[i as u8; 8][..]);
+    }
+    client.free(ptr).unwrap();
+}
+
+/// Seeded batch workload for the CI matrix: a hardened *batching* client
+/// runs a memset/H2D-heavy loop under the seed's fault schedule; every
+/// readback must match unbatched semantics and nothing may leak.
+fn run_seeded_batch_workload(seed: u64) {
+    let setup = SimSetup::new();
+    let replay = Arc::new(ReplayCache::default());
+    setup.rpc.set_replay_cache(Arc::clone(&replay));
+    let plan = FaultPlan::from_seed_with(seed, FaultConfig::lossy()).into_shared();
+    let env = EnvConfig::RustyHermit;
+    let mut client = setup.chaos_client(env, &plan);
+    harden(&mut client, &setup, env, &plan);
+    client.enable_batching();
+
+    let baseline = client.mem_get_info().unwrap().free;
+    let ptr = client.malloc(4096).unwrap();
+    for round in 0..4u8 {
+        for i in 0..8u64 {
+            client
+                .memset(ptr + i * 64, (round + 1) as i32 * 10 + i as i32, 64)
+                .unwrap();
+        }
+        let pattern: Vec<u8> = (0..64u32).map(|b| (b as u8) ^ round).collect();
+        client.memcpy_htod(ptr + 512, &pattern).unwrap();
+        // The D2H readback is the sync point: it flushes the batch and
+        // must observe every recorded op, exactly once, in order.
+        let back = client.memcpy_dtoh(ptr, 576).unwrap();
+        for i in 0..8usize {
+            assert_eq!(
+                &back[i * 64..i * 64 + 64],
+                &[(round + 1) * 10 + i as u8; 64][..],
+                "seed {seed}: batched memset {i} of round {round} lost or reordered"
+            );
+        }
+        assert_eq!(&back[512..], &pattern[..], "seed {seed}: batched H2D lost");
+    }
+    client.free(ptr).unwrap();
+    assert_eq!(
+        client.mem_get_info().unwrap().free,
+        baseline,
+        "seed {seed}: leaked server allocation"
+    );
+}
+
+/// The CI batch fault matrix: the coalescing path holds its contract on
+/// every fixed seed; failures name the seed for local replay.
+#[test]
+fn batch_fault_matrix_fixed_seeds() {
+    for seed in CI_SEEDS {
+        let outcome = std::panic::catch_unwind(|| run_seeded_batch_workload(seed));
+        if let Err(cause) = outcome {
+            let msg = cause
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| cause.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("batch chaos matrix failed at seed {seed} (replay with FaultPlan::from_seed({seed})): {msg}");
+        }
+    }
+}
+
 /// Payload corruption is *undetectable* by RPC/XDR (there is no checksum —
 /// on real wires TCP's covers it): a flipped byte can change arguments or
 /// results while every record still parses. The contract is therefore

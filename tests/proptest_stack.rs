@@ -199,3 +199,81 @@ proptest! {
         // `Result`, bounded in time by deadlines and the retry cap.
     }
 }
+
+/// One client-visible async op for the coalescing-order property.
+#[derive(Debug, Clone, Copy)]
+enum AsyncOp {
+    Memset,
+    SmallHtod,
+    Dtod,
+}
+
+/// Replay `ops` (flushing after an op where `flush` says so), then return
+/// the device's retired-command log and the final buffer contents.
+fn run_async_ops(
+    ops: &[(AsyncOp, bool)],
+    policy: Option<cricket_repro::client::BatchPolicy>,
+) -> (Vec<(u64, String)>, Vec<u8>) {
+    let setup = SimSetup::new();
+    let mut client = setup.client(EnvConfig::RustyHermit);
+    if let Some(p) = policy {
+        client.enable_batching_with(p);
+    }
+    let ptr = client.malloc(4096).unwrap();
+    for (i, (op, flush)) in ops.iter().enumerate() {
+        let off = (i as u64 % 16) * 64;
+        match op {
+            AsyncOp::Memset => client.memset(ptr + off, i as i32 + 1, 64).unwrap(),
+            AsyncOp::SmallHtod => {
+                let pattern: Vec<u8> = (0..64u32)
+                    .map(|b| (b as u8).wrapping_add(i as u8))
+                    .collect();
+                client.memcpy_htod(ptr + off, &pattern).unwrap();
+            }
+            AsyncOp::Dtod => client.memcpy_dtod(ptr + 2048 + off, ptr + off, 64).unwrap(),
+        }
+        if *flush {
+            client.flush_batch().unwrap();
+        }
+    }
+    client.device_synchronize().unwrap();
+    let retired = setup
+        .server
+        .drain_retired(0)
+        .into_iter()
+        .map(|r| (r.stream, format!("{:?}", r.kind)))
+        .collect();
+    let mem = client.memcpy_dtoh(ptr, 4096).unwrap();
+    client.free(ptr).unwrap();
+    (retired, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalescing is transparent: for ANY interleaving of recorded ops and
+    /// explicit flushes, under ANY watermark, the device retires the same
+    /// commands in the same order as eager (unbatched) submission, and the
+    /// final device memory is byte-identical.
+    #[test]
+    fn record_flush_interleavings_retire_in_program_order(
+        ops in prop::collection::vec(
+            (prop_oneof![
+                Just(AsyncOp::Memset),
+                Just(AsyncOp::SmallHtod),
+                Just(AsyncOp::Dtod),
+            ], any::<bool>()),
+            1..32,
+        ),
+        max_ops in 1usize..9,
+        max_bytes in 256usize..8192,
+    ) {
+        let (retired_eager, mem_eager) = run_async_ops(&ops, None);
+        let policy = cricket_repro::client::BatchPolicy::new(max_ops, max_bytes);
+        let (retired_batched, mem_batched) = run_async_ops(&ops, Some(policy));
+        prop_assert_eq!(retired_eager, retired_batched,
+            "coalescing reordered the retired-command log");
+        prop_assert_eq!(mem_eager, mem_batched,
+            "coalescing changed device memory");
+    }
+}

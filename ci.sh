@@ -30,6 +30,12 @@ cargo test --test proptest_stack -q record_flush_interleavings
 echo "==> bench smoke: smallop (self-asserts >=4x RPC reduction, <5% single-op regression)"
 cargo run --release -p cricket-bench --bin smallop -- --launches 1024 --single-iters 128
 
+echo "==> chaos: reactor equivalence (byte-identical reply traces vs pipelined, churn soak)"
+cargo test --test reactor -q
+
+echo "==> bench smoke: connscale (reactor >=5x sessions at equal throughput, reduced size)"
+cargo run --release -p cricket-bench --bin connscale -- --smoke
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

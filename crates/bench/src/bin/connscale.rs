@@ -1,0 +1,274 @@
+//! Connection-scaling snapshot: concurrent sessions served per server
+//! thread, completion-driven reactor vs. the thread-per-connection
+//! baseline at an equal thread budget — written to `BENCH_connscale.json`.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin connscale
+//! cargo run --release -p cricket-bench --bin connscale -- --sessions 80 --budget 8
+//! cargo run --release -p cricket-bench --bin connscale -- --smoke
+//! ```
+//!
+//! The baseline is [`ServeMode::PipelinedBounded`]: a fixed pool of
+//! `budget` serving threads (libtirpc-style), each owning one connection
+//! to completion — with two threads per served connection (reader +
+//! reply writer), it can hold at most `budget` sessions concurrently.
+//! The reactor serves *every* session from `workers + 3` threads (poller,
+//! writer, accept, worker shards), chosen so its whole thread budget fits
+//! inside the baseline's. The acceptance claim: **≥ 5× more concurrent
+//! sessions at equal aggregate throughput** — every reactor session makes
+//! progress, and ops/s stays within tolerance of the baseline.
+
+use cricket_client::CricketClient;
+use cricket_server::{serve_tcp_sessions_mode, CricketServer, ServeMode};
+use oncrpc::TcpTransport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tcp_client(addr: &str) -> CricketClient {
+    CricketClient::new(
+        Box::new(TcpTransport::connect(addr).expect("connect")),
+        cricket_client::env::ClientFlavor::RustRpcLib,
+        None,
+    )
+}
+
+struct RunResult {
+    sessions: usize,
+    server_threads: usize,
+    total_ops: u64,
+    elapsed: Duration,
+    min_session_ops: u64,
+    inline_replies: u64,
+    parked_calls: u64,
+}
+
+impl RunResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Serve in `mode`, open `sessions` concurrent connections, and drive them
+/// round-robin from `drivers` client threads for `secs`. Every op is a
+/// synchronous round trip; most are `Done`-class (`cudaGetDeviceCount`),
+/// every 16th visit also runs a `Parked` malloc/free pair so the worker
+/// path is exercised. Returns aggregate and per-session progress.
+fn measure(
+    mode: ServeMode,
+    sessions: usize,
+    drivers: usize,
+    secs: f64,
+    server_threads: usize,
+) -> RunResult {
+    let server = CricketServer::a100();
+    let (handle, _replay) =
+        serve_tcp_sessions_mode(Arc::clone(&server), "127.0.0.1:0", mode).expect("serve");
+    let addr = handle.addr().to_string();
+    let t0 = oncrpc::telemetry::reactor_snapshot();
+
+    // All connections are opened (and stay open) before measurement: the
+    // baseline gets exactly as many sessions as it has serving slots, so
+    // every one of its connections is actively served.
+    let mut pool: Vec<Vec<CricketClient>> = (0..drivers).map(|_| Vec::new()).collect();
+    for i in 0..sessions {
+        pool[i % drivers].push(tcp_client(&addr));
+    }
+
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let total = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let joins: Vec<_> = pool
+        .into_iter()
+        .map(|mut chunk| {
+            let total = Arc::clone(&total);
+            std::thread::spawn(move || {
+                let mut per: Vec<u64> = vec![0; chunk.len()];
+                let mut round = 0u64;
+                while Instant::now() < deadline {
+                    for (i, c) in chunk.iter_mut().enumerate() {
+                        assert_eq!(c.device_count().expect("device_count"), 4);
+                        per[i] += 1;
+                        if round % 16 == 15 {
+                            let p = c.malloc(1024).expect("malloc");
+                            c.free(p).expect("free");
+                            per[i] += 2;
+                        }
+                    }
+                    round += 1;
+                }
+                let sum: u64 = per.iter().sum();
+                total.fetch_add(sum, Ordering::Relaxed);
+                per.into_iter().min().unwrap_or(0)
+            })
+        })
+        .collect();
+    let min_session_ops = joins
+        .into_iter()
+        .map(|j| j.join().expect("driver panicked"))
+        .min()
+        .unwrap_or(0);
+    let elapsed = started.elapsed();
+    handle.shutdown();
+    let t1 = oncrpc::telemetry::reactor_snapshot().since(&t0);
+    RunResult {
+        sessions,
+        server_threads,
+        total_ops: total.load(Ordering::Relaxed),
+        elapsed,
+        min_session_ops,
+        inline_replies: t1.inline_replies,
+        parked_calls: t1.parked_calls,
+    }
+}
+
+struct Args {
+    sessions: usize,
+    budget: usize,
+    secs: f64,
+    drivers: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        sessions: 0,
+        budget: 8,
+        secs: 1.0,
+        drivers: 4,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sessions" => a.sessions = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--budget" => a.budget = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--secs" => a.secs = it.next().and_then(|v| v.parse().ok()).unwrap_or(1.0),
+            "--drivers" => a.drivers = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--smoke" => a.smoke = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    if a.smoke {
+        a.budget = a.budget.min(4);
+        a.secs = a.secs.min(0.3);
+        a.drivers = a.drivers.min(2);
+    }
+    if a.sessions == 0 {
+        a.sessions = a.budget * 5;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    // Reactor thread budget: poller + writer + accept + worker shards must
+    // fit inside the baseline's serving pool alone (which additionally
+    // spends a reply-writer thread per served connection).
+    let workers = args.budget.saturating_sub(3).max(1);
+    println!(
+        "Connection scaling — thread budget {}, baseline {} sessions vs reactor {} sessions\n",
+        args.budget, args.budget, args.sessions
+    );
+
+    let base = measure(
+        ServeMode::PipelinedBounded {
+            max_conns: args.budget,
+        },
+        args.budget,
+        args.drivers,
+        args.secs,
+        args.budget * 2 + 1,
+    );
+    let reac = measure(
+        ServeMode::Reactor { workers },
+        args.sessions,
+        args.drivers,
+        args.secs,
+        workers + 3,
+    );
+
+    let session_ratio = reac.sessions as f64 / base.sessions as f64;
+    let throughput_ratio = reac.ops_per_sec() / base.ops_per_sec().max(1e-9);
+    println!(
+        "  baseline (pipelined pool of {}): {:>4} sessions, {:>9.0} ops/s ({} threads)",
+        args.budget,
+        base.sessions,
+        base.ops_per_sec(),
+        base.server_threads,
+    );
+    println!(
+        "  reactor  ({workers} worker shards): {:>4} sessions, {:>9.0} ops/s ({} threads, {} inline / {} parked)",
+        reac.sessions,
+        reac.ops_per_sec(),
+        reac.server_threads,
+        reac.inline_replies,
+        reac.parked_calls,
+    );
+    println!(
+        "\n  → {session_ratio:.1}x the concurrent sessions at {:.2}x the aggregate throughput",
+        throughput_ratio
+    );
+
+    // Every reactor session made progress — "concurrent" means served, not
+    // merely accepted (the baseline physically cannot serve beyond its
+    // pool, which is the point of the comparison).
+    assert!(
+        reac.min_session_ops > 0,
+        "a reactor session was starved (min ops 0 across {} sessions)",
+        reac.sessions
+    );
+    assert!(base.min_session_ops > 0, "baseline session starved");
+    assert!(
+        reac.inline_replies > 0 && reac.parked_calls > 0,
+        "classification did not split Done/Parked: {} inline, {} parked",
+        reac.inline_replies,
+        reac.parked_calls
+    );
+    assert!(
+        session_ratio >= 5.0,
+        "acceptance: need ≥5x sessions, got {session_ratio:.2}x"
+    );
+    // "Equal aggregate throughput": the reactor multiplexes 5x the
+    // sessions without giving up the baseline's ops/s (10% tolerance for
+    // scheduler noise on small boxes; smoke runs are looser still).
+    let floor = if args.smoke { 0.5 } else { 0.9 };
+    assert!(
+        throughput_ratio >= floor,
+        "acceptance: reactor throughput fell to {throughput_ratio:.2}x of baseline (floor {floor})"
+    );
+
+    let json = format!(
+        "{{\n  \"thread_budget\": {},\n  \"drivers\": {},\n  \"secs\": {},\n  \
+         \"baseline\": {{\"mode\": \"pipelined_bounded\", \"sessions\": {}, \"server_threads\": {}, \
+         \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"min_session_ops\": {}}},\n  \
+         \"reactor\": {{\"mode\": \"reactor\", \"workers\": {workers}, \"sessions\": {}, \
+         \"server_threads\": {}, \"total_ops\": {}, \"ops_per_sec\": {:.0}, \
+         \"min_session_ops\": {}, \"inline_replies\": {}, \"parked_calls\": {}}},\n  \
+         \"session_ratio\": {session_ratio:.4},\n  \"throughput_ratio\": {throughput_ratio:.4}\n}}\n",
+        args.budget,
+        args.drivers,
+        args.secs,
+        base.sessions,
+        base.server_threads,
+        base.total_ops,
+        base.ops_per_sec(),
+        base.min_session_ops,
+        reac.sessions,
+        reac.server_threads,
+        reac.total_ops,
+        reac.ops_per_sec(),
+        reac.min_session_ops,
+        reac.inline_replies,
+        reac.parked_calls,
+    );
+    if args.smoke {
+        println!("\n  (smoke run: BENCH_connscale.json left untouched)");
+    } else {
+        let path = "BENCH_connscale.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("\n  → wrote {path}"),
+            Err(e) => eprintln!("\n  ! could not write {path}: {e}"),
+        }
+    }
+}

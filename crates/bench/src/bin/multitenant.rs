@@ -22,6 +22,8 @@ struct Tenant {
     api: Sessioned,
     func: u64,
     params: Vec<u8>,
+    input: u64,
+    fill: Vec<u8>,
 }
 
 impl Tenant {
@@ -60,7 +62,13 @@ impl Tenant {
             .ptr(b)
             .u32(N as u32)
             .build();
-        Self { api, func, params }
+        Self {
+            api,
+            func,
+            params,
+            input: a,
+            fill,
+        }
     }
 
     fn launch(&self) {
@@ -69,6 +77,19 @@ impl Tenant {
         assert_eq!(
             self.api
                 .cuda_launch_kernel(self.func, grid, block, 0, 0, &self.params)
+                .unwrap(),
+            0
+        );
+    }
+
+    /// A host-to-device refill of the input vector's first 256 KiB — the
+    /// synchronous-transfer path that holds a scheduler turn for the whole
+    /// copy, used to make the bulk tenants' op mix heavier.
+    fn refill(&self) {
+        let len = (256 << 10).min(self.fill.len());
+        assert_eq!(
+            self.api
+                .cuda_memcpy_htod(self.input, &self.fill[..len])
                 .unwrap(),
             0
         );
@@ -125,35 +146,79 @@ fn overlap(launches: usize) -> OverlapRun {
     }
 }
 
-/// Four sessions with a 1:1:2:4 offered load under `policy`; returns
-/// `(session, served_ops, served_ns)` rows.
-fn fairness(policy: SchedulerPolicy, launches: usize) -> Vec<(u32, u64, u64)> {
+/// One tenant's outcome under a scheduling policy.
+struct FairRow {
+    session: u32,
+    served_ops: u64,
+    served_ns: u64,
+    /// Virtual time at which this tenant's synchronize returned, relative
+    /// to the contention phase's start — the number the policy actually
+    /// moves (the served_* ledgers total the same work under any policy).
+    finish_ns: u64,
+}
+
+/// Four *concurrent* sessions with heterogeneous op mixes under `policy`.
+///
+/// Session 1 is the light, latency-sensitive tenant that `Priority`
+/// favors (lowest priority value); sessions 2–4 offer progressively
+/// heavier mixes (more launches, plus synchronous refill copies that hold
+/// scheduler turns longer). The tenants run on real threads against the
+/// shared virtual clock, so the scheduler's ticket queue is genuinely
+/// contended and the policies produce different per-tenant finish times —
+/// a sequential driver (the old bench) never has two waiters and reports
+/// byte-identical ledgers under every policy.
+fn fairness(policy: SchedulerPolicy, launches: usize) -> Vec<FairRow> {
     let clock = simnet::SimClock::new();
     let server = CricketServer::new(ServerConfig::default(), Arc::clone(&clock));
     server.scheduler.set_policy(policy);
-    let weights = [1usize, 1, 2, 4];
+    let weights = [1usize, 2, 3, 4];
+    // Setup (module load, mallocs, fills) happens before the measured
+    // contention phase. Priorities are configured under every policy so
+    // the runs differ only in what the scheduler does with them.
     let tenants: Vec<_> = (1..=4u32)
         .map(|s| {
-            if policy == SchedulerPolicy::Priority {
-                server.scheduler.set_priority(s, s * 10);
-            }
+            server.scheduler.set_priority(s, s * 10);
             Tenant::new(Arc::clone(&server), s)
         })
         .collect();
     let base_ops = server.scheduler.served_ops();
     let base_ns = server.scheduler.served_ns();
-    for (t, w) in tenants.iter().zip(weights) {
-        for _ in 0..launches * w {
-            t.launch();
-        }
+    let t0 = clock.now_ns();
+    let barrier = Arc::new(std::sync::Barrier::new(tenants.len()));
+    let mut joins = Vec::new();
+    for (t, w) in tenants.into_iter().zip(weights) {
+        let barrier = Arc::clone(&barrier);
+        let clock = Arc::clone(&clock);
+        joins.push(std::thread::spawn(move || {
+            let session = t.api.session();
+            barrier.wait();
+            for i in 0..launches * w {
+                t.launch();
+                // Bulk tenants intersperse synchronous copies: a heavier,
+                // turn-holding mix the favored tenant never issues.
+                if session != 1 && i % 4 == 3 {
+                    t.refill();
+                }
+            }
+            t.synchronize();
+            (session, clock.now_ns() - t0)
+        }));
     }
-    for t in &tenants {
-        t.synchronize();
-    }
+    let mut finishes: Vec<(u32, u64)> = joins
+        .into_iter()
+        .map(|j| j.join().expect("tenant thread panicked"))
+        .collect();
+    finishes.sort_unstable_by_key(|&(s, _)| s);
     let ops = server.scheduler.served_ops();
     let ns = server.scheduler.served_ns();
-    (1..=4u32)
-        .map(|s| (s, ops[&s] - base_ops[&s], ns[&s] - base_ns[&s]))
+    finishes
+        .into_iter()
+        .map(|(s, finish_ns)| FairRow {
+            session: s,
+            served_ops: ops[&s] - base_ops[&s],
+            served_ns: ns[&s] - base_ns[&s],
+            finish_ns,
+        })
         .collect()
 }
 
@@ -181,24 +246,64 @@ fn main() {
         ("priority", SchedulerPolicy::Priority),
     ];
     let mut policy_json = Vec::new();
+    let mut favored_finish: Vec<(String, u64)> = Vec::new();
     for (name, policy) in policies {
         let rows = fairness(policy, launches / 4);
-        println!("  {name}: per-session (ops, device-ms) with 1:1:2:4 offered load");
+        println!("  {name}: per-session (ops, device-ms, finish-ms) with 1:2:3:4 offered load");
         let mut row_json = Vec::new();
-        for (s, ops, ns) in &rows {
-            println!("    session {s}: {ops} ops, {:.3} ms", *ns as f64 / 1e6);
+        for r in &rows {
+            println!(
+                "    session {}: {} ops, {:.3} ms served, finished at {:.3} ms",
+                r.session,
+                r.served_ops,
+                r.served_ns as f64 / 1e6,
+                r.finish_ns as f64 / 1e6,
+            );
             row_json.push(format!(
-                "{{\"session\": {s}, \"served_ops\": {ops}, \"served_ns\": {ns}}}"
+                "{{\"session\": {}, \"served_ops\": {}, \"served_ns\": {}, \"finish_ns\": {}}}",
+                r.session, r.served_ops, r.served_ns, r.finish_ns
             ));
         }
+        // The scheduler must actually differentiate: the favored, lightest
+        // tenant always completes first under Priority.
+        if policy == SchedulerPolicy::Priority {
+            let first = rows
+                .iter()
+                .min_by_key(|r| r.finish_ns)
+                .map(|r| r.session)
+                .unwrap();
+            assert_eq!(
+                first, 1,
+                "priority must let its favored (lightest) tenant finish first"
+            );
+        }
+        favored_finish.push((name.to_string(), rows[0].finish_ns));
         policy_json.push(format!("    \"{name}\": [{}]", row_json.join(", ")));
     }
+    let fifo_t1 = favored_finish
+        .iter()
+        .find(|(n, _)| n == "fifo")
+        .map(|&(_, f)| f)
+        .unwrap();
+    let prio_t1 = favored_finish
+        .iter()
+        .find(|(n, _)| n == "priority")
+        .map(|&(_, f)| f)
+        .unwrap();
+    let favoritism = fifo_t1 as f64 / prio_t1.max(1) as f64;
+    println!(
+        "\n  favored tenant finish: fifo {:.3} ms vs priority {:.3} ms → {favoritism:.2}x sooner",
+        fifo_t1 as f64 / 1e6,
+        prio_t1 as f64 / 1e6,
+    );
 
     let json = format!(
         "{{\n  \"launches_per_tenant\": {launches},\n  \"elements_per_vector\": {N},\n  \
          \"serial_ns\": {},\n  \"pipelined_ns\": {},\n  \"speedup\": {speedup:.4},\n  \
          \"busy_span_ns\": {},\n  \"device_time_ns\": {},\n  \
-         \"overlap_factor\": {overlap_factor:.4},\n  \"fairness\": {{\n{}\n  }}\n}}\n",
+         \"overlap_factor\": {overlap_factor:.4},\n  \
+         \"favored_tenant_finish_fifo_over_priority\": {favoritism:.4},\n  \
+         \"fairness\": {{\n{}\n  }}\n}}\n",
         o.serial_ns,
         o.pipelined_ns,
         o.busy_span_ns,

@@ -44,6 +44,71 @@ pub fn make_rpc_server(server: Arc<CricketServer>) -> Arc<oncrpc::RpcServer> {
     rpc
 }
 
+/// How [`serve_tcp_sessions_mode`] maps connections onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One thread per connection, classic serial request/reply loop.
+    Serial,
+    /// One thread per connection plus a per-connection reply-writer thread
+    /// ([`oncrpc::RpcServer::serve_pipelined`]). The historical default.
+    Pipelined,
+    /// A fixed pool of `max_conns` serving threads, each owning one
+    /// connection at a time (libtirpc-style); connections beyond the pool
+    /// wait unserved until a slot frees. This is the honest
+    /// thread-per-connection baseline at a fixed thread budget for the
+    /// connscale bench.
+    PipelinedBounded {
+        /// Serving threads — also the max concurrently served connections.
+        max_conns: usize,
+    },
+    /// The completion-driven reactor ([`oncrpc::serve_tcp_reactor`]):
+    /// every connection multiplexed over one poller thread, `workers`
+    /// execution shards, and one completion writer.
+    Reactor {
+        /// Worker shards executing `Parked` procedures.
+        workers: usize,
+    },
+}
+
+/// Classify a Cricket procedure for the reactor's inline fast path.
+///
+/// `Done` procedures answer from host-visible server state without taking
+/// a scheduler turn, a device lock for simulated time, or any condvar wait
+/// (the `host_call` paths in [`service`]); they are safe to execute inline
+/// on the reactor thread. Everything else — anything routed through
+/// `enqueue_at` / `sync_enqueue_at` / `wait_*`, i.e. anything that can
+/// block on a scheduler turn — must park on a worker shard.
+pub fn proc_class(proc: u32) -> oncrpc::ProcClass {
+    use cricket_proto::cricket_v1 as p;
+    match proc {
+        p::RPC_NULL
+        | p::CUDA_GET_DEVICE_COUNT
+        | p::CUDA_GET_DEVICE_PROPERTIES
+        | p::CUDA_SET_DEVICE
+        | p::CUDA_GET_DEVICE
+        | p::CUDA_MEM_GET_INFO
+        | p::CUDA_GET_LAST_ERROR
+        | p::CUSOLVER_DN_DGETRF_BUFFER_SIZE
+        | p::SRV_GET_STATS
+        | p::SRV_RESET_STATS
+        | p::SRV_SET_SCHEDULER => oncrpc::ProcClass::Done,
+        _ => oncrpc::ProcClass::Parked,
+    }
+}
+
+/// The [`proc_class`] table as a reactor [`oncrpc::Classifier`]: calls to
+/// foreign programs/versions are parked so the full dispatcher produces
+/// the proper error reply off the reactor thread.
+pub fn cricket_classifier() -> oncrpc::Classifier {
+    Arc::new(|prog, vers, proc| {
+        if prog == cricket_proto::CRICKET_CUDA && vers == cricket_proto::CRICKET_V1 {
+            proc_class(proc)
+        } else {
+            oncrpc::ProcClass::Parked
+        }
+    })
+}
+
 /// Serve `server` over TCP with hardened per-connection sessions:
 ///
 /// * every accepted connection becomes its own [`SessionId`], so the
@@ -68,33 +133,123 @@ pub fn serve_tcp_sessions<A: std::net::ToSocketAddrs>(
     server: Arc<CricketServer>,
     addr: A,
 ) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
+    serve_tcp_sessions_mode(server, addr, ServeMode::Pipelined)
+}
+
+/// Build one connection's `RpcServer`: its own session view over the shared
+/// [`CricketServer`], sharing the at-most-once replay cache.
+fn session_rpc(
+    server: &Arc<CricketServer>,
+    replay: &Arc<oncrpc::ReplayCache>,
+    session: SessionId,
+) -> oncrpc::RpcServer {
+    let rpc = oncrpc::RpcServer::new();
+    rpc.set_replay_cache(Arc::clone(replay));
+    rpc.register(
+        cricket_proto::CRICKET_CUDA,
+        cricket_proto::CRICKET_V1,
+        Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
+            Arc::clone(server),
+            session,
+        ))),
+    );
+    rpc
+}
+
+/// [`serve_tcp_sessions`] with an explicit [`ServeMode`]. All modes share
+/// the same session semantics — one [`SessionId`] per accepted connection,
+/// one shared replay cache, [`CricketServer::release_session`] exactly once
+/// when the connection ends — and differ only in how connections are
+/// multiplexed onto threads.
+pub fn serve_tcp_sessions_mode<A: std::net::ToSocketAddrs>(
+    server: Arc<CricketServer>,
+    addr: A,
+    mode: ServeMode,
+) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
     let replay = Arc::new(oncrpc::ReplayCache::default());
     let shared = Arc::clone(&replay);
-    let next_session = AtomicU32::new(1);
-    let handle = oncrpc::server::serve_tcp_with(addr, move |mut conn| {
-        let session = next_session.fetch_add(1, Ordering::Relaxed);
-        let rpc = oncrpc::RpcServer::new();
-        rpc.set_replay_cache(Arc::clone(&shared));
-        rpc.register(
-            cricket_proto::CRICKET_CUDA,
-            cricket_proto::CRICKET_V1,
-            Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
-                Arc::clone(&server),
-                session,
-            ))),
-        );
-        match conn.try_clone() {
-            Ok(writer) => {
-                let _ = rpc.serve_pipelined(&mut conn, writer);
-            }
-            Err(_) => {
-                let _ = rpc.serve_connection(&mut conn);
-            }
+    let handle = match mode {
+        ServeMode::Reactor { workers } => {
+            let cfg = oncrpc::ReactorConfig {
+                workers: workers.max(1),
+                classify: Some(cricket_classifier()),
+                ..oncrpc::ReactorConfig::default()
+            };
+            let next_session = AtomicU32::new(1);
+            oncrpc::serve_tcp_reactor(addr, cfg, move |_conn| {
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                let rpc = Arc::new(session_rpc(&server, &shared, session));
+                let server = Arc::clone(&server);
+                oncrpc::ConnHandler {
+                    rpc,
+                    // Runs after the session's last in-flight call completed
+                    // and its last reply hit the completion ring. Replay
+                    // entries are deliberately kept — a reconnecting client
+                    // may still retransmit calls from the dead connection.
+                    on_close: Some(Box::new(move || {
+                        server.release_session(session);
+                    })),
+                }
+            })?
         }
-        // The client is gone (or reset): reclaim everything it still holds.
-        // Replay-cache entries are deliberately kept — a reconnecting client
-        // may still retransmit calls it sent on the dead connection.
-        server.release_session(session);
-    })?;
+        ServeMode::PipelinedBounded { max_conns } => {
+            // Fixed serving pool: accepted connections queue; `max_conns`
+            // threads each serve one connection to completion at a time.
+            let (conn_tx, conn_rx) = crossbeam_channel::unbounded::<oncrpc::TcpTransport>();
+            let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
+            let next_session = Arc::new(AtomicU32::new(1));
+            for _ in 0..max_conns.max(1) {
+                let conn_rx = Arc::clone(&conn_rx);
+                let server = Arc::clone(&server);
+                let shared = Arc::clone(&shared);
+                let next_session = Arc::clone(&next_session);
+                std::thread::spawn(move || loop {
+                    let queued = {
+                        let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+                        rx.recv()
+                    };
+                    let Ok(mut conn) = queued else { break };
+                    let session = next_session.fetch_add(1, Ordering::Relaxed);
+                    let rpc = session_rpc(&server, &shared, session);
+                    match conn.try_clone() {
+                        Ok(writer) => {
+                            let _ = rpc.serve_pipelined(&mut conn, writer);
+                        }
+                        Err(_) => {
+                            let _ = rpc.serve_connection(&mut conn);
+                        }
+                    }
+                    server.release_session(session);
+                });
+            }
+            oncrpc::server::serve_tcp_with(addr, move |conn| {
+                let _ = conn_tx.send(conn);
+            })?
+        }
+        ServeMode::Serial | ServeMode::Pipelined => {
+            let next_session = AtomicU32::new(1);
+            oncrpc::server::serve_tcp_with(addr, move |mut conn| {
+                let session = next_session.fetch_add(1, Ordering::Relaxed);
+                let rpc = session_rpc(&server, &shared, session);
+                let writer = match mode {
+                    ServeMode::Pipelined => conn.try_clone().ok(),
+                    _ => None,
+                };
+                match writer {
+                    Some(writer) => {
+                        let _ = rpc.serve_pipelined(&mut conn, writer);
+                    }
+                    None => {
+                        let _ = rpc.serve_connection(&mut conn);
+                    }
+                }
+                // The client is gone (or reset): reclaim everything it
+                // still holds. Replay-cache entries are deliberately kept —
+                // a reconnecting client may still retransmit calls it sent
+                // on the dead connection.
+                server.release_session(session);
+            })?
+        }
+    };
     Ok((handle, replay))
 }

@@ -1386,6 +1386,11 @@ impl Sessioned {
     pub fn new(srv: Arc<CricketServer>, session: SessionId) -> Self {
         Self { srv, session }
     }
+
+    /// The session this view is bound to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
 }
 
 fn dim(d: RpcDim3) -> Dim3 {

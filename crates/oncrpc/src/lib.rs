@@ -36,6 +36,7 @@ pub mod client;
 pub mod error;
 pub mod msg;
 pub mod portmap;
+pub mod reactor;
 pub mod record;
 pub mod replay;
 pub mod server;
@@ -51,7 +52,8 @@ pub use chaos::{
 pub use client::{Reply, RetryPolicy, RpcClient};
 pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
-pub use record::{RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
+pub use reactor::{serve_tcp_reactor, Classifier, ConnHandler, ProcClass, ReactorConfig};
+pub use record::{RecordAssembler, RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
 pub use replay::{ReplayCache, ReplayStats};
 pub use server::{Dispatch, RpcServer, ServerHandle, PIPELINE_DEPTH};
 pub use transport::{duplex_pair, MemTransport, TcpTransport, Transport};

@@ -1,0 +1,816 @@
+//! Completion-driven server reactor: multiplex many connections over a few
+//! threads.
+//!
+//! The threaded paths in [`crate::server`] spend one OS thread per
+//! connection; with thousands of tenant sessions the thread stacks and
+//! scheduler churn become the ceiling long before the wire does. This module
+//! replaces them with the classic reactor split, mirroring the
+//! `RingResult::Done` vs `MoreIo` contract of io_uring-style RPC servers:
+//!
+//! ```text
+//!   accept thread ──(new conns)──▶ reactor thread
+//!                                    │  poll readiness (shims/polling)
+//!                                    │  nonblocking reads → RecordAssembler
+//!                                    │  classify call: Done | Parked
+//!                            Done ───┤ execute inline, reply → completion ring
+//!                          Parked ───┴─▶ submission ring, sharded by conn key
+//!                                           │ worker pool (key % workers)
+//!                                           ▼ execute, reply → completion ring
+//!                                    writer thread: vectored write_record_sg
+//! ```
+//!
+//! **Ordering guarantee.** Every `Parked` call for one connection lands on
+//! the same worker shard (`key % workers`), whose queue is FIFO — so parked
+//! replies stay in request order. A `Done` call is executed inline *only
+//! when the connection has zero parked calls in flight* (`pending == 0`);
+//! otherwise it is demoted to the shard like any parked call. Workers push
+//! the encoded reply onto the completion ring *before* decrementing
+//! `pending`, so when the reactor observes `pending == 0` every earlier
+//! reply already sits ahead of anything it enqueues. Net effect: per-
+//! connection reply order equals request order, exactly like the serial and
+//! pipelined paths, which is what the byte-identical equivalence tests
+//! assert.
+//!
+//! **Backpressure.** Each connection has a bounded in-flight budget
+//! (`max_session_queue`). When it fills, the reactor stops reading that
+//! socket ([`polling::Poller::suspend`]) — unread bytes accumulate in the
+//! kernel buffer and the TCP window closes, pushing the stall back to the
+//! client. Workers flag the poller when a stalled connection drains to the
+//! low watermark and the reactor resumes it.
+//!
+//! **Replay correctness.** Replies can complete out of *connection* order
+//! (two connections make progress independently), but the at-most-once
+//! cache is keyed by `(client token, xid)` and written inside
+//! [`RpcServer::handle_record_into`] on whichever thread executes the call
+//! — per-session ordering above means a retransmission still observes
+//! either the cached reply or nothing, never a half-executed call.
+
+use crate::error::{RpcError, RpcResult};
+use crate::record::{write_record_sg, RecordAssembler, DEFAULT_MAX_FRAGMENT, MAX_RECORD};
+use crate::server::{RpcServer, ServerHandle};
+use crate::telemetry;
+use parking_lot::Mutex;
+use polling::{Event, Poller};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdr::XdrEncoder;
+
+/// How one procedure completes, mirroring the io_uring server contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcClass {
+    /// Replies synchronously from server state (host_call paths): safe to
+    /// execute inline on the reactor thread.
+    Done,
+    /// May wait — on a scheduler turn, a stream retire, a condvar
+    /// (enqueue_at / wait_* paths): must run on a worker shard so the
+    /// reactor never blocks.
+    Parked,
+}
+
+/// Classifier from `(prog, vers, proc)` to [`ProcClass`]. `None` from the
+/// header peek (not a call, short record) is always treated as `Parked`.
+pub type Classifier = Arc<dyn Fn(u32, u32, u32) -> ProcClass + Send + Sync>;
+
+/// Tuning knobs for [`serve_tcp_reactor`].
+#[derive(Clone)]
+pub struct ReactorConfig {
+    /// Worker shards executing `Parked` calls. Connection `key` is pinned
+    /// to shard `key % workers`.
+    pub workers: usize,
+    /// Bounded per-connection in-flight budget before the reactor stops
+    /// reading that socket (backpressure).
+    pub max_session_queue: usize,
+    /// Procedure classifier; `None` parks everything (always correct,
+    /// never inline).
+    pub classify: Option<Classifier>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_session_queue: 64,
+            classify: None,
+        }
+    }
+}
+
+/// Per-connection service state handed back by the connection factory.
+pub struct ConnHandler {
+    /// The dispatch registry (usually one `RpcServer` per connection
+    /// wrapping per-session state, sharing a replay cache).
+    pub rpc: Arc<RpcServer>,
+    /// Invoked exactly once when the connection is finalized — after its
+    /// last in-flight call completed and its last reply was enqueued.
+    /// Session teardown (scheduler forget, resource release) goes here.
+    pub on_close: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// State shared between the reactor thread and the worker executing this
+/// connection's parked calls.
+struct ConnShared {
+    /// Parked calls in flight (submitted, reply not yet on the completion
+    /// ring). Incremented by the reactor before submit; decremented by the
+    /// worker *after* pushing the reply.
+    pending: AtomicUsize,
+    /// Reactor wants a `Poller::notify` when `pending` drops (the
+    /// connection is stalled or closing).
+    attention: AtomicBool,
+    /// A worker hit a dispatch error; the reactor must close this
+    /// connection.
+    dead: AtomicBool,
+}
+
+/// Reactor-thread-owned connection state.
+struct Conn {
+    stream: TcpStream,
+    asm: RecordAssembler,
+    rpc: Arc<RpcServer>,
+    on_close: Option<Box<dyn FnOnce() + Send>>,
+    shared: Arc<ConnShared>,
+    /// Reading suspended: in-flight budget exhausted.
+    stalled: bool,
+    /// EOF / error seen; finalize when `pending` hits zero.
+    closing: bool,
+}
+
+/// One decoded call on the submission ring.
+struct Job {
+    key: usize,
+    rpc: Arc<RpcServer>,
+    record: Vec<u8>,
+    shared: Arc<ConnShared>,
+}
+
+/// Completion-ring message for the writer thread.
+enum WriterMsg {
+    /// Adopt the write half of connection `key`.
+    Open(usize, TcpStream),
+    /// One encoded reply record, returned to the pool after the write.
+    Reply(usize, Vec<u8>),
+    /// Connection finalized; drop the write half.
+    Close(usize),
+}
+
+/// Lock-based free list of byte buffers shared across reactor, workers and
+/// writer. Bounded so a burst does not pin memory forever.
+#[derive(Clone)]
+struct BufPool {
+    free: Arc<Mutex<Vec<Vec<u8>>>>,
+    max_pooled: usize,
+}
+
+impl BufPool {
+    fn new(max_pooled: usize) -> Self {
+        Self {
+            free: Arc::new(Mutex::new(Vec::new())),
+            max_pooled,
+        }
+    }
+
+    fn get(&self) -> Vec<u8> {
+        if let Some(buf) = self.free.lock().pop() {
+            telemetry::add_reactor_buf_reused(1);
+            buf
+        } else {
+            telemetry::add_reactor_buf_allocated(1);
+            Vec::with_capacity(1024)
+        }
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+}
+
+/// Peek `(prog, vers, proc)` out of an un-decoded call record.
+/// Returns `None` for anything that is not a plausible call header; the
+/// caller parks such records so the full decoder produces the proper error
+/// reply off the reactor thread.
+fn peek_call(record: &[u8]) -> Option<(u32, u32, u32)> {
+    if record.len() < 24 {
+        return None;
+    }
+    let word =
+        |i: usize| u32::from_be_bytes([record[i], record[i + 1], record[i + 2], record[i + 3]]);
+    if word(4) != 0 {
+        return None; // msg_type != CALL
+    }
+    Some((word(12), word(16), word(20)))
+}
+
+/// `Write` adapter that retries `WouldBlock` on a nonblocking socket.
+///
+/// `O_NONBLOCK` lives on the open file description, so the writer's
+/// `try_clone` handle shares nonblocking mode with the reactor's read
+/// handle. The completion writer wants blocking semantics; this wrapper
+/// spins briefly, then sleeps in short slices until the kernel buffer
+/// drains.
+struct PatientWriter<'a> {
+    stream: &'a TcpStream,
+}
+
+impl PatientWriter<'_> {
+    fn backoff(spins: &mut u32) {
+        if *spins < 16 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        *spins = spins.saturating_add(1);
+    }
+}
+
+impl Write for PatientWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut spins = 0u32;
+        loop {
+            match (&mut &*self.stream).write(buf) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Self::backoff(&mut spins),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        let mut spins = 0u32;
+        loop {
+            match (&mut &*self.stream).write_vectored(bufs) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Self::backoff(&mut spins),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&mut &*self.stream).flush()
+    }
+}
+
+/// Bind a TCP listener and serve it with the completion-driven reactor.
+///
+/// `factory(conn_id)` is invoked on the accept thread for every accepted
+/// connection and returns that connection's dispatch registry plus close
+/// hook. Shutdown (via the returned [`ServerHandle`]) drains every
+/// in-flight call, flushes every enqueued reply, and runs every `on_close`
+/// hook before the handle's join returns.
+pub fn serve_tcp_reactor<A, F>(addr: A, cfg: ReactorConfig, factory: F) -> RpcResult<ServerHandle>
+where
+    A: ToSocketAddrs,
+    F: Fn(u64) -> ConnHandler + Send + Sync + 'static,
+{
+    if cfg.workers == 0 || cfg.max_session_queue == 0 {
+        return Err(RpcError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "reactor needs at least one worker and a nonzero session queue",
+        )));
+    }
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let poller = Arc::new(Poller::new());
+    let poller_accept = Arc::clone(&poller);
+    let (newconn_tx, newconn_rx) =
+        crossbeam_channel::unbounded::<(usize, TcpStream, ConnHandler)>();
+
+    let reactor_join = std::thread::Builder::new()
+        .name("oncrpc-reactor".into())
+        .spawn({
+            let stop = Arc::clone(&stop);
+            let poller = Arc::clone(&poller);
+            move || reactor_main(cfg, stop, poller, newconn_rx)
+        })
+        .expect("spawn reactor thread");
+
+    let accept_join = std::thread::Builder::new()
+        .name("oncrpc-accept".into())
+        .spawn(move || {
+            let mut next_key: usize = 1;
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Small RPCs must not eat Nagle delays on the eager path.
+                let _ = stream.set_nodelay(true);
+                let key = next_key;
+                next_key += 1;
+                let handler = factory(key as u64);
+                if newconn_tx.send((key, stream, handler)).is_err() {
+                    break;
+                }
+                poller_accept.notify();
+            }
+            // Hang up the new-connection ring so the reactor drains and
+            // exits, then wait for it to flush replies and close hooks.
+            drop(newconn_tx);
+            poller_accept.notify();
+            let _ = reactor_join.join();
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle::from_parts(local, stop, accept_join))
+}
+
+/// The reactor event loop. Owns every connection's read half, the worker
+/// pool, and the writer thread; returns only after all of them drained.
+fn reactor_main(
+    cfg: ReactorConfig,
+    stop: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+    newconn_rx: crossbeam_channel::Receiver<(usize, TcpStream, ConnHandler)>,
+) {
+    let record_pool = BufPool::new(cfg.workers * cfg.max_session_queue);
+    let reply_pool = BufPool::new(cfg.workers * cfg.max_session_queue);
+
+    let (writer_tx, writer_rx) = crossbeam_channel::unbounded::<WriterMsg>();
+    let writer_join = std::thread::Builder::new()
+        .name("oncrpc-completion".into())
+        .spawn({
+            let reply_pool = reply_pool.clone();
+            move || writer_main(writer_rx, reply_pool)
+        })
+        .expect("spawn completion writer");
+
+    let mut worker_txs = Vec::with_capacity(cfg.workers);
+    let mut worker_joins = Vec::with_capacity(cfg.workers);
+    for shard in 0..cfg.workers {
+        let (tx, rx) = crossbeam_channel::unbounded::<Job>();
+        worker_txs.push(tx);
+        let writer_tx = writer_tx.clone();
+        let record_pool = record_pool.clone();
+        let reply_pool = reply_pool.clone();
+        let poller = Arc::clone(&poller);
+        worker_joins.push(
+            std::thread::Builder::new()
+                .name(format!("oncrpc-worker-{shard}"))
+                .spawn(move || worker_main(rx, writer_tx, record_pool, reply_pool, poller))
+                .expect("spawn worker thread"),
+        );
+    }
+
+    let low_watermark = (cfg.max_session_queue / 2).max(1);
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut inline_enc = XdrEncoder::with_capacity(4096);
+    let mut accepting = true;
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Adopt newly accepted connections.
+        loop {
+            match newconn_rx.try_recv() {
+                Ok((key, stream, handler)) => {
+                    if poller.register(&stream, key).is_err() {
+                        continue;
+                    }
+                    let Ok(write_half) = stream.try_clone() else {
+                        poller.deregister(key);
+                        continue;
+                    };
+                    let _ = writer_tx.send(WriterMsg::Open(key, write_half));
+                    conns.insert(
+                        key,
+                        Conn {
+                            stream,
+                            asm: RecordAssembler::new(MAX_RECORD),
+                            rpc: handler.rpc,
+                            on_close: handler.on_close,
+                            shared: Arc::new(ConnShared {
+                                pending: AtomicUsize::new(0),
+                                attention: AtomicBool::new(false),
+                                dead: AtomicBool::new(false),
+                            }),
+                            stalled: false,
+                            closing: false,
+                        },
+                    );
+                }
+                Err(crossbeam_channel::TryRecvError::Empty) => break,
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    accepting = false;
+                    break;
+                }
+            }
+        }
+        if !accepting && conns.is_empty() {
+            break; // accept loop gone and nothing left to serve
+        }
+
+        let _ = poller.wait(&mut events, Duration::from_millis(2));
+        for ev in events.drain(..) {
+            if let Some(conn) = conns.get_mut(&ev.key) {
+                if conn.stalled || conn.closing {
+                    continue;
+                }
+                drain_conn(
+                    conn,
+                    ev.key,
+                    &cfg,
+                    &poller,
+                    &worker_txs,
+                    &writer_tx,
+                    &record_pool,
+                    &reply_pool,
+                    &mut scratch,
+                    &mut inline_enc,
+                    low_watermark,
+                );
+            }
+        }
+
+        // Sweep: finalize drained closing connections, resume drained
+        // stalled ones.
+        let mut to_finalize: Vec<usize> = Vec::new();
+        for (&key, conn) in conns.iter_mut() {
+            if conn.shared.dead.load(Ordering::Acquire) {
+                conn.closing = true;
+                conn.shared.attention.store(true, Ordering::Release);
+            }
+            if conn.closing {
+                if conn.shared.pending.load(Ordering::Acquire) == 0 {
+                    to_finalize.push(key);
+                }
+                continue;
+            }
+            if conn.stalled && conn.shared.pending.load(Ordering::Acquire) <= low_watermark {
+                conn.stalled = false;
+                conn.shared.attention.store(false, Ordering::Release);
+                poller.resume(key);
+                drain_conn(
+                    conn,
+                    key,
+                    &cfg,
+                    &poller,
+                    &worker_txs,
+                    &writer_tx,
+                    &record_pool,
+                    &reply_pool,
+                    &mut scratch,
+                    &mut inline_enc,
+                    low_watermark,
+                );
+                if conn.closing && conn.shared.pending.load(Ordering::Acquire) == 0 {
+                    to_finalize.push(key);
+                }
+            }
+        }
+        for key in to_finalize {
+            finalize(key, &mut conns, &poller, &writer_tx);
+        }
+    }
+
+    // Shutdown: stop submitting, let workers drain the submission rings,
+    // flush the completion ring, then run every close hook.
+    drop(worker_txs);
+    for j in worker_joins {
+        let _ = j.join();
+    }
+    let keys: Vec<usize> = conns.keys().copied().collect();
+    for key in keys {
+        finalize(key, &mut conns, &poller, &writer_tx);
+    }
+    drop(writer_tx);
+    let _ = writer_join.join();
+}
+
+/// Read and dispatch everything currently available on one connection.
+#[allow(clippy::too_many_arguments)]
+fn drain_conn(
+    conn: &mut Conn,
+    key: usize,
+    cfg: &ReactorConfig,
+    poller: &Poller,
+    worker_txs: &[crossbeam_channel::Sender<Job>],
+    writer_tx: &crossbeam_channel::Sender<WriterMsg>,
+    record_pool: &BufPool,
+    reply_pool: &BufPool,
+    scratch: &mut [u8],
+    inline_enc: &mut XdrEncoder,
+    _low_watermark: usize,
+) {
+    loop {
+        // Dispatch complete records until the in-flight budget is spent.
+        while conn.shared.pending.load(Ordering::Acquire) < cfg.max_session_queue {
+            let rec = match conn.asm.next_record() {
+                Ok(Some(rec)) => rec,
+                Ok(None) => break,
+                Err(_) => {
+                    conn.closing = true;
+                    conn.shared.attention.store(true, Ordering::Release);
+                    return;
+                }
+            };
+            let class = match (&cfg.classify, peek_call(rec)) {
+                (Some(f), Some((prog, vers, proc))) => f(prog, vers, proc),
+                _ => ProcClass::Parked,
+            };
+            if class == ProcClass::Done && conn.shared.pending.load(Ordering::Acquire) == 0 {
+                // Inline fast path: nothing in flight for this connection,
+                // so replying from the reactor thread preserves order.
+                if conn.rpc.handle_record_into(rec, inline_enc).is_err() {
+                    conn.closing = true;
+                    conn.shared.attention.store(true, Ordering::Release);
+                    return;
+                }
+                let mut out = reply_pool.get();
+                out.extend_from_slice(inline_enc.as_slice());
+                let _ = writer_tx.send(WriterMsg::Reply(key, out));
+                telemetry::add_reactor_inline(1);
+            } else {
+                let mut buf = record_pool.get();
+                buf.extend_from_slice(rec);
+                conn.shared.pending.fetch_add(1, Ordering::AcqRel);
+                let job = Job {
+                    key,
+                    rpc: Arc::clone(&conn.rpc),
+                    record: buf,
+                    shared: Arc::clone(&conn.shared),
+                };
+                let _ = worker_txs[key % worker_txs.len()].send(job);
+                telemetry::add_reactor_parked(1);
+            }
+        }
+        if conn.shared.pending.load(Ordering::Acquire) >= cfg.max_session_queue {
+            // Budget spent: stop reading this socket; the kernel buffer
+            // fills and TCP flow control stalls the client.
+            conn.stalled = true;
+            conn.shared.attention.store(true, Ordering::Release);
+            poller.suspend(key);
+            telemetry::add_reactor_stall(1);
+            return;
+        }
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.closing = true;
+                conn.shared.attention.store(true, Ordering::Release);
+                return;
+            }
+            Ok(n) => conn.asm.extend(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.closing = true;
+                conn.shared.attention.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// Tear down one connection: stop polling it, drop the write half, run the
+/// close hook. Callers guarantee `pending == 0`.
+fn finalize(
+    key: usize,
+    conns: &mut HashMap<usize, Conn>,
+    poller: &Poller,
+    writer_tx: &crossbeam_channel::Sender<WriterMsg>,
+) {
+    if let Some(mut conn) = conns.remove(&key) {
+        poller.deregister(key);
+        let _ = writer_tx.send(WriterMsg::Close(key));
+        if let Some(hook) = conn.on_close.take() {
+            hook();
+        }
+    }
+}
+
+/// Worker shard: execute parked calls in FIFO order, push replies onto the
+/// completion ring, then publish the decrement.
+fn worker_main(
+    rx: crossbeam_channel::Receiver<Job>,
+    writer_tx: crossbeam_channel::Sender<WriterMsg>,
+    record_pool: BufPool,
+    reply_pool: BufPool,
+    poller: Arc<Poller>,
+) {
+    let mut enc = XdrEncoder::with_capacity(4096);
+    while let Ok(job) = rx.recv() {
+        let ok = job.rpc.handle_record_into(&job.record, &mut enc).is_ok();
+        record_pool.put(job.record);
+        if ok {
+            let mut out = reply_pool.get();
+            out.extend_from_slice(enc.as_slice());
+            let _ = writer_tx.send(WriterMsg::Reply(job.key, out));
+        } else {
+            job.shared.dead.store(true, Ordering::Release);
+        }
+        // Reply is on the completion ring; only now may the reactor treat
+        // this connection as drained (ordering guarantee — see module doc).
+        job.shared.pending.fetch_sub(1, Ordering::AcqRel);
+        if !ok || job.shared.attention.load(Ordering::Acquire) {
+            poller.notify();
+        }
+    }
+}
+
+/// Completion writer: single thread draining the completion ring with
+/// vectored record writes, recycling reply buffers into the pool.
+fn writer_main(rx: crossbeam_channel::Receiver<WriterMsg>, reply_pool: BufPool) {
+    let mut streams: HashMap<usize, TcpStream> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Open(key, stream) => {
+                streams.insert(key, stream);
+            }
+            WriterMsg::Reply(key, buf) => {
+                if let Some(stream) = streams.get(&key) {
+                    let mut w = PatientWriter { stream };
+                    if write_record_sg(&mut w, &[&buf], DEFAULT_MAX_FRAGMENT).is_err() {
+                        // Peer reset: drop the write half; the reactor's
+                        // read side observes the error and finalizes.
+                        streams.remove(&key);
+                    }
+                }
+                reply_pool.put(buf);
+            }
+            WriterMsg::Close(key) => {
+                streams.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::msg::{AcceptStat, CallBody, MessageBody, RpcMessage};
+    use crate::record::{read_record, write_record};
+    use crate::server::Dispatch;
+    use crate::transport::TcpTransport;
+    use std::sync::atomic::AtomicU64;
+    use xdr::{Xdr, XdrDecoder};
+
+    const PROG: u32 = 400;
+    const VERS: u32 = 1;
+
+    /// proc 1 = echo (parked), proc 2 = add (done), proc 3 = slow add
+    /// (parked, sleeps to build queue depth).
+    fn service() -> Arc<dyn Dispatch> {
+        Arc::new(
+            |proc: u32, args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder| match proc {
+                0 => Ok(()),
+                1 => {
+                    let data = args.get_opaque().map_err(|_| AcceptStat::GarbageArgs)?;
+                    reply.put_opaque(data);
+                    Ok(())
+                }
+                2 | 3 => {
+                    let a = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                    let b = args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?;
+                    if proc == 3 {
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                    reply.put_u32(a.wrapping_add(b));
+                    Ok(())
+                }
+                _ => Err(AcceptStat::ProcUnavail),
+            },
+        )
+    }
+
+    fn classifier() -> Classifier {
+        Arc::new(|_prog, _vers, proc| {
+            if proc == 2 {
+                ProcClass::Done
+            } else {
+                ProcClass::Parked
+            }
+        })
+    }
+
+    fn start(cfg: ReactorConfig) -> (ServerHandle, Arc<AtomicU64>) {
+        let closes = Arc::new(AtomicU64::new(0));
+        let closes2 = Arc::clone(&closes);
+        let handle = serve_tcp_reactor("127.0.0.1:0", cfg, move |_conn| {
+            let rpc = Arc::new(RpcServer::new());
+            rpc.register(PROG, VERS, service());
+            let closes = Arc::clone(&closes2);
+            ConnHandler {
+                rpc,
+                on_close: Some(Box::new(move || {
+                    closes.fetch_add(1, Ordering::SeqCst);
+                })),
+            }
+        })
+        .unwrap();
+        (handle, closes)
+    }
+
+    #[test]
+    fn concurrent_clients_mixed_done_and_parked() {
+        let cfg = ReactorConfig {
+            workers: 2,
+            classify: Some(classifier()),
+            ..ReactorConfig::default()
+        };
+        let (handle, closes) = start(cfg);
+        let addr = handle.addr();
+        let mut joins = Vec::new();
+        for t in 0..8u32 {
+            joins.push(std::thread::spawn(move || {
+                let transport = TcpTransport::connect(addr).unwrap();
+                let mut client = RpcClient::new(Box::new(transport), PROG, VERS);
+                for i in 0..40u32 {
+                    // Alternate inline-eligible and parked procedures.
+                    let proc = if i % 2 == 0 { 2 } else { 3 };
+                    let sum: u32 = client.call(proc, &(i, t)).unwrap();
+                    assert_eq!(sum, i + t);
+                    if i % 10 == 0 {
+                        let out: Vec<u8> = client.call(1, &vec![i as u8; 64]).unwrap();
+                        assert_eq!(out, vec![i as u8; 64]);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        handle.shutdown();
+        assert_eq!(closes.load(Ordering::SeqCst), 8, "every conn closed once");
+    }
+
+    #[test]
+    fn pipelined_burst_preserves_reply_order_across_classes() {
+        let cfg = ReactorConfig {
+            workers: 2,
+            max_session_queue: 4,
+            classify: Some(classifier()),
+        };
+        let (handle, _closes) = start(cfg);
+        let stalls_before = telemetry::reactor_snapshot().stalls;
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Fire a burst mixing Done (2) and Parked (3) calls without reading
+        // replies; with max_session_queue=4 this forces backpressure.
+        const N: u32 = 64;
+        for i in 0..N {
+            let mut enc = XdrEncoder::new();
+            let proc = if i % 3 == 0 { 2 } else { 3 };
+            RpcMessage::call(i, CallBody::new(PROG, VERS, proc)).encode(&mut enc);
+            (i, 1u32).encode(&mut enc);
+            write_record(&mut stream, enc.as_slice(), DEFAULT_MAX_FRAGMENT).unwrap();
+        }
+        for i in 0..N {
+            let rec = read_record(&mut stream, MAX_RECORD).unwrap().unwrap();
+            let mut dec = XdrDecoder::new(&rec);
+            let msg = RpcMessage::decode(&mut dec).unwrap();
+            assert_eq!(msg.xid, i, "reply order must match request order");
+            assert!(matches!(msg.body, MessageBody::Reply(_)));
+            let sum = dec.get_u32().unwrap();
+            assert_eq!(sum, i + 1);
+        }
+        let stalls_after = telemetry::reactor_snapshot().stalls;
+        assert!(
+            stalls_after > stalls_before,
+            "a 64-deep burst against a 4-deep budget must stall at least once"
+        );
+        drop(stream);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_proc_still_replies_through_worker() {
+        let (handle, _closes) = start(ReactorConfig::default());
+        let transport = TcpTransport::connect(handle.addr()).unwrap();
+        let mut client = RpcClient::new(Box::new(transport), PROG, VERS);
+        let err = client.call::<(), ()>(99, &()).unwrap_err();
+        assert!(matches!(err, RpcError::Accepted(AcceptStat::ProcUnavail)));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_runs_close_hooks_for_live_conns() {
+        let (handle, closes) = start(ReactorConfig::default());
+        let addr = handle.addr();
+        // Open connections, do one call each, keep them open.
+        let mut clients = Vec::new();
+        for _ in 0..5 {
+            let transport = TcpTransport::connect(addr).unwrap();
+            let mut client = RpcClient::new(Box::new(transport), PROG, VERS);
+            client.call_null().unwrap();
+            clients.push(client);
+        }
+        handle.shutdown();
+        assert_eq!(
+            closes.load(Ordering::SeqCst),
+            5,
+            "shutdown must finalize live connections"
+        );
+        drop(clients);
+    }
+}

@@ -213,6 +213,114 @@ fn read_exact_or_eof<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> RpcResult<R
     Ok(ReadOutcome::Filled)
 }
 
+/// Incremental, pull-based record reassembly for nonblocking reads.
+///
+/// The blocking readers above own their stream and can park inside `read`;
+/// an event-driven server cannot — it receives whatever bytes the socket
+/// had and must resume mid-header or mid-fragment on the next readiness
+/// event. `RecordAssembler` decouples byte arrival from record extraction:
+/// feed raw bytes with [`RecordAssembler::extend`], then drain complete
+/// records with [`RecordAssembler::next_record`] — which the caller may
+/// stop calling at any point (backpressure) without losing stream state.
+///
+/// Steady state allocates nothing: the raw buffer and the assembled-record
+/// buffer are both reused, and the raw buffer is compacted only when the
+/// consumed prefix dominates.
+#[derive(Debug)]
+pub struct RecordAssembler {
+    /// Raw unparsed stream bytes; `off` is the consumed prefix.
+    buf: Vec<u8>,
+    off: usize,
+    /// The assembled record handed out by the last `next_record`.
+    record: Vec<u8>,
+    max_record: usize,
+}
+
+impl Default for RecordAssembler {
+    fn default() -> Self {
+        Self::new(MAX_RECORD)
+    }
+}
+
+impl RecordAssembler {
+    /// Create an assembler that rejects records larger than `max_record`.
+    pub fn new(max_record: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            off: 0,
+            record: Vec::new(),
+            max_record,
+        }
+    }
+
+    /// Append raw bytes received from the stream.
+    pub fn extend(&mut self, data: &[u8]) {
+        // Compact before growing: once more than half the buffer is dead
+        // prefix, slide the live tail down instead of reallocating past it.
+        if self.off > 0 && self.off * 2 >= self.buf.len() {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet returned as part of a complete record.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    /// Extract the next complete record, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed; the partial state is
+    /// kept. The returned slice is valid until the next call.
+    pub fn next_record(&mut self) -> RpcResult<Option<&[u8]>> {
+        let avail = &self.buf[self.off..];
+        let mut pos = 0usize;
+        let mut total = 0usize;
+        // First pass: walk the fragment headers to see whether the whole
+        // record has arrived (records are small on the hot path, and the
+        // walk touches only headers — 4 bytes per fragment).
+        loop {
+            if avail.len() < pos + 4 {
+                return Ok(None);
+            }
+            let word = u32::from_be_bytes(avail[pos..pos + 4].try_into().unwrap());
+            let len = (word & LENGTH_MASK) as usize;
+            total += len;
+            if total > self.max_record {
+                return Err(RpcError::RecordTooLarge {
+                    size: total,
+                    max: self.max_record,
+                });
+            }
+            if avail.len() < pos + 4 + len {
+                return Ok(None);
+            }
+            pos += 4 + len;
+            if word & LAST_FRAGMENT != 0 {
+                break;
+            }
+        }
+        // Second pass: gather the fragment payloads contiguously.
+        self.record.clear();
+        self.record.reserve(total);
+        let mut at = 0usize;
+        loop {
+            let word = u32::from_be_bytes(avail[at..at + 4].try_into().unwrap());
+            let len = (word & LENGTH_MASK) as usize;
+            self.record.extend_from_slice(&avail[at + 4..at + 4 + len]);
+            at += 4 + len;
+            if word & LAST_FRAGMENT != 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(at, pos);
+        self.off += pos;
+        telemetry::add_memmoved(self.record.len());
+        Ok(Some(&self.record))
+    }
+}
+
 /// Buffered record writer bound to a `Write` stream.
 #[derive(Debug)]
 pub struct RecordWriter<W: Write> {
@@ -408,6 +516,80 @@ mod tests {
         );
         assert_eq!(read_record(&mut cursor, MAX_RECORD).unwrap().unwrap(), b"");
         assert!(read_record(&mut cursor, MAX_RECORD).unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_single_and_multi_fragment() {
+        let mut wire = Vec::new();
+        write_record(&mut wire, b"hello", 1024).unwrap();
+        write_record(&mut wire, &[9u8; 350], 100).unwrap(); // 4 fragments
+        let mut asm = RecordAssembler::default();
+        asm.extend(&wire);
+        assert_eq!(asm.next_record().unwrap().unwrap(), b"hello");
+        assert_eq!(asm.next_record().unwrap().unwrap(), &[9u8; 350][..]);
+        assert!(asm.next_record().unwrap().is_none());
+        assert_eq!(asm.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn assembler_survives_byte_at_a_time_arrival() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 253) as u8).collect();
+        let mut wire = Vec::new();
+        write_record(&mut wire, &payload, 64).unwrap();
+        let mut asm = RecordAssembler::default();
+        let mut out = None;
+        for (i, b) in wire.iter().enumerate() {
+            asm.extend(std::slice::from_ref(b));
+            match asm.next_record().unwrap() {
+                Some(rec) => {
+                    assert_eq!(i, wire.len() - 1, "record completed early");
+                    out = Some(rec.to_vec());
+                }
+                None => assert!(i < wire.len() - 1, "record never completed"),
+            }
+        }
+        assert_eq!(out.unwrap(), payload);
+    }
+
+    #[test]
+    fn assembler_interleaves_partial_records_and_reuses_buffers() {
+        let mut asm = RecordAssembler::default();
+        for round in 0..50u8 {
+            let payload = vec![round; 700];
+            let mut wire = Vec::new();
+            write_record(&mut wire, &payload, 256).unwrap();
+            let (a, b) = wire.split_at(wire.len() / 2);
+            asm.extend(a);
+            assert!(asm.next_record().unwrap().is_none());
+            asm.extend(b);
+            assert_eq!(asm.next_record().unwrap().unwrap(), &payload[..]);
+        }
+        // Compaction keeps the raw buffer from growing with round count.
+        assert!(
+            asm.buf.capacity() < 16 * 1024,
+            "raw buffer grew unboundedly"
+        );
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_records() {
+        let mut wire = Vec::new();
+        write_record(&mut wire, &[1u8; 1000], 100).unwrap();
+        let mut asm = RecordAssembler::new(500);
+        asm.extend(&wire);
+        assert!(matches!(
+            asm.next_record(),
+            Err(RpcError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_empty_record() {
+        let mut wire = Vec::new();
+        write_record(&mut wire, &[], 1024).unwrap();
+        let mut asm = RecordAssembler::default();
+        asm.extend(&wire);
+        assert_eq!(asm.next_record().unwrap().unwrap(), b"");
     }
 
     #[test]

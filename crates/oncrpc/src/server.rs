@@ -273,6 +273,20 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Assemble a handle from its parts (used by the threaded accept loop
+    /// here and by the [`crate::reactor`] event loop).
+    pub(crate) fn from_parts(
+        addr: std::net::SocketAddr,
+        stop: Arc<AtomicBool>,
+        join: std::thread::JoinHandle<()>,
+    ) -> Self {
+        Self {
+            addr,
+            stop,
+            join: Some(join),
+        }
+    }
+
     /// The bound listen address (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr

@@ -92,6 +92,85 @@ pub fn reset() {
     BYTES_TRANSFERRED.store(0, Ordering::Relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Reactor counters: how the completion-driven server core spent its calls.
+// Same relaxed-atomic convention as the copy counters above.
+
+static REACTOR_INLINE_REPLIES: AtomicU64 = AtomicU64::new(0);
+static REACTOR_PARKED_CALLS: AtomicU64 = AtomicU64::new(0);
+static REACTOR_STALLS: AtomicU64 = AtomicU64::new(0);
+static REACTOR_BUFS_REUSED: AtomicU64 = AtomicU64::new(0);
+static REACTOR_BUFS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Record a `Done`-classified call answered inline on the reactor thread.
+#[inline]
+pub fn add_reactor_inline(n: u64) {
+    REACTOR_INLINE_REPLIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record a `Parked`-classified call handed to the worker shard.
+#[inline]
+pub fn add_reactor_parked(n: u64) {
+    REACTOR_PARKED_CALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record a session hitting its bounded queue (backpressure stall).
+#[inline]
+pub fn add_reactor_stall(n: u64) {
+    REACTOR_STALLS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record a pooled buffer recycled from a free list.
+#[inline]
+pub fn add_reactor_buf_reused(n: u64) {
+    REACTOR_BUFS_REUSED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record a buffer freshly allocated because the pool was empty.
+#[inline]
+pub fn add_reactor_buf_allocated(n: u64) {
+    REACTOR_BUFS_ALLOCATED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the reactor counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactorSnapshot {
+    /// Calls classified `Done` and answered from the reactor thread.
+    pub inline_replies: u64,
+    /// Calls classified `Parked` and executed on a worker shard.
+    pub parked_calls: u64,
+    /// Backpressure stalls (bounded per-session queue filled).
+    pub stalls: u64,
+    /// Pooled buffers recycled.
+    pub bufs_reused: u64,
+    /// Buffers allocated because no pooled one was free.
+    pub bufs_allocated: u64,
+}
+
+impl ReactorSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &ReactorSnapshot) -> ReactorSnapshot {
+        ReactorSnapshot {
+            inline_replies: self.inline_replies - earlier.inline_replies,
+            parked_calls: self.parked_calls - earlier.parked_calls,
+            stalls: self.stalls - earlier.stalls,
+            bufs_reused: self.bufs_reused - earlier.bufs_reused,
+            bufs_allocated: self.bufs_allocated - earlier.bufs_allocated,
+        }
+    }
+}
+
+/// Read the reactor counters.
+pub fn reactor_snapshot() -> ReactorSnapshot {
+    ReactorSnapshot {
+        inline_replies: REACTOR_INLINE_REPLIES.load(Ordering::Relaxed),
+        parked_calls: REACTOR_PARKED_CALLS.load(Ordering::Relaxed),
+        stalls: REACTOR_STALLS.load(Ordering::Relaxed),
+        bufs_reused: REACTOR_BUFS_REUSED.load(Ordering::Relaxed),
+        bufs_allocated: REACTOR_BUFS_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Allocation-counting wrapper around the system allocator.

@@ -55,6 +55,12 @@ impl TcpTransport {
         Ok(())
     }
 
+    /// Whether `TCP_NODELAY` is set on the socket. Exposed so tests can
+    /// assert the small-RPC latency contract on both ends.
+    pub fn nodelay(&self) -> RpcResult<bool> {
+        Ok(self.stream.nodelay()?)
+    }
+
     /// A second handle onto the same socket (`dup(2)` underneath), so one
     /// thread can keep reading requests while another writes replies —
     /// the carrier for [`crate::RpcServer::serve_pipelined`].
@@ -246,6 +252,52 @@ mod tests {
         write_record(&mut a, &payload, 512).unwrap();
         let got = read_record(&mut b, MAX_RECORD).unwrap().unwrap();
         assert_eq!(got, payload);
+    }
+
+    /// Small RPCs are latency-bound: Nagle must be off on the client
+    /// connection, on the accepted server socket, and survive the
+    /// `try_clone` used to split reader/writer halves.
+    #[test]
+    fn tcp_nodelay_on_both_ends() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            TcpTransport::from_stream(stream).unwrap()
+        });
+        let client = TcpTransport::connect(addr).unwrap();
+        let accepted = server.join().unwrap();
+        assert!(
+            client.nodelay().unwrap(),
+            "client connection must set TCP_NODELAY"
+        );
+        assert!(
+            accepted.nodelay().unwrap(),
+            "accepted socket must set TCP_NODELAY"
+        );
+        assert!(
+            client.try_clone().unwrap().nodelay().unwrap(),
+            "cloned write half must keep TCP_NODELAY"
+        );
+    }
+
+    /// The reactor accept path sets TCP_NODELAY on raw accepted sockets
+    /// before the transport wrapper is ever involved.
+    #[test]
+    fn reactor_accept_path_sets_nodelay() {
+        let handle = crate::reactor::serve_tcp_reactor(
+            "127.0.0.1:0",
+            crate::reactor::ReactorConfig::default(),
+            |_conn| crate::reactor::ConnHandler {
+                rpc: std::sync::Arc::new(crate::server::RpcServer::new()),
+                on_close: None,
+            },
+        )
+        .unwrap();
+        let client = TcpTransport::connect(handle.addr()).unwrap();
+        assert!(client.nodelay().unwrap());
+        drop(client);
+        handle.shutdown();
     }
 
     #[test]

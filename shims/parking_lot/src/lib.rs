@@ -139,6 +139,17 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// Outcome of [`Condvar::wait_for`]: whether the wait ended by timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait timed out rather than being notified.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable usable with [`MutexGuard`] via `wait(&mut guard)`.
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -161,6 +172,25 @@ impl Condvar {
             let inner = std::ptr::read(&guard.0);
             let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
             std::ptr::write(&mut guard.0, reacquired);
+        }
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns a
+    /// result whose `timed_out()` reports whether the deadline elapsed
+    /// before a notification arrived (parking_lot's signature).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (reacquired, res) = self
+                .0
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.0, reacquired);
+            WaitTimeoutResult(res.timed_out())
         }
     }
 

@@ -1,0 +1,335 @@
+//! Readiness polling over nonblocking TCP sockets, `std`-only.
+//!
+//! The workspace builds fully offline, so mio/epoll crates are not
+//! available. This shim exposes the contract an event-driven server needs —
+//! register sockets, block until at least one is readable (or a
+//! [`Poller::notify`] wakeup arrives), suspend sources under backpressure —
+//! and implements it with the only portable mechanism `std` offers:
+//! a readiness *scan* (`TcpStream::peek` on nonblocking clones) paced by an
+//! adaptive yield→sleep backoff. Under load the scan always finds work and
+//! never sleeps; idle, it decays to a bounded sleep slice so a process with
+//! hundreds of dormant connections stays quiet.
+//!
+//! A real deployment would swap the scan for `epoll`/`kqueue`/`io_uring`
+//! behind the same API; everything above this crate is written against the
+//! readiness contract, not the mechanism.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One readiness observation from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// Data is available to read (or the peer hung up — reading yields the
+    /// EOF/error, which is itself actionable).
+    pub readable: bool,
+    /// The peer closed or the socket errored; a read will not block.
+    pub hup: bool,
+}
+
+struct Source {
+    /// A second handle onto the socket used only for `peek`; the owner keeps
+    /// reading on its own handle.
+    probe: TcpStream,
+    /// Suspended sources stay registered but produce no events
+    /// (backpressure: the owner has stopped reading this connection).
+    suspended: bool,
+}
+
+#[derive(Default)]
+struct Registry {
+    sources: HashMap<usize, Source>,
+}
+
+/// Waitable readiness poller. Clone-free: share it behind an `Arc`.
+pub struct Poller {
+    registry: Mutex<Registry>,
+    /// Set by [`Poller::notify`]; consumed by the next [`Poller::wait`].
+    notified: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// Backoff ladder for idle scans: pure yields first (cheap on a loaded
+/// box — other runnable threads get the core), then sleeps growing to a cap.
+const YIELD_ROUNDS: u32 = 8;
+const SLEEP_MIN: Duration = Duration::from_micros(50);
+const SLEEP_MAX: Duration = Duration::from_millis(1);
+
+impl Poller {
+    /// Create an empty poller.
+    pub fn new() -> Self {
+        Self {
+            registry: Mutex::new(Registry::default()),
+            notified: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Register `stream` for readability under `key`. The stream is switched
+    /// to nonblocking mode (the owner is expected to read it nonblocking);
+    /// the poller keeps its own `try_clone` handle for probing.
+    pub fn register(&self, stream: &TcpStream, key: usize) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let probe = stream.try_clone()?;
+        let mut reg = self.registry.lock();
+        reg.sources.insert(
+            key,
+            Source {
+                probe,
+                suspended: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove `key` from the poller. Unknown keys are ignored.
+    pub fn deregister(&self, key: usize) {
+        self.registry.lock().sources.remove(&key);
+    }
+
+    /// Stop reporting events for `key` (the owner is backpressuring this
+    /// source). The socket stays registered; kernel-side the TCP window
+    /// closes as unread data accumulates.
+    pub fn suspend(&self, key: usize) {
+        if let Some(s) = self.registry.lock().sources.get_mut(&key) {
+            s.suspended = true;
+        }
+    }
+
+    /// Resume reporting events for `key` after [`Poller::suspend`].
+    pub fn resume(&self, key: usize) {
+        if let Some(s) = self.registry.lock().sources.get_mut(&key) {
+            s.suspended = false;
+        }
+    }
+
+    /// Number of registered (live) sources.
+    pub fn len(&self) -> usize {
+        self.registry.lock().sources.len()
+    }
+
+    /// Whether no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wake the current (or next) [`Poller::wait`] immediately, returning it
+    /// with whatever events the scan finds. Called from other threads when
+    /// out-of-band state changed: a new connection to adopt, a stalled
+    /// session that drained, a shutdown request.
+    pub fn notify(&self) {
+        *self.notified.lock() = true;
+        self.cond.notify_all();
+    }
+
+    /// Block until at least one registered source is readable, `notify` was
+    /// called, or `timeout` elapses. Readiness events are appended to
+    /// `events` (cleared first). Returns the number of events.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<usize> {
+        events.clear();
+        let deadline = Instant::now() + timeout;
+        let mut idle_rounds: u32 = 0;
+        loop {
+            self.scan(events);
+            if !events.is_empty() {
+                // Consume a pending wakeup too: the caller will observe all
+                // out-of-band state on this pass anyway.
+                *self.notified.lock() = false;
+                return Ok(events.len());
+            }
+            // No readiness: honor a notify() or back off.
+            {
+                let mut flag = self.notified.lock();
+                if *flag {
+                    *flag = false;
+                    return Ok(0);
+                }
+                if Instant::now() >= deadline {
+                    return Ok(0);
+                }
+                if idle_rounds >= YIELD_ROUNDS {
+                    let exp = (idle_rounds - YIELD_ROUNDS).min(8);
+                    let dur = (SLEEP_MIN * 2u32.saturating_pow(exp)).min(SLEEP_MAX);
+                    // Sleep on the condvar so notify() still wakes us early.
+                    let _ = self.cond.wait_for(&mut flag, dur);
+                    if *flag {
+                        *flag = false;
+                        return Ok(0);
+                    }
+                }
+            }
+            if idle_rounds < YIELD_ROUNDS {
+                std::thread::yield_now();
+            }
+            idle_rounds = idle_rounds.saturating_add(1);
+        }
+    }
+
+    /// One pass over the registry: probe every active source.
+    fn scan(&self, events: &mut Vec<Event>) {
+        let reg = self.registry.lock();
+        let mut probe_buf = [0u8; 1];
+        for (&key, src) in reg.sources.iter() {
+            if src.suspended {
+                continue;
+            }
+            match src.probe.peek(&mut probe_buf) {
+                Ok(0) => events.push(Event {
+                    key,
+                    readable: true,
+                    hup: true,
+                }),
+                Ok(_) => events.push(Event {
+                    key,
+                    readable: true,
+                    hup: false,
+                }),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => events.push(Event {
+                    key,
+                    readable: true,
+                    hup: true,
+                }),
+            }
+        }
+    }
+}
+
+impl Default for Poller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("sources", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_when_peer_writes() {
+        let (mut client, server) = pair();
+        let poller = Poller::new();
+        poller.register(&server, 7).unwrap();
+        let mut events = Vec::new();
+        // Nothing yet.
+        poller.wait(&mut events, Duration::from_millis(5)).unwrap();
+        assert!(events.is_empty());
+        client.write_all(b"x").unwrap();
+        poller.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            events,
+            vec![Event {
+                key: 7,
+                readable: true,
+                hup: false
+            }]
+        );
+    }
+
+    #[test]
+    fn hup_when_peer_drops() {
+        let (client, server) = pair();
+        let poller = Poller::new();
+        poller.register(&server, 1).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].hup);
+    }
+
+    #[test]
+    fn suspend_masks_events_until_resume() {
+        let (mut client, server) = pair();
+        let poller = Poller::new();
+        poller.register(&server, 3).unwrap();
+        client.write_all(b"data").unwrap();
+        poller.suspend(3);
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty(), "suspended source reported readiness");
+        poller.resume(3);
+        poller.wait(&mut events, Duration::from_secs(2)).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn notify_wakes_an_idle_wait() {
+        let poller = Arc::new(Poller::new());
+        let p2 = Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            p2.notify();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller.wait(&mut events, Duration::from_secs(10)).unwrap();
+        assert!(events.is_empty());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "notify did not wake wait"
+        );
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn deregister_stops_events() {
+        let (mut client, server) = pair();
+        let poller = Poller::new();
+        poller.register(&server, 9).unwrap();
+        client.write_all(b"y").unwrap();
+        poller.deregister(9);
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty());
+        assert!(poller.is_empty());
+    }
+
+    #[test]
+    fn many_sources_report_independently() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new();
+        let mut clients = Vec::new();
+        let mut servers = Vec::new();
+        for key in 0..16usize {
+            let c = TcpStream::connect(addr).unwrap();
+            let (s, _) = listener.accept().unwrap();
+            poller.register(&s, key).unwrap();
+            clients.push(c);
+            servers.push(s);
+        }
+        clients[3].write_all(b"a").unwrap();
+        clients[11].write_all(b"b").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_secs(2)).unwrap();
+        let mut keys: Vec<usize> = events.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![3, 11]);
+    }
+}

@@ -38,6 +38,15 @@
 //! client. Workers flag the poller when a stalled connection drains to the
 //! low watermark and the reactor resumes it.
 //!
+//! **Slow readers.** The completion writer never blocks on any one socket:
+//! replies are framed and queued per connection, and each flush pass
+//! writes only what the kernel accepts, so a peer that stops reading its
+//! replies delays nobody else. If such a peer accepts no bytes for
+//! [`ReactorConfig::write_stall_deadline`] (or lets more than
+//! [`ReactorConfig::max_write_backlog`] bytes pile up behind the record in
+//! flight) the writer shuts its socket down; the reactor's read side
+//! observes EOF and finalizes the connection normally.
+//!
 //! **Replay correctness.** Replies can complete out of *connection* order
 //! (two connections make progress independently), but the at-most-once
 //! cache is keyed by `(client token, xid)` and written inside
@@ -51,12 +60,12 @@ use crate::server::{RpcServer, ServerHandle};
 use crate::telemetry;
 use parking_lot::Mutex;
 use polling::{Event, Poller};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xdr::XdrEncoder;
 
 /// How one procedure completes, mirroring the io_uring server contract.
@@ -87,6 +96,14 @@ pub struct ReactorConfig {
     /// Procedure classifier; `None` parks everything (always correct,
     /// never inline).
     pub classify: Option<Classifier>,
+    /// Completion writer: a connection whose socket accepts no reply bytes
+    /// for this long while replies are queued is declared dead and shut
+    /// down, so one stalled client cannot head-of-line block the writer.
+    pub write_stall_deadline: Duration,
+    /// Completion writer: replies queued *behind* the record currently
+    /// being written, per connection. Past this many bytes the peer is not
+    /// reading and the connection is shut down instead of buffering more.
+    pub max_write_backlog: usize,
 }
 
 impl Default for ReactorConfig {
@@ -95,6 +112,8 @@ impl Default for ReactorConfig {
             workers: 2,
             max_session_queue: 64,
             classify: None,
+            write_stall_deadline: Duration::from_secs(5),
+            max_write_backlog: 8 * 1024 * 1024,
         }
     }
 }
@@ -156,8 +175,15 @@ enum WriterMsg {
     Close(usize),
 }
 
+/// Largest buffer capacity [`BufPool::put`] will recycle. Records and
+/// replies range up to `MAX_RECORD` (1 GiB); pooling those would let one
+/// burst of large transfers pin `max_pooled` huge allocations forever, so
+/// anything over this threshold is freed instead of pooled.
+const MAX_POOLED_BUF_BYTES: usize = 64 * 1024;
+
 /// Lock-based free list of byte buffers shared across reactor, workers and
-/// writer. Bounded so a burst does not pin memory forever.
+/// writer. Bounded in count (`max_pooled`) *and* per-buffer bytes
+/// ([`MAX_POOLED_BUF_BYTES`]) so a burst does not pin memory forever.
 #[derive(Clone)]
 struct BufPool {
     free: Arc<Mutex<Vec<Vec<u8>>>>,
@@ -183,6 +209,9 @@ impl BufPool {
     }
 
     fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_BUF_BYTES {
+            return;
+        }
         buf.clear();
         let mut free = self.free.lock();
         if free.len() < self.max_pooled {
@@ -207,53 +236,67 @@ fn peek_call(record: &[u8]) -> Option<(u32, u32, u32)> {
     Some((word(12), word(16), word(20)))
 }
 
-/// `Write` adapter that retries `WouldBlock` on a nonblocking socket.
+/// Per-connection outbound state owned by the completion writer.
 ///
 /// `O_NONBLOCK` lives on the open file description, so the writer's
 /// `try_clone` handle shares nonblocking mode with the reactor's read
-/// handle. The completion writer wants blocking semantics; this wrapper
-/// spins briefly, then sleeps in short slices until the kernel buffer
-/// drains.
-struct PatientWriter<'a> {
-    stream: &'a TcpStream,
+/// handle — and the writer *keeps* it nonblocking: replies are framed into
+/// wire-format buffers and queued here, and each flush pass writes only
+/// what the kernel buffer accepts. A peer that stops reading its replies
+/// therefore blocks only its own queue, never the writer thread; every
+/// other connection keeps draining.
+struct Outbound {
+    stream: TcpStream,
+    /// Framed records waiting for the socket; the front one may be
+    /// partially written (`offset` bytes already gone).
+    queue: VecDeque<Vec<u8>>,
+    offset: usize,
+    /// Total unwritten bytes across `queue`.
+    queued_bytes: usize,
+    /// Last time the socket accepted at least one byte (or the queue went
+    /// empty). Reset when a reply lands on an idle queue.
+    last_progress: Instant,
+    /// `WriterMsg::Close` received: drop this entry once the queue drains.
+    closing: bool,
 }
 
-impl PatientWriter<'_> {
-    fn backoff(spins: &mut u32) {
-        if *spins < 16 {
-            std::thread::yield_now();
-        } else {
-            std::thread::sleep(Duration::from_micros(50));
-        }
-        *spins = spins.saturating_add(1);
-    }
-}
-
-impl Write for PatientWriter<'_> {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let mut spins = 0u32;
-        loop {
-            match (&mut &*self.stream).write(buf) {
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Self::backoff(&mut spins),
+impl Outbound {
+    /// Write as much queued data as the socket accepts right now.
+    /// `Ok(())` may leave data queued (kernel buffer full); `Err` means
+    /// the connection is gone.
+    fn flush(&mut self, reply_pool: &BufPool) -> io::Result<()> {
+        while let Some(front) = self.queue.front() {
+            match (&mut &self.stream).write(&front[self.offset..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.offset += n;
+                    self.queued_bytes -= n;
+                    self.last_progress = Instant::now();
+                    if self.offset == front.len() {
+                        self.offset = 0;
+                        if let Some(done) = self.queue.pop_front() {
+                            reply_pool.put(done);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                other => return other,
+                Err(e) => return Err(e),
             }
         }
+        Ok(())
     }
 
-    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
-        let mut spins = 0u32;
-        loop {
-            match (&mut &*self.stream).write_vectored(bufs) {
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Self::backoff(&mut spins),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                other => return other,
-            }
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        (&mut &*self.stream).flush()
+    /// Bytes queued *behind* the record currently being written. A single
+    /// huge reply in flight is legitimate; an ever-growing line behind it
+    /// means the peer is not reading.
+    fn backlog(&self) -> usize {
+        let front_left = self
+            .queue
+            .front()
+            .map(|f| f.len() - self.offset)
+            .unwrap_or(0);
+        self.queued_bytes - front_left
     }
 }
 
@@ -339,7 +382,9 @@ fn reactor_main(
         .name("oncrpc-completion".into())
         .spawn({
             let reply_pool = reply_pool.clone();
-            move || writer_main(writer_rx, reply_pool)
+            let stall_deadline = cfg.write_stall_deadline;
+            let max_backlog = cfg.max_write_backlog;
+            move || writer_main(writer_rx, reply_pool, stall_deadline, max_backlog)
         })
         .expect("spawn completion writer");
 
@@ -437,9 +482,13 @@ fn reactor_main(
         // stalled ones.
         let mut to_finalize: Vec<usize> = Vec::new();
         for (&key, conn) in conns.iter_mut() {
-            if conn.shared.dead.load(Ordering::Acquire) {
+            if conn.shared.dead.load(Ordering::Acquire) && !conn.closing {
                 conn.closing = true;
                 conn.shared.attention.store(true, Ordering::Release);
+                // Stop reporting readiness for a connection we will never
+                // read again; the drained-pending finalize is driven by
+                // worker notify(), not a hot readiness loop.
+                poller.suspend(key);
             }
             if conn.closing {
                 if conn.shared.pending.load(Ordering::Acquire) == 0 {
@@ -512,6 +561,7 @@ fn drain_conn(
                 Err(_) => {
                     conn.closing = true;
                     conn.shared.attention.store(true, Ordering::Release);
+                    poller.suspend(key);
                     return;
                 }
             };
@@ -525,6 +575,7 @@ fn drain_conn(
                 if conn.rpc.handle_record_into(rec, inline_enc).is_err() {
                     conn.closing = true;
                     conn.shared.attention.store(true, Ordering::Release);
+                    poller.suspend(key);
                     return;
                 }
                 let mut out = reply_pool.get();
@@ -558,6 +609,7 @@ fn drain_conn(
             Ok(0) => {
                 conn.closing = true;
                 conn.shared.attention.store(true, Ordering::Release);
+                poller.suspend(key);
                 return;
             }
             Ok(n) => conn.asm.extend(&scratch[..n]),
@@ -566,6 +618,7 @@ fn drain_conn(
             Err(_) => {
                 conn.closing = true;
                 conn.shared.attention.store(true, Ordering::Release);
+                poller.suspend(key);
                 return;
             }
         }
@@ -618,28 +671,137 @@ fn worker_main(
     }
 }
 
-/// Completion writer: single thread draining the completion ring with
-/// vectored record writes, recycling reply buffers into the pool.
-fn writer_main(rx: crossbeam_channel::Receiver<WriterMsg>, reply_pool: BufPool) {
-    let mut streams: HashMap<usize, TcpStream> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            WriterMsg::Open(key, stream) => {
-                streams.insert(key, stream);
-            }
-            WriterMsg::Reply(key, buf) => {
-                if let Some(stream) = streams.get(&key) {
-                    let mut w = PatientWriter { stream };
-                    if write_record_sg(&mut w, &[&buf], DEFAULT_MAX_FRAGMENT).is_err() {
-                        // Peer reset: drop the write half; the reactor's
-                        // read side observes the error and finalizes.
-                        streams.remove(&key);
-                    }
+/// How long the writer sleeps between flush passes while at least one
+/// socket has queued data the kernel will not yet accept.
+const WRITER_RETRY_SLICE: Duration = Duration::from_micros(500);
+
+/// Absorb one completion-ring message into the writer's connection map.
+fn writer_admit(msg: WriterMsg, conns: &mut HashMap<usize, Outbound>, reply_pool: &BufPool) {
+    match msg {
+        WriterMsg::Open(key, stream) => {
+            conns.insert(
+                key,
+                Outbound {
+                    stream,
+                    queue: VecDeque::new(),
+                    offset: 0,
+                    queued_bytes: 0,
+                    last_progress: Instant::now(),
+                    closing: false,
+                },
+            );
+        }
+        WriterMsg::Reply(key, buf) => {
+            if let Some(ob) = conns.get_mut(&key) {
+                // Frame once into wire format (fragment headers + body) so
+                // a partial write can resume at a byte offset later; a
+                // Vec<u8> sink never blocks so this cannot fail.
+                let mut framed = reply_pool.get();
+                let _ = write_record_sg(&mut framed, &[&buf], DEFAULT_MAX_FRAGMENT);
+                if ob.queue.is_empty() {
+                    // Idle queues carry a stale progress stamp; a fresh
+                    // reply must get the full stall deadline.
+                    ob.last_progress = Instant::now();
                 }
-                reply_pool.put(buf);
+                ob.queued_bytes += framed.len();
+                ob.queue.push_back(framed);
             }
-            WriterMsg::Close(key) => {
-                streams.remove(&key);
+            reply_pool.put(buf);
+        }
+        WriterMsg::Close(key) => {
+            if let Some(ob) = conns.get_mut(&key) {
+                if ob.queue.is_empty() {
+                    conns.remove(&key);
+                } else {
+                    // Replies still queued: keep flushing, drop on drain.
+                    ob.closing = true;
+                }
+            }
+        }
+    }
+}
+
+/// Completion writer: single thread draining the completion ring into
+/// nonblocking sockets, one bounded outbound queue per connection.
+///
+/// A connection is *killed* — socket shut down both ways so the reactor's
+/// read side observes EOF and finalizes it — when its write fails, when it
+/// accepts no bytes for `stall_deadline` while replies wait, or when more
+/// than `max_backlog` bytes queue behind the record in flight. Everything
+/// else keeps flowing meanwhile; a stalled peer can no longer wedge the
+/// writer thread (or shutdown, which joins it).
+fn writer_main(
+    rx: crossbeam_channel::Receiver<WriterMsg>,
+    reply_pool: BufPool,
+    stall_deadline: Duration,
+    max_backlog: usize,
+) {
+    let mut conns: HashMap<usize, Outbound> = HashMap::new();
+    let mut open = true;
+    loop {
+        let pending = conns.values().any(|ob| !ob.queue.is_empty());
+        if !pending {
+            if !open {
+                return; // ring hung up and every queue drained
+            }
+            // Nothing to flush: block until the ring produces work.
+            match rx.recv() {
+                Ok(msg) => writer_admit(msg, &mut conns, &reply_pool),
+                Err(_) => open = false,
+            }
+        } else if open {
+            // Queued data is waiting on kernel buffers: take whatever the
+            // ring has, but come back quickly to re-probe writability.
+            match rx.recv_timeout(WRITER_RETRY_SLICE) {
+                Ok(msg) => writer_admit(msg, &mut conns, &reply_pool),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => open = false,
+            }
+        } else {
+            // Draining after hangup: pace the flush retries.
+            std::thread::sleep(WRITER_RETRY_SLICE);
+        }
+        while open {
+            match rx.try_recv() {
+                Ok(msg) => writer_admit(msg, &mut conns, &reply_pool),
+                Err(crossbeam_channel::TryRecvError::Empty) => break,
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    open = false;
+                }
+            }
+        }
+
+        // Flush pass: every socket gets a chance each round; one blocked
+        // peer only skips its own queue.
+        let now = Instant::now();
+        let mut done: Vec<usize> = Vec::new();
+        for (&key, ob) in conns.iter_mut() {
+            if ob.queue.is_empty() {
+                if ob.closing {
+                    done.push(key);
+                }
+                continue;
+            }
+            let dead = ob.flush(&reply_pool).is_err()
+                || (!ob.queue.is_empty()
+                    && (ob.backlog() > max_backlog
+                        || now.duration_since(ob.last_progress) > stall_deadline));
+            if dead {
+                // Shut the shared file description down both ways: the
+                // reactor's read half sees EOF/reset and finalizes the
+                // connection through the normal closing path.
+                let _ = ob.stream.shutdown(Shutdown::Both);
+                telemetry::add_reactor_writer_kill(1);
+                done.push(key);
+            } else if ob.queue.is_empty() && ob.closing {
+                done.push(key);
+            }
+        }
+        for key in done {
+            if let Some(ob) = conns.remove(&key) {
+                for buf in ob.queue {
+                    reply_pool.put(buf);
+                }
             }
         }
     }
@@ -751,6 +913,7 @@ mod tests {
             workers: 2,
             max_session_queue: 4,
             classify: Some(classifier()),
+            ..ReactorConfig::default()
         };
         let (handle, _closes) = start(cfg);
         let stalls_before = telemetry::reactor_snapshot().stalls;
@@ -781,6 +944,61 @@ mod tests {
         );
         drop(stream);
         handle.shutdown();
+    }
+
+    #[test]
+    fn slow_reader_is_killed_and_never_wedges_other_connections() {
+        let cfg = ReactorConfig {
+            workers: 2,
+            max_session_queue: 256,
+            classify: Some(classifier()),
+            write_stall_deadline: Duration::from_millis(200),
+            max_write_backlog: 256 * 1024,
+        };
+        let (handle, closes) = start(cfg);
+        let addr = handle.addr();
+        let kills_before = telemetry::reactor_snapshot().writer_kills;
+
+        // A tenant that floods large echo calls and never reads one reply:
+        // kernel buffers fill, the writer's backlog cap (or stall deadline)
+        // trips, and the connection is shut down server-side.
+        let stuck = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let payload = vec![0xabu8; 128 * 1024];
+            for i in 0..256u32 {
+                let mut enc = XdrEncoder::new();
+                RpcMessage::call(i, CallBody::new(PROG, VERS, 1)).encode(&mut enc);
+                payload.encode(&mut enc);
+                if write_record(&mut stream, enc.as_slice(), DEFAULT_MAX_FRAGMENT).is_err() {
+                    break; // server killed us — expected
+                }
+            }
+            stream
+        });
+
+        // Meanwhile a healthy tenant on the same writer thread must keep
+        // getting replies; before the per-connection outbound queues this
+        // hung forever inside the single blocking writer.
+        let transport = TcpTransport::connect(addr).unwrap();
+        let mut client = RpcClient::new(Box::new(transport), PROG, VERS);
+        for i in 0..50u32 {
+            let sum: u32 = client.call(2, &(i, 1u32)).unwrap();
+            assert_eq!(sum, i + 1);
+        }
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while telemetry::reactor_snapshot().writer_kills == kills_before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "writer never killed the non-reading connection"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stuck_stream = stuck.join().unwrap();
+        drop(stuck_stream);
+        drop(client);
+        handle.shutdown();
+        assert_eq!(closes.load(Ordering::SeqCst), 2, "both conns finalized");
     }
 
     #[test]

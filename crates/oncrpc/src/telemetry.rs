@@ -101,6 +101,7 @@ static REACTOR_PARKED_CALLS: AtomicU64 = AtomicU64::new(0);
 static REACTOR_STALLS: AtomicU64 = AtomicU64::new(0);
 static REACTOR_BUFS_REUSED: AtomicU64 = AtomicU64::new(0);
 static REACTOR_BUFS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static REACTOR_WRITER_KILLS: AtomicU64 = AtomicU64::new(0);
 
 /// Record a `Done`-classified call answered inline on the reactor thread.
 #[inline]
@@ -132,6 +133,13 @@ pub fn add_reactor_buf_allocated(n: u64) {
     REACTOR_BUFS_ALLOCATED.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Record the completion writer killing a connection that stopped
+/// accepting reply bytes (stall deadline or backlog cap exceeded).
+#[inline]
+pub fn add_reactor_writer_kill(n: u64) {
+    REACTOR_WRITER_KILLS.fetch_add(n, Ordering::Relaxed);
+}
+
 /// Point-in-time view of the reactor counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReactorSnapshot {
@@ -145,6 +153,8 @@ pub struct ReactorSnapshot {
     pub bufs_reused: u64,
     /// Buffers allocated because no pooled one was free.
     pub bufs_allocated: u64,
+    /// Connections the completion writer killed for not reading replies.
+    pub writer_kills: u64,
 }
 
 impl ReactorSnapshot {
@@ -156,6 +166,7 @@ impl ReactorSnapshot {
             stalls: self.stalls - earlier.stalls,
             bufs_reused: self.bufs_reused - earlier.bufs_reused,
             bufs_allocated: self.bufs_allocated - earlier.bufs_allocated,
+            writer_kills: self.writer_kills - earlier.writer_kills,
         }
     }
 }
@@ -168,6 +179,7 @@ pub fn reactor_snapshot() -> ReactorSnapshot {
         stalls: REACTOR_STALLS.load(Ordering::Relaxed),
         bufs_reused: REACTOR_BUFS_REUSED.load(Ordering::Relaxed),
         bufs_allocated: REACTOR_BUFS_ALLOCATED.load(Ordering::Relaxed),
+        writer_kills: REACTOR_WRITER_KILLS.load(Ordering::Relaxed),
     }
 }
 

@@ -36,6 +36,12 @@ cargo test --test reactor -q
 echo "==> bench smoke: connscale (reactor >=5x sessions at equal throughput, reduced size)"
 cargo run --release -p cricket-bench --bin connscale -- --smoke
 
+echo "==> fleet: portmap shard directory + registration lifecycle + seeded failover matrix"
+cargo test --test fleet -q
+
+echo "==> bench smoke: fleet (sharded aggregate throughput scaling, reduced size)"
+cargo run --release -p cricket-bench --bin fleet -- --smoke
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

@@ -18,19 +18,14 @@
 //! sessions at equal aggregate throughput** — every reactor session makes
 //! progress, and ops/s stays within tolerance of the baseline.
 
-use cricket_client::CricketClient;
-use cricket_server::{serve_tcp_sessions_mode, CricketServer, ServeMode};
-use oncrpc::TcpTransport;
+use cricket_client::{CricketClient, Endpoint};
+use cricket_server::{CricketServer, ServeMode, ServerBuilder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn tcp_client(addr: &str) -> CricketClient {
-    CricketClient::new(
-        Box::new(TcpTransport::connect(addr).expect("connect")),
-        cricket_client::env::ClientFlavor::RustRpcLib,
-        None,
-    )
+fn tcp_client(addr: std::net::SocketAddr) -> CricketClient {
+    CricketClient::connect(&Endpoint::Addr(addr)).expect("connect")
 }
 
 struct RunResult {
@@ -62,9 +57,12 @@ fn measure(
     server_threads: usize,
 ) -> RunResult {
     let server = CricketServer::a100();
-    let (handle, _replay) =
-        serve_tcp_sessions_mode(Arc::clone(&server), "127.0.0.1:0", mode).expect("serve");
-    let addr = handle.addr().to_string();
+    let handle = ServerBuilder::new("127.0.0.1:0")
+        .server(Arc::clone(&server))
+        .mode(mode)
+        .serve()
+        .expect("serve");
+    let addr = handle.addr();
     let t0 = oncrpc::telemetry::reactor_snapshot();
 
     // All connections are opened (and stay open) before measurement: the
@@ -72,7 +70,7 @@ fn measure(
     // every one of its connections is actively served.
     let mut pool: Vec<Vec<CricketClient>> = (0..drivers).map(|_| Vec::new()).collect();
     for i in 0..sessions {
-        pool[i % drivers].push(tcp_client(&addr));
+        pool[i % drivers].push(tcp_client(addr));
     }
 
     let deadline = Instant::now() + Duration::from_secs_f64(secs);

@@ -1,0 +1,238 @@
+//! Fleet-scaling snapshot: aggregate throughput of a sharded Cricket fleet
+//! (directory-placed tenants) vs a single server — written to
+//! `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p cricket-bench --bin fleet
+//! cargo run --release -p cricket-bench --bin fleet -- --tenants 80 --rounds 8
+//! cargo run --release -p cricket-bench --bin fleet -- --smoke
+//! ```
+//!
+//! Every tenant resolves its shard once through the portmap directory
+//! (`Endpoint::Directory`, Spread placement) and then runs a host-call +
+//! small-op mix. Each shard owns its own virtual clock, which only
+//! advances when that shard dispatches work — so a shard's `now_ns` *is*
+//! its cumulative service time, and the fleet's aggregate throughput in
+//! the simulation domain is `total_ops / max_shard_service_time`: the
+//! makespan is set by the busiest shard, exactly as wall-clock time would
+//! be on real parallel hardware. The acceptance claim: **4 shards ≥ 3.0×
+//! the aggregate throughput of 1 shard at ≥ 64 tenants**, with placement
+//! spreading sessions within ±25% per shard.
+
+use cricket_client::{CricketClient, Endpoint, Placement};
+use cricket_fleet::FleetBuilder;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct Cell {
+    shards: usize,
+    tenants: usize,
+    total_ops: u64,
+    /// Busiest shard's virtual service time — the fleet makespan.
+    max_shard_ns: u64,
+    /// Sessions placed per shard port.
+    placed: BTreeMap<u16, u32>,
+}
+
+impl Cell {
+    fn ops_per_virtual_ms(&self) -> f64 {
+        self.total_ops as f64 / (self.max_shard_ns as f64 / 1e6).max(1e-9)
+    }
+
+    /// Placement spread as max deviation from the per-shard mean, in
+    /// percent (0 = perfectly even).
+    fn spread_pct(&self) -> f64 {
+        if self.placed.is_empty() {
+            return 0.0;
+        }
+        let mean = self.tenants as f64 / self.placed.len() as f64;
+        self.placed
+            .values()
+            .map(|&n| ((n as f64 - mean).abs() / mean) * 100.0)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Stand up a fleet of `shards`, place `tenants` sessions through the
+/// directory, run the op mix on each, and report virtual-time totals.
+fn measure(shards: usize, tenants: usize, rounds: usize) -> Cell {
+    // Heartbeats are effectively off: placement freshness comes entirely
+    // from the directory's connect-time assignment counters, which keeps
+    // the run deterministic.
+    let fleet = FleetBuilder::new(shards)
+        .heartbeat(Duration::from_secs(3600))
+        .launch()
+        .expect("launch fleet");
+    let endpoint = Endpoint::directory(fleet.dir_addr())
+        .expect("endpoint")
+        .placement(Placement::Spread);
+
+    // Connect every tenant first — placement happens here, once per
+    // session, never on the per-call path.
+    let mut clients: Vec<(CricketClient, SocketAddr)> = (0..tenants)
+        .map(|_| {
+            let (t, addr) = endpoint.connect_transport().expect("resolve shard");
+            (
+                CricketClient::over(t, cricket_client::env::ClientFlavor::RustRpcLib, None),
+                addr,
+            )
+        })
+        .collect();
+    let mut placed: BTreeMap<u16, u32> = BTreeMap::new();
+    for (_, addr) in &clients {
+        *placed.entry(addr.port()).or_default() += 1;
+    }
+
+    // The host-call + small-op mix: device_count is a pure host call;
+    // malloc → 1 KiB H2D → free exercise the scheduler/enqueue path.
+    let payload = vec![7u8; 1024];
+    let mut total_ops = 0u64;
+    for (c, _) in clients.iter_mut() {
+        for _ in 0..rounds {
+            assert_eq!(c.device_count().expect("device_count"), 4);
+            let p = c.malloc(4096).expect("malloc");
+            c.memcpy_htod(p, &payload).expect("memcpy_htod");
+            c.free(p).expect("free");
+            total_ops += 4;
+        }
+    }
+
+    let max_shard_ns = (0..fleet.len())
+        .filter_map(|i| fleet.shard(i))
+        .map(|s| s.server().clock().now_ns())
+        .max()
+        .unwrap_or(0);
+    drop(clients);
+    fleet.shutdown();
+    Cell {
+        shards,
+        tenants,
+        total_ops,
+        max_shard_ns,
+        placed,
+    }
+}
+
+struct Args {
+    tenants: usize,
+    rounds: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        tenants: 80,
+        rounds: 8,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tenants" => a.tenants = it.next().and_then(|v| v.parse().ok()).unwrap_or(80),
+            "--rounds" => a.rounds = it.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--smoke" => a.smoke = true,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    if a.smoke {
+        a.tenants = a.tenants.min(12);
+        a.rounds = a.rounds.min(2);
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let tenant_points: Vec<usize> = if args.smoke {
+        vec![args.tenants]
+    } else {
+        // The 10–100 tenant sweep; the last point carries the acceptance
+        // assertions.
+        vec![10, 40, args.tenants.max(64)]
+    };
+    println!(
+        "Fleet scaling — tenants {:?} across 1/2/4 shards, {} rounds of 4 ops each\n",
+        tenant_points, args.rounds
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &tenants in &tenant_points {
+        for shards in [1usize, 2, 4] {
+            let cell = measure(shards, tenants, args.rounds);
+            println!(
+                "  {} shard{} × {:>3} tenants: {:>6} ops / {:>8.2} ms makespan → {:>8.1} ops/vms  (spread ±{:.0}%, {:?})",
+                cell.shards,
+                if cell.shards == 1 { " " } else { "s" },
+                cell.tenants,
+                cell.total_ops,
+                cell.max_shard_ns as f64 / 1e6,
+                cell.ops_per_virtual_ms(),
+                cell.spread_pct(),
+                cell.placed.values().collect::<Vec<_>>(),
+            );
+            cells.push(cell);
+        }
+        println!();
+    }
+
+    // Acceptance: at the largest tenant count, 4 shards ≥ 3x one shard's
+    // aggregate throughput, with placement within ±25% per shard.
+    let last = *tenant_points.last().unwrap();
+    let at = |shards: usize| -> &Cell {
+        cells
+            .iter()
+            .find(|c| c.shards == shards && c.tenants == last)
+            .unwrap()
+    };
+    let (one, four) = (at(1), at(4));
+    let ratio = four.ops_per_virtual_ms() / one.ops_per_virtual_ms().max(1e-9);
+    let spread = four.spread_pct();
+    println!("  → 4-shard / 1-shard aggregate throughput at {last} tenants: {ratio:.2}x (spread ±{spread:.1}%)");
+    assert!(
+        spread <= 25.0,
+        "acceptance: placement spread ±{spread:.1}% exceeds ±25%"
+    );
+    let floor = if args.smoke { 2.0 } else { 3.0 };
+    assert!(
+        ratio >= floor,
+        "acceptance: 4 shards gave {ratio:.2}x aggregate throughput of 1 shard (floor {floor})"
+    );
+    if !args.smoke {
+        assert!(last >= 64, "acceptance point must be ≥ 64 tenants");
+    }
+
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let placed: Vec<String> = c.placed.values().map(|n| n.to_string()).collect();
+        rows.push_str(&format!(
+            "    {{\"shards\": {}, \"tenants\": {}, \"total_ops\": {}, \"max_shard_ns\": {}, \
+             \"ops_per_virtual_ms\": {:.2}, \"spread_pct\": {:.2}, \"sessions_per_shard\": [{}]}}{}\n",
+            c.shards,
+            c.tenants,
+            c.total_ops,
+            c.max_shard_ns,
+            c.ops_per_virtual_ms(),
+            c.spread_pct(),
+            placed.join(", "),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"rounds\": {},\n  \"op_mix\": \"device_count + malloc + memcpy_htod(1KiB) + free\",\n  \
+         \"throughput_domain\": \"virtual time: total_ops / busiest shard's service ns\",\n  \
+         \"cells\": [\n{rows}  ],\n  \
+         \"accept\": {{\"tenants\": {last}, \"ratio_4_shards_vs_1\": {ratio:.4}, \
+         \"min_ratio\": 3.0, \"spread_pct\": {spread:.2}, \"max_spread_pct\": 25.0}}\n}}\n",
+        args.rounds,
+    );
+    if args.smoke {
+        println!("\n  (smoke run: BENCH_fleet.json left untouched)");
+    } else {
+        let path = "BENCH_fleet.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("\n  → wrote {path}"),
+            Err(e) => eprintln!("\n  ! could not write {path}: {e}"),
+        }
+    }
+}

@@ -29,6 +29,9 @@ pub enum ClientError {
         /// Zero-based index of the failed sub-op within the batch.
         index: usize,
     },
+    /// Connect-time shard resolution through a fleet directory failed: no
+    /// shard registered, or every ranked candidate was unreachable.
+    Directory(String),
 }
 
 impl ClientError {
@@ -41,7 +44,7 @@ impl ClientError {
     pub fn cuda_code(&self) -> Option<i32> {
         match self {
             ClientError::Cuda { code, .. } | ClientError::Batch { code, .. } => Some(*code),
-            ClientError::Rpc(_) => None,
+            ClientError::Rpc(_) | ClientError::Directory(_) => None,
         }
     }
 }
@@ -62,6 +65,7 @@ impl fmt::Display for ClientError {
                     .unwrap_or_else(|| format!("cudaError({code})"));
                 write!(f, "{api} failed in batch at sub-op {index}: {name}")
             }
+            ClientError::Directory(msg) => write!(f, "directory error: {msg}"),
         }
     }
 }
@@ -70,7 +74,9 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Rpc(e) => Some(e),
-            ClientError::Cuda { .. } | ClientError::Batch { .. } => None,
+            ClientError::Cuda { .. } | ClientError::Batch { .. } | ClientError::Directory(_) => {
+                None
+            }
         }
     }
 }

@@ -28,6 +28,7 @@
 //! application … directly on Linux".
 
 pub mod ccompat;
+pub mod endpoint;
 pub mod env;
 pub mod error;
 pub mod raw;
@@ -35,6 +36,7 @@ pub mod safe;
 pub mod sim;
 pub mod stats;
 
+pub use endpoint::{Endpoint, Placement};
 pub use env::EnvConfig;
 pub use error::{ClientError, ClientResult};
 pub use raw::{CricketClient, BATCH_INLINE_HTOD_MAX};

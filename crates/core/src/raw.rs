@@ -56,6 +56,23 @@ impl CricketClient {
         }
     }
 
+    /// [`Self::new`] without the box at the call site.
+    pub fn over(
+        transport: impl oncrpc::Transport + 'static,
+        flavor: ClientFlavor,
+        clock: Option<Arc<SimClock>>,
+    ) -> Self {
+        Self::new(Box::new(transport), flavor, clock)
+    }
+
+    /// Connect to a Cricket deployment — a single server or a fleet
+    /// directory — with the native-Linux client flavor (wall-clock time).
+    /// The single client entry point; see [`crate::Endpoint`].
+    pub fn connect(endpoint: &crate::Endpoint) -> ClientResult<Self> {
+        let (t, _addr) = endpoint.connect_transport()?;
+        Ok(Self::over(t, ClientFlavor::RustRpcLib, None))
+    }
+
     // ---- command coalescing -------------------------------------------
 
     /// Enable adaptive command coalescing with the default policy: async,

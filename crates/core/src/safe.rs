@@ -74,15 +74,18 @@ impl Context {
         }
     }
 
-    /// Connect to a `cricket-server` over TCP (native-Linux client flavor,
-    /// wall-clock time).
+    /// Connect to a Cricket deployment — a single server
+    /// ([`crate::Endpoint::Addr`]) or a fleet directory
+    /// ([`crate::Endpoint::Directory`], resolved once with failover).
+    pub fn connect(endpoint: &crate::Endpoint) -> ClientResult<Self> {
+        Ok(Self::from_client(CricketClient::connect(endpoint)?))
+    }
+
+    /// Connect to one `cricket-server` over TCP (native-Linux client
+    /// flavor, wall-clock time). Shorthand for [`Self::connect`] with
+    /// [`crate::Endpoint::Addr`].
     pub fn connect_tcp(addr: &str) -> ClientResult<Self> {
-        let t = oncrpc::TcpTransport::connect(addr).map_err(crate::ClientError::Rpc)?;
-        Ok(Self::from_client(CricketClient::new(
-            Box::new(t),
-            crate::env::ClientFlavor::RustRpcLib,
-            None,
-        )))
+        Self::connect(&crate::Endpoint::addr(addr)?)
     }
 
     /// Run `f` with the raw client (escape hatch for APIs without safe

@@ -19,16 +19,18 @@
 //!
 //! The `cricket-server` binary serves the protocol over real TCP.
 
+pub mod builder;
 pub mod checkpoint;
 pub mod scheduler;
 pub mod service;
 pub mod transport;
 
+pub use builder::{DirectoryRegistration, ServeHandle, ServerBuilder};
+pub use oncrpc::ReactorConfig;
 pub use scheduler::{SchedulerPolicy, SessionId};
 pub use service::{CricketServer, ServerConfig, SessionCleanup};
 pub use transport::SimTransport;
 
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Register a [`CricketServer`] on an [`oncrpc::RpcServer`] and return both.
@@ -109,36 +111,9 @@ pub fn cricket_classifier() -> oncrpc::Classifier {
     })
 }
 
-/// Serve `server` over TCP with hardened per-connection sessions:
-///
-/// * every accepted connection becomes its own [`SessionId`], so the
-///   scheduler arbitrates clients individually;
-/// * all connections share one at-most-once [`oncrpc::ReplayCache`] — a
-///   client that retransmits a non-idempotent call (same client token, same
-///   xid), even over a fresh connection after a reset, gets the original
-///   reply instead of a second execution;
-/// * when a connection ends — clean close or mid-call reset — the session's
-///   vGPU resources (memory, streams, events, modules, library handles) are
-///   reclaimed via [`CricketServer::release_session`];
-/// * each connection is served through the *pipelined* reply path
-///   ([`oncrpc::RpcServer::serve_pipelined`]): requests are read and
-///   dispatched in order while a writer thread drains replies, so a client
-///   streaming asynchronous calls (kernel launches that only enqueue device
-///   work) is not serialized on reply round trips. If the socket cannot be
-///   duplicated the connection falls back to the classic serial loop.
-///
-/// Returns the listener handle plus the shared replay cache (its
-/// [`oncrpc::ReplayCache::stats`] telemetry counts replay hits).
-pub fn serve_tcp_sessions<A: std::net::ToSocketAddrs>(
-    server: Arc<CricketServer>,
-    addr: A,
-) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
-    serve_tcp_sessions_mode(server, addr, ServeMode::Pipelined)
-}
-
 /// Build one connection's `RpcServer`: its own session view over the shared
 /// [`CricketServer`], sharing the at-most-once replay cache.
-fn session_rpc(
+pub(crate) fn session_rpc(
     server: &Arc<CricketServer>,
     replay: &Arc<oncrpc::ReplayCache>,
     session: SessionId,
@@ -156,100 +131,23 @@ fn session_rpc(
     rpc
 }
 
-/// [`serve_tcp_sessions`] with an explicit [`ServeMode`]. All modes share
-/// the same session semantics — one [`SessionId`] per accepted connection,
-/// one shared replay cache, [`CricketServer::release_session`] exactly once
-/// when the connection ends — and differ only in how connections are
-/// multiplexed onto threads.
+/// Serve `server` over TCP with hardened per-connection sessions through
+/// the *pipelined* reply path. Superseded by [`ServerBuilder`].
+#[deprecated(note = "use ServerBuilder::new(addr).server(server).serve()")]
+pub fn serve_tcp_sessions<A: std::net::ToSocketAddrs>(
+    server: Arc<CricketServer>,
+    addr: A,
+) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
+    builder::serve_sessions(server, addr, ServeMode::Pipelined, None)
+}
+
+/// [`serve_tcp_sessions`] with an explicit [`ServeMode`]. Superseded by
+/// [`ServerBuilder`].
+#[deprecated(note = "use ServerBuilder::new(addr).server(server).mode(mode).serve()")]
 pub fn serve_tcp_sessions_mode<A: std::net::ToSocketAddrs>(
     server: Arc<CricketServer>,
     addr: A,
     mode: ServeMode,
 ) -> oncrpc::RpcResult<(oncrpc::server::ServerHandle, Arc<oncrpc::ReplayCache>)> {
-    let replay = Arc::new(oncrpc::ReplayCache::default());
-    let shared = Arc::clone(&replay);
-    let handle = match mode {
-        ServeMode::Reactor { workers } => {
-            let cfg = oncrpc::ReactorConfig {
-                workers: workers.max(1),
-                classify: Some(cricket_classifier()),
-                ..oncrpc::ReactorConfig::default()
-            };
-            let next_session = AtomicU32::new(1);
-            oncrpc::serve_tcp_reactor(addr, cfg, move |_conn| {
-                let session = next_session.fetch_add(1, Ordering::Relaxed);
-                let rpc = Arc::new(session_rpc(&server, &shared, session));
-                let server = Arc::clone(&server);
-                oncrpc::ConnHandler {
-                    rpc,
-                    // Runs after the session's last in-flight call completed
-                    // and its last reply hit the completion ring. Replay
-                    // entries are deliberately kept — a reconnecting client
-                    // may still retransmit calls from the dead connection.
-                    on_close: Some(Box::new(move || {
-                        server.release_session(session);
-                    })),
-                }
-            })?
-        }
-        ServeMode::PipelinedBounded { max_conns } => {
-            // Fixed serving pool: accepted connections queue; `max_conns`
-            // threads each serve one connection to completion at a time.
-            let (conn_tx, conn_rx) = crossbeam_channel::unbounded::<oncrpc::TcpTransport>();
-            let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
-            let next_session = Arc::new(AtomicU32::new(1));
-            for _ in 0..max_conns.max(1) {
-                let conn_rx = Arc::clone(&conn_rx);
-                let server = Arc::clone(&server);
-                let shared = Arc::clone(&shared);
-                let next_session = Arc::clone(&next_session);
-                std::thread::spawn(move || loop {
-                    let queued = {
-                        let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
-                        rx.recv()
-                    };
-                    let Ok(mut conn) = queued else { break };
-                    let session = next_session.fetch_add(1, Ordering::Relaxed);
-                    let rpc = session_rpc(&server, &shared, session);
-                    match conn.try_clone() {
-                        Ok(writer) => {
-                            let _ = rpc.serve_pipelined(&mut conn, writer);
-                        }
-                        Err(_) => {
-                            let _ = rpc.serve_connection(&mut conn);
-                        }
-                    }
-                    server.release_session(session);
-                });
-            }
-            oncrpc::server::serve_tcp_with(addr, move |conn| {
-                let _ = conn_tx.send(conn);
-            })?
-        }
-        ServeMode::Serial | ServeMode::Pipelined => {
-            let next_session = AtomicU32::new(1);
-            oncrpc::server::serve_tcp_with(addr, move |mut conn| {
-                let session = next_session.fetch_add(1, Ordering::Relaxed);
-                let rpc = session_rpc(&server, &shared, session);
-                let writer = match mode {
-                    ServeMode::Pipelined => conn.try_clone().ok(),
-                    _ => None,
-                };
-                match writer {
-                    Some(writer) => {
-                        let _ = rpc.serve_pipelined(&mut conn, writer);
-                    }
-                    None => {
-                        let _ = rpc.serve_connection(&mut conn);
-                    }
-                }
-                // The client is gone (or reset): reclaim everything it
-                // still holds. Replay-cache entries are deliberately kept —
-                // a reconnecting client may still retransmit calls it sent
-                // on the dead connection.
-                server.release_session(session);
-            })?
-        }
-    };
-    Ok((handle, replay))
+    builder::serve_sessions(server, addr, mode, None)
 }

@@ -299,6 +299,26 @@ impl CricketServer {
         &self.clock
     }
 
+    /// Load snapshot for the fleet directory ([`oncrpc::portmap`] shard
+    /// heartbeats): free/total device memory summed across all vgpus, the
+    /// shard's cumulative virtual service time (the clock only moves when
+    /// this server dispatches work, so `now_ns` *is* served time), and the
+    /// number of live sessions.
+    pub fn load_report(&self) -> oncrpc::LoadReport {
+        let (mut free, mut total) = (0u64, 0u64);
+        for d in &self.devices {
+            let (f, t) = d.lock().mem_info();
+            free += f;
+            total += t;
+        }
+        oncrpc::LoadReport {
+            free_mem: free,
+            total_mem: total,
+            served_ns: self.clock.now_ns(),
+            sessions: self.sessions_seen.lock().len() as u32,
+        }
+    }
+
     /// The session's current device ordinal.
     fn current_device(&self, session: SessionId) -> usize {
         self.session_device

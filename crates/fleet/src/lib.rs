@@ -1,0 +1,515 @@
+//! GPU fleet layer: shard a Cricket deployment across N servers behind a
+//! portmap shard directory.
+//!
+//! The paper's endgame is many lightweight unikernel guests sharing remote
+//! GPUs; the scale win comes from multiplexing virtualized GPUs across a
+//! *fleet* of servers, not one. Placement must stay off the per-call path
+//! (RPCAcc's thin-RPC lesson), so it happens exactly once, at connect time:
+//!
+//! ```text
+//!   client ──(1) SHARD_DUMP──▶ directory (oncrpc::Portmap over TCP)
+//!     │                            ▲ heartbeats: LoadReport {free_mem,
+//!     │ (2) rank by Placement      │   total_mem, served_ns, sessions}
+//!     │ (3) SHARD_ASSIGN winner    │
+//!     └─(4) RPC directly──▶ shard i (cricket_server::ServerBuilder)
+//! ```
+//!
+//! After step 4 the client talks to its shard over the normal zero-copy
+//! path; the directory never sees another byte from it. Failover: the
+//! ranked candidate list from step 2 is kept, so if the winner's listener
+//! is down (crashed shard, stale directory entry) the client just tries
+//! the next-best candidate.
+//!
+//! What lives here:
+//! * [`Placement`] — connect-time placement policies over
+//!   [`oncrpc::ShardEntry`] load reports;
+//! * [`ShardDirectory`] — the client-side directory view (dump → rank →
+//!   assign);
+//! * [`Fleet`] / [`FleetBuilder`] — a directory plus N
+//!   [`cricket_server::ServeHandle`] shards with graceful-stop vs
+//!   crash-kill lifecycle;
+//! * [`rebalance_plan`] — a pure planner computing session moves that
+//!   would even out shard load (the hook the future live-migration item
+//!   plugs into).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cricket_server::{SchedulerPolicy, ServeHandle, ServeMode, ServerBuilder, ServerConfig};
+use oncrpc::portmap::client::PortmapClient;
+pub use oncrpc::{LoadReport, ShardEntry};
+use oncrpc::{Portmap, RpcResult, TcpTransport};
+
+/// Connect-time placement policy: given the directory's shard load
+/// reports, in what order should a new session try shards?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Spread sessions: fewest effective sessions first (live sessions plus
+    /// assignments since the last heartbeat — the freshest load signal),
+    /// then most free device memory, then least served time. Keeps every
+    /// shard warm and is the right default for throughput scaling.
+    #[default]
+    Spread,
+    /// Bin-pack by device memory: fullest shard that is still alive first
+    /// (least free memory), tie-break on least served time. Concentrates
+    /// load so whole shards stay idle — the right policy when idle shards
+    /// can be reclaimed.
+    Pack,
+}
+
+impl Placement {
+    /// Rank `shards` into candidate order, best first. The full ranked
+    /// list (not just the winner) is the failover order: if candidate 0's
+    /// listener is down, try candidate 1, and so on.
+    pub fn rank(self, shards: &[ShardEntry]) -> Vec<ShardEntry> {
+        let mut ranked = shards.to_vec();
+        match self {
+            Placement::Spread => ranked.sort_by(|a, b| {
+                a.effective_sessions()
+                    .cmp(&b.effective_sessions())
+                    .then(b.load.free_mem.cmp(&a.load.free_mem))
+                    .then(a.load.served_ns.cmp(&b.load.served_ns))
+                    .then(a.port.cmp(&b.port))
+            }),
+            Placement::Pack => ranked.sort_by(|a, b| {
+                a.load
+                    .free_mem
+                    .cmp(&b.load.free_mem)
+                    .then(a.load.served_ns.cmp(&b.load.served_ns))
+                    .then(a.port.cmp(&b.port))
+            }),
+        }
+        ranked
+    }
+
+    /// The single best shard, if any.
+    pub fn pick(self, shards: &[ShardEntry]) -> Option<ShardEntry> {
+        self.rank(shards).into_iter().next()
+    }
+}
+
+/// Client-side view of a shard directory: where it is and which program's
+/// shards to resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDirectory {
+    /// TCP address of the [`Portmap`] directory service.
+    pub addr: SocketAddr,
+    /// RPC program whose shards we resolve.
+    pub prog: u32,
+    /// RPC program version.
+    pub vers: u32,
+}
+
+impl ShardDirectory {
+    /// A directory view for the Cricket program.
+    pub fn cricket(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            prog: cricket_proto::CRICKET_CUDA,
+            vers: cricket_proto::CRICKET_V1,
+        }
+    }
+
+    fn client(&self) -> RpcResult<PortmapClient> {
+        let t = TcpTransport::connect(self.addr)?;
+        Ok(PortmapClient::new(Box::new(t)))
+    }
+
+    /// Dump the program's shards and rank them under `placement` (best
+    /// first). Empty if no shard is registered.
+    pub fn candidates(&self, placement: Placement) -> RpcResult<Vec<ShardEntry>> {
+        let mut client = self.client()?;
+        let shards = client.shard_dump(self.prog, self.vers)?;
+        Ok(placement.rank(&shards))
+    }
+
+    /// Record at the directory that a new session was just placed on
+    /// `port`, so concurrent connects spread out even before the shard's
+    /// next heartbeat. Returns false if the shard is no longer registered.
+    pub fn assign(&self, port: u32) -> RpcResult<bool> {
+        self.client()?.shard_assign(self.prog, self.vers, port)
+    }
+
+    /// The socket address of a shard entry: the directory's IP with the
+    /// shard's registered port (shards and directory share a host in this
+    /// simulated fleet, as unikernel shards share their host's NIC).
+    pub fn shard_addr(&self, entry: &ShardEntry) -> SocketAddr {
+        SocketAddr::new(self.addr.ip(), entry.port as u16)
+    }
+}
+
+/// Builder for a local fleet: one directory plus `shards` Cricket servers,
+/// each registered and heartbeating.
+pub struct FleetBuilder {
+    shards: usize,
+    config: ServerConfig,
+    mode: ServeMode,
+    policy: Option<SchedulerPolicy>,
+    heartbeat: Duration,
+}
+
+impl FleetBuilder {
+    /// A fleet of `shards` servers (each with its own vgpu device set,
+    /// scheduler, and clock), served pipelined, heartbeating every 250 ms.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            config: ServerConfig::default(),
+            mode: ServeMode::Pipelined,
+            policy: None,
+            heartbeat: Duration::from_millis(250),
+        }
+    }
+
+    /// Device configuration applied to every shard.
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Serve mode applied to every shard.
+    pub fn mode(mut self, mode: ServeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Scheduler policy applied to every shard.
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Heartbeat interval for shard load reports.
+    pub fn heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = interval;
+        self
+    }
+
+    /// Start the directory and all shards on loopback.
+    pub fn launch(self) -> RpcResult<Fleet> {
+        let portmap = Arc::new(Portmap::new());
+        let dir_handle = portmap.serve("127.0.0.1:0")?;
+        let dir_addr = dir_handle.addr();
+        let mut shards = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let mut b = ServerBuilder::new("127.0.0.1:0")
+                .config(self.config.clone())
+                .mode(self.mode)
+                .directory(
+                    dir_addr,
+                    cricket_proto::CRICKET_CUDA,
+                    cricket_proto::CRICKET_V1,
+                )
+                .heartbeat(self.heartbeat);
+            if let Some(policy) = self.policy {
+                b = b.scheduler(policy);
+            }
+            shards.push(Some(b.serve()?));
+        }
+        Ok(Fleet {
+            dir_handle,
+            portmap,
+            dir_addr,
+            shards,
+        })
+    }
+}
+
+/// A running fleet: the directory service plus its shard servers.
+pub struct Fleet {
+    dir_handle: oncrpc::ServerHandle,
+    portmap: Arc<Portmap>,
+    dir_addr: SocketAddr,
+    shards: Vec<Option<ServeHandle>>,
+}
+
+impl Fleet {
+    /// The directory service's TCP address.
+    pub fn dir_addr(&self) -> SocketAddr {
+        self.dir_addr
+    }
+
+    /// A client-side directory view for this fleet's Cricket shards.
+    pub fn directory(&self) -> ShardDirectory {
+        ShardDirectory::cricket(self.dir_addr)
+    }
+
+    /// The directory's in-process state (test hook: inspect registrations
+    /// without a TCP round trip).
+    pub fn portmap(&self) -> &Arc<Portmap> {
+        &self.portmap
+    }
+
+    /// Live shard handles (killed/stopped shards are absent).
+    pub fn shard(&self, i: usize) -> Option<&ServeHandle> {
+        self.shards.get(i).and_then(|s| s.as_ref())
+    }
+
+    /// Number of shard slots (live or not).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True if no shard slot exists.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Addresses of live shards, slot order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().flatten().map(|s| s.addr()).collect()
+    }
+
+    /// Gracefully stop shard `i`: deregisters from the directory first, so
+    /// new sessions immediately stop landing on it. Returns false if the
+    /// slot is already empty.
+    pub fn stop_shard(&mut self, i: usize) -> bool {
+        match self.shards.get_mut(i).and_then(|s| s.take()) {
+            Some(s) => {
+                s.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crash shard `i`: the listener dies but the directory keeps the stale
+    /// entry (no deregistration, no final heartbeat) — exactly what a
+    /// powered-off shard looks like. Clients must discover the corpse by
+    /// failing to connect and fall over to the next-ranked candidate.
+    pub fn kill_shard(&mut self, i: usize) -> bool {
+        match self.shards.get_mut(i).and_then(|s| s.take()) {
+            Some(s) => {
+                s.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stop every shard (gracefully) and the directory.
+    pub fn shutdown(mut self) {
+        for slot in self.shards.iter_mut() {
+            if let Some(s) = slot.take() {
+                s.shutdown();
+            }
+        }
+        self.dir_handle.shutdown();
+    }
+}
+
+/// One planned session migration: move `sessions` sessions from the shard
+/// registered on `from_port` to the one on `to_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// Source shard's registered port.
+    pub from_port: u32,
+    /// Destination shard's registered port.
+    pub to_port: u32,
+    /// How many sessions to move.
+    pub sessions: u32,
+}
+
+/// A rebalancing plan: the session moves that would bring every shard's
+/// session count within the tolerance band around the mean.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Moves in application order. Empty = already balanced.
+    pub moves: Vec<Move>,
+}
+
+impl RebalancePlan {
+    /// True if no move is needed.
+    pub fn is_balanced(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Compute the moves that even out `sessions` across shards, leaving every
+/// shard within `±tolerance` (fraction of the mean, e.g. `0.25`) of the
+/// mean session count.
+///
+/// This is the fleet's hook for the future live-migration item: the plan
+/// is pure and deterministic (greedy: repeatedly move one session from the
+/// most- to the least-loaded shard until both are inside the band), and a
+/// migration engine can execute its moves with streaming checkpoints.
+pub fn rebalance_plan(shards: &[ShardEntry], tolerance: f64) -> RebalancePlan {
+    let mut plan = RebalancePlan::default();
+    if shards.len() < 2 {
+        return plan;
+    }
+    let mut counts: Vec<(u32, i64)> = shards
+        .iter()
+        .map(|s| (s.port, i64::from(s.effective_sessions())))
+        .collect();
+    counts.sort_by_key(|&(port, _)| port);
+    let total: i64 = counts.iter().map(|&(_, n)| n).sum();
+    let mean = total as f64 / counts.len() as f64;
+    let slack = (mean * tolerance.max(0.0)).floor() as i64;
+    let (lo, hi) = (mean.floor() as i64 - slack, mean.ceil() as i64 + slack);
+    loop {
+        let (mut max_i, mut min_i) = (0, 0);
+        for (i, &(_, n)) in counts.iter().enumerate() {
+            if n > counts[max_i].1 {
+                max_i = i;
+            }
+            if n < counts[min_i].1 {
+                min_i = i;
+            }
+        }
+        if counts[max_i].1 <= hi || counts[min_i].1 >= lo || counts[max_i].1 - counts[min_i].1 <= 1
+        {
+            break;
+        }
+        counts[max_i].1 -= 1;
+        counts[min_i].1 += 1;
+        let (from_port, to_port) = (counts[max_i].0, counts[min_i].0);
+        match plan
+            .moves
+            .iter_mut()
+            .find(|m| m.from_port == from_port && m.to_port == to_port)
+        {
+            Some(m) => m.sessions += 1,
+            None => plan.moves.push(Move {
+                from_port,
+                to_port,
+                sessions: 1,
+            }),
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(port: u32, sessions: u32, free_mem: u64, served_ns: u64) -> ShardEntry {
+        ShardEntry {
+            port,
+            load: LoadReport {
+                free_mem,
+                total_mem: free_mem.max(1),
+                served_ns,
+                sessions,
+            },
+            assigned: 0,
+        }
+    }
+
+    #[test]
+    fn spread_ranks_by_sessions_then_memory_then_time() {
+        let shards = [
+            entry(5001, 3, 100, 10),
+            entry(5002, 1, 50, 10),
+            entry(5003, 1, 80, 10),
+            entry(5004, 1, 80, 5),
+        ];
+        let ranked = Placement::Spread.rank(&shards);
+        let ports: Vec<u32> = ranked.iter().map(|s| s.port).collect();
+        // Fewest sessions first; among the 1-session shards most free
+        // memory wins; among equal memory least served time wins.
+        assert_eq!(ports, vec![5004, 5003, 5002, 5001]);
+    }
+
+    #[test]
+    fn spread_counts_unheartbeaten_assignments() {
+        let mut a = entry(5001, 0, 100, 0);
+        a.assigned = 5;
+        let b = entry(5002, 3, 100, 0);
+        assert_eq!(Placement::Spread.pick(&[a, b]).unwrap().port, 5002);
+    }
+
+    #[test]
+    fn pack_fills_fullest_first() {
+        let shards = [
+            entry(5001, 0, 10, 99),
+            entry(5002, 0, 500, 0),
+            entry(5003, 0, 10, 1),
+        ];
+        let ranked = Placement::Pack.rank(&shards);
+        let ports: Vec<u32> = ranked.iter().map(|s| s.port).collect();
+        assert_eq!(ports, vec![5003, 5001, 5002]);
+    }
+
+    #[test]
+    fn rebalance_evens_out_skew() {
+        let shards = [entry(1, 10, 0, 0), entry(2, 0, 0, 0), entry(3, 2, 0, 0)];
+        let plan = rebalance_plan(&shards, 0.0);
+        assert!(!plan.is_balanced());
+        // Apply the plan and verify every shard lands on the mean (4).
+        let mut counts = std::collections::HashMap::from([(1u32, 10i64), (2, 0), (3, 2)]);
+        for m in &plan.moves {
+            *counts.get_mut(&m.from_port).unwrap() -= i64::from(m.sessions);
+            *counts.get_mut(&m.to_port).unwrap() += i64::from(m.sessions);
+        }
+        assert_eq!(counts[&1], 4);
+        assert_eq!(counts[&2], 4);
+        assert_eq!(counts[&3], 4);
+    }
+
+    #[test]
+    fn rebalance_tolerates_band() {
+        // Mean 4, tolerance 25% → slack 1 → band [3, 6]: already balanced.
+        let shards = [entry(1, 5, 0, 0), entry(2, 3, 0, 0)];
+        assert!(rebalance_plan(&shards, 0.25).is_balanced());
+        // Zero tolerance wants them within 1 of each other — 5 vs 3 moves.
+        assert!(!rebalance_plan(&shards, 0.0).is_balanced());
+    }
+
+    #[test]
+    fn rebalance_trivial_inputs() {
+        assert!(rebalance_plan(&[], 0.25).is_balanced());
+        assert!(rebalance_plan(&[entry(1, 9, 0, 0)], 0.25).is_balanced());
+    }
+
+    #[test]
+    fn fleet_launch_register_stop_kill() {
+        let mut fleet = FleetBuilder::new(3)
+            .heartbeat(Duration::from_secs(3600))
+            .launch()
+            .unwrap();
+        let dir = fleet.directory();
+        let cands = dir.candidates(Placement::Spread).unwrap();
+        assert_eq!(cands.len(), 3, "all shards registered on launch");
+        let ports: Vec<u16> = fleet.shard_addrs().iter().map(|a| a.port()).collect();
+        assert!(cands.iter().all(|c| ports.contains(&(c.port as u16))));
+
+        // Graceful stop deregisters.
+        let stopped_port = fleet.shard(0).unwrap().addr().port();
+        assert!(fleet.stop_shard(0));
+        assert!(!fleet.stop_shard(0), "double stop is a no-op");
+        let cands = dir.candidates(Placement::Spread).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.port != u32::from(stopped_port)));
+
+        // Crash-kill leaves the stale entry for clients to fail over past.
+        let killed_port = fleet.shard(1).unwrap().addr().port();
+        assert!(fleet.kill_shard(1));
+        let cands = dir.candidates(Placement::Spread).unwrap();
+        assert_eq!(cands.len(), 2, "stale entry survives a crash");
+        assert!(cands.iter().any(|c| c.port == u32::from(killed_port)));
+        assert!(TcpTransport::connect(
+            dir.shard_addr(
+                cands
+                    .iter()
+                    .find(|c| c.port == u32::from(killed_port))
+                    .unwrap()
+            )
+        )
+        .is_err());
+
+        // Assignment bumps show up in the next dump.
+        let live = cands
+            .iter()
+            .find(|c| c.port != u32::from(killed_port))
+            .unwrap();
+        assert!(dir.assign(live.port).unwrap());
+        let cands = dir.candidates(Placement::Spread).unwrap();
+        let seen = cands.iter().find(|c| c.port == live.port).unwrap();
+        assert_eq!(seen.assigned, 1);
+
+        fleet.shutdown();
+    }
+}

@@ -52,6 +52,7 @@ pub use chaos::{
 pub use client::{Reply, RetryPolicy, RpcClient};
 pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
+pub use portmap::{client::PortmapClient, LoadReport, Mapping, Portmap, ShardEntry};
 pub use reactor::{serve_tcp_reactor, Classifier, ConnHandler, ProcClass, ReactorConfig};
 pub use record::{RecordAssembler, RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
 pub use replay::{ReplayCache, ReplayStats};

@@ -1,15 +1,26 @@
-//! Minimal portmapper / rpcbind (program 100000, version 2, RFC 1833).
+//! Minimal portmapper / rpcbind (program 100000, version 2, RFC 1833),
+//! extended into a GPU-fleet shard directory.
 //!
 //! Real ONC RPC deployments locate services by asking the portmapper which
 //! TCP port a (program, version) pair listens on. Cricket points clients at
 //! the server directly, but we implement the portmapper both for protocol
 //! completeness and because tests use it to exercise a second, independently
 //! specified RPC program through the same stack.
+//!
+//! Beyond RFC 1833, procedures 5–8 turn the portmapper into a **shard
+//! directory**: many servers ("shards") of the *same* (program, version)
+//! register simultaneously, each with a [`LoadReport`] snapshot (free device
+//! memory, served device-time, live sessions) refreshed by periodic
+//! heartbeats. Clients fetch the shard table once at connect time, run a
+//! placement policy over it, and then talk to their chosen shard directly —
+//! the directory is never on the per-call path. [`procs::SHARD_ASSIGN`]
+//! lets a connecting client bump its chosen shard's `assigned` counter so
+//! a burst of concurrent connects spreads even between heartbeats.
 
 use crate::msg::AcceptStat;
 use crate::server::{Dispatch, DispatchResult};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use xdr::{XdrDecoder, XdrEncoder};
 
@@ -18,7 +29,7 @@ pub const PMAP_PROG: u32 = 100_000;
 /// The portmapper protocol version implemented here.
 pub const PMAP_VERS: u32 = 2;
 
-/// Procedure numbers (RFC 1833 §3).
+/// Procedure numbers (RFC 1833 §3, plus the shard-directory extension).
 pub mod procs {
     /// Do nothing (ping).
     pub const NULL: u32 = 0;
@@ -30,6 +41,16 @@ pub mod procs {
     pub const GETPORT: u32 = 3;
     /// Enumerate all mappings.
     pub const DUMP: u32 = 4;
+    /// Register a fleet shard, or refresh its load report (heartbeat).
+    /// Unlike [`SET`], many shards of one (prog, vers) may coexist.
+    pub const SHARD_SET: u32 = 5;
+    /// Deregister one shard of (prog, vers) by port.
+    pub const SHARD_UNSET: u32 = 6;
+    /// Enumerate the shards of (prog, vers) with their load reports.
+    pub const SHARD_DUMP: u32 = 7;
+    /// Record that a client placed a new session on a shard (bumps the
+    /// shard's `assigned` counter until its next heartbeat).
+    pub const SHARD_ASSIGN: u32 = 8;
 }
 
 /// Transport protocol numbers used in mappings.
@@ -50,10 +71,57 @@ pub struct Mapping {
     pub port: u32,
 }
 
+/// One shard's load snapshot, as carried by `SHARD_SET` heartbeats.
+///
+/// All fields are cumulative or instantaneous server-side facts; the
+/// directory stores them verbatim and placement policies interpret them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Free device memory across the shard's whole device set, bytes.
+    pub free_mem: u64,
+    /// Total device memory across the shard's device set, bytes.
+    pub total_mem: u64,
+    /// Cumulative device-time nanoseconds the shard has served.
+    pub served_ns: u64,
+    /// Live client sessions on the shard.
+    pub sessions: u32,
+}
+
+/// One registered shard of a (prog, vers) fleet, as returned by
+/// `SHARD_DUMP`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's listening TCP port (on the directory's host).
+    pub port: u32,
+    /// Its latest heartbeat load report.
+    pub load: LoadReport,
+    /// Sessions placed on this shard (via `SHARD_ASSIGN`) since its last
+    /// heartbeat — the directory's freshest load signal during a connect
+    /// burst, reset to zero whenever the shard reports in.
+    pub assigned: u32,
+}
+
+impl ShardEntry {
+    /// Sessions the directory believes the shard is carrying right now:
+    /// what the shard last reported plus placements since that heartbeat.
+    pub fn effective_sessions(&self) -> u32 {
+        self.load.sessions.saturating_add(self.assigned)
+    }
+}
+
 /// In-memory portmapper service.
 #[derive(Default)]
 pub struct Portmap {
     table: RwLock<HashMap<(u32, u32, u32), u32>>,
+    /// Fleet extension: (prog, vers) → port → shard state. A `BTreeMap`
+    /// keyed by port keeps dumps deterministic.
+    shards: RwLock<HashMap<(u32, u32), BTreeMap<u32, ShardState>>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardState {
+    load: LoadReport,
+    assigned: u32,
 }
 
 impl Portmap {
@@ -106,9 +174,84 @@ impl Portmap {
             .collect()
     }
 
+    /// Register a shard of (prog, vers) at `port`, or — if it is already
+    /// registered — refresh its load report (heartbeat). Refreshing resets
+    /// the `assigned` counter: the report's `sessions` now accounts for
+    /// every placement the counter was covering.
+    pub fn shard_set(&self, prog: u32, vers: u32, port: u32, load: LoadReport) {
+        self.shards
+            .write()
+            .entry((prog, vers))
+            .or_default()
+            .insert(port, ShardState { load, assigned: 0 });
+    }
+
+    /// Deregister the shard of (prog, vers) at `port`; returns whether it
+    /// was registered.
+    pub fn shard_unset(&self, prog: u32, vers: u32, port: u32) -> bool {
+        let mut t = self.shards.write();
+        match t.get_mut(&(prog, vers)) {
+            Some(m) => {
+                let existed = m.remove(&port).is_some();
+                if m.is_empty() {
+                    t.remove(&(prog, vers));
+                }
+                existed
+            }
+            None => false,
+        }
+    }
+
+    /// All shards of (prog, vers), ordered by port.
+    pub fn shard_dump(&self, prog: u32, vers: u32) -> Vec<ShardEntry> {
+        self.shards
+            .read()
+            .get(&(prog, vers))
+            .map(|m| {
+                m.iter()
+                    .map(|(&port, st)| ShardEntry {
+                        port,
+                        load: st.load,
+                        assigned: st.assigned,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Record one placement on the shard of (prog, vers) at `port`;
+    /// returns false if no such shard is registered.
+    pub fn shard_assign(&self, prog: u32, vers: u32, port: u32) -> bool {
+        match self
+            .shards
+            .write()
+            .get_mut(&(prog, vers))
+            .and_then(|m| m.get_mut(&port))
+        {
+            Some(st) => {
+                st.assigned = st.assigned.saturating_add(1);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Wrap in the RPC [`Dispatch`] adapter.
     pub fn into_dispatch(self: Arc<Self>) -> Arc<dyn Dispatch> {
         Arc::new(PortmapDispatch(self))
+    }
+
+    /// Serve this portmapper over real TCP as [`PMAP_PROG`]/[`PMAP_VERS`]
+    /// — the standalone directory process of a GPU fleet. Returns the
+    /// serving handle; `handle.addr()` is the directory address shards
+    /// register with and clients resolve through.
+    pub fn serve<A: std::net::ToSocketAddrs>(
+        self: &Arc<Self>,
+        addr: A,
+    ) -> crate::error::RpcResult<crate::server::ServerHandle> {
+        let rpc = Arc::new(crate::server::RpcServer::new());
+        rpc.register(PMAP_PROG, PMAP_VERS, Arc::clone(self).into_dispatch());
+        crate::server::serve_tcp(rpc, addr)
     }
 }
 
@@ -121,6 +264,33 @@ fn decode_mapping(args: &mut XdrDecoder<'_>) -> Result<Mapping, AcceptStat> {
         prot: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
         port: args.get_u32().map_err(|_| AcceptStat::GarbageArgs)?,
     })
+}
+
+/// Wire layout of the shard procedures' common prefix: prog, vers, port.
+fn decode_shard_key(args: &mut XdrDecoder<'_>) -> Result<(u32, u32, u32), AcceptStat> {
+    let garbage = |_| AcceptStat::GarbageArgs;
+    Ok((
+        args.get_u32().map_err(garbage)?,
+        args.get_u32().map_err(garbage)?,
+        args.get_u32().map_err(garbage)?,
+    ))
+}
+
+fn decode_load(args: &mut XdrDecoder<'_>) -> Result<LoadReport, AcceptStat> {
+    let garbage = |_| AcceptStat::GarbageArgs;
+    Ok(LoadReport {
+        free_mem: args.get_u64().map_err(garbage)?,
+        total_mem: args.get_u64().map_err(garbage)?,
+        served_ns: args.get_u64().map_err(garbage)?,
+        sessions: args.get_u32().map_err(garbage)?,
+    })
+}
+
+fn encode_load(reply: &mut XdrEncoder, load: &LoadReport) {
+    reply.put_u64(load.free_mem);
+    reply.put_u64(load.total_mem);
+    reply.put_u64(load.served_ns);
+    reply.put_u32(load.sessions);
 }
 
 impl Dispatch for PortmapDispatch {
@@ -157,6 +327,37 @@ impl Dispatch for PortmapDispatch {
                     reply.put_u32(m.port);
                 }
                 reply.put_bool(false);
+                Ok(())
+            }
+            procs::SHARD_SET => {
+                let (prog, vers, port) = decode_shard_key(args)?;
+                let load = decode_load(args)?;
+                self.0.shard_set(prog, vers, port, load);
+                reply.put_bool(true);
+                Ok(())
+            }
+            procs::SHARD_UNSET => {
+                let (prog, vers, port) = decode_shard_key(args)?;
+                reply.put_bool(self.0.shard_unset(prog, vers, port));
+                Ok(())
+            }
+            procs::SHARD_DUMP => {
+                let garbage = |_| AcceptStat::GarbageArgs;
+                let prog = args.get_u32().map_err(garbage)?;
+                let vers = args.get_u32().map_err(garbage)?;
+                // XDR linked list, like DUMP: (bool more, entry)* false.
+                for e in self.0.shard_dump(prog, vers) {
+                    reply.put_bool(true);
+                    reply.put_u32(e.port);
+                    encode_load(reply, &e.load);
+                    reply.put_u32(e.assigned);
+                }
+                reply.put_bool(false);
+                Ok(())
+            }
+            procs::SHARD_ASSIGN => {
+                let (prog, vers, port) = decode_shard_key(args)?;
+                reply.put_bool(self.0.shard_assign(prog, vers, port));
                 Ok(())
             }
             _ => Err(AcceptStat::ProcUnavail),
@@ -220,6 +421,81 @@ pub mod client {
             dec.finish()?;
             Ok(out)
         }
+
+        /// Register a shard of (prog, vers) at `port`, or refresh its load
+        /// report (heartbeat).
+        pub fn shard_set(
+            &mut self,
+            prog: u32,
+            vers: u32,
+            port: u32,
+            load: LoadReport,
+        ) -> RpcResult<bool> {
+            let raw = self.rpc.call_raw(procs::SHARD_SET, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+                enc.put_u32(port);
+                enc.put_u64(load.free_mem);
+                enc.put_u64(load.total_mem);
+                enc.put_u64(load.served_ns);
+                enc.put_u32(load.sessions);
+            })?;
+            Self::one_bool(&raw)
+        }
+
+        /// Deregister the shard of (prog, vers) at `port`.
+        pub fn shard_unset(&mut self, prog: u32, vers: u32, port: u32) -> RpcResult<bool> {
+            let raw = self.rpc.call_raw(procs::SHARD_UNSET, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+                enc.put_u32(port);
+            })?;
+            Self::one_bool(&raw)
+        }
+
+        /// Enumerate the shards of (prog, vers) with their load reports,
+        /// ordered by port.
+        pub fn shard_dump(&mut self, prog: u32, vers: u32) -> RpcResult<Vec<ShardEntry>> {
+            let raw = self.rpc.call_raw(procs::SHARD_DUMP, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+            })?;
+            let mut dec = XdrDecoder::new(&raw);
+            let mut out = Vec::new();
+            while dec.get_bool()? {
+                out.push(ShardEntry {
+                    port: dec.get_u32()?,
+                    load: LoadReport {
+                        free_mem: dec.get_u64()?,
+                        total_mem: dec.get_u64()?,
+                        served_ns: dec.get_u64()?,
+                        sessions: dec.get_u32()?,
+                    },
+                    assigned: dec.get_u32()?,
+                });
+            }
+            dec.finish()?;
+            Ok(out)
+        }
+
+        /// Tell the directory a new session was placed on the shard at
+        /// `port` (so concurrent connectors see the load before the
+        /// shard's next heartbeat).
+        pub fn shard_assign(&mut self, prog: u32, vers: u32, port: u32) -> RpcResult<bool> {
+            let raw = self.rpc.call_raw(procs::SHARD_ASSIGN, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+                enc.put_u32(port);
+            })?;
+            Self::one_bool(&raw)
+        }
+
+        fn one_bool(raw: &[u8]) -> RpcResult<bool> {
+            let mut dec = XdrDecoder::new(raw);
+            let b = dec.get_bool()?;
+            dec.finish()?;
+            Ok(b)
+        }
     }
 }
 
@@ -271,6 +547,75 @@ mod tests {
         assert_eq!(dumped[0].port, 4242);
         assert!(client.unset(99, 1).unwrap());
         assert_eq!(client.getport(99, 1, IPPROTO_TCP).unwrap(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shard_table_semantics() {
+        let pm = Portmap::new();
+        let load = LoadReport {
+            free_mem: 100,
+            total_mem: 200,
+            served_ns: 5,
+            sessions: 1,
+        };
+        // Many shards of one (prog, vers) may coexist — unlike SET.
+        pm.shard_set(7, 1, 5001, load);
+        pm.shard_set(7, 1, 5002, LoadReport::default());
+        assert_eq!(pm.shard_dump(7, 1).len(), 2);
+        assert_eq!(pm.shard_dump(7, 2).len(), 0);
+
+        // Assign bumps the freshness counter; a heartbeat resets it.
+        assert!(pm.shard_assign(7, 1, 5001));
+        assert!(pm.shard_assign(7, 1, 5001));
+        assert!(!pm.shard_assign(7, 1, 9999), "unknown port");
+        let dump = pm.shard_dump(7, 1);
+        assert_eq!(dump[0].assigned, 2);
+        assert_eq!(dump[0].effective_sessions(), 3);
+        pm.shard_set(
+            7,
+            1,
+            5001,
+            LoadReport {
+                sessions: 3,
+                ..load
+            },
+        );
+        assert_eq!(pm.shard_dump(7, 1)[0].assigned, 0);
+
+        // Deregistration removes exactly one shard.
+        assert!(pm.shard_unset(7, 1, 5001));
+        assert!(!pm.shard_unset(7, 1, 5001));
+        let rest = pm.shard_dump(7, 1);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].port, 5002);
+    }
+
+    #[test]
+    fn shard_directory_over_tcp() {
+        let pm = Arc::new(Portmap::new());
+        let handle = pm.serve("127.0.0.1:0").unwrap();
+
+        let t = TcpTransport::connect(handle.addr()).unwrap();
+        let mut client = client::PortmapClient::new(Box::new(t));
+        let load = LoadReport {
+            free_mem: 1 << 30,
+            total_mem: 2 << 30,
+            served_ns: 123,
+            sessions: 4,
+        };
+        assert!(client.shard_set(77, 1, 6001, load).unwrap());
+        assert!(client
+            .shard_set(77, 1, 6002, LoadReport::default())
+            .unwrap());
+        assert!(client.shard_assign(77, 1, 6002).unwrap());
+        let shards = client.shard_dump(77, 1).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].port, 6001);
+        assert_eq!(shards[0].load, load);
+        assert_eq!(shards[1].assigned, 1);
+        assert!(client.shard_unset(77, 1, 6001).unwrap());
+        assert_eq!(client.shard_dump(77, 1).unwrap().len(), 1);
         handle.shutdown();
     }
 }

@@ -118,6 +118,39 @@ impl Default for ReactorConfig {
     }
 }
 
+impl ReactorConfig {
+    /// Chainable: worker shards executing `Parked` calls.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Chainable: bounded per-connection in-flight budget.
+    pub fn max_session_queue(mut self, depth: usize) -> Self {
+        self.max_session_queue = depth;
+        self
+    }
+
+    /// Chainable: procedure classifier splitting `Done` from `Parked`.
+    pub fn classify(mut self, classifier: Classifier) -> Self {
+        self.classify = Some(classifier);
+        self
+    }
+
+    /// Chainable: completion-writer stall deadline before a non-reading
+    /// peer is shut down.
+    pub fn write_stall_deadline(mut self, deadline: Duration) -> Self {
+        self.write_stall_deadline = deadline;
+        self
+    }
+
+    /// Chainable: completion-writer backlog byte bound per connection.
+    pub fn max_write_backlog(mut self, bytes: usize) -> Self {
+        self.max_write_backlog = bytes;
+        self
+    }
+}
+
 /// Per-connection service state handed back by the connection factory.
 pub struct ConnHandler {
     /// The dispatch registry (usually one `RpcServer` per connection

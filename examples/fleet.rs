@@ -1,0 +1,75 @@
+//! A GPU fleet: N Cricket servers sharded behind a portmap directory.
+//!
+//! Each shard owns its own vgpu device set, scheduler, and clock, and
+//! registers with the directory with live load reports. Tenants resolve
+//! their shard exactly once, at connect time (`Endpoint::directory`),
+//! then talk to it directly — placement never touches the per-call path.
+//! Killing a shard leaves a stale directory entry; the next tenant's
+//! connect discovers the dead listener and fails over to the next-ranked
+//! candidate.
+//!
+//! ```text
+//! cargo run --release --example fleet
+//! ```
+
+use cricket_repro::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn spread(dir: &ShardDirectory) -> BTreeMap<u32, u32> {
+    dir.candidates(Placement::Spread)
+        .expect("directory dump")
+        .into_iter()
+        .map(|s| (s.port, s.effective_sessions()))
+        .collect()
+}
+
+fn main() -> ClientResult<()> {
+    let mut fleet = FleetBuilder::new(3)
+        .heartbeat(Duration::from_millis(50))
+        .launch()
+        .expect("launch fleet");
+    let dir = fleet.directory();
+    println!(
+        "fleet up: directory {} + {} shards {:?}",
+        fleet.dir_addr(),
+        fleet.len(),
+        fleet.shard_addrs()
+    );
+
+    // Twelve tenants connect through the directory; Spread placement plus
+    // connect-time assignment bumps land them 4-4-4 across the shards.
+    let endpoint = Endpoint::directory(fleet.dir_addr())?;
+    let mut tenants = Vec::new();
+    for i in 0..12u32 {
+        let ctx = Context::connect(&endpoint)?;
+        {
+            let buf = ctx.upload(&vec![i as f32; 4096])?;
+            assert_eq!(buf.copy_to_vec()?[0], i as f32);
+        }
+        tenants.push(ctx); // keep the session open to hold shard load
+    }
+    println!("placed 12 tenants; sessions per shard: {:?}", spread(&dir));
+
+    // Crash a shard: its directory entry goes stale, its listener dies.
+    let dead = fleet.shard_addrs()[0];
+    assert!(fleet.kill_shard(0));
+    println!("killed shard {dead} (no deregistration — stale entry remains)");
+
+    // New tenants keep arriving: connects that rank the corpse first fail
+    // over to the survivors without the application noticing.
+    for i in 0..4u32 {
+        let ctx = Context::connect(&endpoint)?;
+        let buf = ctx.upload(&vec![-(i as f32); 1024])?;
+        assert_eq!(buf.copy_to_vec()?[0], -(i as f32));
+    }
+    println!(
+        "4 post-crash tenants placed on survivors; sessions per shard: {:?}",
+        spread(&dir)
+    );
+
+    drop(tenants);
+    fleet.shutdown();
+    println!("fleet example ✓");
+    Ok(())
+}

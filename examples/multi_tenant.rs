@@ -19,7 +19,7 @@
 //! ```
 
 use cricket_repro::prelude::*;
-use cricket_server::{make_rpc_server, CricketServer, SchedulerPolicy, ServerConfig, SimTransport};
+use cricket_server::{CricketServer, SchedulerPolicy, ServerConfig, SimTransport};
 use simnet::SimClock;
 use std::sync::Arc;
 use unikernel::{Guest, GuestKind};
@@ -180,9 +180,6 @@ fn run_policy(policy: SchedulerPolicy) {
             server.scheduler.set_priority(s, 100);
         }
     }
-    let rpc = make_rpc_server(Arc::clone(&server));
-
-    drop(rpc); // each tenant registers its own sessioned dispatcher below
     let mut handles = Vec::new();
     for session in 0..4u32 {
         let clock = Arc::clone(&clock);
@@ -198,8 +195,8 @@ fn run_policy(policy: SchedulerPolicy) {
                 )),
             );
             let t = SimTransport::new(inner, Guest::new(GuestKind::RustyHermit), clock);
-            let ctx = Context::from_client(CricketClient::new(
-                Box::new(t),
+            let ctx = Context::from_client(CricketClient::over(
+                t,
                 cricket_client::env::ClientFlavor::RustRpcLib,
                 None,
             ));

@@ -3,28 +3,29 @@
 //! `cricket-server` process — the paper's §3.5 point that RPC-Lib only
 //! needs `std` networking, so the identical binary logic works on Linux.
 //!
-//! This example starts the server in-process on a loopback listener and
-//! connects to it exactly like an external client would
-//! (`cricket-server --listen 127.0.0.1:20495` + `Context::connect_tcp`).
+//! This example starts the server in-process on a loopback listener via
+//! `ServerBuilder` and connects to it exactly like an external client
+//! would (`cricket-server --listen 127.0.0.1:20495` +
+//! `Context::connect(&Endpoint::addr(...))`).
 //!
 //! ```text
 //! cargo run --release --example remote_tcp
 //! ```
 
 use cricket_repro::prelude::*;
-use cricket_server::{make_rpc_server, CricketServer, ServerConfig};
-use simnet::SimClock;
+use cricket_server::ServerConfig;
 
 fn main() -> ClientResult<()> {
     // GPU node: real TCP listener on an ephemeral port.
-    let server = CricketServer::new(ServerConfig::default(), SimClock::new());
-    let rpc = make_rpc_server(server);
-    let handle = oncrpc::server::serve_tcp(rpc, "127.0.0.1:0").expect("bind");
+    let handle = ServerBuilder::new("127.0.0.1:0")
+        .config(ServerConfig::default())
+        .serve()
+        .expect("bind");
     let addr = handle.addr();
     println!("cricket-server listening on {addr}");
 
     // Application node: plain TCP client.
-    let ctx = Context::connect_tcp(&addr.to_string())?;
+    let ctx = Context::connect(&Endpoint::Addr(addr))?;
     println!("connected; devices = {}", ctx.device_count()?);
 
     let image = CubinBuilder::new()

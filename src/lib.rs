@@ -14,6 +14,7 @@
 //! ```
 
 pub use cricket_client as client;
+pub use cricket_fleet as fleet;
 pub use cricket_proto as proto;
 pub use cricket_server as server;
 pub use oncrpc;
@@ -29,7 +30,9 @@ pub mod prelude {
     pub use cricket_client::sim::{simulated, SimSetup};
     pub use cricket_client::{
         ApiStats, ClientError, ClientResult, Context, CricketClient, CubinBuilder, DeviceBuffer,
-        Dim3, EnvConfig, Event, Function, Module, ParamBuilder, Stream,
+        Dim3, Endpoint, EnvConfig, Event, Function, Module, ParamBuilder, Placement, Stream,
     };
+    pub use cricket_fleet::{Fleet, FleetBuilder, ShardDirectory};
+    pub use cricket_server::{ReactorConfig, ServeMode, ServerBuilder};
     pub use proxy_apps::{bandwidth, histogram, linear_solver, matrix_mul};
 }

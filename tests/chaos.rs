@@ -5,6 +5,11 @@
 //! a failure always names the seed so the schedule can be replayed with
 //! `FaultPlan::from_seed(<seed>)`.
 
+// These tests deliberately exercise the deprecated pre-builder entry
+// points: they are contractually one-line shims over `ServerBuilder`
+// and must keep working byte-identically.
+#![allow(deprecated)]
+
 use cricket_repro::oncrpc::{
     Fault, FaultConfig, FaultPlan, FaultyTransport, OpaqueAuth, ReplayCache, RetryPolicy,
     RpcClient, RpcError, SharedFaultPlan, TcpTransport,

@@ -4,6 +4,11 @@
 //! mid-batch reset replay — and must survive heavy connection churn without
 //! leaking scheduler sessions, replay-cache entries, or reply buffers.
 
+// These tests deliberately exercise the deprecated pre-builder entry
+// points: they are contractually one-line shims over `ServerBuilder`
+// and must keep working byte-identically.
+#![allow(deprecated)]
+
 use cricket_repro::oncrpc::server::ServerHandle;
 use cricket_repro::oncrpc::{
     serve_tcp_reactor, telemetry, transport::Transport, ConnHandler, ReactorConfig, RpcResult,

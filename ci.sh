@@ -42,6 +42,13 @@ cargo test --test fleet -q
 echo "==> bench smoke: fleet (sharded aggregate throughput scaling, reduced size)"
 cargo run --release -p cricket-bench --bin fleet -- --smoke
 
+echo "==> migration: chaos matrix (byte-identical traces), crash-abort, 100-hop soak, concurrent load"
+cargo test --test migration -q
+cargo test --test proptest_stack -q streaming_deltas
+
+echo "==> bench smoke: migrate (streamed resync <50% of naive bytes at <=25% dirty)"
+cargo run --release -p cricket-bench --bin migrate -- --smoke
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

@@ -73,6 +73,20 @@ impl Endpoint {
     /// dump → rank → connect → assign sequence, failing over down the
     /// candidate list; placement never recurs on the per-call path.
     pub fn connect_transport(&self) -> ClientResult<(oncrpc::TcpTransport, SocketAddr)> {
+        self.connect_transport_for(None)
+    }
+
+    /// [`connect_transport`](Self::connect_transport), but session-home
+    /// aware: when `token` identifies a client whose session was pinned to
+    /// a shard by live migration, the directory's home entry is tried
+    /// before placement ranking. A dead or unset home falls back to the
+    /// normal candidate walk, so a crashed destination never strands the
+    /// client. Hardened clients pass their replay token here from the
+    /// reconnect hook; plain connects pass `None`.
+    pub fn connect_transport_for(
+        &self,
+        token: Option<u64>,
+    ) -> ClientResult<(oncrpc::TcpTransport, SocketAddr)> {
         match *self {
             Endpoint::Addr(addr) => {
                 let t = oncrpc::TcpTransport::connect(addr).map_err(ClientError::Rpc)?;
@@ -89,6 +103,21 @@ impl Endpoint {
                     prog,
                     vers,
                 };
+                if let Some(token) = token {
+                    // The directory already returns 0 when the pinned
+                    // shard has deregistered, so only a crashed-but-stale
+                    // home reaches the connect failure path here.
+                    if let Ok(port) = dir.home(token) {
+                        if port != 0 {
+                            let home_addr = SocketAddr::new(dir_addr.ip(), port as u16);
+                            if let Ok(t) = oncrpc::TcpTransport::connect(home_addr) {
+                                // No assign(): the session already lives
+                                // there, this is not new load.
+                                return Ok((t, home_addr));
+                            }
+                        }
+                    }
+                }
                 let candidates = dir.candidates(placement).map_err(ClientError::Rpc)?;
                 if candidates.is_empty() {
                     return Err(ClientError::Directory(format!(

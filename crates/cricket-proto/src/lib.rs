@@ -482,6 +482,15 @@ mod tests {
             fn srv_set_scheduler(&self, arg0: i32) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(arg0)
             }
+            fn mig_apply_base(&self, arg0: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg0.len() as i32)
+            }
+            fn mig_apply_delta(&self, arg0: &[u8]) -> Result<IntResult, oncrpc::AcceptStat> {
+                Ok(IntResult::Data(arg0.len() as i32))
+            }
+            fn mig_abort(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg0 as i32)
+            }
         }
 
         let server = Arc::new(RpcServer::new());

@@ -335,6 +335,7 @@ pub(crate) fn serve_sessions<A: std::net::ToSocketAddrs>(
     reactor: Option<oncrpc::ReactorConfig>,
 ) -> RpcResult<(oncrpc::ServerHandle, Arc<ReplayCache>)> {
     let replay = Arc::new(ReplayCache::default());
+    server.attach_replay(&replay);
     let shared = Arc::clone(&replay);
     let handle = match mode {
         ServeMode::Reactor { workers } => {

@@ -20,17 +20,35 @@ const VERSION: u32 = 1;
 
 /// Serialize the device state (memory blocks, modules, functions, streams,
 /// events, handle counter) into an XDR blob.
-pub fn capture(device: &Device, module_images: &HashMap<u64, Vec<u8>>) -> Vec<u8> {
+///
+/// Fails with [`VgpuError::CheckpointRace`] (instead of panicking) if a
+/// block enumerated for capture is freed before its bytes are read.
+pub fn capture(device: &Device, module_images: &HashMap<u64, Vec<u8>>) -> VgpuResult<Vec<u8>> {
+    let blocks: Vec<(u64, u64)> = device.mem.live_allocations().collect();
+    capture_blocks(device, &blocks, module_images)
+}
+
+/// Capture against an explicit block list. Factored out of [`capture`] so
+/// the freed-during-snapshot race is testable: a block listed here that is
+/// no longer live yields a typed error, never a panic.
+fn capture_blocks(
+    device: &Device,
+    blocks: &[(u64, u64)],
+    module_images: &HashMap<u64, Vec<u8>>,
+) -> VgpuResult<Vec<u8>> {
     let mut enc = XdrEncoder::with_capacity(4096);
     enc.put_u32(MAGIC);
     enc.put_u32(VERSION);
     enc.put_u64(device.next_handle_value());
 
-    let blocks: Vec<(u64, u64)> = device.mem.live_allocations().collect();
     enc.put_u32(blocks.len() as u32);
-    for (base, _size) in &blocks {
+    for (base, _size) in blocks {
         enc.put_u64(*base);
-        enc.put_opaque(device.mem.block_bytes(*base).expect("live block"));
+        let bytes = device
+            .mem
+            .block_bytes(*base)
+            .map_err(|_| VgpuError::CheckpointRace { base: *base })?;
+        enc.put_opaque(bytes);
     }
 
     // Prefer the original images (exact client bytes); fall back to the
@@ -65,7 +83,7 @@ pub fn capture(device: &Device, module_images: &HashMap<u64, Vec<u8>>) -> Vec<u8
         enc.put_u64(*e);
     }
 
-    enc.into_inner()
+    Ok(enc.into_inner())
 }
 
 /// Rebuild `device` from a snapshot, returning the module-image table the
@@ -155,7 +173,7 @@ mod tests {
     #[test]
     fn capture_restore_roundtrip() {
         let (d, images, ptr, func, stream) = populated_device();
-        let blob = capture(&d, &images);
+        let blob = capture(&d, &images).unwrap();
 
         let clock = SimClock::new();
         let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
@@ -184,11 +202,25 @@ mod tests {
     }
 
     #[test]
+    fn capture_of_freed_block_is_typed_error_not_panic() {
+        // Simulate a free racing the snapshot: the block list was taken
+        // while `ptr` was live, but the block is gone by the time its bytes
+        // are read. capture() must surface CheckpointRace, not panic.
+        let (mut d, images, ptr, ..) = populated_device();
+        let stale: Vec<(u64, u64)> = d.mem.live_allocations().collect();
+        d.free(ptr).unwrap();
+        let err = capture_blocks(&d, &stale, &images).unwrap_err();
+        assert_eq!(err, VgpuError::CheckpointRace { base: ptr });
+        // The non-racy path still succeeds afterwards.
+        capture(&d, &images).unwrap();
+    }
+
+    #[test]
     fn restore_rejects_garbage() {
         let clock = SimClock::new();
         let mut d = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
         assert!(restore(&mut d, b"not a snapshot", &DeviceProperties::a100(), &clock).is_err());
-        let mut bad_magic = capture(&d, &HashMap::new());
+        let mut bad_magic = capture(&d, &HashMap::new()).unwrap();
         bad_magic[0] ^= 0xff;
         assert!(restore(&mut d, &bad_magic, &DeviceProperties::a100(), &clock).is_err());
     }
@@ -196,7 +228,7 @@ mod tests {
     #[test]
     fn restore_rejects_truncation() {
         let (d, images, ..) = populated_device();
-        let blob = capture(&d, &images);
+        let blob = capture(&d, &images).unwrap();
         let clock = SimClock::new();
         for cut in [4usize, 12, blob.len() / 2, blob.len() - 2] {
             let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
@@ -210,7 +242,7 @@ mod tests {
     #[test]
     fn empty_device_snapshot_roundtrips() {
         let d = Device::a100();
-        let blob = capture(&d, &HashMap::new());
+        let blob = capture(&d, &HashMap::new()).unwrap();
         let clock = SimClock::new();
         let mut fresh = Device::new(DeviceProperties::a100(), Arc::clone(&clock));
         let images = restore(&mut fresh, &blob, &DeviceProperties::a100(), &clock).unwrap();

@@ -21,11 +21,13 @@
 
 pub mod builder;
 pub mod checkpoint;
+pub mod migrate;
 pub mod scheduler;
 pub mod service;
 pub mod transport;
 
 pub use builder::{DirectoryRegistration, ServeHandle, ServerBuilder};
+pub use migrate::{MigBlob, MigKind, SessionMeta};
 pub use oncrpc::ReactorConfig;
 pub use scheduler::{SchedulerPolicy, SessionId};
 pub use service::{CricketServer, ServerConfig, SessionCleanup};
@@ -120,6 +122,26 @@ pub(crate) fn session_rpc(
 ) -> oncrpc::RpcServer {
     let rpc = oncrpc::RpcServer::new();
     rpc.set_replay_cache(Arc::clone(replay));
+    // Migration's eviction/adoption gate: calls carrying a client-token
+    // credential are admitted or refused per token before replay lookup,
+    // and their completion is reported so eviction can drain in-flight
+    // work before the final snapshot.
+    struct SessionGate {
+        server: Arc<CricketServer>,
+        session: SessionId,
+    }
+    impl oncrpc::server::TokenGate for SessionGate {
+        fn admit(&self, token: u64) -> bool {
+            self.server.observe_token(token, self.session)
+        }
+        fn complete(&self, token: u64) {
+            self.server.call_complete(token);
+        }
+    }
+    rpc.set_token_gate(Arc::new(SessionGate {
+        server: Arc::clone(server),
+        session,
+    }));
     rpc.register(
         cricket_proto::CRICKET_CUDA,
         cricket_proto::CRICKET_V1,

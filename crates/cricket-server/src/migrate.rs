@@ -1,0 +1,444 @@
+//! Live-migration wire format: the streaming-checkpoint blobs a source
+//! server's migration driver pushes to a destination server.
+//!
+//! A migration is a sequence of [`MigBlob`]s for one client token:
+//!
+//! 1. one [`MigKind::Base`] — the full session snapshot (every block the
+//!    session owns, its modules, streams, events, library handles);
+//! 2. any number of [`MigKind::Delta`]s — only what changed since the
+//!    previous blob (dirty spans, new/freed blocks), taken while the
+//!    source *keeps serving* the client;
+//! 3. one [`MigKind::Final`] — the post-barrier delta: the source fences
+//!    every stream (the CRAC-style snapshot barrier), evicts the client,
+//!    and ships the last dirty window plus the client's at-most-once
+//!    replay entries so in-flight xids complete exactly once at the new
+//!    home.
+//!
+//! Every blob carries the full session *metadata* ([`SessionMeta`]) —
+//! metadata is tiny next to memory contents, and re-sending it makes each
+//! apply idempotent against the previous one (the destination reconciles
+//! by diff). Memory rides as a [`MemDelta`] relative to what the previous
+//! blob shipped. Encoding is this repository's own XDR; decode errors are
+//! typed [`VgpuError`]s, never panics.
+
+use vgpu::memory::MemDelta;
+use vgpu::{VgpuError, VgpuResult};
+use xdr::{XdrDecoder, XdrEncoder};
+
+/// Migration blob magic ("MIG1").
+const MAGIC: u32 = 0x4d49_4731;
+/// Migration blob format version.
+const VERSION: u32 = 1;
+
+/// Which leg of the migration stream a blob is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigKind {
+    /// Full snapshot; opens the stream and replaces any prior attempt.
+    Base,
+    /// Incremental delta while the source still serves the client.
+    Delta,
+    /// Post-barrier delta: carries the replay entries and marks the
+    /// staged session ready for adoption.
+    Final,
+}
+
+impl MigKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            MigKind::Base => 0,
+            MigKind::Delta => 1,
+            MigKind::Final => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(MigKind::Base),
+            1 => Some(MigKind::Delta),
+            2 => Some(MigKind::Final),
+            _ => None,
+        }
+    }
+}
+
+/// Everything about the session that is not device-memory contents. All
+/// vectors are sorted by handle so identical states encode identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionMeta {
+    /// The migrating client's at-most-once token (`AUTH_SHORT` credential).
+    pub token: u64,
+    /// The session's current device ordinal (`cudaSetDevice`).
+    pub current_device: u32,
+    /// Source virtual clock at export. The destination advances its clock
+    /// here so post-cutover timing (event elapsed, batch receipts) is
+    /// byte-identical to an unmigrated run.
+    pub src_now_ns: u64,
+    /// Per-device handle counters `(device ordinal, next_handle)` — merged
+    /// with max() on the destination so restored and future handles never
+    /// collide.
+    pub next_handles: Vec<(u32, u64)>,
+    /// Library-handle counter (cuBLAS/cuSolver/cuFFT).
+    pub next_lib_handle: u64,
+    /// Loaded modules as `(handle, original cubin image)`.
+    pub modules: Vec<(u64, Vec<u8>)>,
+    /// Resolved functions as `(handle, module handle, kernel name)`.
+    pub functions: Vec<(u64, u64, String)>,
+    /// Streams as `(handle, completion frontier ns)`.
+    pub streams: Vec<(u64, u64)>,
+    /// Events as `(handle, recorded-at ns)`; `None` = never recorded.
+    pub events: Vec<(u64, Option<u64>)>,
+    /// The session's lazily created default streams as
+    /// `(device ordinal, stream handle)` — what the client's wire handle
+    /// `0` resolves to.
+    pub default_streams: Vec<(u32, u64)>,
+    /// cuBLAS handles.
+    pub blas: Vec<u64>,
+    /// cuSolverDn handles.
+    pub solvers: Vec<u64>,
+    /// cuFFT plans as `(handle, n, kind, batch)`.
+    pub ffts: Vec<(u64, i32, i32, i32)>,
+}
+
+/// One blob of the migration stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigBlob {
+    /// Which leg this is (defaults to a fresh [`MigKind::Base`]).
+    pub kind: Option<MigKind>,
+    /// Full session metadata (applied idempotently).
+    pub meta: SessionMeta,
+    /// Memory changes since the previous blob of this stream.
+    pub mem: MemDelta,
+    /// The client's replay-cache entries `(xid, cached reply)`; only
+    /// populated on [`MigKind::Final`].
+    pub replay: Vec<(u32, Vec<u8>)>,
+}
+
+impl MigBlob {
+    /// A blob of `kind` for `meta`.
+    pub fn new(kind: MigKind, meta: SessionMeta) -> Self {
+        Self {
+            kind: Some(kind),
+            meta,
+            mem: MemDelta::default(),
+            replay: Vec::new(),
+        }
+    }
+
+    /// The blob's kind (a default-constructed blob is a `Base`).
+    pub fn kind(&self) -> MigKind {
+        self.kind.unwrap_or(MigKind::Base)
+    }
+
+    /// Payload bytes this blob moves (memory contents + module images +
+    /// replay replies; framing is negligible next to these).
+    pub fn payload_bytes(&self) -> u64 {
+        let modules: u64 = self.meta.modules.iter().map(|(_, i)| i.len() as u64).sum();
+        let replay: u64 = self.replay.iter().map(|(_, r)| r.len() as u64).sum();
+        self.mem.payload_bytes() + modules + replay
+    }
+
+    /// Serialize to the wire form carried by `MIG_APPLY_BASE` /
+    /// `MIG_APPLY_DELTA`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = XdrEncoder::with_capacity(4096);
+        enc.put_u32(MAGIC);
+        enc.put_u32(VERSION);
+        enc.put_u32(self.kind().to_u32());
+
+        let m = &self.meta;
+        enc.put_u64(m.token);
+        enc.put_u32(m.current_device);
+        enc.put_u64(m.src_now_ns);
+        enc.put_u32(m.next_handles.len() as u32);
+        for &(dev, next) in &m.next_handles {
+            enc.put_u32(dev);
+            enc.put_u64(next);
+        }
+        enc.put_u64(m.next_lib_handle);
+        enc.put_u32(m.modules.len() as u32);
+        for (h, image) in &m.modules {
+            enc.put_u64(*h);
+            enc.put_opaque(image);
+        }
+        enc.put_u32(m.functions.len() as u32);
+        for (h, module, name) in &m.functions {
+            enc.put_u64(*h);
+            enc.put_u64(*module);
+            enc.put_string(name);
+        }
+        enc.put_u32(m.streams.len() as u32);
+        for &(h, frontier) in &m.streams {
+            enc.put_u64(h);
+            enc.put_u64(frontier);
+        }
+        enc.put_u32(m.events.len() as u32);
+        for &(h, recorded) in &m.events {
+            enc.put_u64(h);
+            match recorded {
+                Some(t) => {
+                    enc.put_u32(1);
+                    enc.put_u64(t);
+                }
+                None => enc.put_u32(0),
+            }
+        }
+        enc.put_u32(m.default_streams.len() as u32);
+        for &(dev, h) in &m.default_streams {
+            enc.put_u32(dev);
+            enc.put_u64(h);
+        }
+        enc.put_u32(m.blas.len() as u32);
+        for &h in &m.blas {
+            enc.put_u64(h);
+        }
+        enc.put_u32(m.solvers.len() as u32);
+        for &h in &m.solvers {
+            enc.put_u64(h);
+        }
+        enc.put_u32(m.ffts.len() as u32);
+        for &(h, n, kind, batch) in &m.ffts {
+            enc.put_u64(h);
+            enc.put_i32(n);
+            enc.put_i32(kind);
+            enc.put_i32(batch);
+        }
+
+        enc.put_u32(self.mem.freed.len() as u32);
+        for &base in &self.mem.freed {
+            enc.put_u64(base);
+        }
+        enc.put_u32(self.mem.new_blocks.len() as u32);
+        for (base, bytes) in &self.mem.new_blocks {
+            enc.put_u64(*base);
+            enc.put_opaque(bytes);
+        }
+        enc.put_u32(self.mem.dirty.len() as u32);
+        for (base, off, bytes) in &self.mem.dirty {
+            enc.put_u64(*base);
+            enc.put_u64(*off);
+            enc.put_opaque(bytes);
+        }
+
+        enc.put_u32(self.replay.len() as u32);
+        for (xid, reply) in &self.replay {
+            enc.put_u32(*xid);
+            enc.put_opaque(reply);
+        }
+        enc.into_inner()
+    }
+
+    /// Parse a wire blob. Garbage and truncation yield typed errors.
+    pub fn decode(blob: &[u8]) -> VgpuResult<Self> {
+        let bad = |m: &str| VgpuError::InvalidValue(format!("migration blob: {m}"));
+        let mut dec = XdrDecoder::new(blob);
+        macro_rules! get {
+            ($e:expr) => {
+                $e.map_err(|e| bad(&e.to_string()))?
+            };
+        }
+        if get!(dec.get_u32()) != MAGIC {
+            return Err(bad("wrong magic"));
+        }
+        let version = get!(dec.get_u32());
+        if version != VERSION {
+            return Err(bad(&format!("unsupported version {version}")));
+        }
+        let kind_raw = get!(dec.get_u32());
+        let kind = MigKind::from_u32(kind_raw).ok_or_else(|| bad(&format!("kind {kind_raw}")))?;
+
+        let mut meta = SessionMeta {
+            token: get!(dec.get_u64()),
+            current_device: get!(dec.get_u32()),
+            src_now_ns: get!(dec.get_u64()),
+            ..SessionMeta::default()
+        };
+        // Bound element counts by the remaining bytes so a corrupted count
+        // cannot drive a huge pre-allocation.
+        let cap = |n: u32| (n as usize).min(blob.len());
+        let n = get!(dec.get_u32());
+        meta.next_handles.reserve(cap(n));
+        for _ in 0..n {
+            meta.next_handles
+                .push((get!(dec.get_u32()), get!(dec.get_u64())));
+        }
+        meta.next_lib_handle = get!(dec.get_u64());
+        let n = get!(dec.get_u32());
+        meta.modules.reserve(cap(n));
+        for _ in 0..n {
+            meta.modules
+                .push((get!(dec.get_u64()), get!(dec.get_opaque()).to_vec()));
+        }
+        let n = get!(dec.get_u32());
+        meta.functions.reserve(cap(n));
+        for _ in 0..n {
+            meta.functions.push((
+                get!(dec.get_u64()),
+                get!(dec.get_u64()),
+                get!(dec.get_string()),
+            ));
+        }
+        let n = get!(dec.get_u32());
+        meta.streams.reserve(cap(n));
+        for _ in 0..n {
+            meta.streams
+                .push((get!(dec.get_u64()), get!(dec.get_u64())));
+        }
+        let n = get!(dec.get_u32());
+        meta.events.reserve(cap(n));
+        for _ in 0..n {
+            let h = get!(dec.get_u64());
+            let recorded = match get!(dec.get_u32()) {
+                0 => None,
+                1 => Some(get!(dec.get_u64())),
+                other => return Err(bad(&format!("event discriminant {other}"))),
+            };
+            meta.events.push((h, recorded));
+        }
+        let n = get!(dec.get_u32());
+        meta.default_streams.reserve(cap(n));
+        for _ in 0..n {
+            meta.default_streams
+                .push((get!(dec.get_u32()), get!(dec.get_u64())));
+        }
+        let n = get!(dec.get_u32());
+        meta.blas.reserve(cap(n));
+        for _ in 0..n {
+            meta.blas.push(get!(dec.get_u64()));
+        }
+        let n = get!(dec.get_u32());
+        meta.solvers.reserve(cap(n));
+        for _ in 0..n {
+            meta.solvers.push(get!(dec.get_u64()));
+        }
+        let n = get!(dec.get_u32());
+        meta.ffts.reserve(cap(n));
+        for _ in 0..n {
+            meta.ffts.push((
+                get!(dec.get_u64()),
+                get!(dec.get_i32()),
+                get!(dec.get_i32()),
+                get!(dec.get_i32()),
+            ));
+        }
+
+        let mut mem = MemDelta::default();
+        let n = get!(dec.get_u32());
+        mem.freed.reserve(cap(n));
+        for _ in 0..n {
+            mem.freed.push(get!(dec.get_u64()));
+        }
+        let n = get!(dec.get_u32());
+        mem.new_blocks.reserve(cap(n));
+        for _ in 0..n {
+            mem.new_blocks
+                .push((get!(dec.get_u64()), get!(dec.get_opaque()).to_vec()));
+        }
+        let n = get!(dec.get_u32());
+        mem.dirty.reserve(cap(n));
+        for _ in 0..n {
+            mem.dirty.push((
+                get!(dec.get_u64()),
+                get!(dec.get_u64()),
+                get!(dec.get_opaque()).to_vec(),
+            ));
+        }
+
+        let mut replay = Vec::new();
+        let n = get!(dec.get_u32());
+        replay.reserve(cap(n));
+        for _ in 0..n {
+            replay.push((get!(dec.get_u32()), get!(dec.get_opaque()).to_vec()));
+        }
+        get!(dec.finish());
+        Ok(Self {
+            kind: Some(kind),
+            meta,
+            mem,
+            replay,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> MigBlob {
+        let meta = SessionMeta {
+            token: 0xFEED_0001,
+            current_device: 2,
+            src_now_ns: 123_456_789,
+            next_handles: vec![(0, 0x42), (2, 0x2000_0099)],
+            next_lib_handle: 0x8000_0000_0003,
+            modules: vec![(0x11, b"cubin image".to_vec())],
+            functions: vec![(0x12, 0x11, "saxpy".into())],
+            streams: vec![(0x13, 9_000), (0x14, 0)],
+            events: vec![(0x15, Some(4_200)), (0x16, None)],
+            default_streams: vec![(0, 0x13)],
+            blas: vec![0x8000_0000_0000],
+            solvers: vec![0x8000_0000_0001],
+            ffts: vec![(0x8000_0000_0002, 1024, vgpu::fft::CUFFT_C2C, 4)],
+        };
+        let mut blob = MigBlob::new(MigKind::Final, meta);
+        blob.mem = MemDelta {
+            freed: vec![0x1000_0000],
+            new_blocks: vec![(0x1000_1000, vec![7u8; 64])],
+            dirty: vec![(0x1000_2000, 16, vec![9u8; 8])],
+        };
+        blob.replay = vec![(77, vec![1, 2, 3]), (78, vec![])];
+        blob
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let blob = populated();
+        let decoded = MigBlob::decode(&blob.encode()).unwrap();
+        assert_eq!(decoded, blob);
+        assert_eq!(decoded.kind(), MigKind::Final);
+    }
+
+    #[test]
+    fn empty_base_roundtrips() {
+        let blob = MigBlob::new(
+            MigKind::Base,
+            SessionMeta {
+                token: 1,
+                ..SessionMeta::default()
+            },
+        );
+        let decoded = MigBlob::decode(&blob.encode()).unwrap();
+        assert_eq!(decoded, blob);
+        assert_eq!(decoded.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MigBlob::decode(b"definitely not a migration blob").is_err());
+        let mut bad_magic = populated().encode();
+        bad_magic[0] ^= 0xff;
+        assert!(MigBlob::decode(&bad_magic).is_err());
+        // Unknown kind discriminant.
+        let mut bad_kind = populated().encode();
+        bad_kind[11] = 9;
+        assert!(MigBlob::decode(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_cut() {
+        let full = populated().encode();
+        for cut in [0, 4, 8, 12, full.len() / 3, full.len() / 2, full.len() - 1] {
+            assert!(MigBlob::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing junk is rejected too (finish() catches it).
+        let mut long = full.clone();
+        long.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(MigBlob::decode(&long).is_err());
+    }
+
+    #[test]
+    fn payload_bytes_counts_contents_not_framing() {
+        let blob = populated();
+        // 64 new + 8 dirty + 11 module image + 3 replay.
+        assert_eq!(blob.payload_bytes(), 64 + 8 + 11 + 3);
+    }
+}

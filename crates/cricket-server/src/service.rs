@@ -7,17 +7,19 @@
 //! call are charged by the transport (see [`crate::transport`]).
 
 use crate::checkpoint;
+use crate::migrate::{MigBlob, MigKind, SessionMeta};
 use crate::scheduler::{Scheduler, SchedulerPolicy, SessionId};
 use cricket_proto::{
     cricket_v1, BatchReceipt, BatchResult, DataResult, DeviceProp, FloatResult, IntResult, MemInfo,
     MemInfoResult, PropResult, RpcDim3, ServerStats, U64Result,
 };
+use oncrpc::ReplayCache;
 use parking_lot::Mutex;
 use simnet::SimClock;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vgpu::{Device, DeviceProperties, Dim3, Submit, VgpuError};
+use vgpu::{Device, DeviceProperties, Dim3, Submit, VgpuError, VgpuResult};
 
 /// Handles for library contexts (cuBLAS/cuSolver) live in a range disjoint
 /// from device handles.
@@ -173,7 +175,7 @@ struct StatsInner {
 /// Everything a session has created and not yet destroyed. Tracked so the
 /// server can reclaim it all when the client vanishes mid-session (TCP
 /// reset, unikernel crash) instead of leaking vGPU state forever.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct SessionResources {
     mem: HashSet<u64>,
     streams: HashSet<u64>,
@@ -206,6 +208,18 @@ impl SessionCleanup {
     }
 }
 
+/// An inbound migration staged by `MIG_APPLY_BASE`/`MIG_APPLY_DELTA`,
+/// keyed by client token. Until `ready`, the token gate refuses the
+/// client (the source is still streaming); the client's first call after
+/// cutover claims it into a live session.
+struct Adoption {
+    resources: SessionResources,
+    current_device: usize,
+    default_streams: Vec<(usize, u64)>,
+    ready: bool,
+    applied_epochs: u32,
+}
+
 /// The Cricket server state shared by all sessions.
 pub struct CricketServer {
     devices: Vec<Mutex<Device>>,
@@ -230,6 +244,28 @@ pub struct CricketServer {
     stats: Mutex<StatsInner>,
     sessions_seen: Mutex<HashSet<SessionId>>,
     cfg: ServerConfig,
+    /// The transport's shared at-most-once replay cache (attached by the
+    /// builder); migration ships a client's entries with the final delta.
+    replay: Mutex<Option<Arc<ReplayCache>>>,
+    /// Client token → live session id, maintained by the token gate.
+    token_sessions: Mutex<HashMap<u64, SessionId>>,
+    /// Tokens evicted by a migration cutover: the gate refuses them so
+    /// the client reconnects and resolves its new home.
+    evicted_tokens: Mutex<HashSet<u64>>,
+    /// Sessions whose disconnect-triggered release was deferred because
+    /// their token was evicted mid-migration (the final delta still has
+    /// to read their state); reclaimed by `mig_finalize_source` or on
+    /// `readmit_token`.
+    deferred_release: Mutex<HashSet<SessionId>>,
+    /// Inbound migrations staged by `MIG_APPLY_*`, by client token.
+    adoptions: Mutex<HashMap<u64, Adoption>>,
+    /// Calls admitted through the token gate and not yet completed, by
+    /// token. Eviction drains this before the final snapshot so a call
+    /// that slipped past the gate cannot mutate memory the final delta
+    /// already captured.
+    inflight: Mutex<HashMap<u64, usize>>,
+    /// Signalled whenever an in-flight count drops.
+    quiesce: parking_lot::Condvar,
 }
 
 impl CricketServer {
@@ -267,6 +303,13 @@ impl CricketServer {
             stats: Mutex::new(StatsInner::default()),
             sessions_seen: Mutex::new(HashSet::new()),
             cfg,
+            replay: Mutex::new(None),
+            token_sessions: Mutex::new(HashMap::new()),
+            evicted_tokens: Mutex::new(HashSet::new()),
+            deferred_release: Mutex::new(HashSet::new()),
+            adoptions: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            quiesce: parking_lot::Condvar::new(),
         })
     }
 
@@ -360,7 +403,30 @@ impl CricketServer {
     /// errors are ignored — the resource may already be gone (explicit
     /// destroy raced with the disconnect, or a `device_reset` cleared it).
     pub fn release_session(&self, session: SessionId) -> SessionCleanup {
+        // A session whose client token was evicted mid-migration is torn
+        // down by the migration driver (`mig_finalize_source`) after the
+        // final delta is exported — the disconnect-triggered release must
+        // not free state that delta still has to read. If the migration
+        // aborts instead, `readmit_token` performs the deferred release.
+        {
+            let tokens = self.token_sessions.lock();
+            let evicted = self.evicted_tokens.lock();
+            if tokens
+                .iter()
+                .any(|(t, &s)| s == session && evicted.contains(t))
+            {
+                self.deferred_release.lock().insert(session);
+                return SessionCleanup::default();
+            }
+        }
+        self.force_release(session)
+    }
+
+    /// [`Self::release_session`] without the mid-migration deferral.
+    fn force_release(&self, session: SessionId) -> SessionCleanup {
         let res = self.session_resources.lock().remove(&session);
+        self.token_sessions.lock().retain(|_, &mut s| s != session);
+        self.deferred_release.lock().remove(&session);
         self.session_device.lock().remove(&session);
         self.sessions_seen.lock().remove(&session);
         self.session_streams
@@ -1337,7 +1403,7 @@ impl CricketServer {
             // before reading device state.
             let drain = d.device_synchronize();
             let images = self.module_images.lock();
-            let blob = checkpoint::capture(d, &images);
+            let blob = checkpoint::capture(d, &images)?;
             // Serialization cost scales with snapshot size.
             let t = drain + (blob.len() as u64) / 8;
             Ok((blob, t))
@@ -1392,6 +1458,547 @@ impl CricketServer {
             }
             None => vgpu::CudaCode::InvalidValue as i32,
         }
+    }
+
+    // ---- live migration --------------------------------------------------
+
+    /// Attach the transport's shared at-most-once replay cache so
+    /// migration can ship a client's entries with the final delta.
+    pub fn attach_replay(&self, replay: &Arc<ReplayCache>) {
+        *self.replay.lock() = Some(Arc::clone(replay));
+    }
+
+    /// The live session currently bound to a client token, if any.
+    pub fn session_of_token(&self, token: u64) -> Option<SessionId> {
+        self.token_sessions.lock().get(&token).copied()
+    }
+
+    /// Token-gate hook (see `oncrpc::RpcServer::set_token_gate`): may a
+    /// call from `token` arriving on `session` proceed?
+    ///
+    /// * evicted token → `false`: the connection closes and the client's
+    ///   reconnect resolves the session's new home;
+    /// * staged but unfinished inbound migration → `false`: the client
+    ///   raced ahead of the final delta, retry until cutover completes;
+    /// * ready inbound migration → claim it into this session, `true`;
+    /// * otherwise record the token ↔ session binding and admit.
+    pub fn observe_token(&self, token: u64, session: SessionId) -> bool {
+        if self.evicted_tokens.lock().contains(&token) {
+            return false;
+        }
+        let adoption = {
+            let mut staged = self.adoptions.lock();
+            match staged.get(&token) {
+                Some(a) if !a.ready => return false,
+                Some(_) => staged.remove(&token),
+                None => None,
+            }
+        };
+        match adoption {
+            Some(a) => self.adopt(token, session, a),
+            None => {
+                let mut map = self.token_sessions.lock();
+                if map.get(&token) != Some(&session) {
+                    map.insert(token, session);
+                }
+            }
+        }
+        *self.inflight.lock().entry(token).or_insert(0) += 1;
+        true
+    }
+
+    /// Gate completion hook: an admitted call from `token` finished.
+    pub fn call_complete(&self, token: u64) {
+        let mut inflight = self.inflight.lock();
+        if let Some(n) = inflight.get_mut(&token) {
+            *n -= 1;
+            if *n == 0 {
+                inflight.remove(&token);
+            }
+        }
+        drop(inflight);
+        self.quiesce.notify_all();
+    }
+
+    /// Install a ready adoption as the live state of `session`.
+    fn adopt(&self, token: u64, session: SessionId, a: Adoption) {
+        self.session_device.lock().insert(session, a.current_device);
+        {
+            let mut streams = self.session_streams.lock();
+            for &(idx, h) in &a.default_streams {
+                streams.insert((session, idx), h);
+            }
+        }
+        self.session_resources.lock().insert(session, a.resources);
+        self.sessions_seen.lock().insert(session);
+        self.token_sessions.lock().insert(token, session);
+    }
+
+    /// Evict `token`: the gate refuses its calls from now on, closing the
+    /// client's connection so its retransmission lands at the new home.
+    /// Blocks (bounded) until calls already past the gate have completed —
+    /// the final snapshot must not race a half-executed mutation whose
+    /// reply the client will still receive.
+    pub fn evict_token(&self, token: u64) {
+        self.evicted_tokens.lock().insert(token);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut inflight = self.inflight.lock();
+        while inflight.get(&token).copied().unwrap_or(0) > 0 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                // Safety valve: a wedged call must not hang the cutover.
+                break;
+            }
+            self.quiesce.wait_for(&mut inflight, left);
+        }
+    }
+
+    /// Roll back an eviction (aborted migration): admit the token again
+    /// and perform any release that was deferred while it was evicted.
+    pub fn readmit_token(&self, token: u64) {
+        self.evicted_tokens.lock().remove(&token);
+        if let Some(session) = self.session_of_token(token) {
+            let deferred = self.deferred_release.lock().remove(&session);
+            if deferred {
+                self.force_release(session);
+            }
+        }
+    }
+
+    /// Export one leg of the migration stream for `token`'s session.
+    ///
+    /// `known` is the set of block bases previous legs already shipped
+    /// (empty for the base snapshot); it is updated to what the
+    /// destination holds after applying this blob. Every export closes
+    /// the per-device dirty-tracking window (`mark_epoch`), so at most
+    /// one migration may stream per device at a time. A
+    /// [`MigKind::Final`] export additionally fences all streams (the
+    /// snapshot barrier) and attaches the client's replay entries.
+    pub fn mig_export(
+        &self,
+        token: u64,
+        known: &mut BTreeSet<u64>,
+        kind: MigKind,
+    ) -> VgpuResult<Vec<u8>> {
+        let session = self.session_of_token(token).ok_or_else(|| {
+            VgpuError::InvalidValue(format!("no live session for client token {token:#x}"))
+        })?;
+        let res = self
+            .session_resources
+            .lock()
+            .get(&session)
+            .cloned()
+            .unwrap_or_default();
+        let sorted = |set: &HashSet<u64>| {
+            let mut v: Vec<u64> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut meta = SessionMeta {
+            token,
+            current_device: self.current_device(session) as u32,
+            next_lib_handle: self.next_lib_handle.load(Ordering::SeqCst),
+            blas: sorted(&res.blas),
+            solvers: sorted(&res.solvers),
+            ..SessionMeta::default()
+        };
+        {
+            let images = self.module_images.lock();
+            for h in sorted(&res.modules) {
+                if let Some(img) = images.get(&h) {
+                    meta.modules.push((h, img.clone()));
+                }
+            }
+        }
+        {
+            let streams = self.session_streams.lock();
+            meta.default_streams = streams
+                .iter()
+                .filter(|((s, _), _)| *s == session)
+                .map(|(&(_, idx), &h)| (idx as u32, h))
+                .collect();
+            meta.default_streams.sort_unstable();
+        }
+        {
+            let plans = self.fft_plans.lock();
+            for h in sorted(&res.ffts) {
+                if let Some(p) = plans.get(&h) {
+                    meta.ffts.push((h, p.n as i32, p.kind, p.batch as i32));
+                }
+            }
+        }
+
+        let mut delta = vgpu::memory::MemDelta::default();
+        for idx in 0..self.devices.len() {
+            let known_here: BTreeSet<u64> = known
+                .iter()
+                .copied()
+                .filter(|&b| self.device_of_token(b) == Some(idx))
+                .collect();
+            let mut dev = self.devices[idx].lock();
+            if kind == MigKind::Final {
+                // The CRAC-style snapshot barrier: retire every pending
+                // command so the final delta is taken with nothing in
+                // flight. Execution is eager, so this changes bookkeeping,
+                // never memory.
+                dev.fence_all_streams();
+            }
+            let mut d = dev.mem.delta_since(&known_here);
+            // `delta_since` enumerates the whole device; other sessions'
+            // blocks must not ride along.
+            d.new_blocks.retain(|(b, _)| res.mem.contains(b));
+            dev.mem.mark_epoch();
+            meta.next_handles
+                .push((idx as u32, dev.next_handle_value()));
+            for (h, frontier) in dev.snapshot_stream_frontiers() {
+                if res.streams.contains(&h) {
+                    meta.streams.push((h, frontier));
+                }
+            }
+            for (h, recorded) in dev.snapshot_event_states() {
+                if res.events.contains(&h) {
+                    meta.events.push((h, recorded));
+                }
+            }
+            for (h, module, name) in dev.snapshot_functions() {
+                if res.modules.contains(&module) {
+                    meta.functions.push((h, module, name));
+                }
+            }
+            delta.freed.extend(d.freed);
+            delta.new_blocks.extend(d.new_blocks);
+            delta.dirty.extend(d.dirty);
+        }
+        meta.functions.sort();
+        meta.src_now_ns = self.clock.now_ns();
+
+        for &b in &delta.freed {
+            known.remove(&b);
+        }
+        for (b, _) in &delta.new_blocks {
+            known.insert(*b);
+        }
+
+        let mut blob = MigBlob::new(kind, meta);
+        blob.mem = delta;
+        if kind == MigKind::Final {
+            if let Some(r) = self.replay.lock().clone() {
+                blob.replay = r.export_client(token);
+                blob.replay.sort_by_key(|&(xid, _)| xid);
+            }
+        }
+        Ok(blob.encode())
+    }
+
+    /// Bytes a naive full-snapshot migration of `token`'s session would
+    /// move right now: every owned block plus every module image. The
+    /// streamed-migration bench compares its cumulative payload to this.
+    pub fn session_footprint(&self, token: u64) -> u64 {
+        let Some(session) = self.session_of_token(token) else {
+            return 0;
+        };
+        let res = self
+            .session_resources
+            .lock()
+            .get(&session)
+            .cloned()
+            .unwrap_or_default();
+        let mut total = 0u64;
+        for &b in &res.mem {
+            if let Some(idx) = self.device_of_token(b) {
+                if let Ok(bytes) = self.devices[idx].lock().mem.block_bytes(b) {
+                    total += bytes.len() as u64;
+                }
+            }
+        }
+        let images = self.module_images.lock();
+        for h in &res.modules {
+            total += images.get(h).map_or(0, |i| i.len() as u64);
+        }
+        total
+    }
+
+    /// Tear down the source side after a completed cutover: drop the
+    /// client's replay entries (they now live at the destination) and
+    /// force-release its session. The eviction marker stays, so late
+    /// retransmissions on a half-dead connection remain refused.
+    pub fn mig_finalize_source(&self, token: u64) -> SessionCleanup {
+        if let Some(r) = self.replay.lock().clone() {
+            r.forget_client(token);
+        }
+        match self.session_of_token(token) {
+            Some(session) => self.force_release(session),
+            None => SessionCleanup::default(),
+        }
+    }
+
+    /// Apply one migration blob pushed by a source server's driver; the
+    /// blob kind must be in `allow` (wire procs pin the direction).
+    /// Returns the count of applied epochs for this token's stream. No
+    /// scheduler turn and no clock charge: the stream must not perturb
+    /// the destination's virtual timeline — the only clock effect is the
+    /// forward alignment to the source's `src_now_ns`.
+    pub fn mig_apply(&self, bytes: &[u8], allow: &[MigKind]) -> VgpuResult<u32> {
+        self.stats.lock().bytes_in += bytes.len() as u64;
+        let blob = MigBlob::decode(bytes)?;
+        let kind = blob.kind();
+        if !allow.contains(&kind) {
+            return Err(VgpuError::InvalidValue(format!(
+                "blob kind {kind:?} not allowed by this procedure"
+            )));
+        }
+        let token = blob.meta.token;
+        let mut staged = match kind {
+            MigKind::Base => {
+                // A fresh base replaces any half-applied previous attempt
+                // and re-legitimizes a token this server itself evicted in
+                // an earlier outbound migration (moving back home).
+                self.discard_adoption(token);
+                self.evicted_tokens.lock().remove(&token);
+                Adoption {
+                    resources: SessionResources::default(),
+                    current_device: 0,
+                    default_streams: Vec::new(),
+                    ready: false,
+                    applied_epochs: 0,
+                }
+            }
+            MigKind::Delta | MigKind::Final => {
+                self.adoptions.lock().remove(&token).ok_or_else(|| {
+                    VgpuError::InvalidValue(format!(
+                        "delta for token {token:#x} without a staged base"
+                    ))
+                })?
+            }
+        };
+        if let Err(e) = self.apply_blob(&blob, &mut staged) {
+            // Half-applied state is unusable; free whatever was placed so
+            // a retried migration can start from a clean base.
+            self.adoptions.lock().insert(token, staged);
+            self.discard_adoption(token);
+            return Err(e);
+        }
+        staged.applied_epochs += 1;
+        if kind == MigKind::Final {
+            if let Some(r) = self.replay.lock().clone() {
+                r.import_client(token, blob.replay.clone());
+            }
+            staged.ready = true;
+        }
+        // Align this shard's virtual clock with the source so post-cutover
+        // timing (event elapsed, batch receipts) continues byte-identically
+        // on an otherwise idle destination.
+        self.clock.advance_to(blob.meta.src_now_ns);
+        let epochs = staged.applied_epochs;
+        self.adoptions.lock().insert(token, staged);
+        Ok(epochs)
+    }
+
+    /// Reconcile one blob into the staged adoption: memory delta first
+    /// (frees → new blocks → dirty spans, routed to the owning device),
+    /// then the full metadata diffed against what previous blobs placed.
+    fn apply_blob(&self, blob: &MigBlob, staged: &mut Adoption) -> VgpuResult<()> {
+        let meta = &blob.meta;
+        let bad_dev =
+            |t: u64| VgpuError::InvalidValue(format!("token {t:#x} maps to no local device"));
+
+        for &b in blob
+            .mem
+            .freed
+            .iter()
+            .chain(blob.mem.new_blocks.iter().map(|(b, _)| b))
+            .chain(blob.mem.dirty.iter().map(|(b, _, _)| b))
+        {
+            if self.device_of_token(b).is_none() {
+                return Err(bad_dev(b));
+            }
+        }
+        for idx in 0..self.devices.len() {
+            let sub = vgpu::memory::MemDelta {
+                freed: blob
+                    .mem
+                    .freed
+                    .iter()
+                    .copied()
+                    .filter(|&b| self.device_of_token(b) == Some(idx))
+                    .collect(),
+                new_blocks: blob
+                    .mem
+                    .new_blocks
+                    .iter()
+                    .filter(|(b, _)| self.device_of_token(*b) == Some(idx))
+                    .cloned()
+                    .collect(),
+                dirty: blob
+                    .mem
+                    .dirty
+                    .iter()
+                    .filter(|(b, _, _)| self.device_of_token(*b) == Some(idx))
+                    .cloned()
+                    .collect(),
+            };
+            if sub.is_empty() {
+                continue;
+            }
+            self.devices[idx].lock().mem.apply_delta(&sub)?;
+        }
+        for &b in &blob.mem.freed {
+            staged.resources.mem.remove(&b);
+        }
+        for (b, _) in &blob.mem.new_blocks {
+            staged.resources.mem.insert(*b);
+        }
+
+        // Modules: unload ones that vanished, place new ones.
+        let new_modules: HashSet<u64> = meta.modules.iter().map(|(h, _)| *h).collect();
+        for h in &staged.resources.modules - &new_modules {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().module_unload(h);
+            }
+            self.module_images.lock().remove(&h);
+        }
+        for (h, image) in &meta.modules {
+            if !staged.resources.modules.contains(h) {
+                let idx = self.device_of_token(*h).ok_or_else(|| bad_dev(*h))?;
+                self.devices[idx].lock().restore_module(*h, image)?;
+                self.module_images.lock().insert(*h, image.clone());
+            }
+        }
+        staged.resources.modules = new_modules;
+        for (h, module, name) in &meta.functions {
+            let idx = self.device_of_token(*h).ok_or_else(|| bad_dev(*h))?;
+            self.devices[idx]
+                .lock()
+                .restore_function(*h, *module, name)?;
+        }
+
+        // Streams: destroy vanished ones, place the rest at their exact
+        // completion frontier (idempotent per blob).
+        let new_streams: HashSet<u64> = meta.streams.iter().map(|&(h, _)| h).collect();
+        for h in &staged.resources.streams - &new_streams {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().stream_destroy(h);
+            }
+        }
+        for &(h, frontier) in &meta.streams {
+            let idx = self.device_of_token(h).ok_or_else(|| bad_dev(h))?;
+            self.devices[idx].lock().restore_stream_at(h, frontier);
+        }
+        staged.resources.streams = new_streams;
+
+        let new_events: HashSet<u64> = meta.events.iter().map(|&(h, _)| h).collect();
+        for h in &staged.resources.events - &new_events {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().event_destroy(h);
+            }
+        }
+        for &(h, recorded) in &meta.events {
+            let idx = self.device_of_token(h).ok_or_else(|| bad_dev(h))?;
+            self.devices[idx].lock().restore_event_at(h, recorded);
+        }
+        staged.resources.events = new_events;
+
+        // Library handles. cuBLAS handles are pure capabilities; a
+        // cuSolver context's factorization memo is a timing cache whose
+        // hits replay the stored duration, so a fresh context is
+        // trace-equivalent; FFT plans are pure values rebuilt through the
+        // validating constructor.
+        let new_blas: HashSet<u64> = meta.blas.iter().copied().collect();
+        {
+            let mut blas = self.blas_handles.lock();
+            for h in &staged.resources.blas - &new_blas {
+                blas.remove(&h);
+            }
+            for &h in &new_blas {
+                blas.insert(h);
+            }
+        }
+        staged.resources.blas = new_blas;
+        let new_solvers: HashSet<u64> = meta.solvers.iter().copied().collect();
+        {
+            let mut solvers = self.solvers.lock();
+            for h in &staged.resources.solvers - &new_solvers {
+                solvers.remove(&h);
+            }
+            for &h in &new_solvers {
+                solvers.entry(h).or_default();
+            }
+        }
+        staged.resources.solvers = new_solvers;
+        let new_ffts: HashSet<u64> = meta.ffts.iter().map(|&(h, ..)| h).collect();
+        {
+            let mut plans = self.fft_plans.lock();
+            for h in &staged.resources.ffts - &new_ffts {
+                plans.remove(&h);
+            }
+            for &(h, n, kind, batch) in &meta.ffts {
+                plans.insert(h, vgpu::fft::FftPlan::plan_1d(n, kind, batch)?);
+            }
+        }
+        staged.resources.ffts = new_ffts;
+
+        // Handle counters merge with max() so handles this server already
+        // issued to other sessions can never collide with restored ones.
+        for &(dev, next) in &meta.next_handles {
+            if let Some(d) = self.devices.get(dev as usize) {
+                let mut d = d.lock();
+                let merged = d.next_handle_value().max(next);
+                d.restore_next_handle(merged);
+            }
+        }
+        self.next_lib_handle
+            .fetch_max(meta.next_lib_handle, Ordering::SeqCst);
+
+        staged.current_device =
+            (meta.current_device as usize).min(self.devices.len().saturating_sub(1));
+        staged.default_streams = meta
+            .default_streams
+            .iter()
+            .map(|&(d, h)| (d as usize, h))
+            .collect();
+        Ok(())
+    }
+
+    /// Drop a staged (or half-applied) inbound migration and free
+    /// everything it placed on this server — `MIG_ABORT`, and the local
+    /// cleanup path when an apply fails midway. Returns whether a staged
+    /// migration existed.
+    pub fn discard_adoption(&self, token: u64) -> bool {
+        let Some(a) = self.adoptions.lock().remove(&token) else {
+            return false;
+        };
+        let res = a.resources;
+        for b in res.mem {
+            if let Some(idx) = self.device_of_token(b) {
+                let _ = self.devices[idx].lock().free(b);
+            }
+        }
+        for h in res.streams {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().stream_destroy(h);
+            }
+        }
+        for h in res.events {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().event_destroy(h);
+            }
+        }
+        for h in res.modules {
+            if let Some(idx) = self.device_of_token(h) {
+                let _ = self.devices[idx].lock().module_unload(h);
+            }
+            self.module_images.lock().remove(&h);
+        }
+        for h in res.blas {
+            self.blas_handles.lock().remove(&h);
+        }
+        for h in res.solvers {
+            self.solvers.lock().remove(&h);
+        }
+        for h in res.ffts {
+            self.fft_plans.lock().remove(&h);
+        }
+        true
     }
 }
 
@@ -1707,6 +2314,27 @@ impl cricket_proto::CricketV1Service for Sessioned {
     }
     fn srv_set_scheduler(&self, policy: i32) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.srv_set_scheduler(self.session, policy))
+    }
+    // The migration control plane deliberately bypasses `host_call`: no
+    // scheduler turn and no virtual-clock charge, so streaming a session in
+    // never perturbs the timing the migrated client will observe.
+    fn mig_apply_base(&self, blob: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(match self.srv.mig_apply(blob, &[MigKind::Base]) {
+            Ok(_) => 0,
+            Err(e) => CricketServer::err_code(&e),
+        })
+    }
+    fn mig_apply_delta(&self, blob: &[u8]) -> Result<IntResult, oncrpc::AcceptStat> {
+        Ok(
+            match self.srv.mig_apply(blob, &[MigKind::Delta, MigKind::Final]) {
+                Ok(epochs) => IntResult::Data(epochs as i32),
+                Err(e) => IntResult::Default(CricketServer::err_code(&e)),
+            },
+        )
+    }
+    fn mig_abort(&self, token: u64) -> Result<i32, oncrpc::AcceptStat> {
+        self.srv.discard_adoption(token);
+        Ok(0)
     }
 }
 

@@ -32,11 +32,15 @@
 //!   would even out shard load (the hook the future live-migration item
 //!   plugs into).
 
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cricket_server::{SchedulerPolicy, ServeHandle, ServeMode, ServerBuilder, ServerConfig};
+use cricket_proto::{CricketV1Client, IntResult};
+use cricket_server::{
+    MigKind, SchedulerPolicy, ServeHandle, ServeMode, ServerBuilder, ServerConfig,
+};
 use oncrpc::portmap::client::PortmapClient;
 pub use oncrpc::{LoadReport, ShardEntry};
 use oncrpc::{Portmap, RpcResult, TcpTransport};
@@ -136,6 +140,20 @@ impl ShardDirectory {
     /// simulated fleet, as unikernel shards share their host's NIC).
     pub fn shard_addr(&self, entry: &ShardEntry) -> SocketAddr {
         SocketAddr::new(self.addr.ip(), entry.port as u16)
+    }
+
+    /// Pin a client token's session home to the shard on `port` (0 clears).
+    /// Written by live migration at cutover so the evicted client's
+    /// reconnect resolves straight to the session's new shard.
+    pub fn set_home(&self, token: u64, port: u32) -> RpcResult<bool> {
+        self.client()?
+            .shard_home_set(self.prog, self.vers, token, port)
+    }
+
+    /// The pinned home port for a client token (0 = none, or home shard
+    /// deregistered — fall back to [`candidates`](Self::candidates)).
+    pub fn home(&self, token: u64) -> RpcResult<u32> {
+        self.client()?.shard_home_get(self.prog, self.vers, token)
     }
 }
 
@@ -296,6 +314,295 @@ impl Fleet {
             }
         }
         self.dir_handle.shutdown();
+    }
+
+    /// The slot index of the live shard registered on `port` — the bridge
+    /// from [`rebalance_plan`]'s port-speak to migration's slot-speak.
+    pub fn shard_by_port(&self, port: u32) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.as_ref().map(|h| u32::from(h.addr().port())) == Some(port))
+    }
+
+    /// Start a live migration of `token`'s session from shard `from` to
+    /// shard `to`: connect to the destination, export the source's base
+    /// snapshot, and stage it. The source keeps serving the client; call
+    /// [`SessionMigration::round`] to stream dirty deltas and
+    /// [`SessionMigration::cutover`] to finish (or use
+    /// [`migrate_session`](Self::migrate_session) for the whole dance).
+    pub fn begin_migration(
+        &self,
+        token: u64,
+        from: usize,
+        to: usize,
+    ) -> Result<SessionMigration, MigrateError> {
+        if from == to {
+            return Err(MigrateError::Plan(
+                "source and destination are the same shard".into(),
+            ));
+        }
+        let src = self
+            .shard(from)
+            .ok_or_else(|| MigrateError::SourceLost(format!("shard {from} is not live")))?;
+        let dst = self
+            .shard(to)
+            .ok_or_else(|| MigrateError::DestLost(format!("shard {to} is not live")))?;
+        if src.server().session_of_token(token).is_none() {
+            return Err(MigrateError::Plan(format!(
+                "no live session for token {token:#x} on shard {from}"
+            )));
+        }
+        // The driver's own connection carries no client-token credential,
+        // so the destination's eviction/adoption gate never applies to it.
+        let t =
+            TcpTransport::connect(dst.addr()).map_err(|e| MigrateError::DestLost(e.to_string()))?;
+        let client = CricketV1Client::new(Box::new(t));
+        let mut known = BTreeSet::new();
+        let blob = src
+            .server()
+            .mig_export(token, &mut known, MigKind::Base)
+            .map_err(|e| MigrateError::Plan(e.to_string()))?;
+        let mut mig = SessionMigration {
+            token,
+            from,
+            to,
+            client,
+            known,
+            evicted: false,
+            home_set: false,
+            report: MigrationReport {
+                base_bytes: blob.len() as u64,
+                ..MigrationReport::default()
+            },
+        };
+        match mig.client.mig_apply_base(&blob) {
+            Ok(0) => Ok(mig),
+            Ok(code) => Err(MigrateError::Apply(code)),
+            Err(e) => Err(MigrateError::DestLost(e.to_string())),
+        }
+    }
+
+    /// Migrate `token`'s session from shard `from` to shard `to` with
+    /// `copy_rounds` incremental pre-copy rounds before the cutover,
+    /// aborting cleanly (home cleared, token readmitted at the source,
+    /// destination's staged state discarded) on any failure.
+    pub fn migrate_session(
+        &self,
+        token: u64,
+        from: usize,
+        to: usize,
+        copy_rounds: u32,
+    ) -> Result<MigrationReport, MigrateError> {
+        let mut mig = self.begin_migration(token, from, to)?;
+        for _ in 0..copy_rounds {
+            if let Err(e) = mig.round(self) {
+                mig.abort(self);
+                return Err(e);
+            }
+        }
+        match mig.cutover(self) {
+            Ok(()) => Ok(mig.finish()),
+            Err(e) => {
+                mig.abort(self);
+                Err(e)
+            }
+        }
+    }
+
+    /// Execute one [`rebalance_plan`] move as live migrations: the planner
+    /// speaks ports, migration speaks shard slots and client tokens, so
+    /// the caller names which tokens (up to `m.sessions` of them) should
+    /// move. Stops at the first failed migration.
+    pub fn execute_move(
+        &self,
+        m: &Move,
+        tokens: &[u64],
+        copy_rounds: u32,
+    ) -> Result<Vec<MigrationReport>, MigrateError> {
+        let from = self.shard_by_port(m.from_port).ok_or_else(|| {
+            MigrateError::SourceLost(format!("no live shard on port {}", m.from_port))
+        })?;
+        let to = self.shard_by_port(m.to_port).ok_or_else(|| {
+            MigrateError::DestLost(format!("no live shard on port {}", m.to_port))
+        })?;
+        tokens
+            .iter()
+            .take(m.sessions as usize)
+            .map(|&token| self.migrate_session(token, from, to, copy_rounds))
+            .collect()
+    }
+}
+
+/// What one live migration moved and what it cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Incremental pre-copy rounds streamed while the source kept serving.
+    pub rounds: u32,
+    /// Wire bytes of the base snapshot blob.
+    pub base_bytes: u64,
+    /// Wire bytes of all incremental delta blobs.
+    pub delta_bytes: u64,
+    /// Wire bytes of the final post-barrier blob — the only bytes moved
+    /// while the client was paused.
+    pub final_bytes: u64,
+    /// The session's full footprint (device blocks + module images) at
+    /// cutover: what a naive non-incremental migration would have moved
+    /// under pause.
+    pub naive_bytes: u64,
+    /// Wall-clock duration of the client-visible pause: eviction at the
+    /// source until the destination acknowledged the final blob.
+    pub pause_ns: u64,
+}
+
+impl MigrationReport {
+    /// Total wire bytes streamed across all migration blobs.
+    pub fn streamed_bytes(&self) -> u64 {
+        self.base_bytes + self.delta_bytes + self.final_bytes
+    }
+
+    /// Bytes moved after the base snapshot — the incremental resync a
+    /// naive migration would instead pay as a second full copy.
+    pub fn resync_bytes(&self) -> u64 {
+        self.delta_bytes + self.final_bytes
+    }
+}
+
+/// Why a live migration failed. Every failure path leaves the source
+/// session intact and serving (unless the source itself is what died).
+#[derive(Debug)]
+pub enum MigrateError {
+    /// The migration request itself was invalid (unknown token, same
+    /// source and destination, export failure).
+    Plan(String),
+    /// The source shard died or was stopped mid-migration.
+    SourceLost(String),
+    /// The destination shard died, was stopped, or became unreachable.
+    DestLost(String),
+    /// The destination rejected a blob with this CUDA error code.
+    Apply(i32),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::Plan(s) => write!(f, "migration plan invalid: {s}"),
+            MigrateError::SourceLost(s) => write!(f, "migration source lost: {s}"),
+            MigrateError::DestLost(s) => write!(f, "migration destination lost: {s}"),
+            MigrateError::Apply(code) => write!(f, "destination rejected blob: error {code}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// An in-flight live migration: source still serving, destination holding
+/// a staged adoption. Drive it with [`round`](Self::round) /
+/// [`cutover`](Self::cutover), or drop it via [`abort`](Self::abort).
+pub struct SessionMigration {
+    token: u64,
+    from: usize,
+    to: usize,
+    client: CricketV1Client,
+    known: BTreeSet<u64>,
+    evicted: bool,
+    home_set: bool,
+    report: MigrationReport,
+}
+
+impl SessionMigration {
+    /// Progress so far.
+    pub fn report(&self) -> &MigrationReport {
+        &self.report
+    }
+
+    /// Stream one incremental delta (everything the session dirtied,
+    /// allocated, or freed since the previous blob) while the source keeps
+    /// serving the client. Returns the delta's wire size.
+    pub fn round(&mut self, fleet: &Fleet) -> Result<u64, MigrateError> {
+        let src = fleet.shard(self.from).ok_or_else(|| {
+            MigrateError::SourceLost(format!("shard {} died mid-migration", self.from))
+        })?;
+        if fleet.shard(self.to).is_none() {
+            return Err(MigrateError::DestLost(format!(
+                "shard {} died mid-migration",
+                self.to
+            )));
+        }
+        let blob = src
+            .server()
+            .mig_export(self.token, &mut self.known, MigKind::Delta)
+            .map_err(|e| MigrateError::SourceLost(e.to_string()))?;
+        match self.client.mig_apply_delta(&blob) {
+            Ok(IntResult::Data(_)) => {}
+            Ok(IntResult::Default(code)) => return Err(MigrateError::Apply(code)),
+            Err(e) => return Err(MigrateError::DestLost(e.to_string())),
+        }
+        self.report.rounds += 1;
+        self.report.delta_bytes += blob.len() as u64;
+        Ok(blob.len() as u64)
+    }
+
+    /// Cut the session over to the destination:
+    ///
+    /// 1. pin the session's directory home to the destination (so the
+    ///    evicted client's reconnect resolves straight there),
+    /// 2. evict the token at the source — its next call is refused, the
+    ///    connection closes, the client enters its reconnect loop,
+    /// 3. export the final post-barrier delta (streams fenced, replay
+    ///    entries attached) and apply it at the destination, which flips
+    ///    the staged adoption to ready,
+    /// 4. finalize the source: replay entries dropped, session released.
+    ///
+    /// The pause clock runs from eviction to the destination's ack.
+    pub fn cutover(&mut self, fleet: &Fleet) -> Result<(), MigrateError> {
+        let src = fleet.shard(self.from).ok_or_else(|| {
+            MigrateError::SourceLost(format!("shard {} died before cutover", self.from))
+        })?;
+        let dst = fleet.shard(self.to).ok_or_else(|| {
+            MigrateError::DestLost(format!("shard {} died before cutover", self.to))
+        })?;
+        self.report.naive_bytes = src.server().session_footprint(self.token);
+        let dir = fleet.directory();
+        dir.set_home(self.token, u32::from(dst.addr().port()))
+            .map_err(|e| MigrateError::DestLost(format!("directory home update failed: {e}")))?;
+        self.home_set = true;
+        src.server().evict_token(self.token);
+        self.evicted = true;
+        let pause = Instant::now();
+        let blob = src
+            .server()
+            .mig_export(self.token, &mut self.known, MigKind::Final)
+            .map_err(|e| MigrateError::SourceLost(e.to_string()))?;
+        match self.client.mig_apply_delta(&blob) {
+            Ok(IntResult::Data(_)) => {}
+            Ok(IntResult::Default(code)) => return Err(MigrateError::Apply(code)),
+            Err(e) => return Err(MigrateError::DestLost(e.to_string())),
+        }
+        self.report.pause_ns = pause.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.report.final_bytes = blob.len() as u64;
+        src.server().mig_finalize_source(self.token);
+        Ok(())
+    }
+
+    /// Abandon the migration: clear the pinned home, readmit the token at
+    /// the source (if it still exists), and tell the destination to
+    /// discard its staged state. Every step is best-effort — the parts
+    /// that still exist are cleaned.
+    pub fn abort(mut self, fleet: &Fleet) {
+        if self.home_set {
+            let _ = fleet.directory().set_home(self.token, 0);
+        }
+        if self.evicted {
+            if let Some(src) = fleet.shard(self.from) {
+                src.server().readmit_token(self.token);
+            }
+        }
+        let _ = self.client.mig_abort(&self.token);
+    }
+
+    /// Consume a completed migration, yielding its report.
+    pub fn finish(self) -> MigrationReport {
+        self.report
     }
 }
 

@@ -51,6 +51,12 @@ pub mod procs {
     /// Record that a client placed a new session on a shard (bumps the
     /// shard's `assigned` counter until its next heartbeat).
     pub const SHARD_ASSIGN: u32 = 8;
+    /// Pin a client token's session to the shard of (prog, vers) at a
+    /// port — written by live migration at cutover so the evicted client's
+    /// reconnect is pointed at the session's new home. Port 0 clears.
+    pub const SHARD_HOME_SET: u32 = 9;
+    /// Look up the pinned home of a client token (0 = none / shard gone).
+    pub const SHARD_HOME_GET: u32 = 10;
 }
 
 /// Transport protocol numbers used in mappings.
@@ -116,6 +122,8 @@ pub struct Portmap {
     /// Fleet extension: (prog, vers) → port → shard state. A `BTreeMap`
     /// keyed by port keeps dumps deterministic.
     shards: RwLock<HashMap<(u32, u32), BTreeMap<u32, ShardState>>>,
+    /// Migration extension: (prog, vers, client token) → pinned home port.
+    homes: RwLock<HashMap<(u32, u32, u64), u32>>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -233,6 +241,38 @@ impl Portmap {
                 true
             }
             None => false,
+        }
+    }
+
+    /// Pin `token`'s session to the shard of (prog, vers) at `port`
+    /// (port 0 clears the pin). Written by migration at cutover.
+    pub fn home_set(&self, prog: u32, vers: u32, token: u64, port: u32) {
+        let mut homes = self.homes.write();
+        if port == 0 {
+            homes.remove(&(prog, vers, token));
+        } else {
+            homes.insert((prog, vers, token), port);
+        }
+    }
+
+    /// The pinned home port of `token`, or 0 if it has none — or if the
+    /// pinned shard is no longer registered (crashed mid-migration), so a
+    /// reconnecting client falls back to ranked candidates instead of
+    /// hammering a dead address.
+    pub fn home_get(&self, prog: u32, vers: u32, token: u64) -> u32 {
+        let port = match self.homes.read().get(&(prog, vers, token)) {
+            Some(&p) => p,
+            None => return 0,
+        };
+        let alive = self
+            .shards
+            .read()
+            .get(&(prog, vers))
+            .is_some_and(|m| m.contains_key(&port));
+        if alive {
+            port
+        } else {
+            0
         }
     }
 
@@ -358,6 +398,24 @@ impl Dispatch for PortmapDispatch {
             procs::SHARD_ASSIGN => {
                 let (prog, vers, port) = decode_shard_key(args)?;
                 reply.put_bool(self.0.shard_assign(prog, vers, port));
+                Ok(())
+            }
+            procs::SHARD_HOME_SET => {
+                let garbage = |_| AcceptStat::GarbageArgs;
+                let prog = args.get_u32().map_err(garbage)?;
+                let vers = args.get_u32().map_err(garbage)?;
+                let token = args.get_u64().map_err(garbage)?;
+                let port = args.get_u32().map_err(garbage)?;
+                self.0.home_set(prog, vers, token, port);
+                reply.put_bool(true);
+                Ok(())
+            }
+            procs::SHARD_HOME_GET => {
+                let garbage = |_| AcceptStat::GarbageArgs;
+                let prog = args.get_u32().map_err(garbage)?;
+                let vers = args.get_u32().map_err(garbage)?;
+                let token = args.get_u64().map_err(garbage)?;
+                reply.put_u32(self.0.home_get(prog, vers, token));
                 Ok(())
             }
             _ => Err(AcceptStat::ProcUnavail),
@@ -490,6 +548,36 @@ pub mod client {
             Self::one_bool(&raw)
         }
 
+        /// Pin `token`'s session home to the shard at `port` (0 clears).
+        pub fn shard_home_set(
+            &mut self,
+            prog: u32,
+            vers: u32,
+            token: u64,
+            port: u32,
+        ) -> RpcResult<bool> {
+            let raw = self.rpc.call_raw(procs::SHARD_HOME_SET, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+                enc.put_u64(token);
+                enc.put_u32(port);
+            })?;
+            Self::one_bool(&raw)
+        }
+
+        /// The pinned home port of `token` (0 = none / shard gone).
+        pub fn shard_home_get(&mut self, prog: u32, vers: u32, token: u64) -> RpcResult<u32> {
+            let raw = self.rpc.call_raw(procs::SHARD_HOME_GET, |enc| {
+                enc.put_u32(prog);
+                enc.put_u32(vers);
+                enc.put_u64(token);
+            })?;
+            let mut dec = XdrDecoder::new(&raw);
+            let port = dec.get_u32()?;
+            dec.finish()?;
+            Ok(port)
+        }
+
         fn one_bool(raw: &[u8]) -> RpcResult<bool> {
             let mut dec = XdrDecoder::new(raw);
             let b = dec.get_bool()?;
@@ -592,6 +680,29 @@ mod tests {
     }
 
     #[test]
+    fn home_pins_follow_shard_liveness() {
+        let pm = Portmap::new();
+        pm.shard_set(7, 1, 5001, LoadReport::default());
+        pm.shard_set(7, 1, 5002, LoadReport::default());
+
+        assert_eq!(pm.home_get(7, 1, 0xAB), 0, "no pin yet");
+        pm.home_set(7, 1, 0xAB, 5002);
+        assert_eq!(pm.home_get(7, 1, 0xAB), 5002);
+        assert_eq!(pm.home_get(7, 2, 0xAB), 0, "pins are per (prog, vers)");
+
+        // A pin to a deregistered shard reads as 0 so reconnecting clients
+        // fall back to the ranked candidate list.
+        pm.shard_unset(7, 1, 5002);
+        assert_eq!(pm.home_get(7, 1, 0xAB), 0);
+
+        // Re-pin and clear.
+        pm.home_set(7, 1, 0xAB, 5001);
+        assert_eq!(pm.home_get(7, 1, 0xAB), 5001);
+        pm.home_set(7, 1, 0xAB, 0);
+        assert_eq!(pm.home_get(7, 1, 0xAB), 0);
+    }
+
+    #[test]
     fn shard_directory_over_tcp() {
         let pm = Arc::new(Portmap::new());
         let handle = pm.serve("127.0.0.1:0").unwrap();
@@ -614,6 +725,9 @@ mod tests {
         assert_eq!(shards[0].port, 6001);
         assert_eq!(shards[0].load, load);
         assert_eq!(shards[1].assigned, 1);
+        assert!(client.shard_home_set(77, 1, 0xF00D, 6002).unwrap());
+        assert_eq!(client.shard_home_get(77, 1, 0xF00D).unwrap(), 6002);
+        assert_eq!(client.shard_home_get(77, 1, 0xBEEF).unwrap(), 0);
         assert!(client.shard_unset(77, 1, 6001).unwrap());
         assert_eq!(client.shard_dump(77, 1).unwrap().len(), 1);
         handle.shutdown();

@@ -97,6 +97,33 @@ impl ReplayCache {
         self.per_client.lock().remove(&client);
     }
 
+    /// Export a client's window oldest-first (live migration: the cached
+    /// replies travel with the session so a retransmission that lands on
+    /// the destination still replays instead of re-executing).
+    pub fn export_client(&self, client: u64) -> Vec<(u32, Vec<u8>)> {
+        self.per_client
+            .lock()
+            .get(&client)
+            .map(|w| w.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Install an exported window for a client, replacing any existing one.
+    /// Entries beyond this cache's capacity keep only the newest (matching
+    /// what eviction would have retained); imports are not counted as
+    /// stores — the side effects happened on the exporting server.
+    pub fn import_client(&self, client: u64, mut entries: Vec<(u32, Vec<u8>)>) {
+        if entries.len() > self.capacity_per_client {
+            entries.drain(..entries.len() - self.capacity_per_client);
+        }
+        self.per_client.lock().insert(client, entries.into());
+    }
+
+    /// Number of clients with live windows (leak checks in soak tests).
+    pub fn client_count(&self) -> usize {
+        self.per_client.lock().len()
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> ReplayStats {
         ReplayStats {
@@ -154,5 +181,32 @@ mod tests {
         c.store(9, 1, b"gone");
         c.forget_client(9);
         assert!(c.lookup(9, 1).is_none());
+    }
+
+    #[test]
+    fn export_import_moves_a_window() {
+        let src = ReplayCache::new(4);
+        src.store(5, 1, b"aaaa");
+        src.store(5, 2, b"bbbb");
+        let dst = ReplayCache::new(4);
+        dst.import_client(5, src.export_client(5));
+        src.forget_client(5);
+        assert_eq!(dst.lookup(5, 1).unwrap(), b"aaaa");
+        assert_eq!(dst.lookup(5, 2).unwrap(), b"bbbb");
+        assert_eq!(dst.stats().stores, 0, "imports are not stores");
+        assert_eq!(src.client_count(), 0);
+        assert_eq!(dst.client_count(), 1);
+    }
+
+    #[test]
+    fn import_truncates_to_capacity_keeping_newest() {
+        let dst = ReplayCache::new(2);
+        dst.import_client(
+            1,
+            vec![(1, b"a".to_vec()), (2, b"b".to_vec()), (3, b"c".to_vec())],
+        );
+        assert!(dst.lookup(1, 1).is_none());
+        assert!(dst.lookup(1, 2).is_some());
+        assert!(dst.lookup(1, 3).is_some());
     }
 }

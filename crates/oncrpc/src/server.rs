@@ -48,6 +48,38 @@ where
     }
 }
 
+/// Admission gate for token-tagged calls (see
+/// [`RpcServer::set_token_gate`]). `admit` runs before the replay-cache
+/// lookup; returning `false` refuses the call by closing its connection.
+/// `complete` fires when an admitted call leaves the server — replied,
+/// replayed, or failed — so implementations can track in-flight calls per
+/// token: live migration drains a token's in-flight work between evicting
+/// it and taking the final snapshot. Plain `Fn(u64) -> bool` closures
+/// implement the trait with a no-op `complete`.
+pub trait TokenGate: Send + Sync {
+    /// May a call from `token` proceed?
+    fn admit(&self, token: u64) -> bool;
+    /// An admitted call from `token` has finished.
+    fn complete(&self, _token: u64) {}
+}
+
+impl<F: Fn(u64) -> bool + Send + Sync> TokenGate for F {
+    fn admit(&self, token: u64) -> bool {
+        self(token)
+    }
+}
+
+/// Calls `complete` on every exit path of an admitted call.
+struct GateGuard(Option<(Arc<dyn TokenGate>, u64)>);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        if let Some((gate, token)) = self.0.take() {
+            gate.complete(token);
+        }
+    }
+}
+
 /// Registry of (program, version) → service.
 #[derive(Default)]
 pub struct RpcServer {
@@ -56,6 +88,9 @@ pub struct RpcServer {
     /// client token in their credential participate; `AUTH_NONE` traffic is
     /// untouched.
     replay: RwLock<Option<Arc<crate::replay::ReplayCache>>>,
+    /// Optional per-call admission gate on the client token (live
+    /// migration's eviction mechanism). `AUTH_NONE` traffic is untouched.
+    token_gate: RwLock<Option<Arc<dyn TokenGate>>>,
 }
 
 impl RpcServer {
@@ -75,6 +110,16 @@ impl RpcServer {
     /// The installed replay cache, if any.
     pub fn replay_cache(&self) -> Option<Arc<crate::replay::ReplayCache>> {
         self.replay.read().clone()
+    }
+
+    /// Install a per-call admission gate consulted with the client token of
+    /// every token-tagged call, *before* the replay-cache lookup. When the
+    /// gate returns `false` the call is not answered at all — its connection
+    /// is torn down — so the client's retry logic reconnects and its
+    /// retransmission (same xid) lands wherever it is pointed next. This is
+    /// how live migration evicts a session from its source server.
+    pub fn set_token_gate(&self, gate: Arc<dyn TokenGate>) {
+        *self.token_gate.write() = Some(gate);
     }
 
     /// Register `service` for `prog`/`vers`, replacing any prior entry.
@@ -154,11 +199,26 @@ impl RpcServer {
             return Ok(());
         };
 
+        let token = call.cred.as_client_token();
+
+        // Admission gate: a refused token gets no reply — the connection
+        // closes so the client's retransmission lands on a fresh connection
+        // (for migration: at the session's new home). Admitted calls hold
+        // the guard until the reply is encoded, so `complete` pairs with
+        // every successful `admit` on all exit paths.
+        let mut gate_guard = GateGuard(None);
+        if let (Some(gate), Some(t)) = (self.token_gate.read().clone(), token) {
+            if !gate.admit(t) {
+                return Err(RpcError::ConnectionClosed);
+            }
+            gate_guard.0 = Some((gate, t));
+        }
+
         // At-most-once: a retransmission (same client token, same xid)
         // replays the reply that was already produced — the procedure body
         // never runs twice.
         let replay = self.replay.read().clone();
-        let token = replay.as_ref().and_then(|_| call.cred.as_client_token());
+        let token = replay.as_ref().and(token);
         if let (Some(cache), Some(token)) = (&replay, token) {
             if let Some(cached) = cache.lookup(token, msg.xid) {
                 reply_enc.extend_raw(&cached);
@@ -564,6 +624,36 @@ mod tests {
             assert_eq!(sum, i + 2);
         }
         handle.shutdown();
+    }
+
+    #[test]
+    fn token_gate_refuses_by_closing_the_connection() {
+        let server = test_server();
+        server.set_token_gate(Arc::new(|token| token != 0xBAD));
+
+        // An admitted token is served normally.
+        let mut enc = XdrEncoder::new();
+        let mut call = crate::msg::CallBody::new(400, 1, 2);
+        call.cred = crate::OpaqueAuth::client_token(0x600D);
+        RpcMessage::call(1, call).encode(&mut enc);
+        (3u32, 4u32).encode(&mut enc);
+        assert!(server.handle_record(enc.as_slice()).is_ok());
+
+        // A refused token produces a connection-fatal error, not a reply.
+        let mut enc = XdrEncoder::new();
+        let mut call = crate::msg::CallBody::new(400, 1, 2);
+        call.cred = crate::OpaqueAuth::client_token(0xBAD);
+        RpcMessage::call(2, call).encode(&mut enc);
+        (3u32, 4u32).encode(&mut enc);
+        assert!(matches!(
+            server.handle_record(enc.as_slice()),
+            Err(RpcError::ConnectionClosed)
+        ));
+
+        // Untagged (AUTH_NONE) traffic is not consulted at all.
+        let mut enc = XdrEncoder::new();
+        RpcMessage::call(3, crate::msg::CallBody::new(400, 1, 0)).encode(&mut enc);
+        assert!(server.handle_record(enc.as_slice()).is_ok());
     }
 
     #[test]

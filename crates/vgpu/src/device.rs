@@ -622,6 +622,81 @@ impl Device {
         self.next_handle = next.max(HANDLE_BASE);
     }
 
+    // -- live-migration support -------------------------------------------
+    //
+    // Migration streams an incremental checkpoint while the source keeps
+    // serving, then fences all streams (the CRAC-style snapshot barrier) and
+    // ships per-stream completion frontiers + event timestamps so the
+    // destination's virtual timeline continues byte-identically.
+
+    /// Enumerate every stream's completion frontier, *including* the default
+    /// stream 0 (whose existence is implicit and not listed by
+    /// [`snapshot_streams`]).
+    pub fn snapshot_stream_frontiers(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .streams
+            .iter()
+            .map(|(&h, q)| (h, q.frontier_ns()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Restore-only: place a stream at an exact completion frontier. The
+    /// stream is (re)created idle; see [`CommandQueue::restore_frontier`].
+    pub fn restore_stream_at(&mut self, handle: u64, frontier_ns: u64) {
+        let q = self.streams.entry(handle).or_default();
+        if !q.restore_frontier(frontier_ns) {
+            // A non-idle queue here means restore ran on a live device; fence
+            // it first so the frontier restore is well-defined.
+            q.retire_until(u64::MAX, handle, &mut self.retired);
+            let q = self.streams.get_mut(&handle).expect("just inserted");
+            let _ = q.restore_frontier(frontier_ns);
+        }
+    }
+
+    /// Enumerate event record timestamps as (handle, recorded_at_ns).
+    pub fn snapshot_event_states(&self) -> Vec<(u64, Option<u64>)> {
+        let mut v: Vec<(u64, Option<u64>)> = self
+            .events
+            .iter()
+            .map(|(&h, e)| (h, e.recorded_at_ns))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Restore-only: place an event with an exact recorded timestamp.
+    pub fn restore_event_at(&mut self, handle: u64, recorded_at_ns: Option<u64>) {
+        self.events.insert(handle, EventState { recorded_at_ns });
+    }
+
+    /// Snapshot barrier: force-retire all pending commands on every stream.
+    ///
+    /// Execution in this engine is eager (memory effects land at enqueue;
+    /// queues only model device *time*), so fencing cannot change memory —
+    /// it guarantees the final migration delta is taken with zero commands
+    /// in flight. Returns the post-fence device completion frontier.
+    pub fn fence_all_streams(&mut self) -> u64 {
+        let mut handles: Vec<u64> = self.streams.keys().copied().collect();
+        handles.sort_unstable();
+        for h in handles {
+            if let Some(q) = self.streams.get_mut(&h) {
+                q.retire_until(u64::MAX, h, &mut self.retired);
+            }
+        }
+        self.streams
+            .values()
+            .map(|q| q.frontier_ns())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total pending commands across all streams (migration barrier check).
+    pub fn pending_commands(&self) -> usize {
+        self.streams.values().map(|q| q.pending_len()).sum()
+    }
+
     // -- streams & events -------------------------------------------------
 
     /// cudaStreamCreate.
@@ -1075,5 +1150,43 @@ mod tests {
         assert_eq!(sub2.completes_at_ns, sub.completes_at_ns + 5_000);
         assert!(d.enqueue_library(777, "gemm", 1).is_err());
         assert_eq!(d.stream_synchronize(s).unwrap(), 15_000);
+    }
+
+    #[test]
+    fn fence_then_frontier_restore_continues_the_timeline() {
+        // Source device: enqueue work on two streams, fence, snapshot
+        // frontiers + event timestamps.
+        let mut src = Device::a100();
+        let (s, _) = src.stream_create();
+        let (ev, _) = src.event_create();
+        src.enqueue_library(s, "gemm", 10_000).unwrap();
+        src.enqueue_library(0, "gemm", 4_000).unwrap();
+        src.event_record(ev, s).unwrap();
+        assert!(src.pending_commands() > 0);
+        let device_frontier = src.fence_all_streams();
+        assert_eq!(src.pending_commands(), 0);
+        assert_eq!(device_frontier, 10_000);
+        let frontiers = src.snapshot_stream_frontiers();
+        assert!(frontiers.contains(&(0, 4_000)));
+        assert!(frontiers.contains(&(s, 10_000)));
+        let events = src.snapshot_event_states();
+        assert_eq!(events, vec![(ev, Some(10_000))]);
+
+        // Destination device built from the snapshot: the next enqueue on
+        // each stream lands at the same absolute virtual time the source
+        // would have produced.
+        let mut dst = Device::a100();
+        for &(h, f) in &frontiers {
+            dst.restore_stream_at(h, f);
+        }
+        for &(h, rec) in &events {
+            dst.restore_event_at(h, rec);
+        }
+        let sub = dst.enqueue_library(s, "gemm", 1_000).unwrap();
+        assert_eq!(sub.completes_at_ns, 11_000);
+        let sub0 = dst.enqueue_library(0, "gemm", 1_000).unwrap();
+        assert_eq!(sub0.completes_at_ns, 5_000);
+        // Event timestamp survives for elapsed-time queries.
+        assert_eq!(dst.snapshot_event_states(), vec![(ev, Some(10_000))]);
     }
 }

@@ -10,9 +10,18 @@
 //! Each block carries a monotonically increasing **version**, bumped on every
 //! write; the kernel memoization cache uses versions to detect that inputs
 //! are unchanged (see crate docs).
+//!
+//! For live migration the manager also tracks **dirty ranges**: every write
+//! records the touched `(offset, len)` span on its block, merged and capped
+//! at [`MAX_DIRTY_RANGES`] (overflow collapses to the whole block). Epochs
+//! cut the tracking into windows: [`MemoryManager::mark_epoch`] clears all
+//! dirty spans, and [`MemoryManager::delta_since`] packages everything that
+//! changed since the last mark — freed blocks, new blocks (full bytes), and
+//! the dirty spans of surviving blocks — as a [`MemDelta`] that
+//! [`MemoryManager::apply_delta`] replays on a destination manager.
 
 use crate::error::{VgpuError, VgpuResult};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A raw device pointer (opaque 64-bit address).
 pub type DevicePtr = u64;
@@ -23,11 +32,71 @@ pub const HEAP_BASE: u64 = 0x0100_0000_0000;
 /// CUDA allocation alignment.
 pub const ALLOC_ALIGN: u64 = 256;
 
+/// Dirty spans tracked per block before collapsing to whole-block. Small on
+/// purpose: past this many distinct spans the block is effectively rewritten
+/// and a single full-range entry is cheaper than precise bookkeeping.
+pub const MAX_DIRTY_RANGES: usize = 32;
+
+/// Sorted, merged `(offset, len)` spans within one block, capped at
+/// [`MAX_DIRTY_RANGES`] entries (overflow collapses to one whole-block span).
+#[derive(Debug, Default, Clone)]
+struct DirtyRanges {
+    spans: Vec<(u64, u64)>,
+}
+
+impl DirtyRanges {
+    fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Record `[off, off+len)` as dirty, merging with touching/overlapping
+    /// spans. `block_size` bounds the whole-block collapse.
+    fn mark(&mut self, off: u64, len: u64, block_size: u64) {
+        if len == 0 {
+            return;
+        }
+        // Already collapsed to the whole block: nothing finer to track.
+        if self.spans.first() == Some(&(0, block_size)) {
+            return;
+        }
+        let (mut start, mut end) = (off, off + len);
+        // Merge every span that overlaps or touches [start, end).
+        let mut i = 0;
+        while i < self.spans.len() {
+            let (s, l) = self.spans[i];
+            if s + l < start || s > end {
+                i += 1;
+                continue;
+            }
+            start = start.min(s);
+            end = end.max(s + l);
+            self.spans.remove(i);
+        }
+        let at = self.spans.partition_point(|&(s, _)| s < start);
+        self.spans.insert(at, (start, end - start));
+        if self.spans.len() > MAX_DIRTY_RANGES {
+            self.spans.clear();
+            self.spans.push((0, block_size));
+        }
+    }
+
+    fn spans(&self) -> &[(u64, u64)] {
+        &self.spans
+    }
+}
+
 #[derive(Debug)]
 struct Block {
     size: u64,
     data: Vec<u8>,
     version: u64,
+    /// Epoch (see [`MemoryManager::mark_epoch`]) in which this block was
+    /// created. A block born in the current window always travels whole in
+    /// a delta, even if its base address was seen before (free + realloc at
+    /// the same address must not masquerade as an in-place update).
+    born_epoch: u64,
+    /// Spans written since the last epoch mark.
+    dirty: DirtyRanges,
 }
 
 /// Device memory state: live allocations + free list.
@@ -39,8 +108,40 @@ pub struct MemoryManager {
     /// start address → length, coalesced
     free_list: BTreeMap<u64, u64>,
     next_version: u64,
+    /// Current dirty-tracking window (bumped by [`Self::mark_epoch`]).
+    epoch: u64,
     /// Running counters for telemetry and tests.
     pub stats: MemStats,
+}
+
+/// Everything that changed on a [`MemoryManager`] since an epoch mark,
+/// relative to a `known` set of block bases the consumer already holds:
+/// blocks to free, blocks to materialize whole, and in-place dirty spans.
+/// Apply order is frees → new blocks → dirty writes (see
+/// [`MemoryManager::apply_delta`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Bases the consumer holds that are gone (or were replaced) here.
+    pub freed: Vec<u64>,
+    /// Blocks the consumer lacks (or must replace), with full contents.
+    pub new_blocks: Vec<(u64, Vec<u8>)>,
+    /// `(base, offset, bytes)` in-place updates to surviving blocks.
+    pub dirty: Vec<(u64, u64, Vec<u8>)>,
+}
+
+impl MemDelta {
+    /// Payload bytes this delta moves (block contents + dirty spans; the
+    /// metadata framing is negligible next to these).
+    pub fn payload_bytes(&self) -> u64 {
+        let new: u64 = self.new_blocks.iter().map(|(_, b)| b.len() as u64).sum();
+        let dirty: u64 = self.dirty.iter().map(|(_, _, b)| b.len() as u64).sum();
+        new + dirty
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.freed.is_empty() && self.new_blocks.is_empty() && self.dirty.is_empty()
+    }
 }
 
 /// Allocation statistics.
@@ -74,6 +175,7 @@ impl MemoryManager {
             blocks: BTreeMap::new(),
             free_list,
             next_version: 1,
+            epoch: 0,
             stats: MemStats::default(),
         }
     }
@@ -124,6 +226,8 @@ impl MemoryManager {
                 size: rounded,
                 data: vec![0u8; rounded as usize],
                 version: self.next_version,
+                born_epoch: self.epoch,
+                dirty: DirtyRanges::default(),
             },
         );
         self.next_version += 1;
@@ -201,6 +305,7 @@ impl MemoryManager {
         let block = self.blocks.get_mut(&base).expect("resolved");
         block.data[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
         block.version = version;
+        block.dirty.mark(off, bytes.len() as u64, block.size);
         Ok(())
     }
 
@@ -212,6 +317,7 @@ impl MemoryManager {
         let block = self.blocks.get_mut(&base).expect("resolved");
         block.data[off as usize..(off + len) as usize].fill(value);
         block.version = version;
+        block.dirty.mark(off, len, block.size);
         Ok(())
     }
 
@@ -242,6 +348,7 @@ impl MemoryManager {
         let block = self.blocks.get_mut(&base).expect("resolved");
         let r = f(&mut block.data[off as usize..(off + len) as usize]);
         block.version = version;
+        block.dirty.mark(off, len, block.size);
         Ok(r)
     }
 
@@ -292,12 +399,87 @@ impl MemoryManager {
                 size,
                 data: bytes.to_vec(),
                 version: self.next_version,
+                born_epoch: self.epoch,
+                dirty: DirtyRanges::default(),
             },
         );
         self.next_version += 1;
         self.stats.allocs += 1;
         self.stats.bytes_in_use += size;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes_in_use);
+        Ok(())
+    }
+
+    // -- dirty tracking / incremental deltas ------------------------------
+
+    /// Cut a dirty-tracking window: clear every block's dirty spans and
+    /// advance the epoch. Blocks allocated after this call are "born in the
+    /// new window" and travel whole in the next [`Self::delta_since`].
+    /// Returns the new epoch number.
+    pub fn mark_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        for block in self.blocks.values_mut() {
+            block.dirty.clear();
+        }
+        self.epoch
+    }
+
+    /// Current dirty-tracking epoch (0 until the first mark).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Dirty spans of the block at `base` as `(offset, len)` pairs, merged.
+    pub fn dirty_spans(&self, base: u64) -> VgpuResult<Vec<(u64, u64)>> {
+        self.blocks
+            .get(&base)
+            .map(|b| b.dirty.spans().to_vec())
+            .ok_or(VgpuError::InvalidPointer(base))
+    }
+
+    /// Package everything that changed since the last [`Self::mark_epoch`],
+    /// relative to `known` — the set of block bases the consumer already
+    /// holds (typically: what the previous delta or base snapshot shipped).
+    /// A block born in the current window is always shipped whole, even if
+    /// its base is in `known` (free + realloc at the same address).
+    pub fn delta_since(&self, known: &BTreeSet<u64>) -> MemDelta {
+        let mut delta = MemDelta::default();
+        for &base in known {
+            let reborn = self
+                .blocks
+                .get(&base)
+                .is_some_and(|b| b.born_epoch >= self.epoch);
+            if reborn || !self.blocks.contains_key(&base) {
+                delta.freed.push(base);
+            }
+        }
+        for (&base, block) in &self.blocks {
+            if !known.contains(&base) || block.born_epoch >= self.epoch {
+                delta.new_blocks.push((base, block.data.clone()));
+            } else {
+                for &(off, len) in block.dirty.spans() {
+                    let bytes = block.data[off as usize..(off + len) as usize].to_vec();
+                    delta.dirty.push((base, off, bytes));
+                }
+            }
+        }
+        delta
+    }
+
+    /// Replay a [`MemDelta`] produced by a source manager: free departed
+    /// blocks, materialize new ones at their exact addresses, then apply
+    /// in-place dirty spans. Fails (typed) if the delta does not fit this
+    /// manager's state — e.g. a new block overlapping live memory.
+    pub fn apply_delta(&mut self, delta: &MemDelta) -> VgpuResult<()> {
+        for &base in &delta.freed {
+            self.free(base)?;
+        }
+        for (base, bytes) in &delta.new_blocks {
+            self.restore_block(*base, bytes)?;
+        }
+        for (base, off, bytes) in &delta.dirty {
+            self.write(base + off, bytes)?;
+        }
         Ok(())
     }
 }
@@ -528,6 +710,116 @@ mod tests {
         assert_eq!(m.read(p, 5).unwrap(), b"state");
         // Restoring over live memory fails.
         assert!(m.restore_block(p, &saved).is_err());
+    }
+
+    // -- dirty tracking / deltas -----------------------------------------
+
+    #[test]
+    fn dirty_spans_merge_and_clear() {
+        let mut m = mm();
+        let p = m.alloc(1024).unwrap();
+        m.mark_epoch();
+        assert!(m.dirty_spans(p).unwrap().is_empty(), "epoch mark clears");
+        m.write(p + 16, &[1; 16]).unwrap();
+        m.write(p + 32, &[2; 16]).unwrap(); // touches the first span
+        m.write(p + 256, &[3; 8]).unwrap();
+        assert_eq!(m.dirty_spans(p).unwrap(), vec![(16, 32), (256, 8)]);
+        m.write(p + 20, &[4; 200]).unwrap(); // swallows the first span
+        assert_eq!(m.dirty_spans(p).unwrap(), vec![(16, 204), (256, 8)]);
+        m.mark_epoch();
+        assert!(m.dirty_spans(p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dirty_overflow_collapses_to_whole_block() {
+        let mut m = mm();
+        let p = m.alloc(8192).unwrap();
+        m.mark_epoch();
+        // Disjoint 1-byte writes, two bytes apart: more spans than the cap.
+        for i in 0..(MAX_DIRTY_RANGES as u64 + 4) {
+            m.write(p + i * 2, &[9]).unwrap();
+        }
+        assert_eq!(m.dirty_spans(p).unwrap(), vec![(0, 8192)]);
+        // Further writes stay collapsed.
+        m.write(p + 4000, &[1]).unwrap();
+        assert_eq!(m.dirty_spans(p).unwrap(), vec![(0, 8192)]);
+    }
+
+    /// Base + deltas reconstruct the source bytes, including the tricky
+    /// free-then-realloc-at-the-same-address case, which must travel as
+    /// freed + whole new block rather than as an in-place update.
+    #[test]
+    fn delta_since_reconstructs_source_state() {
+        let mut src = MemoryManager::new(1 << 16);
+        let mut dst = MemoryManager::new(1 << 16);
+        let a = src.alloc(512).unwrap();
+        let b = src.alloc(256).unwrap();
+        src.write(a, &[1; 512]).unwrap();
+        src.write(b, &[2; 256]).unwrap();
+
+        // Base snapshot: delta relative to "knows nothing".
+        let base = src.delta_since(&BTreeSet::new());
+        dst.apply_delta(&base).unwrap();
+        let known: BTreeSet<u64> = src.live_allocations().map(|(p, _)| p).collect();
+        src.mark_epoch();
+
+        // Window: in-place update on `a`, free+realloc at `b`'s address
+        // (same first-fit slot, different size), and a brand-new block.
+        src.write(a + 64, &[7; 32]).unwrap();
+        src.free(b).unwrap();
+        let b2 = src.alloc(128).unwrap();
+        assert_eq!(b2, b, "first fit reuses the freed slot");
+        src.write(b2, &[8; 64]).unwrap();
+        let c = src.alloc(256).unwrap();
+        src.write(c, &[9; 16]).unwrap();
+
+        let delta = src.delta_since(&known);
+        assert!(delta.freed.contains(&b), "realloc must free the old block");
+        assert_eq!(delta.new_blocks.len(), 2, "reborn b + new c travel whole");
+        assert_eq!(delta.dirty.len(), 1, "only a's span is in-place");
+        dst.apply_delta(&delta).unwrap();
+
+        for (p, size) in src.live_allocations() {
+            assert_eq!(
+                src.block_bytes(p).unwrap(),
+                dst.block_bytes(p).unwrap(),
+                "block {p:#x} ({size} B) diverged"
+            );
+        }
+        assert_eq!(src.free_bytes(), dst.free_bytes());
+    }
+
+    #[test]
+    fn delta_payload_is_incremental_not_full() {
+        let mut m = MemoryManager::new(1 << 20);
+        let p = m.alloc(1 << 18).unwrap();
+        m.write(p, &vec![5u8; 1 << 18]).unwrap();
+        let known: BTreeSet<u64> = m.live_allocations().map(|(b, _)| b).collect();
+        m.mark_epoch();
+        m.write(p + 1000, &[1; 100]).unwrap();
+        let delta = m.delta_since(&known);
+        assert_eq!(delta.payload_bytes(), 100);
+        assert!(!delta.is_empty());
+        m.mark_epoch();
+        assert!(m.delta_since(&known).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_rejects_misfit() {
+        let mut dst = MemoryManager::new(1 << 16);
+        let live = dst.alloc(512).unwrap();
+        let delta = MemDelta {
+            freed: vec![],
+            new_blocks: vec![(live, vec![0u8; 512])],
+            dirty: vec![],
+        };
+        assert!(dst.apply_delta(&delta).is_err(), "overlaps live memory");
+        let delta = MemDelta {
+            freed: vec![live + 8192],
+            new_blocks: vec![],
+            dirty: vec![],
+        };
+        assert!(dst.apply_delta(&delta).is_err(), "freeing unknown block");
     }
 
     #[test]

@@ -151,6 +151,22 @@ impl CommandQueue {
         self.frontier_ns
     }
 
+    /// Place an *idle* queue at an exact completion frontier.
+    ///
+    /// Used when reconstructing a stream on a migration destination: the
+    /// source fences the stream (retires all pending work), ships its
+    /// frontier, and the destination recreates the queue at that frontier so
+    /// subsequent enqueues produce the same absolute virtual timestamps the
+    /// source would have produced. Restoring a non-empty queue would reorder
+    /// in-flight commands, so that is rejected.
+    pub fn restore_frontier(&mut self, ns: u64) -> bool {
+        if !self.pending.is_empty() {
+            return false;
+        }
+        self.frontier_ns = ns;
+        true
+    }
+
     /// Nanoseconds a host thread at `now_ns` must wait for this stream to
     /// drain.
     pub fn wait_ns(&self, now_ns: u64) -> u64 {

@@ -32,7 +32,9 @@ pub mod prelude {
         ApiStats, ClientError, ClientResult, Context, CricketClient, CubinBuilder, DeviceBuffer,
         Dim3, Endpoint, EnvConfig, Event, Function, Module, ParamBuilder, Placement, Stream,
     };
-    pub use cricket_fleet::{Fleet, FleetBuilder, ShardDirectory};
+    pub use cricket_fleet::{
+        Fleet, FleetBuilder, MigrateError, MigrationReport, SessionMigration, ShardDirectory,
+    };
     pub use cricket_server::{ReactorConfig, ServeMode, ServerBuilder};
     pub use proxy_apps::{bandwidth, histogram, linear_solver, matrix_mul};
 }

@@ -49,6 +49,9 @@ cargo test --test proptest_stack -q streaming_deltas
 echo "==> bench smoke: migrate (streamed resync <50% of naive bytes at <=25% dirty)"
 cargo run --release -p cricket-bench --bin migrate -- --smoke
 
+echo "==> bench smoke: multitenant QoS (WFQ favoritism >=2x, weight shares within 10%, quota shedding)"
+cargo run --release -p cricket-bench --bin multitenant -- --qos --smoke
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

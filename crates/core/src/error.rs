@@ -32,6 +32,13 @@ pub enum ClientError {
     /// Connect-time shard resolution through a fleet directory failed: no
     /// shard registered, or every ranked candidate was unreachable.
     Directory(String),
+    /// The server shed the call with `CRICKET_BUSY` (overload or quota)
+    /// and it was still being shed after the retry policy's attempts ran
+    /// out. The call never executed; retrying later is safe.
+    Busy {
+        /// The server's last retry-after hint, nanoseconds.
+        retry_after_ns: u64,
+    },
 }
 
 impl ClientError {
@@ -44,8 +51,14 @@ impl ClientError {
     pub fn cuda_code(&self) -> Option<i32> {
         match self {
             ClientError::Cuda { code, .. } | ClientError::Batch { code, .. } => Some(*code),
-            ClientError::Rpc(_) | ClientError::Directory(_) => None,
+            ClientError::Rpc(_) | ClientError::Directory(_) | ClientError::Busy { .. } => None,
         }
+    }
+
+    /// Whether this error means "the server refused, try again later"
+    /// (the call was never executed).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy { .. })
     }
 }
 
@@ -66,6 +79,9 @@ impl fmt::Display for ClientError {
                 write!(f, "{api} failed in batch at sub-op {index}: {name}")
             }
             ClientError::Directory(msg) => write!(f, "directory error: {msg}"),
+            ClientError::Busy { retry_after_ns } => {
+                write!(f, "server busy, retry after {retry_after_ns}ns")
+            }
         }
     }
 }
@@ -74,16 +90,20 @@ impl std::error::Error for ClientError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClientError::Rpc(e) => Some(e),
-            ClientError::Cuda { .. } | ClientError::Batch { .. } | ClientError::Directory(_) => {
-                None
-            }
+            ClientError::Cuda { .. }
+            | ClientError::Batch { .. }
+            | ClientError::Directory(_)
+            | ClientError::Busy { .. } => None,
         }
     }
 }
 
 impl From<oncrpc::RpcError> for ClientError {
     fn from(e: oncrpc::RpcError) -> Self {
-        ClientError::Rpc(e)
+        match e {
+            oncrpc::RpcError::Busy { retry_after_ns } => ClientError::Busy { retry_after_ns },
+            other => ClientError::Rpc(other),
+        }
     }
 }
 
@@ -125,5 +145,22 @@ mod tests {
         let e = ClientError::Rpc(oncrpc::RpcError::TimedOut);
         assert_eq!(e.cuda_code(), None);
         assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn busy_lifts_out_of_the_rpc_layer() {
+        let e: ClientError = oncrpc::RpcError::Busy {
+            retry_after_ns: 2_000_000,
+        }
+        .into();
+        assert!(e.is_busy());
+        assert_eq!(e.cuda_code(), None);
+        let s = e.to_string();
+        assert!(s.contains("busy"), "{s}");
+        assert!(s.contains("2000000ns"), "{s}");
+        // Every other RpcError still maps to the Rpc variant.
+        let other: ClientError = oncrpc::RpcError::TimedOut.into();
+        assert!(!other.is_busy());
+        assert!(matches!(other, ClientError::Rpc(_)));
     }
 }

@@ -814,10 +814,18 @@ impl CricketClient {
         Self::int_status("srvResetStats", self.stub.srv_reset_stats()?)
     }
 
-    /// Select the GPU-sharing scheduler (0 FIFO, 1 RR, 2 priority).
+    /// Select the GPU-sharing scheduler (0 FIFO, 1 RR, 2 priority, 3 WFQ).
     pub fn set_scheduler(&mut self, policy: i32) -> ClientResult<()> {
         self.flush_batch()?;
         Self::int_status("srvSetScheduler", self.stub.srv_set_scheduler(&policy)?)
+    }
+
+    /// Set a session's QoS parameters (WFQ weight, priority, device-time
+    /// rate quota, resident-bytes quota). Zeroed quota fields mean
+    /// "unlimited"; a zero weight is clamped to 1 server-side.
+    pub fn set_qos(&mut self, params: &cricket_proto::QosParams) -> ClientResult<()> {
+        self.flush_batch()?;
+        Self::int_status("cricketQosSet", self.stub.cricket_qos_set(params)?)
     }
 
     /// Liveness probe.

@@ -491,6 +491,9 @@ mod tests {
             fn mig_abort(&self, arg0: u64) -> Result<i32, oncrpc::AcceptStat> {
                 Ok(arg0 as i32)
             }
+            fn cricket_qos_set(&self, arg0: QosParams) -> Result<i32, oncrpc::AcceptStat> {
+                Ok(arg0.weight as i32)
+            }
         }
 
         let server = Arc::new(RpcServer::new());

@@ -111,6 +111,14 @@ impl ServerBuilder {
         self
     }
 
+    /// QoS / overload-control configuration (session watermark, admission
+    /// retry hint). Applies to the server this builder creates; ignored
+    /// when [`Self::server`] supplies an existing one.
+    pub fn qos(mut self, qos: crate::service::QosServerConfig) -> Self {
+        self.config.qos = qos;
+        self
+    }
+
     /// Register this server as a shard of `(prog, vers)` in the directory
     /// at `dir_addr`, with a 250 ms load-report heartbeat (tune via
     /// [`Self::heartbeat`]). Resolution errors surface from [`Self::serve`]

@@ -29,21 +29,70 @@ pub mod transport;
 pub use builder::{DirectoryRegistration, ServeHandle, ServerBuilder};
 pub use migrate::{MigBlob, MigKind, SessionMeta};
 pub use oncrpc::ReactorConfig;
-pub use scheduler::{SchedulerPolicy, SessionId};
-pub use service::{CricketServer, ServerConfig, SessionCleanup};
+pub use scheduler::{QosSpec, SchedulerPolicy, SessionId};
+pub use service::{CricketServer, QosServerConfig, ServerConfig, SessionCleanup};
 pub use transport::SimTransport;
 
 use std::sync::Arc;
 
+/// QoS admission gate in front of the generated dispatch: every call for
+/// one session passes [`CricketServer::qos_admit`] before its procedure
+/// body runs. A shed call returns [`oncrpc::AcceptStat::Busy`] with a
+/// retry-after hint and is never executed (and never replay-cached).
+struct QosGate {
+    inner: cricket_proto::CricketV1Dispatch<service::Sessioned>,
+    server: Arc<CricketServer>,
+    session: SessionId,
+}
+
+impl oncrpc::server::Dispatch for QosGate {
+    fn dispatch(
+        &self,
+        proc: u32,
+        args: &mut xdr::XdrDecoder<'_>,
+        reply: &mut xdr::XdrEncoder,
+    ) -> oncrpc::server::DispatchResult {
+        // Peek the CUDA_MALLOC size (without consuming the argument stream)
+        // so the resident-bytes quota can refuse before allocating.
+        let malloc_size = if proc == cricket_proto::cricket_v1::CUDA_MALLOC {
+            args.clone().get_u64().ok()
+        } else {
+            None
+        };
+        if let Err(hint) = self.server.qos_admit(self.session, proc, malloc_size) {
+            oncrpc::server::set_busy_retry_after_ns(hint);
+            return Err(oncrpc::AcceptStat::Busy);
+        }
+        self.inner.dispatch(proc, args, reply)
+    }
+}
+
 /// Register a [`CricketServer`] on an [`oncrpc::RpcServer`] and return both.
 pub fn make_rpc_server(server: Arc<CricketServer>) -> Arc<oncrpc::RpcServer> {
-    let rpc = Arc::new(oncrpc::RpcServer::new());
+    Arc::new(make_session_rpc_inner(server, 0))
+}
+
+/// Build an `RpcServer` bound to one session of `server`, with the QoS
+/// admission gate installed. Public so in-process harnesses (benches,
+/// examples) serve per-session views through the same admission path as
+/// real connections.
+pub fn make_session_rpc(server: Arc<CricketServer>, session: SessionId) -> oncrpc::RpcServer {
+    make_session_rpc_inner(server, session)
+}
+
+fn make_session_rpc_inner(server: Arc<CricketServer>, session: SessionId) -> oncrpc::RpcServer {
+    let rpc = oncrpc::RpcServer::new();
     rpc.register(
         cricket_proto::CRICKET_CUDA,
         cricket_proto::CRICKET_V1,
-        Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
-            server, 0,
-        ))),
+        Arc::new(QosGate {
+            inner: cricket_proto::CricketV1Dispatch(service::Sessioned::new(
+                Arc::clone(&server),
+                session,
+            )),
+            server,
+            session,
+        }),
     );
     rpc
 }
@@ -95,7 +144,8 @@ pub fn proc_class(proc: u32) -> oncrpc::ProcClass {
         | p::CUSOLVER_DN_DGETRF_BUFFER_SIZE
         | p::SRV_GET_STATS
         | p::SRV_RESET_STATS
-        | p::SRV_SET_SCHEDULER => oncrpc::ProcClass::Done,
+        | p::SRV_SET_SCHEDULER
+        | p::CRICKET_QOS_SET => oncrpc::ProcClass::Done,
         _ => oncrpc::ProcClass::Parked,
     }
 }
@@ -145,10 +195,14 @@ pub(crate) fn session_rpc(
     rpc.register(
         cricket_proto::CRICKET_CUDA,
         cricket_proto::CRICKET_V1,
-        Arc::new(cricket_proto::CricketV1Dispatch(service::Sessioned::new(
-            Arc::clone(server),
+        Arc::new(QosGate {
+            inner: cricket_proto::CricketV1Dispatch(service::Sessioned::new(
+                Arc::clone(server),
+                session,
+            )),
+            server: Arc::clone(server),
             session,
-        ))),
+        }),
     );
     rpc
 }

@@ -10,12 +10,38 @@
 //! per-session ledger charges each session for the device time its commands
 //! occupy. The critical section is the enqueue itself (microseconds of host
 //! time), never the device time.
+//!
+//! # Weighted fair queuing
+//!
+//! The `Wfq` policy implements start-time fair queuing over the existing
+//! `served_ns` ledger. Each session carries a virtual finish time (`vft`):
+//! charging `ns` of device time advances it by `ns * WEIGHT_SCALE / weight`,
+//! so a weight-4 session's clock runs four times slower and it wins the
+//! issue slot four times as often under backlog. A global virtual clock
+//! (`vclock`) tracks the start tag of the work in service; sessions joining
+//! (or returning from idle) are floored at `vclock`, so idling never banks
+//! credit and a newcomer cannot starve incumbents. `Fifo`, `RoundRobin`,
+//! and `Priority` remain as degenerate configurations of the same queue.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifies one client session (one unikernel instance).
 pub type SessionId = u32;
+
+/// Fixed-point scale for the virtual-finish-time ledger: charging `ns` at
+/// weight `w` advances the session's clock by `ns * WEIGHT_SCALE / w`.
+pub const WEIGHT_SCALE: u64 = 1 << 10;
+
+/// Real-time bound on the anticipation window: how long the pick winner
+/// holds its claim open for the just-served session's next request. Long
+/// enough for a closed-loop client to unwind one call and issue the next
+/// even when the OS delays its thread a few scheduling periods; short
+/// enough that a departed session costs one scheduling hiccup, not a
+/// stall. The window only ever opens for a session holding banked WFQ
+/// credit (see `IssueTurn::drop`), so this bound is off every hot path.
+const ANTICIPATION_WINDOW: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// Arbitration policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +53,9 @@ pub enum SchedulerPolicy {
     RoundRobin,
     /// Lowest priority value first (per-session priorities; default 100).
     Priority,
+    /// Weighted fair queuing: smallest virtual finish time first, weighted
+    /// by per-session weights (default 1).
+    Wfq,
 }
 
 impl SchedulerPolicy {
@@ -36,7 +65,63 @@ impl SchedulerPolicy {
             0 => Some(SchedulerPolicy::Fifo),
             1 => Some(SchedulerPolicy::RoundRobin),
             2 => Some(SchedulerPolicy::Priority),
+            3 => Some(SchedulerPolicy::Wfq),
             _ => None,
+        }
+    }
+}
+
+/// Per-session QoS configuration (`CRICKET_QOS_SET` payload). Zero means
+/// "unlimited" for the quota fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosSpec {
+    /// WFQ weight (>=1; clamped). A weight-4 session receives 4x the device
+    /// share of a weight-1 session under backlog.
+    pub weight: u32,
+    /// Priority value for the `Priority` policy (lower = sooner).
+    pub priority: u32,
+    /// Device-ns of work permitted per second of (virtual) clock time;
+    /// 0 = unlimited.
+    pub rate_ns_per_s: u64,
+    /// Token-bucket burst capacity in device-ns; 0 = one second's worth of
+    /// `rate_ns_per_s`.
+    pub burst_ns: u64,
+    /// Resident device-memory ceiling in bytes; 0 = unlimited.
+    pub max_resident_bytes: u64,
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        Self {
+            weight: 1,
+            priority: 100,
+            rate_ns_per_s: 0,
+            burst_ns: 0,
+            max_resident_bytes: 0,
+        }
+    }
+}
+
+/// QoS config plus token-bucket state for one session.
+#[derive(Debug, Clone, Copy)]
+struct SessionQos {
+    spec: QosSpec,
+    /// Device-ns currently in the bucket.
+    bucket_ns: u64,
+    /// Clock timestamp of the last refill.
+    bucket_at_ns: u64,
+    /// The bucket starts full on first use, not at configuration time —
+    /// priming lazily keeps `set_qos` clock-free.
+    bucket_primed: bool,
+}
+
+impl SessionQos {
+    fn with_spec(spec: QosSpec) -> Self {
+        Self {
+            spec,
+            bucket_ns: 0,
+            bucket_at_ns: 0,
+            bucket_primed: false,
         }
     }
 }
@@ -58,6 +143,23 @@ struct State {
     served_ops: HashMap<SessionId, u64>,
     /// Device-time nanoseconds charged per session.
     served_ns: HashMap<SessionId, u64>,
+    /// Per-session virtual finish times (WFQ ledger).
+    vft: HashMap<SessionId, u64>,
+    /// Global virtual clock: start tag of the work in service. Floors the
+    /// vft of sessions arriving from idle.
+    vclock: u64,
+    /// Anticipation (classic anticipatory-scheduling): the session whose
+    /// turn just ended and whose next request has not yet re-queued. The
+    /// pick winner waits (bounded) for this session to return before
+    /// claiming, so a closed-loop client racing its own wake-up latency
+    /// still contends at every pick and the issue order stays the
+    /// policy's — without it, WFQ can never hand a high-weight session its
+    /// back-to-back turns, because the woken waiter always beats the
+    /// served session's next call to the queue.
+    drop_pending: Option<SessionId>,
+    /// When armed, every grant appends the served session id — a debugging
+    /// and test hook for asserting on the exact issue order.
+    trace: Option<Vec<SessionId>>,
 }
 
 /// The scheduler: orders issue slots by policy and keeps the per-session
@@ -66,7 +168,10 @@ pub struct Scheduler {
     policy: Mutex<SchedulerPolicy>,
     state: Mutex<State>,
     cond: Condvar,
-    priorities: Mutex<HashMap<SessionId, u32>>,
+    /// Per-session QoS configuration. Lock order: `qos` before `state`.
+    qos: Mutex<HashMap<SessionId, SessionQos>>,
+    /// Calls shed with `CRICKET_BUSY` since the last `take_recent_sheds`.
+    sheds: AtomicU64,
 }
 
 impl Default for Scheduler {
@@ -87,12 +192,36 @@ impl IssueTurn<'_> {
     pub fn charge(&self, ns: u64) {
         self.sched.charge(self.session, ns);
     }
+
+    /// Should the holder release the slot and requeue? True when a waiter
+    /// the current policy would serve first is queued (preemption point
+    /// between batch sub-op slices).
+    pub fn should_yield(&self) -> bool {
+        self.sched.should_yield(self.session)
+    }
 }
 
 impl Drop for IssueTurn<'_> {
     fn drop(&mut self) {
         let mut st = self.sched.state.lock();
         st.busy = false;
+        // Anticipate this session's next request — but only under WFQ,
+        // where banked credit can make the returning session the rightful
+        // next pick. Under FIFO/round-robin/priority the returning session
+        // can never beat an already-queued waiter (it re-arrives with a
+        // fresh ticket), so holding the slot would be a pure real-time
+        // stall — fatal for open servers, where the next request is a
+        // network round trip away. Skip it too when a request of this
+        // session is already queued (a second connection, or a batch slice
+        // that re-queued before yielding).
+        let policy = *self.sched.policy.lock();
+        st.drop_pending = if policy == SchedulerPolicy::Wfq
+            && !st.queue.iter().any(|w| w.session == self.session)
+        {
+            Some(self.session)
+        } else {
+            None
+        };
         drop(st);
         self.sched.cond.notify_all();
     }
@@ -105,7 +234,8 @@ impl Scheduler {
             policy: Mutex::new(policy),
             state: Mutex::new(State::default()),
             cond: Condvar::new(),
-            priorities: Mutex::new(HashMap::new()),
+            qos: Mutex::new(HashMap::new()),
+            sheds: AtomicU64::new(0),
         }
     }
 
@@ -120,9 +250,42 @@ impl Scheduler {
         *self.policy.lock()
     }
 
-    /// Set a session's priority (lower = sooner; default 100).
+    /// Set a session's priority (lower = sooner; default 100). Config only:
+    /// never recreates ledger state for a forgotten session.
     pub fn set_priority(&self, session: SessionId, priority: u32) {
-        self.priorities.lock().insert(session, priority);
+        self.qos
+            .lock()
+            .entry(session)
+            .or_insert_with(|| SessionQos::with_spec(QosSpec::default()))
+            .spec
+            .priority = priority;
+    }
+
+    /// Set a session's WFQ weight (>=1; default 1). Config only: never
+    /// recreates ledger state for a forgotten session.
+    pub fn set_weight(&self, session: SessionId, weight: u32) {
+        self.qos
+            .lock()
+            .entry(session)
+            .or_insert_with(|| SessionQos::with_spec(QosSpec::default()))
+            .spec
+            .weight = weight.max(1);
+    }
+
+    /// Install a full QoS spec (`CRICKET_QOS_SET`), resetting the token
+    /// bucket so a rate change takes effect immediately.
+    pub fn set_qos(&self, session: SessionId, mut spec: QosSpec) {
+        spec.weight = spec.weight.max(1);
+        self.qos.lock().insert(session, SessionQos::with_spec(spec));
+    }
+
+    /// The session's QoS spec (defaults if never configured).
+    pub fn qos_of(&self, session: SessionId) -> QosSpec {
+        self.qos
+            .lock()
+            .get(&session)
+            .map(|q| q.spec)
+            .unwrap_or_default()
     }
 
     /// Issue slots granted per session so far.
@@ -135,37 +298,132 @@ impl Scheduler {
         self.state.lock().served_ns.clone()
     }
 
-    /// Charge `ns` of device time to `session`'s ledger.
-    pub fn charge(&self, session: SessionId, ns: u64) {
-        *self.state.lock().served_ns.entry(session).or_insert(0) += ns;
+    /// The session's virtual finish time, if it has one (regression hook:
+    /// `forget` must drop it, and config setters must not recreate it).
+    pub fn wfq_vft(&self, session: SessionId) -> Option<u64> {
+        self.state.lock().vft.get(&session).copied()
     }
 
-    /// Drop all per-session state (priority, ledgers) for a released
+    /// Charge `ns` of device time to `session`'s ledger and advance its
+    /// virtual finish time by `ns * WEIGHT_SCALE / weight`.
+    pub fn charge(&self, session: SessionId, ns: u64) {
+        let weight = u64::from(
+            self.qos
+                .lock()
+                .get(&session)
+                .map(|q| q.spec.weight)
+                .unwrap_or(1)
+                .max(1),
+        );
+        let mut st = self.state.lock();
+        *st.served_ns.entry(session).or_insert(0) += ns;
+        let floor = st.vclock;
+        let vft = st.vft.entry(session).or_insert(floor);
+        *vft = (*vft).max(floor) + ns * WEIGHT_SCALE / weight;
+    }
+
+    /// Check `session`'s device-time token bucket for `want_ns` of work at
+    /// clock time `now_ns`. `Ok` deducts the tokens; `Err(retry_after_ns)`
+    /// is the time until the bucket holds enough.
+    pub fn rate_check(&self, session: SessionId, now_ns: u64, want_ns: u64) -> Result<(), u64> {
+        let mut qos = self.qos.lock();
+        let Some(q) = qos.get_mut(&session) else {
+            return Ok(());
+        };
+        let rate = q.spec.rate_ns_per_s;
+        if rate == 0 {
+            return Ok(());
+        }
+        let burst = if q.spec.burst_ns > 0 {
+            q.spec.burst_ns
+        } else {
+            rate
+        };
+        if !q.bucket_primed {
+            q.bucket_primed = true;
+            q.bucket_ns = burst;
+            q.bucket_at_ns = now_ns;
+        }
+        let elapsed = now_ns.saturating_sub(q.bucket_at_ns);
+        let refill = (elapsed as u128 * rate as u128 / 1_000_000_000) as u64;
+        q.bucket_ns = q.bucket_ns.saturating_add(refill).min(burst);
+        q.bucket_at_ns = now_ns;
+        if q.bucket_ns >= want_ns {
+            q.bucket_ns -= want_ns;
+            Ok(())
+        } else {
+            let deficit = (want_ns - q.bucket_ns) as u128;
+            let retry = (deficit * 1_000_000_000 / rate as u128) as u64;
+            Err(retry.max(1))
+        }
+    }
+
+    /// Arm or disarm grant tracing. While armed, every grant appends the
+    /// session id to an in-memory log drained by [`Self::take_trace`].
+    pub fn set_trace(&self, on: bool) {
+        let mut st = self.state.lock();
+        st.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the grant trace recorded since [`Self::set_trace`].
+    pub fn take_trace(&self) -> Vec<SessionId> {
+        let mut st = self.state.lock();
+        match st.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Record one call shed with `CRICKET_BUSY` (overload telemetry).
+    pub fn note_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds since the last call (drained by `load_report`).
+    pub fn take_recent_sheds(&self) -> u64 {
+        self.sheds.swap(0, Ordering::Relaxed)
+    }
+
+    /// Drop all per-session state (QoS config, ledgers) for a released
     /// session. Without this, session churn grows the maps without bound.
     pub fn forget(&self, session: SessionId) {
-        self.priorities.lock().remove(&session);
+        self.qos.lock().remove(&session);
         let mut st = self.state.lock();
         st.served_ops.remove(&session);
         st.served_ns.remove(&session);
+        st.vft.remove(&session);
         if st.last_served == Some(session) {
             st.last_served = None;
+        }
+        // A forgotten session's next request is never coming: close any
+        // anticipation window held open for it.
+        if st.drop_pending == Some(session) {
+            st.drop_pending = None;
+            self.cond.notify_all();
         }
     }
 
     /// Whether the scheduler still tracks any state for `session`
     /// (regression hook for `forget`).
     pub fn knows(&self, session: SessionId) -> bool {
-        if self.priorities.lock().contains_key(&session) {
+        if self.qos.lock().contains_key(&session) {
             return true;
         }
         let st = self.state.lock();
-        st.served_ops.contains_key(&session) || st.served_ns.contains_key(&session)
+        st.served_ops.contains_key(&session)
+            || st.served_ns.contains_key(&session)
+            || st.vft.contains_key(&session)
     }
 
     /// Block until it is `session`'s turn to issue; returns a guard holding
     /// the issue slot.
     pub fn begin(&self, session: SessionId) -> IssueTurn<'_> {
-        let priority = self.priorities.lock().get(&session).copied().unwrap_or(100);
+        let priority = self
+            .qos
+            .lock()
+            .get(&session)
+            .map(|q| q.spec.priority)
+            .unwrap_or(100);
         let mut st = self.state.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -174,15 +432,58 @@ impl Scheduler {
             ticket,
             priority,
         });
+        // This arrival is the request the anticipation window (if any) was
+        // holding the slot open for: close it and wake the waiters so the
+        // pick is retaken with this session contending.
+        if st.drop_pending == Some(session) {
+            st.drop_pending = None;
+            self.cond.notify_all();
+        }
         loop {
             if !st.busy {
                 let policy = *self.policy.lock();
                 if let Some(idx) = Self::pick(&st, policy) {
                     if st.queue[idx].ticket == ticket {
+                        // Anticipation: the slot was just dropped by a
+                        // session whose next request is still in flight.
+                        // Hold the claim briefly so that request can
+                        // contend. This matters even when the returning
+                        // session cannot win the next pick: under the
+                        // virtual-clock floor a closed-loop session that
+                        // loses its re-queue race forfeits that grant
+                        // *permanently* (idle banks no credit), so without
+                        // the hold 50-session weight shares drift by
+                        // whichever threads the OS happened to delay. On
+                        // timeout (session gone, or its thread stalled)
+                        // the window closes and the pick stands.
+                        if let Some(p) = st.drop_pending {
+                            if p != session && !st.queue.iter().any(|w| w.session == p) {
+                                let timed_out =
+                                    self.cond.wait_for(&mut st, ANTICIPATION_WINDOW).timed_out();
+                                if timed_out {
+                                    st.drop_pending = None;
+                                }
+                                continue;
+                            }
+                        }
+                        st.drop_pending = None;
                         st.queue.swap_remove(idx);
                         st.busy = true;
                         st.last_served = Some(session);
+                        if let Some(t) = st.trace.as_mut() {
+                            t.push(session);
+                        }
                         *st.served_ops.entry(session).or_insert(0) += 1;
+                        // Catch the session's virtual clock up to the global
+                        // one (idle banks no credit) and advance the global
+                        // clock to this work's start tag.
+                        let floor = st.vclock;
+                        let vft = st.vft.entry(session).or_insert(floor);
+                        if *vft < floor {
+                            *vft = floor;
+                        }
+                        let start_tag = *vft;
+                        st.vclock = st.vclock.max(start_tag);
                         return IssueTurn {
                             sched: self,
                             session,
@@ -191,6 +492,49 @@ impl Scheduler {
                 }
             }
             self.cond.wait(&mut st);
+        }
+    }
+
+    /// Would the policy rather serve a queued waiter than continue
+    /// `session`? Consulted at batch-slice preemption points.
+    pub fn should_yield(&self, session: SessionId) -> bool {
+        let (my_priority, _) = {
+            let qos = self.qos.lock();
+            let spec = qos.get(&session).map(|q| q.spec).unwrap_or_default();
+            (spec.priority, spec.weight)
+        };
+        let policy = *self.policy.lock();
+        let st = self.state.lock();
+        if !st.queue.iter().any(|w| w.session != session) {
+            return false;
+        }
+        match policy {
+            // A slice boundary is a fair handoff point whenever anyone else
+            // is waiting: FIFO re-admits by arrival order, RR rotates away
+            // from the session just served.
+            SchedulerPolicy::Fifo | SchedulerPolicy::RoundRobin => true,
+            SchedulerPolicy::Priority => st
+                .queue
+                .iter()
+                .any(|w| w.session != session && w.priority < my_priority),
+            SchedulerPolicy::Wfq => {
+                let my_key = st
+                    .vft
+                    .get(&session)
+                    .copied()
+                    .unwrap_or(st.vclock)
+                    .max(st.vclock);
+                st.queue.iter().any(|w| {
+                    w.session != session
+                        && st
+                            .vft
+                            .get(&w.session)
+                            .copied()
+                            .unwrap_or(st.vclock)
+                            .max(st.vclock)
+                            < my_key
+                })
+            }
         }
     }
 
@@ -231,6 +575,23 @@ impl Scheduler {
                 .enumerate()
                 .min_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(a.ticket.cmp(&b.ticket)))
                 .map(|(i, _)| i),
+            SchedulerPolicy::Wfq => {
+                // Smallest virtual finish time first, floored at the global
+                // clock so idle sessions hold no banked credit; ties break
+                // by arrival.
+                let key = |w: &Waiter| {
+                    st.vft
+                        .get(&w.session)
+                        .copied()
+                        .unwrap_or(st.vclock)
+                        .max(st.vclock)
+                };
+                st.queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| key(a).cmp(&key(b)).then(a.ticket.cmp(&b.ticket)))
+                    .map(|(i, _)| i)
+            }
         };
         idx
     }
@@ -330,6 +691,7 @@ mod tests {
             SchedulerPolicy::from_i32(1),
             Some(SchedulerPolicy::RoundRobin)
         );
+        assert_eq!(SchedulerPolicy::from_i32(3), Some(SchedulerPolicy::Wfq));
         assert_eq!(SchedulerPolicy::from_i32(9), None);
     }
 
@@ -383,7 +745,143 @@ mod tests {
         assert!(!s.knows(9));
         assert!(!s.served_ops().contains_key(&9));
         assert!(!s.served_ns().contains_key(&9));
+        assert!(s.wfq_vft(9).is_none());
         // Forgetting an unknown session is a no-op.
         s.forget(12345);
+    }
+
+    #[test]
+    fn config_setters_never_resurrect_forgotten_ledgers() {
+        let s = Scheduler::new(SchedulerPolicy::Wfq);
+        s.set_weight(9, 4);
+        {
+            let t = s.begin(9);
+            t.charge(1_000);
+        }
+        s.forget(9);
+        assert!(!s.knows(9));
+        // Re-arming config for a departed (or never-seen) session stores
+        // config only — the served_ops/served_ns/vft ledgers stay empty
+        // until the session actually runs again.
+        s.set_priority(9, 5);
+        s.set_weight(9, 2);
+        s.set_priority(424242, 1);
+        s.set_weight(424242, 8);
+        for sess in [9u32, 424242] {
+            assert!(!s.served_ops().contains_key(&sess));
+            assert!(!s.served_ns().contains_key(&sess));
+            assert!(s.wfq_vft(sess).is_none());
+        }
+        // The config itself is live: qos_of reflects it.
+        assert_eq!(s.qos_of(9).weight, 2);
+        assert_eq!(s.qos_of(9).priority, 5);
+    }
+
+    #[test]
+    fn wfq_prefers_the_session_with_the_smaller_virtual_finish_time() {
+        let s = Arc::new(Scheduler::new(SchedulerPolicy::Wfq));
+        s.set_weight(1, 1);
+        s.set_weight(2, 4);
+        // Identical device time charged: session 2's clock ran 4x slower.
+        s.charge(1, 10_000);
+        s.charge(2, 10_000);
+        let gate = s.begin(0); // hold the slot while waiters queue
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for sess in [1u32, 2] {
+            let s2 = Arc::clone(&s);
+            let order2 = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let _t = s2.begin(sess);
+                order2.lock().push(sess);
+            }));
+            // Session 1 queues first; WFQ must still pick 2.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        drop(gate);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![2, 1], "lower vft (weight 4) first");
+    }
+
+    #[test]
+    fn wfq_floors_idle_sessions_at_the_global_clock() {
+        let s = Scheduler::new(SchedulerPolicy::Wfq);
+        // Session 1 accrues vft; the global clock follows it on its next
+        // turn. A newcomer is floored at the clock, not at zero.
+        {
+            let t = s.begin(1);
+            t.charge(50_000);
+        }
+        {
+            let _t = s.begin(1);
+        }
+        let clock_after = s.wfq_vft(1).unwrap();
+        {
+            let _t = s.begin(2);
+        }
+        assert_eq!(
+            s.wfq_vft(2),
+            Some(clock_after),
+            "newcomer starts at the global virtual clock, banking no credit"
+        );
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_and_hints_refill_time() {
+        let s = Scheduler::new(SchedulerPolicy::Fifo);
+        s.set_qos(
+            7,
+            QosSpec {
+                rate_ns_per_s: 1_000_000_000, // 1 device-ns per wall-ns
+                burst_ns: 10_000,
+                ..QosSpec::default()
+            },
+        );
+        // Unconfigured sessions are unlimited.
+        assert!(s.rate_check(99, 0, u64::MAX).is_ok());
+        // The bucket primes full, then runs dry.
+        assert!(s.rate_check(7, 0, 10_000).is_ok());
+        assert_eq!(s.rate_check(7, 0, 1_000), Err(1_000));
+        // Clock advances 5_000ns → 5_000 tokens refill.
+        assert!(s.rate_check(7, 5_000, 4_000).is_ok());
+        assert_eq!(s.rate_check(7, 5_000, 2_000), Err(1_000));
+    }
+
+    #[test]
+    fn should_yield_flags_a_more_deserving_waiter() {
+        let s = Arc::new(Scheduler::new(SchedulerPolicy::Wfq));
+        s.set_weight(1, 1);
+        s.set_weight(2, 1);
+        let turn = s.begin(1);
+        assert!(!turn.should_yield(), "no waiters: keep the slot");
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || {
+            let _t = s2.begin(2);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Session 1 has consumed device time; session 2 (vft at the clock
+        // floor) deserves the slot.
+        turn.charge(100_000);
+        assert!(turn.should_yield(), "waiter with smaller vft is queued");
+        drop(turn);
+        waiter.join().unwrap();
+        // Under FIFO any other-session waiter requests a handoff; with an
+        // empty queue nothing does.
+        s.set_policy(SchedulerPolicy::Fifo);
+        let turn = s.begin(1);
+        assert!(!turn.should_yield());
+        drop(turn);
+    }
+
+    #[test]
+    fn shed_counter_drains_on_take() {
+        let s = Scheduler::new(SchedulerPolicy::Fifo);
+        assert_eq!(s.take_recent_sheds(), 0);
+        s.note_shed();
+        s.note_shed();
+        assert_eq!(s.take_recent_sheds(), 2);
+        assert_eq!(s.take_recent_sheds(), 0);
     }
 }

@@ -8,10 +8,10 @@
 
 use crate::checkpoint;
 use crate::migrate::{MigBlob, MigKind, SessionMeta};
-use crate::scheduler::{Scheduler, SchedulerPolicy, SessionId};
+use crate::scheduler::{QosSpec, Scheduler, SchedulerPolicy, SessionId};
 use cricket_proto::{
     cricket_v1, BatchReceipt, BatchResult, DataResult, DeviceProp, FloatResult, IntResult, MemInfo,
-    MemInfoResult, PropResult, RpcDim3, ServerStats, U64Result,
+    MemInfoResult, PropResult, QosParams, RpcDim3, ServerStats, U64Result,
 };
 use oncrpc::ReplayCache;
 use parking_lot::Mutex;
@@ -45,6 +45,15 @@ const DISPATCH_NS: u64 = 6_000;
 /// entry alone. The RPC dispatch share of [`DISPATCH_NS`] is paid once per
 /// batch, which is exactly the per-call overhead coalescing amortizes.
 const BATCH_OP_NS: u64 = 800;
+
+/// Preemption point cadence inside a `CRICKET_BATCH_EXEC` slice: after this
+/// many sub-ops under one issue turn, ask the scheduler whether a more
+/// deserving waiter is queued and, if so, requeue the rest of the slice.
+const BATCH_PREEMPT_OPS: u32 = 32;
+
+/// Device-ns variant of [`BATCH_PREEMPT_OPS`]: a single slice may also not
+/// charge more than this much device time between preemption checks.
+const BATCH_PREEMPT_NS: u64 = 250_000;
 
 /// One decoded `CRICKET_BATCH_EXEC` sub-op. Bulk payloads borrow from the
 /// request record — the batch body rides the same zero-copy path as
@@ -153,6 +162,8 @@ pub struct ServerConfig {
     /// gets `props`, devices 1–2 are T4s, device 3 is a P40 (further
     /// devices cycle T4). Sessions select with `cudaSetDevice`.
     pub device_count: i32,
+    /// QoS / overload-control configuration.
+    pub qos: QosServerConfig,
 }
 
 impl Default for ServerConfig {
@@ -160,6 +171,28 @@ impl Default for ServerConfig {
         Self {
             props: DeviceProperties::a100(),
             device_count: 4,
+            qos: QosServerConfig::default(),
+        }
+    }
+}
+
+/// Server-wide QoS and overload-control configuration
+/// ([`crate::ServerBuilder::qos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QosServerConfig {
+    /// Overload watermark: once this many sessions are live, *new* sessions
+    /// are shed with `CRICKET_BUSY` (established sessions keep running).
+    /// 0 = unlimited.
+    pub max_sessions: u32,
+    /// Retry-after hint carried by admission sheds, nanoseconds.
+    pub admission_retry_ns: u64,
+}
+
+impl Default for QosServerConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 0,
+            admission_retry_ns: 2_000_000,
         }
     }
 }
@@ -354,12 +387,136 @@ impl CricketServer {
             free += f;
             total += t;
         }
+        let sessions = self.sessions_seen.lock().len() as u32;
+        // QoS pressure in permille: occupancy against the session watermark,
+        // saturating at 1000 whenever calls were shed since the last report
+        // (the directory steers placement away from saturated shards).
+        let max = self.cfg.qos.max_sessions;
+        let mut qos_pressure = if max > 0 {
+            (u64::from(sessions) * 1000 / u64::from(max)).min(1000) as u32
+        } else {
+            0
+        };
+        if self.scheduler.take_recent_sheds() > 0 {
+            qos_pressure = 1000;
+        }
         oncrpc::LoadReport {
             free_mem: free,
             total_mem: total,
             served_ns: self.clock.now_ns(),
-            sessions: self.sessions_seen.lock().len() as u32,
+            sessions,
+            qos_pressure,
         }
+    }
+
+    /// Admission control, consulted by the QoS gate in front of dispatch
+    /// before any procedure body runs. `Err(retry_after_ns)` sheds the call
+    /// with `CRICKET_BUSY` — never executed, never replay-cached, safe to
+    /// retry after the hint.
+    ///
+    /// `malloc_size` is the peeked `CUDA_MALLOC` argument, used to enforce
+    /// the resident-bytes quota before the allocation happens.
+    pub fn qos_admit(
+        &self,
+        session: SessionId,
+        proc: u32,
+        malloc_size: Option<u64>,
+    ) -> Result<(), u64> {
+        // Administrative, checkpoint, and migration procedures are always
+        // admitted: an operator must be able to relax a quota or drain a
+        // saturated server, and migration control never competes with
+        // tenant work.
+        if matches!(
+            proc,
+            cricket_v1::RPC_NULL
+                | cricket_v1::CKPT_CAPTURE
+                | cricket_v1::CKPT_RESTORE
+                | cricket_v1::SRV_GET_STATS
+                | cricket_v1::SRV_RESET_STATS
+                | cricket_v1::SRV_SET_SCHEDULER
+                | cricket_v1::MIG_APPLY_BASE
+                | cricket_v1::MIG_APPLY_DELTA
+                | cricket_v1::MIG_ABORT
+                | cricket_v1::CRICKET_QOS_SET
+        ) {
+            return Ok(());
+        }
+        let cfg = self.cfg.qos;
+        // Overload watermark: shed *new* sessions past the mark;
+        // established sessions keep their service.
+        if cfg.max_sessions > 0 {
+            let seen = self.sessions_seen.lock();
+            if !seen.contains(&session) && seen.len() >= cfg.max_sessions as usize {
+                drop(seen);
+                return Err(self.shed(cfg.admission_retry_ns));
+            }
+        }
+        // Resident-bytes quota: refuse a malloc that would cross the
+        // session's ceiling (frees bring it back under).
+        if let Some(size) = malloc_size {
+            let quota = self.scheduler.qos_of(session).max_resident_bytes;
+            if quota > 0 && self.resident_bytes(session).saturating_add(size) > quota {
+                return Err(self.shed(cfg.admission_retry_ns));
+            }
+        }
+        // Device-time rate quota: each admitted work call spends one
+        // dispatch quantum from the session's token bucket; the bucket
+        // refills on the virtual clock. Host-answered (`Done`-class) calls
+        // are free — they consume no device time.
+        if matches!(crate::proc_class(proc), oncrpc::ProcClass::Parked) {
+            if let Err(hint) = self
+                .scheduler
+                .rate_check(session, self.clock.now_ns(), DISPATCH_NS)
+            {
+                return Err(self.shed(hint));
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a shed and advance the virtual clock by one dispatch quantum.
+    /// The advance matters: token buckets refill on this clock, so even a
+    /// lone over-quota client makes progress by retrying — each rejection
+    /// moves time forward toward its refill.
+    fn shed(&self, retry_after_ns: u64) -> u64 {
+        self.scheduler.note_shed();
+        self.clock.advance(DISPATCH_NS);
+        retry_after_ns
+    }
+
+    /// Bytes of device memory `session` currently holds, summed across all
+    /// devices (computed on demand from the live allocation tables).
+    pub fn resident_bytes(&self, session: SessionId) -> u64 {
+        let ptrs = match self.session_resources.lock().get(&session) {
+            Some(r) if !r.mem.is_empty() => r.mem.clone(),
+            _ => return 0,
+        };
+        let mut total = 0u64;
+        for d in &self.devices {
+            let dev = d.lock();
+            for (base, size) in dev.mem.live_allocations() {
+                if ptrs.contains(&base) {
+                    total += size;
+                }
+            }
+        }
+        total
+    }
+
+    /// Install a per-session QoS spec (`CRICKET_QOS_SET`). Administrative:
+    /// charges no device time, like `srv_set_scheduler`.
+    pub fn qos_set(&self, _s: SessionId, p: &QosParams) -> i32 {
+        self.scheduler.set_qos(
+            p.session,
+            QosSpec {
+                weight: p.weight,
+                priority: p.priority,
+                rate_ns_per_s: p.rate_ns_per_s,
+                burst_ns: p.burst_ns,
+                max_resident_bytes: p.max_resident_bytes,
+            },
+        );
+        0
     }
 
     /// The session's current device ordinal.
@@ -488,13 +645,15 @@ impl CricketServer {
     /// work within one session's stream retires in issue order). Guards
     /// against `cudaDeviceReset` having destroyed the stream under us.
     fn session_stream(&self, session: SessionId, idx: usize) -> u64 {
-        {
-            let map = self.session_streams.lock();
-            if let Some(&h) = map.get(&(session, idx)) {
-                if self.devices[idx].lock().has_stream(h) {
-                    return h;
-                }
-            }
+        // Hot path: map lookup only. Taking the device lock here would
+        // serialize every arriving call behind the current holder's
+        // transfer *before* it reaches the scheduler queue, so the
+        // scheduler would pick from a near-empty queue and sharing policy
+        // would degrade to lock wake-up order. The cache is kept valid by
+        // the two paths that destroy streams out from under it
+        // (`device_reset`, `stream_destroy`), which purge stale entries.
+        if let Some(&h) = self.session_streams.lock().get(&(session, idx)) {
+            return h;
         }
         let (h, _t) = self.devices[idx].lock().stream_create();
         self.session_streams.lock().insert((session, idx), h);
@@ -913,6 +1072,12 @@ impl CricketServer {
             self.track(s, |res| {
                 res.streams.remove(&h);
             });
+            // If this was a cached default stream, drop the mapping so the
+            // lock-free fast path in `session_stream` never returns a
+            // destroyed handle; it is lazily recreated on next use.
+            self.session_streams
+                .lock()
+                .retain(|_, &mut cached| cached != h);
         }
         Self::int_of(r)
     }
@@ -1278,20 +1443,36 @@ impl CricketServer {
                 j += 1;
             }
             // Issue the whole slice under one turn; the device lock and
-            // turn drop together at the end of the slice.
+            // turn drop together at the end of the slice. Every
+            // BATCH_PREEMPT_OPS sub-ops (or BATCH_PREEMPT_NS of charged
+            // device time) the turn is offered back: if the policy would
+            // rather serve a queued waiter, the rest of the slice requeues
+            // under a fresh turn, so a 1000-op batch cannot monopolize the
+            // device against a higher-deficit tenant.
             let turn = self.scheduler.begin(s);
             let mut dev = self.devices[idx].lock();
             let mut failed = false;
+            let mut resume_at = j;
+            let mut since_ops: u32 = 0;
+            let mut since_ns: u64 = 0;
             for (k, op) in ops.iter().enumerate().take(j).skip(i) {
                 if failed {
                     statuses[k] = oncrpc::BATCH_SKIPPED;
                     continue;
                 }
+                if (since_ops >= BATCH_PREEMPT_OPS || since_ns >= BATCH_PREEMPT_NS)
+                    && turn.should_yield()
+                {
+                    resume_at = k;
+                    break;
+                }
                 self.clock.advance(BATCH_OP_NS);
+                since_ops += 1;
                 match self.issue_batch_op(&mut dev, op, stream) {
                     Ok(Some(sub)) => {
                         self.clock.advance(sub.submit_ns);
                         turn.charge(sub.queued_ns);
+                        since_ns += sub.queued_ns;
                         agg.absorb(&sub);
                         executed += 1;
                         if matches!(op, BatchOp::LaunchKernel { .. }) {
@@ -1309,7 +1490,7 @@ impl CricketServer {
             }
             drop(dev);
             drop(turn);
-            i = j;
+            i = resume_at;
         }
         if kernels > 0 {
             self.stats.lock().kernels_launched += kernels;
@@ -2335,6 +2516,9 @@ impl cricket_proto::CricketV1Service for Sessioned {
     fn mig_abort(&self, token: u64) -> Result<i32, oncrpc::AcceptStat> {
         self.srv.discard_adoption(token);
         Ok(0)
+    }
+    fn cricket_qos_set(&self, params: QosParams) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.qos_set(self.session, &params))
     }
 }
 

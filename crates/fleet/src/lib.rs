@@ -68,18 +68,24 @@ impl Placement {
     /// listener is down, try candidate 1, and so on.
     pub fn rank(self, shards: &[ShardEntry]) -> Vec<ShardEntry> {
         let mut ranked = shards.to_vec();
+        // A saturated shard (QoS pressure at or past 1000 permille: session
+        // watermark hit, or it shed calls since its last heartbeat) is only
+        // a candidate of last resort under either policy — new sessions
+        // placed there would be admission-refused with `CRICKET_BUSY`.
+        let saturated = |e: &ShardEntry| u32::from(e.load.qos_pressure >= 1000);
         match self {
             Placement::Spread => ranked.sort_by(|a, b| {
-                a.effective_sessions()
-                    .cmp(&b.effective_sessions())
+                saturated(a)
+                    .cmp(&saturated(b))
+                    .then(a.effective_sessions().cmp(&b.effective_sessions()))
                     .then(b.load.free_mem.cmp(&a.load.free_mem))
                     .then(a.load.served_ns.cmp(&b.load.served_ns))
                     .then(a.port.cmp(&b.port))
             }),
             Placement::Pack => ranked.sort_by(|a, b| {
-                a.load
-                    .free_mem
-                    .cmp(&b.load.free_mem)
+                saturated(a)
+                    .cmp(&saturated(b))
+                    .then(a.load.free_mem.cmp(&b.load.free_mem))
                     .then(a.load.served_ns.cmp(&b.load.served_ns))
                     .then(a.port.cmp(&b.port))
             }),
@@ -700,6 +706,7 @@ mod tests {
                 total_mem: free_mem.max(1),
                 served_ns,
                 sessions,
+                qos_pressure: 0,
             },
             assigned: 0,
         }
@@ -718,6 +725,22 @@ mod tests {
         // Fewest sessions first; among the 1-session shards most free
         // memory wins; among equal memory least served time wins.
         assert_eq!(ports, vec![5004, 5003, 5002, 5001]);
+    }
+
+    #[test]
+    fn saturated_shards_rank_last_under_both_policies() {
+        // The otherwise-best shard reports QoS saturation (admission is
+        // shedding there); placement must prefer any unsaturated shard.
+        let mut best = entry(5001, 0, 500, 0);
+        best.load.qos_pressure = 1000;
+        let loaded = entry(5002, 7, 10, 99);
+        assert_eq!(Placement::Spread.pick(&[best, loaded]).unwrap().port, 5002);
+        assert_eq!(Placement::Pack.pick(&[best, loaded]).unwrap().port, 5002);
+        // Below saturation, pressure is informational only: ordering is
+        // unchanged from the classic keys.
+        let mut warm = entry(5003, 0, 500, 0);
+        warm.load.qos_pressure = 999;
+        assert_eq!(Placement::Spread.pick(&[warm, loaded]).unwrap().port, 5003);
     }
 
     #[test]

@@ -301,7 +301,10 @@ impl RpcClient {
                             | RpcError::TimedOut
                             | RpcError::Xdr(_)
                     );
-                    if !(may_retry && transient && attempt < self.policy.max_attempts) {
+                    // A shed call (`Busy`) never executed, so retrying it is
+                    // safe regardless of idempotency.
+                    let shed = matches!(e, RpcError::Busy { .. });
+                    if !(((may_retry && transient) || shed) && attempt < self.policy.max_attempts) {
                         return Err(e);
                     }
                     self.stats.retries += 1;
@@ -316,7 +319,13 @@ impl RpcClient {
                         self.transport = fresh;
                         self.stats.reconnects += 1;
                     }
-                    let delay = Self::backoff_delay(&self.policy, attempt, &mut self.jitter);
+                    let mut delay = Self::backoff_delay(&self.policy, attempt, &mut self.jitter);
+                    if let RpcError::Busy { retry_after_ns } = e {
+                        // Honor the server's hint, but never sleep past the
+                        // policy's cap — the hint is advisory, not a lease.
+                        delay = delay
+                            .max(Duration::from_nanos(retry_after_ns).min(self.policy.max_delay));
+                    }
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -362,6 +371,12 @@ impl RpcClient {
                     stat: AcceptStat::Success,
                     ..
                 } => Ok(dec.position()),
+                ReplyBody::Accepted {
+                    stat: AcceptStat::Busy,
+                    ..
+                } => Err(RpcError::Busy {
+                    retry_after_ns: body.busy_retry_after_ns().unwrap_or(0),
+                }),
                 ReplyBody::Accepted { stat, .. } => Err(RpcError::Accepted(stat)),
                 ReplyBody::Denied(stat) => Err(RpcError::Rejected(stat)),
             };

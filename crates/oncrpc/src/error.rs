@@ -39,6 +39,14 @@ pub enum RpcError {
     ConnectionClosed,
     /// Deadline expired while waiting for a reply.
     TimedOut,
+    /// The server shed the call without executing it (`AcceptStat::Busy`).
+    ///
+    /// The call had no side effects; retrying after `retry_after_ns` is safe
+    /// even for non-idempotent procedures.
+    Busy {
+        /// Server-suggested backoff before the next attempt, in nanoseconds.
+        retry_after_ns: u64,
+    },
     /// The requested program/version is not registered on this server.
     ProgramUnavailable {
         /// Program number requested.
@@ -64,6 +72,9 @@ impl fmt::Display for RpcError {
             }
             RpcError::ConnectionClosed => write!(f, "connection closed by peer"),
             RpcError::TimedOut => write!(f, "RPC timed out"),
+            RpcError::Busy { retry_after_ns } => {
+                write!(f, "server busy, retry after {retry_after_ns}ns")
+            }
             RpcError::ProgramUnavailable { prog, vers } => {
                 write!(f, "program {prog} version {vers} unavailable")
             }

@@ -35,6 +35,12 @@ pub enum AcceptStat {
     GarbageArgs = 4,
     /// Internal server error (memory allocation failure etc.).
     SystemErr = 5,
+    /// Vendor extension (`CRICKET_BUSY`): the server shed this call under
+    /// overload or quota pressure *without executing it*. The reply body
+    /// carries a retry-after hint; because the procedure never ran, a
+    /// retransmission is safe even for non-idempotent calls, and the
+    /// server must NOT store this reply in its replay cache.
+    Busy = 6,
 }
 
 impl AcceptStat {
@@ -46,6 +52,7 @@ impl AcceptStat {
             3 => AcceptStat::ProcUnavail,
             4 => AcceptStat::GarbageArgs,
             5 => AcceptStat::SystemErr,
+            6 => AcceptStat::Busy,
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "AcceptStat",
@@ -132,7 +139,10 @@ pub enum ReplyBody {
         verf: OpaqueAuth,
         /// Outcome status.
         stat: AcceptStat,
-        /// Populated iff `stat == ProgMismatch`: (low, high) versions.
+        /// Status-dependent payload words. For `ProgMismatch`: the (low,
+        /// high) supported versions. For `Busy`: the retry-after hint in
+        /// nanoseconds split as (high word, low word) — see
+        /// [`ReplyBody::busy`] / [`ReplyBody::busy_retry_after_ns`].
         mismatch: Option<(u32, u32)>,
     },
     /// The server refused the call.
@@ -151,11 +161,41 @@ impl ReplyBody {
 
     /// An accepted-but-failed reply.
     pub fn failure(stat: AcceptStat) -> Self {
-        debug_assert!(stat != AcceptStat::Success && stat != AcceptStat::ProgMismatch);
+        debug_assert!(
+            stat != AcceptStat::Success
+                && stat != AcceptStat::ProgMismatch
+                && stat != AcceptStat::Busy,
+            "Busy replies carry a hint — use ReplyBody::busy"
+        );
         ReplyBody::Accepted {
             verf: OpaqueAuth::none(),
             stat,
             mismatch: None,
+        }
+    }
+
+    /// A `CRICKET_BUSY` shed reply: the call was not executed; the client
+    /// should back off at least `retry_after_ns` before retransmitting.
+    pub fn busy(retry_after_ns: u64) -> Self {
+        ReplyBody::Accepted {
+            verf: OpaqueAuth::none(),
+            stat: AcceptStat::Busy,
+            mismatch: Some(((retry_after_ns >> 32) as u32, retry_after_ns as u32)),
+        }
+    }
+
+    /// The retry-after hint of a [`ReplyBody::busy`] reply, if this is one.
+    pub fn busy_retry_after_ns(&self) -> Option<u64> {
+        match self {
+            ReplyBody::Accepted {
+                stat: AcceptStat::Busy,
+                mismatch,
+                ..
+            } => {
+                let (hi, lo) = mismatch.unwrap_or((0, 0));
+                Some(((hi as u64) << 32) | lo as u64)
+            }
+            _ => None,
         }
     }
 
@@ -180,7 +220,7 @@ impl Xdr for ReplyBody {
                 enc.put_u32(0); // MSG_ACCEPTED
                 verf.encode(enc);
                 enc.put_u32(*stat as u32);
-                if *stat == AcceptStat::ProgMismatch {
+                if matches!(*stat, AcceptStat::ProgMismatch | AcceptStat::Busy) {
                     let (low, high) = mismatch.unwrap_or((0, 0));
                     enc.put_u32(low);
                     enc.put_u32(high);
@@ -205,7 +245,7 @@ impl Xdr for ReplyBody {
             0 => {
                 let verf = OpaqueAuth::decode(dec)?;
                 let stat = AcceptStat::from_u32(dec.get_u32()?)?;
-                let mismatch = if stat == AcceptStat::ProgMismatch {
+                let mismatch = if matches!(stat, AcceptStat::ProgMismatch | AcceptStat::Busy) {
                     Some((dec.get_u32()?, dec.get_u32()?))
                 } else {
                     None
@@ -366,6 +406,22 @@ mod tests {
         enc.put_u32(1); // xid
         enc.put_u32(9); // invalid msg type
         assert!(xdr::decode::<RpcMessage>(enc.as_slice()).is_err());
+    }
+
+    #[test]
+    fn busy_reply_roundtrips_its_retry_hint() {
+        // Hint wider than 32 bits to exercise the (hi, lo) word split.
+        let hint = (7u64 << 32) | 123_456;
+        let msg = RpcMessage::reply(4, ReplyBody::busy(hint));
+        let back = xdr::decode::<RpcMessage>(&xdr::encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+        match back.body {
+            MessageBody::Reply(body) => {
+                assert_eq!(body.busy_retry_after_ns(), Some(hint));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        assert_eq!(ReplyBody::success().busy_retry_after_ns(), None);
     }
 
     #[test]

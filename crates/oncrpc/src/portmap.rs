@@ -91,6 +91,11 @@ pub struct LoadReport {
     pub served_ns: u64,
     /// Live client sessions on the shard.
     pub sessions: u32,
+    /// QoS pressure in permille: session-watermark occupancy (0–1000),
+    /// saturating at 1000 when the shard has recently shed calls with
+    /// `CRICKET_BUSY`. Placement steers away from saturated (>=1000)
+    /// shards.
+    pub qos_pressure: u32,
 }
 
 /// One registered shard of a (prog, vers) fleet, as returned by
@@ -323,6 +328,7 @@ fn decode_load(args: &mut XdrDecoder<'_>) -> Result<LoadReport, AcceptStat> {
         total_mem: args.get_u64().map_err(garbage)?,
         served_ns: args.get_u64().map_err(garbage)?,
         sessions: args.get_u32().map_err(garbage)?,
+        qos_pressure: args.get_u32().map_err(garbage)?,
     })
 }
 
@@ -331,6 +337,7 @@ fn encode_load(reply: &mut XdrEncoder, load: &LoadReport) {
     reply.put_u64(load.total_mem);
     reply.put_u64(load.served_ns);
     reply.put_u32(load.sessions);
+    reply.put_u32(load.qos_pressure);
 }
 
 impl Dispatch for PortmapDispatch {
@@ -497,6 +504,7 @@ pub mod client {
                 enc.put_u64(load.total_mem);
                 enc.put_u64(load.served_ns);
                 enc.put_u32(load.sessions);
+                enc.put_u32(load.qos_pressure);
             })?;
             Self::one_bool(&raw)
         }
@@ -528,6 +536,7 @@ pub mod client {
                         total_mem: dec.get_u64()?,
                         served_ns: dec.get_u64()?,
                         sessions: dec.get_u32()?,
+                        qos_pressure: dec.get_u32()?,
                     },
                     assigned: dec.get_u32()?,
                 });
@@ -646,6 +655,7 @@ mod tests {
             total_mem: 200,
             served_ns: 5,
             sessions: 1,
+            qos_pressure: 0,
         };
         // Many shards of one (prog, vers) may coexist — unlike SET.
         pm.shard_set(7, 1, 5001, load);
@@ -714,6 +724,7 @@ mod tests {
             total_mem: 2 << 30,
             served_ns: 123,
             sessions: 4,
+            qos_pressure: 250,
         };
         assert!(client.shard_set(77, 1, 6001, load).unwrap());
         assert!(client

@@ -18,6 +18,34 @@ use xdr::{Xdr, XdrDecoder, XdrEncoder};
 /// Outcome of one dispatched procedure.
 pub type DispatchResult = Result<(), AcceptStat>;
 
+thread_local! {
+    /// Retry-after hint for the next `AcceptStat::Busy` returned by a
+    /// dispatch on this thread. Dispatch and reply encoding happen on the
+    /// same thread in every serve path (blocking loops, pipelined writer,
+    /// reactor workers), so a handoff through a thread-local is safe and
+    /// keeps the `Dispatch` trait's error channel a bare `AcceptStat`.
+    static BUSY_RETRY_AFTER_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Fallback hint when a service sheds with `AcceptStat::Busy` without
+/// setting one: 1ms.
+pub const DEFAULT_BUSY_RETRY_AFTER_NS: u64 = 1_000_000;
+
+/// Record the retry-after hint (nanoseconds) that should accompany an
+/// `AcceptStat::Busy` about to be returned from the current dispatch.
+pub fn set_busy_retry_after_ns(ns: u64) {
+    BUSY_RETRY_AFTER_NS.with(|c| c.set(ns));
+}
+
+fn take_busy_retry_after_ns() -> u64 {
+    let ns = BUSY_RETRY_AFTER_NS.with(|c| c.replace(0));
+    if ns == 0 {
+        DEFAULT_BUSY_RETRY_AFTER_NS
+    } else {
+        ns
+    }
+}
+
 /// A service implementation for one RPC program version.
 ///
 /// Generated server skeletons implement this by decoding `args`, invoking the
@@ -232,6 +260,15 @@ impl RpcServer {
             // Roll back any partial results plus the optimistic header.
             reply_enc.truncate(0);
             debug_assert!(header_len > 0);
+            if stat == AcceptStat::Busy {
+                // Shed without executing: the reply carries the retry-after
+                // hint and must NOT enter the replay cache — the client's
+                // retransmission has to re-attempt execution, not replay
+                // the rejection.
+                RpcMessage::reply(msg.xid, ReplyBody::busy(take_busy_retry_after_ns()))
+                    .encode(reply_enc);
+                return Ok(());
+            }
             RpcMessage::reply(msg.xid, ReplyBody::failure(stat)).encode(reply_enc);
         }
         // Cache the outcome — success *or* failure — so a retransmission
@@ -654,6 +691,72 @@ mod tests {
         let mut enc = XdrEncoder::new();
         RpcMessage::call(3, crate::msg::CallBody::new(400, 1, 0)).encode(&mut enc);
         assert!(server.handle_record(enc.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn busy_reply_is_never_stored_in_the_replay_cache() {
+        use std::sync::atomic::AtomicU32;
+        let server = Arc::new(RpcServer::new());
+        let executions = Arc::new(AtomicU32::new(0));
+        let execs = Arc::clone(&executions);
+        // Sheds the first attempt with a retry hint; executes afterwards.
+        server.register(
+            400,
+            1,
+            Arc::new(
+                move |_proc: u32, _args: &mut XdrDecoder<'_>, reply: &mut XdrEncoder| {
+                    if execs.fetch_add(1, Ordering::SeqCst) == 0 {
+                        set_busy_retry_after_ns(123_456);
+                        return Err(AcceptStat::Busy);
+                    }
+                    reply.put_u32(77);
+                    Ok(())
+                },
+            ),
+        );
+        server.set_replay_cache(Arc::new(crate::replay::ReplayCache::new(16)));
+
+        let call_record = |xid: u32| {
+            let mut enc = XdrEncoder::new();
+            let mut call = crate::msg::CallBody::new(400, 1, 1);
+            call.cred = crate::OpaqueAuth::client_token(0xFEED);
+            RpcMessage::call(xid, call).encode(&mut enc);
+            enc.into_inner()
+        };
+
+        // Attempt 1: shed, with the hint we set on the dispatch thread.
+        let reply = server.handle_record(&call_record(9)).unwrap();
+        let msg: RpcMessage = xdr::decode(&reply).unwrap();
+        let MessageBody::Reply(body) = msg.body else {
+            panic!("expected reply")
+        };
+        assert_eq!(body.busy_retry_after_ns(), Some(123_456));
+
+        // Retransmission (same token, same xid): must EXECUTE, not replay
+        // the rejection — the busy reply was never cached.
+        let reply = server.handle_record(&call_record(9)).unwrap();
+        // The success reply carries a result payload after the header, so
+        // decode the header only.
+        let mut dec = XdrDecoder::new(&reply);
+        let msg = RpcMessage::decode(&mut dec).unwrap();
+        let MessageBody::Reply(body) = msg.body else {
+            panic!("expected reply")
+        };
+        assert!(matches!(
+            body,
+            ReplyBody::Accepted {
+                stat: AcceptStat::Success,
+                ..
+            }
+        ));
+        assert_eq!(dec.get_u32().unwrap(), 77);
+        assert_eq!(executions.load(Ordering::SeqCst), 2);
+
+        // Third retransmission: the *success* was cached, so the procedure
+        // body does not run a third time.
+        let reply2 = server.handle_record(&call_record(9)).unwrap();
+        assert_eq!(reply2, reply);
+        assert_eq!(executions.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -274,6 +274,92 @@ fn batch_fault_matrix_fixed_seeds() {
     }
 }
 
+/// Seeded overload workload for the CI matrix: the session runs under a
+/// tight device-time rate quota, so the admission gate sheds calls with
+/// `CRICKET_BUSY` *while the seed's fault schedule mangles the wire*. The
+/// hardened client backs off by the server's retry-after hint and
+/// retransmits; the contract is that every call still completes exactly
+/// once. This doubles as the end-to-end proof that busy rejections are
+/// never replay-cached: a cached rejection would be replayed to the
+/// same-xid retransmission forever and the workload could never finish.
+fn run_seeded_shed_workload(seed: u64) {
+    let setup = SimSetup::new();
+    let replay = Arc::new(ReplayCache::default());
+    setup.rpc.set_replay_cache(Arc::clone(&replay));
+    let plan = FaultPlan::from_seed_with(seed, FaultConfig::lossy()).into_shared();
+    let env = EnvConfig::RustyHermit;
+    let mut client = setup.chaos_client(env, &plan);
+    harden(&mut client, &setup, env, &plan);
+
+    // ~60µs of virtual time elapses per RPC round trip. At a 1/20 refill
+    // rate (50ms of device time per wall second) one round trip banks
+    // ~3µs of the 6µs dispatch quantum, so work calls are shed roughly
+    // every other attempt and every shed recovers within a retry or two —
+    // each rejection itself advances the virtual clock toward the refill.
+    client
+        .set_qos(&cricket_repro::proto::QosParams {
+            session: 0,
+            weight: 1,
+            priority: 100,
+            rate_ns_per_s: 50_000_000,
+            burst_ns: 6_000,
+            max_resident_bytes: 0,
+        })
+        .unwrap();
+
+    let baseline = client.mem_get_info().unwrap().free;
+    let mut ptrs: Vec<(u64, Vec<u8>)> = Vec::new();
+    for i in 0..4u8 {
+        let ptr = client.malloc(4096).unwrap();
+        assert!(
+            ptrs.iter().all(|(p, _)| *p != ptr),
+            "seed {seed}: duplicate pointer {ptr:#x} — a shed malloc executed twice"
+        );
+        let pattern: Vec<u8> = (0..64u32).map(|b| (b as u8).wrapping_add(i)).collect();
+        client.memcpy_htod(ptr, &pattern).unwrap();
+        ptrs.push((ptr, pattern));
+    }
+    for (ptr, pattern) in &ptrs {
+        assert_eq!(
+            &client.memcpy_dtoh(*ptr, 64).unwrap(),
+            pattern,
+            "seed {seed}: readback corrupted under shedding"
+        );
+    }
+    for (ptr, _) in &ptrs {
+        client.free(*ptr).unwrap();
+    }
+    assert_eq!(
+        client.mem_get_info().unwrap().free,
+        baseline,
+        "seed {seed}: a shed-then-retried call executed twice or leaked"
+    );
+    // The quota actually bit: sheds since the last report saturate the
+    // shard's advertised QoS pressure.
+    assert_eq!(
+        setup.server.load_report().qos_pressure,
+        1000,
+        "seed {seed}: the rate quota never shed a call — nothing was exercised"
+    );
+}
+
+/// The CI overload matrix: `CRICKET_BUSY` shedding composes with every
+/// fixed fault seed; failures name the seed for local replay.
+#[test]
+fn shed_and_retry_matrix_fixed_seeds() {
+    for seed in CI_SEEDS {
+        let outcome = std::panic::catch_unwind(|| run_seeded_shed_workload(seed));
+        if let Err(cause) = outcome {
+            let msg = cause
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| cause.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("shed chaos matrix failed at seed {seed} (replay with FaultPlan::from_seed({seed})): {msg}");
+        }
+    }
+}
+
 /// Payload corruption is *undetectable* by RPC/XDR (there is no checksum —
 /// on real wires TCP's covers it): a flipped byte can change arguments or
 /// results while every record still parses. The contract is therefore

@@ -52,6 +52,18 @@ cargo run --release -p cricket-bench --bin migrate -- --smoke
 echo "==> bench smoke: multitenant QoS (WFQ favoritism >=2x, weight shares within 10%, quota shedding)"
 cargo run --release -p cricket-bench --bin multitenant -- --qos --smoke
 
+echo "==> wire2: striping + sparse chaos matrix (exactly-once stripes, byte-identical reassembly)"
+cargo test --test wire2 -q
+
+echo "==> wire2: sparse codec round-trip properties (arbitrary payloads, corrupt blobs)"
+cargo test -p cricket-oncrpc --test proptest_sparse -q
+
+echo "==> wire2: strict no-alloc client (zero heap allocations, construction included)"
+cargo test -p cricket-proto --test no_alloc_strict -q
+
+echo "==> bench smoke: fig7 (striping >=1.5x, sparse >=5x at 90% zeros, dense <=1.05x overhead)"
+cargo run --release -p cricket-bench --bin fig7_bandwidth -- --smoke
+
 echo "==> example smoke tests (async stream engine; nonzero exit fails CI)"
 cargo run --release --example multi_tenant
 cargo run --release --example fft_pipeline

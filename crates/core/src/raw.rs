@@ -8,7 +8,7 @@ use crate::stats::ApiStats;
 use cricket_proto::{
     cricket_v1, BatchResult, CricketV1Client, DeviceProp, MemInfo, RpcDim3, ServerStats,
 };
-use oncrpc::{BatchBuilder, BatchPolicy, BatchStats, FlushReason, BATCH_SKIPPED};
+use oncrpc::{BatchBuilder, BatchPolicy, BatchStats, FlushReason, StripePool, BATCH_SKIPPED};
 use simnet::SimClock;
 use std::sync::Arc;
 
@@ -16,6 +16,18 @@ use std::sync::Arc;
 /// larger payloads flush the batch and take the ordinary scatter-gather
 /// path so a bulk transfer never sits behind a deferral watermark.
 pub const BATCH_INLINE_HTOD_MAX: usize = 16 * 1024;
+
+/// H2D payloads at or above this size are scanned for all-zero pages;
+/// when the zero-elided form is strictly smaller it travels as
+/// `CUDA_MEMCPY_HTOD_SPARSE` instead (one page is the smallest payload
+/// the codec can win on).
+pub const SPARSE_MIN: usize = oncrpc::sparse::SPARSE_PAGE;
+
+/// Default minimum copy size that fans out across a stripe pool, when
+/// one is attached. Well above [`BATCH_INLINE_HTOD_MAX`], so striping
+/// never competes with batching and small ops keep the untouched
+/// single-connection fast path.
+pub const STRIPE_MIN: usize = 1024 * 1024;
 
 /// Client-side coalescing state: the pending batch plus the flush policy
 /// and telemetry, and the api name of every recorded op so a failed
@@ -38,6 +50,15 @@ pub struct CricketClient {
     pub stats: ApiStats,
     /// Command coalescing, when enabled (`None` = every call is eager).
     batch: Option<BatchState>,
+    /// Multi-connection striping pool, when attached.
+    stripes: Option<StripePool>,
+    /// Minimum copy size that stripes (only meaningful with a pool).
+    stripe_min: usize,
+    /// Adaptive zero-page elision of H2D payloads (on by default; the
+    /// dense path is byte-identical either way).
+    sparse: bool,
+    /// Scratch buffer for sparse payload encoding, reused across calls.
+    sparse_scratch: Vec<u8>,
 }
 
 impl CricketClient {
@@ -53,6 +74,10 @@ impl CricketClient {
             clock,
             stats: ApiStats::default(),
             batch: None,
+            stripes: None,
+            stripe_min: STRIPE_MIN,
+            sparse: true,
+            sparse_scratch: Vec::new(),
         }
     }
 
@@ -202,6 +227,39 @@ impl CricketClient {
         }
     }
 
+    // ---- wire efficiency: striping and sparse encoding ----------------
+
+    /// Attach a stripe pool: copies of at least the stripe threshold
+    /// (default [`STRIPE_MIN`], see [`Self::set_stripe_threshold`]) shard
+    /// across the pool's lanes as independent stripe RPCs and reassemble
+    /// positionally at the far end. Smaller ops keep the single-connection
+    /// fast path untouched.
+    pub fn enable_striping(&mut self, pool: StripePool) {
+        self.stripes = Some(pool);
+    }
+
+    /// Detach the stripe pool, returning it so the lanes can be reused.
+    pub fn disable_striping(&mut self) -> Option<StripePool> {
+        self.stripes.take()
+    }
+
+    /// True if a stripe pool is attached.
+    pub fn striping_enabled(&self) -> bool {
+        self.stripes.is_some()
+    }
+
+    /// Override the minimum copy size that stripes.
+    pub fn set_stripe_threshold(&mut self, bytes: usize) {
+        self.stripe_min = bytes.max(1);
+    }
+
+    /// Enable or disable adaptive sparse (zero-page-elided) H2D payload
+    /// encoding. On by default; purely a wire-format choice — the bytes
+    /// that land in device memory are identical either way.
+    pub fn set_sparse(&mut self, on: bool) {
+        self.sparse = on;
+    }
+
     /// The simulated clock, if any (examples print virtual times from it).
     pub fn clock(&self) -> Option<&Arc<SimClock>> {
         self.clock.as_ref()
@@ -325,11 +383,35 @@ impl CricketClient {
     /// bytes are recorded as *async* descriptors inside the batch (the
     /// payload is staged into the batch body, so the caller's buffer is
     /// free immediately); larger copies flush the batch and go eagerly.
+    ///
+    /// Two wire optimizations apply transparently, in priority order:
+    /// payloads of at least [`SPARSE_MIN`] bytes whose zero-page-elided
+    /// form is strictly smaller travel as `CUDA_MEMCPY_HTOD_SPARSE`;
+    /// otherwise, payloads of at least the stripe threshold fan out
+    /// across an attached stripe pool. Either way the device write is
+    /// byte-identical to the plain path.
     pub fn memcpy_htod(&mut self, dst: u64, data: &[u8]) -> ClientResult<()> {
+        if self.sparse && data.len() >= SPARSE_MIN {
+            let mut scratch = std::mem::take(&mut self.sparse_scratch);
+            let won =
+                oncrpc::sparse::encode_adaptive(data, oncrpc::sparse::SPARSE_PAGE, &mut scratch);
+            let r = won
+                .map(|(wire, zeros)| self.send_htod_sparse(dst, data.len(), &scratch, wire, zeros));
+            scratch.clear();
+            self.sparse_scratch = scratch;
+            if let Some(r) = r {
+                return r;
+            }
+        }
+        if self.stripes.is_some() && data.len() >= self.stripe_min {
+            return self.memcpy_htod_striped(dst, data);
+        }
         if self.batch.is_some() && data.len() <= BATCH_INLINE_HTOD_MAX {
             self.pre_record("cudaMemcpy(H2D)");
             self.stats.bytes_h2d += data.len() as u64;
             oncrpc::telemetry::add_transferred(data.len());
+            oncrpc::telemetry::add_wire_raw(data.len());
+            oncrpc::telemetry::add_wire_sent(data.len());
             let state = self.batch.as_mut().expect("batch state present");
             CricketV1Client::cuda_memcpy_htod_record(&mut state.builder, &dst, data);
             state.apis.push("cudaMemcpy(H2D)");
@@ -338,17 +420,138 @@ impl CricketClient {
         self.pre_call("cudaMemcpy(H2D)")?;
         self.stats.bytes_h2d += data.len() as u64;
         oncrpc::telemetry::add_transferred(data.len());
+        oncrpc::telemetry::add_wire_raw(data.len());
+        oncrpc::telemetry::add_wire_sent(data.len());
         Self::int_status("cudaMemcpy(H2D)", self.stub.cuda_memcpy_htod(&dst, data)?)
     }
 
-    /// cudaMemcpy device→host.
+    /// Ship an already-encoded sparse H2D payload: recorded into the batch
+    /// when the *encoded* blob fits the inline budget, eager
+    /// `CUDA_MEMCPY_HTOD_SPARSE` otherwise. Transfer accounting counts the
+    /// raw length — the codec changes wire bytes, not the copy.
+    fn send_htod_sparse(
+        &mut self,
+        dst: u64,
+        raw_len: usize,
+        blob: &[u8],
+        wire: usize,
+        zeros: usize,
+    ) -> ClientResult<()> {
+        oncrpc::telemetry::add_wire_raw(raw_len);
+        oncrpc::telemetry::add_wire_sent(wire);
+        oncrpc::telemetry::add_sparse_pages_elided(zeros as u64);
+        if self.batch.is_some() && blob.len() <= BATCH_INLINE_HTOD_MAX {
+            self.pre_record("cudaMemcpy(H2D)");
+            self.stats.bytes_h2d += raw_len as u64;
+            oncrpc::telemetry::add_transferred(raw_len);
+            let state = self.batch.as_mut().expect("batch state present");
+            CricketV1Client::cuda_memcpy_htod_sparse_record(&mut state.builder, &dst, blob);
+            state.apis.push("cudaMemcpy(H2D)");
+            return self.after_record();
+        }
+        self.pre_call("cudaMemcpy(H2D)")?;
+        self.stats.bytes_h2d += raw_len as u64;
+        oncrpc::telemetry::add_transferred(raw_len);
+        Self::int_status(
+            "cudaMemcpy(H2D)",
+            self.stub.cuda_memcpy_htod_sparse(&dst, blob)?,
+        )
+    }
+
+    /// Shard one large H2D copy across the stripe pool as independent
+    /// `CUDA_MEMCPY_HTOD_STRIPE` calls applied at `dst + offset`. The
+    /// replay cache plus the lanes' disjoint xid spaces give exactly-once
+    /// per stripe under retries.
+    fn memcpy_htod_striped(&mut self, dst: u64, data: &[u8]) -> ClientResult<()> {
+        self.pre_call("cudaMemcpy(H2D)")?;
+        self.stats.bytes_h2d += data.len() as u64;
+        oncrpc::telemetry::add_transferred(data.len());
+        oncrpc::telemetry::add_wire_raw(data.len());
+        oncrpc::telemetry::add_wire_sent(data.len());
+        let pool = self.stripes.as_mut().expect("stripe pool attached");
+        let mut bad: Option<i32> = None;
+        let sent = pool.scatter(data, |lane, offset, seq, chunk| {
+            let reply =
+                lane.call_raw_sg_tagged(cricket_v1::CUDA_MEMCPY_HTOD_STRIPE, false, |enc| {
+                    enc.put_u64(dst);
+                    enc.put_u64(offset);
+                    enc.put_u32(seq);
+                    enc.put_opaque_deferred(chunk);
+                })?;
+            let mut dec = xdr::XdrDecoder::new(&reply);
+            let code = dec.get_i32().map_err(oncrpc::RpcError::from)?;
+            dec.finish().map_err(oncrpc::RpcError::from)?;
+            if code != 0 {
+                // Abort the remaining stripes; the CUDA code is what gets
+                // reported — this marker error never escapes the function.
+                bad = Some(code);
+                return Err(oncrpc::RpcError::ConnectionClosed);
+            }
+            Ok(())
+        });
+        match (bad, sent) {
+            (Some(code), _) => Err(ClientError::cuda("cudaMemcpy(H2D)", code)),
+            (None, Err(e)) => Err(ClientError::Rpc(e)),
+            (None, Ok(())) => Ok(()),
+        }
+    }
+
+    /// cudaMemcpy device→host. Reads of at least the stripe threshold fan
+    /// out across an attached stripe pool; the result is byte-identical to
+    /// the single-connection read.
     pub fn memcpy_dtoh(&mut self, src: u64, len: u64) -> ClientResult<Vec<u8>> {
+        if self.stripes.is_some() && len as usize >= self.stripe_min {
+            return self.memcpy_dtoh_striped(src, len);
+        }
         self.pre_call("cudaMemcpy(D2H)")?;
         let out = self
             .stub
             .cuda_memcpy_dtoh(&src, &len)?
             .into_result()
             .map_err(|c| ClientError::cuda("cudaMemcpy(D2H)", c))?;
+        self.stats.bytes_d2h += out.len() as u64;
+        oncrpc::telemetry::add_transferred(out.len());
+        Ok(out)
+    }
+
+    /// Gather one large D2H copy as independent `CUDA_MEMCPY_DTOH_STRIPE`
+    /// reads from `src + offset`, reassembled positionally client-side.
+    fn memcpy_dtoh_striped(&mut self, src: u64, len: u64) -> ClientResult<Vec<u8>> {
+        self.pre_call("cudaMemcpy(D2H)")?;
+        let mut out = vec![0u8; len as usize];
+        let pool = self.stripes.as_mut().expect("stripe pool attached");
+        let mut bad: Option<i32> = None;
+        let got = pool.gather(&mut out, |lane, offset, seq, chunk| {
+            let want = chunk.len();
+            let reply =
+                lane.call_raw_sg_tagged(cricket_v1::CUDA_MEMCPY_DTOH_STRIPE, true, |enc| {
+                    enc.put_u64(src);
+                    enc.put_u64(offset);
+                    enc.put_u64(want as u64);
+                    enc.put_u32(seq);
+                })?;
+            let mut dec = xdr::XdrDecoder::new(&reply);
+            let err = dec.get_i32().map_err(oncrpc::RpcError::from)?;
+            if err != 0 {
+                bad = Some(err);
+                return Err(oncrpc::RpcError::ConnectionClosed);
+            }
+            let data = dec.get_opaque_ref().map_err(oncrpc::RpcError::from)?;
+            dec.finish().map_err(oncrpc::RpcError::from)?;
+            if data.len() != want {
+                return Err(oncrpc::RpcError::Xdr(xdr::XdrError::Custom(format!(
+                    "stripe returned {} bytes, wanted {want}",
+                    data.len()
+                ))));
+            }
+            chunk.copy_from_slice(data);
+            Ok(())
+        });
+        match (bad, got) {
+            (Some(code), _) => return Err(ClientError::cuda("cudaMemcpy(D2H)", code)),
+            (None, Err(e)) => return Err(ClientError::Rpc(e)),
+            (None, Ok(())) => {}
+        }
         self.stats.bytes_d2h += out.len() as u64;
         oncrpc::telemetry::add_transferred(out.len());
         Ok(out)

@@ -64,6 +64,12 @@ enum BatchOp<'a> {
         dst: u64,
         data: &'a [u8],
     },
+    /// Zero-page-elided H2D payload; `enc` is the sparse codec blob,
+    /// expanded at issue time so only literal pages travel the wire.
+    MemcpyHtodSparse {
+        dst: u64,
+        enc: &'a [u8],
+    },
     MemcpyDtod {
         dst: u64,
         src: u64,
@@ -110,6 +116,10 @@ fn decode_batch(body: &[u8]) -> Result<Vec<BatchOp<'_>>, oncrpc::AcceptStat> {
             cricket_v1::CUDA_MEMCPY_HTOD => BatchOp::MemcpyHtod {
                 dst: dec.get_u64().map_err(garbage)?,
                 data: dec.get_opaque_ref().map_err(garbage)?,
+            },
+            cricket_v1::CUDA_MEMCPY_HTOD_SPARSE => BatchOp::MemcpyHtodSparse {
+                dst: dec.get_u64().map_err(garbage)?,
+                enc: dec.get_opaque_ref().map_err(garbage)?,
             },
             cricket_v1::CUDA_MEMCPY_DTOD => BatchOp::MemcpyDtod {
                 dst: dec.get_u64().map_err(garbage)?,
@@ -949,6 +959,45 @@ impl CricketServer {
         }
     }
 
+    /// One write stripe of a striped H2D copy: apply `data` at
+    /// `dst + offset`. Reassembly is positional, so stripes from different
+    /// lanes need no mutual ordering; exactly-once per stripe comes from
+    /// the replay cache plus the lanes' disjoint xid spaces. The stripe
+    /// seq travels for tracing only.
+    fn memcpy_htod_stripe(
+        &self,
+        s: SessionId,
+        dst: u64,
+        offset: u64,
+        _seq: u32,
+        data: &[u8],
+    ) -> i32 {
+        self.memcpy_htod(s, dst.wrapping_add(offset), data)
+    }
+
+    /// One read stripe of a striped D2H copy: read `len` bytes from
+    /// `src + offset`. Pure read — idempotent by construction.
+    fn memcpy_dtoh_stripe(
+        &self,
+        s: SessionId,
+        src: u64,
+        offset: u64,
+        len: u64,
+        _seq: u32,
+    ) -> DataResult {
+        self.memcpy_dtoh(s, src.wrapping_add(offset), len)
+    }
+
+    /// Sparse H2D: expand the zero-page-elided blob, then take the plain
+    /// H2D path — `bytes_in` thus counts the decoded length, keeping the
+    /// paper's transfer accounting independent of the wire codec.
+    fn memcpy_htod_sparse(&self, s: SessionId, dst: u64, enc: &[u8]) -> i32 {
+        match oncrpc::sparse::decode(enc) {
+            Ok(raw) => self.memcpy_htod(s, dst, &raw),
+            Err(e) => Self::err_code(&VgpuError::InvalidValue(format!("sparse blob: {e}"))),
+        }
+    }
+
     fn memcpy_dtod(&self, s: SessionId, dst: u64, src: u64, len: u64) -> i32 {
         let src_dev = self.route(s, src);
         let dst_dev = self.route(s, dst);
@@ -1404,8 +1453,16 @@ impl CricketServer {
             let mut st = self.stats.lock();
             st.total_calls += ops.len() as u64;
             for op in &ops {
-                if let BatchOp::MemcpyHtod { data, .. } = op {
-                    st.bytes_in += data.len() as u64;
+                match op {
+                    BatchOp::MemcpyHtod { data, .. } => st.bytes_in += data.len() as u64,
+                    // Sparse sub-ops account their *decoded* length: the
+                    // codec changes wire bytes, not how many bytes land in
+                    // device memory. A corrupt header counts zero — the op
+                    // itself fails at issue time.
+                    BatchOp::MemcpyHtodSparse { enc, .. } => {
+                        st.bytes_in += oncrpc::sparse::raw_len(enc).unwrap_or(0);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -1506,7 +1563,9 @@ impl CricketServer {
     /// Device a batch sub-op routes to (same rules as the immediate paths).
     fn op_device(&self, s: SessionId, op: &BatchOp<'_>) -> usize {
         match *op {
-            BatchOp::MemcpyHtod { dst, .. } => self.route(s, dst),
+            BatchOp::MemcpyHtod { dst, .. } | BatchOp::MemcpyHtodSparse { dst, .. } => {
+                self.route(s, dst)
+            }
             BatchOp::MemcpyDtod { src, .. } => self.route(s, src),
             BatchOp::Memset { ptr, .. } => self.route(s, ptr),
             BatchOp::LaunchKernel { func, .. } => self.route(s, func),
@@ -1539,6 +1598,11 @@ impl CricketServer {
     ) -> Result<Option<Submit>, VgpuError> {
         match *op {
             BatchOp::MemcpyHtod { dst, data } => dev.memcpy_htod_stream(dst, data, st).map(Some),
+            BatchOp::MemcpyHtodSparse { dst, enc } => {
+                let raw = oncrpc::sparse::decode(enc)
+                    .map_err(|e| VgpuError::InvalidValue(format!("sparse blob: {e}")))?;
+                dev.memcpy_htod_stream(dst, &raw, st).map(Some)
+            }
             BatchOp::MemcpyDtod { dst, src, len } => dev.memcpy_dtod(dst, src, len, st).map(Some),
             BatchOp::Memset { ptr, value, len } => dev.memset(ptr, value, len, st).map(Some),
             BatchOp::LaunchKernel {
@@ -2245,6 +2309,31 @@ impl cricket_proto::CricketV1Service for Sessioned {
     }
     fn cuda_memcpy_dtod(&self, dst: u64, src: u64, len: u64) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.memcpy_dtod(self.session, dst, src, len))
+    }
+    fn cuda_memcpy_htod_stripe(
+        &self,
+        dst: u64,
+        offset: u64,
+        seq: u32,
+        data: &[u8],
+    ) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .memcpy_htod_stripe(self.session, dst, offset, seq, data))
+    }
+    fn cuda_memcpy_dtoh_stripe(
+        &self,
+        src: u64,
+        offset: u64,
+        len: u64,
+        seq: u32,
+    ) -> Result<DataResult, oncrpc::AcceptStat> {
+        Ok(self
+            .srv
+            .memcpy_dtoh_stripe(self.session, src, offset, len, seq))
+    }
+    fn cuda_memcpy_htod_sparse(&self, dst: u64, enc: &[u8]) -> Result<i32, oncrpc::AcceptStat> {
+        Ok(self.srv.memcpy_htod_sparse(self.session, dst, enc))
     }
     fn cuda_memset(&self, ptr: u64, value: i32, len: u64) -> Result<i32, oncrpc::AcceptStat> {
         Ok(self.srv.memset(self.session, ptr, value, len))

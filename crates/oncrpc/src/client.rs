@@ -192,6 +192,13 @@ impl RpcClient {
         self.cred = cred;
     }
 
+    /// Rebase the xid sequence. Stripe pools give each lane a disjoint xid
+    /// space so replay-cache entries from different lanes can never collide
+    /// even when the lanes share one client token.
+    pub fn set_xid_base(&mut self, base: u32) {
+        self.next_xid = base;
+    }
+
     /// Snapshot of the activity counters.
     pub fn stats(&self) -> ClientStats {
         self.stats

@@ -35,11 +35,14 @@ pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod msg;
+pub mod noalloc;
 pub mod portmap;
 pub mod reactor;
 pub mod record;
 pub mod replay;
 pub mod server;
+pub mod sparse;
+pub mod stripe;
 pub mod telemetry;
 pub mod transport;
 pub mod udp;
@@ -52,11 +55,13 @@ pub use chaos::{
 pub use client::{Reply, RetryPolicy, RpcClient};
 pub use error::{RpcError, RpcResult};
 pub use msg::{AcceptStat, CallBody, MsgType, RejectStat, ReplyBody, RpcMessage};
+pub use noalloc::NoAllocRpcClient;
 pub use portmap::{client::PortmapClient, LoadReport, Mapping, Portmap, ShardEntry};
 pub use reactor::{serve_tcp_reactor, Classifier, ConnHandler, ProcClass, ReactorConfig};
 pub use record::{RecordAssembler, RecordReader, RecordWriter, DEFAULT_MAX_FRAGMENT};
 pub use replay::{ReplayCache, ReplayStats};
 pub use server::{Dispatch, RpcServer, ServerHandle, PIPELINE_DEPTH};
+pub use stripe::{NullTimer, StripePool, StripeTimer, DEFAULT_STRIPE_LEN};
 pub use transport::{duplex_pair, MemTransport, TcpTransport, Transport};
 
 /// The RPC protocol version this crate speaks (RFC 5531 mandates 2).

@@ -1,0 +1,422 @@
+//! Allocation-free RPC client for unikernel guests.
+//!
+//! [`NoAllocRpcClient`] is the transport layer under the `no_alloc` rpcl
+//! codegen mode: every call encodes into a fixed request array with
+//! [`xdr::FixedEncoder`], hand-writes the RPC call header, sends the record
+//! as one fragment, and reassembles the reply into a fixed reply array —
+//! zero heap traffic, construction included. The allocating [`RpcClient`]
+//! (retry policies, reconnection, scatter-gather bulk arguments) remains the
+//! full-featured path; this client trades that machinery for a guaranteed
+//! no-allocation steady state, which is what a unikernel guest with a static
+//! heap budget wants on its call path.
+//!
+//! `BUF` bounds both the encoded request (header + arguments) and the
+//! reassembled reply. Requests that do not fit fail with
+//! [`RpcError::RecordTooLarge`] before any byte is written; replies that do
+//! not fit fail the same way without over-reading the stream beyond the
+//! offending fragment header.
+//!
+//! [`RpcClient`]: crate::client::RpcClient
+
+use crate::error::{RpcError, RpcResult};
+use crate::msg::{AcceptStat, RejectStat};
+use crate::transport::Transport;
+use xdr::{FixedEncoder, XdrDecoder};
+
+const LAST_FRAGMENT: u32 = 0x8000_0000;
+const LENGTH_MASK: u32 = 0x7fff_ffff;
+
+/// Stale reply records tolerated per receive (mirrors `RpcClient`).
+const MAX_STALE_REPLIES: u32 = 8;
+
+/// Fixed-buffer synchronous RPC client: no allocation ever, including
+/// construction.
+pub struct NoAllocRpcClient<T: Transport, const BUF: usize> {
+    transport: T,
+    prog: u32,
+    vers: u32,
+    next_xid: u32,
+    /// Client-instance token sent as an `AUTH_SHORT` credential when set
+    /// (keys the server's replay cache), else `AUTH_NONE`.
+    token: Option<u64>,
+    /// Request record: 4-byte fragment header + encoded call.
+    req: [u8; BUF],
+    /// Reassembled reply record.
+    reply: [u8; BUF],
+}
+
+impl<T: Transport, const BUF: usize> NoAllocRpcClient<T, BUF> {
+    /// Create a client for `prog`/`vers` over `transport`. Allocation-free.
+    pub fn new(transport: T, prog: u32, vers: u32) -> Self {
+        Self {
+            transport,
+            prog,
+            vers,
+            next_xid: 1,
+            token: None,
+            req: [0u8; BUF],
+            reply: [0u8; BUF],
+        }
+    }
+
+    /// Send an `AUTH_SHORT` client token with every call (replay-cache key).
+    pub fn set_client_token(&mut self, token: u64) {
+        self.token = Some(token);
+    }
+
+    /// Access the transport (e.g. to set a read timeout).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Issue procedure `proc`; `encode_args` appends the arguments. Returns
+    /// the reply result payload borrowed from the fixed reply buffer (valid
+    /// until the next call).
+    pub fn call(
+        &mut self,
+        proc: u32,
+        encode_args: impl FnOnce(&mut FixedEncoder<'_>),
+    ) -> RpcResult<&[u8]> {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+
+        // Encode past the 4-byte fragment header slot.
+        let mut enc = FixedEncoder::new(&mut self.req[4..]);
+        enc.put_u32(xid);
+        enc.put_u32(0); // CALL
+        enc.put_u32(crate::RPC_VERSION);
+        enc.put_u32(self.prog);
+        enc.put_u32(self.vers);
+        enc.put_u32(proc);
+        match self.token {
+            // AUTH_SHORT carrying the 8-byte token (already 4-aligned).
+            Some(token) => {
+                enc.put_u32(crate::auth::AuthFlavor::Short as u32);
+                enc.put_opaque(&token.to_be_bytes());
+            }
+            None => {
+                enc.put_u32(0); // AUTH_NONE
+                enc.put_u32(0);
+            }
+        }
+        enc.put_u32(0); // verf AUTH_NONE
+        enc.put_u32(0);
+        encode_args(&mut enc);
+        let len = enc.finish().map_err(|_| RpcError::RecordTooLarge {
+            size: enc.len() + 4,
+            max: BUF,
+        })?;
+        let header = (len as u32 & LENGTH_MASK) | LAST_FRAGMENT;
+        self.req[..4].copy_from_slice(&header.to_be_bytes());
+        self.transport.write_all(&self.req[..4 + len])?;
+        self.transport.flush()?;
+
+        let (payload_start, payload_end) =
+            Self::receive_reply(&mut self.transport, &mut self.reply, xid)?;
+        Ok(&self.reply[payload_start..payload_end])
+    }
+
+    /// Read reply records until `xid` answers, draining stale replies.
+    /// Returns the result payload's bounds within `reply`.
+    fn receive_reply(
+        transport: &mut T,
+        reply: &mut [u8; BUF],
+        xid: u32,
+    ) -> RpcResult<(usize, usize)> {
+        let mut last_got = 0u32;
+        for _ in 0..MAX_STALE_REPLIES {
+            let record_len = Self::read_record(transport, reply)?;
+            match Self::parse_reply(&reply[..record_len], xid)? {
+                Some(start) => return Ok((start, record_len)),
+                None => {
+                    // Stale xid: the reply we want is still ahead.
+                    last_got = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+                }
+            }
+        }
+        Err(RpcError::XidMismatch {
+            expected: xid,
+            got: last_got,
+        })
+    }
+
+    /// Reassemble one record-marked reply into `reply`, returning its length.
+    fn read_record(transport: &mut T, reply: &mut [u8; BUF]) -> RpcResult<usize> {
+        let mut total = 0usize;
+        loop {
+            let mut mark = [0u8; 4];
+            transport.read_exact(&mut mark)?;
+            let header = u32::from_be_bytes(mark);
+            let frag_len = (header & LENGTH_MASK) as usize;
+            if total + frag_len > BUF {
+                return Err(RpcError::RecordTooLarge {
+                    size: total + frag_len,
+                    max: BUF,
+                });
+            }
+            transport.read_exact(&mut reply[total..total + frag_len])?;
+            total += frag_len;
+            if header & LAST_FRAGMENT != 0 {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Parse an accepted/denied reply header. Returns `Ok(Some(offset))` of
+    /// the result payload on success, `Ok(None)` for a stale xid.
+    fn parse_reply(record: &[u8], xid: u32) -> RpcResult<Option<usize>> {
+        let mut dec = XdrDecoder::new(record);
+        if dec.get_u32()? != xid {
+            return Ok(None);
+        }
+        if dec.get_u32()? != 1 {
+            return Err(RpcError::UnexpectedMessageType);
+        }
+        match dec.get_u32()? {
+            0 => {
+                // MSG_ACCEPTED: verifier (flavor + opaque), accept_stat.
+                dec.get_u32()?;
+                dec.get_opaque_ref()?;
+                match dec.get_u32()? {
+                    0 => Ok(Some(dec.position())),
+                    6 => {
+                        let hi = dec.get_u32()?;
+                        let lo = dec.get_u32()?;
+                        Err(RpcError::Busy {
+                            retry_after_ns: ((hi as u64) << 32) | lo as u64,
+                        })
+                    }
+                    stat => Err(RpcError::Accepted(match stat {
+                        1 => AcceptStat::ProgUnavail,
+                        2 => AcceptStat::ProgMismatch,
+                        3 => AcceptStat::ProcUnavail,
+                        4 => AcceptStat::GarbageArgs,
+                        _ => AcceptStat::SystemErr,
+                    })),
+                }
+            }
+            1 => match dec.get_u32()? {
+                0 => Err(RpcError::Rejected(RejectStat::RpcMismatch {
+                    low: dec.get_u32()?,
+                    high: dec.get_u32()?,
+                })),
+                _ => Err(RpcError::Rejected(RejectStat::AuthError(dec.get_u32()?))),
+            },
+            _ => Err(RpcError::UnexpectedMessageType),
+        }
+    }
+}
+
+impl<T: Transport, const BUF: usize> std::fmt::Debug for NoAllocRpcClient<T, BUF> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoAllocRpcClient")
+            .field("prog", &self.prog)
+            .field("vers", &self.vers)
+            .field("next_xid", &self.next_xid)
+            .field("buf", &BUF)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// Loopback transport over fixed arrays: records the request, serves
+    /// pre-canned reply records (xid patched from the request) on read.
+    struct Loopback {
+        req: [u8; 512],
+        req_len: usize,
+        reply: [u8; 512],
+        reply_len: usize,
+        read_pos: usize,
+        /// Split the reply into fragments of this size when nonzero.
+        refragment: usize,
+        refrag: [u8; 512],
+        refrag_len: usize,
+    }
+
+    impl Loopback {
+        fn new() -> Self {
+            Self {
+                req: [0; 512],
+                req_len: 0,
+                reply: [0; 512],
+                reply_len: 0,
+                read_pos: 0,
+                refragment: 0,
+                refrag: [0; 512],
+                refrag_len: 0,
+            }
+        }
+
+        /// Queue an accepted-success reply whose payload is `result` and
+        /// whose xid is patched at read time from the last request.
+        fn canned_success(&mut self, result: &[u8]) {
+            let body_len = 24 + result.len();
+            let mark = (body_len as u32) | LAST_FRAGMENT;
+            self.reply[..4].copy_from_slice(&mark.to_be_bytes());
+            // xid placeholder at [4..8], patched in read().
+            self.reply[8..12].copy_from_slice(&1u32.to_be_bytes()); // REPLY
+            self.reply[12..16].copy_from_slice(&0u32.to_be_bytes()); // ACCEPTED
+            self.reply[16..20].copy_from_slice(&0u32.to_be_bytes()); // verf flavor
+            self.reply[20..24].copy_from_slice(&0u32.to_be_bytes()); // verf len
+            self.reply[24..28].copy_from_slice(&0u32.to_be_bytes()); // SUCCESS
+            self.reply[28..28 + result.len()].copy_from_slice(result);
+            self.reply_len = 4 + body_len;
+            self.read_pos = 0;
+        }
+
+        /// The xid of the most recent request (record body starts at 4).
+        fn req_xid(&self) -> [u8; 4] {
+            [self.req[4], self.req[5], self.req[6], self.req[7]]
+        }
+    }
+
+    impl Read for Loopback {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.read_pos == 0 && self.reply_len > 0 {
+                // Patch the canned xid, then optionally refragment.
+                let xid = self.req_xid();
+                self.reply[4..8].copy_from_slice(&xid);
+                if self.refragment > 0 {
+                    let body = self.reply_len - 4;
+                    let frag = self.refragment;
+                    let mut out = 0usize;
+                    let mut off = 4usize;
+                    let mut left = body;
+                    while left > 0 {
+                        let this = left.min(frag);
+                        let last = this == left;
+                        let mark = (this as u32) | if last { LAST_FRAGMENT } else { 0 };
+                        self.refrag[out..out + 4].copy_from_slice(&mark.to_be_bytes());
+                        out += 4;
+                        let (dst, src) = (&mut self.refrag, &self.reply);
+                        dst[out..out + this].copy_from_slice(&src[off..off + this]);
+                        out += this;
+                        off += this;
+                        left -= this;
+                    }
+                    self.refrag_len = out;
+                } else {
+                    let (dst, src) = (&mut self.refrag, &self.reply);
+                    dst[..self.reply_len].copy_from_slice(&src[..self.reply_len]);
+                    self.refrag_len = self.reply_len;
+                }
+            }
+            let avail = self.refrag_len.saturating_sub(self.read_pos);
+            if avail == 0 {
+                return Ok(0);
+            }
+            let n = avail.min(buf.len());
+            buf[..n].copy_from_slice(&self.refrag[self.read_pos..self.read_pos + n]);
+            self.read_pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for Loopback {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.req[self.req_len..self.req_len + buf.len()].copy_from_slice(buf);
+            self.req_len += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Transport for Loopback {}
+
+    #[test]
+    fn call_roundtrips_and_returns_payload() {
+        let mut lo = Loopback::new();
+        lo.canned_success(&7i32.to_be_bytes());
+        let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 99, 1);
+        let reply = client.call(4, |enc| enc.put_u64(0xdead_beef)).unwrap();
+        assert_eq!(reply, 7i32.to_be_bytes());
+    }
+
+    #[test]
+    fn request_header_matches_allocating_client_layout() {
+        let mut lo = Loopback::new();
+        lo.canned_success(&[]);
+        let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 0x10, 0x2);
+        client.call(0x3, |_| {}).unwrap();
+        let req = &client.transport.req[..client.transport.req_len];
+        // Record mark: last fragment, 40-byte AUTH_NONE header + no args.
+        assert_eq!(&req[..4], &(40u32 | LAST_FRAGMENT).to_be_bytes());
+        // Compare against the canonical encoder's call header.
+        let msg = crate::msg::RpcMessage::call(
+            u32::from_be_bytes([req[4], req[5], req[6], req[7]]),
+            crate::msg::CallBody::new(0x10, 0x2, 0x3),
+        );
+        assert_eq!(&req[4..], xdr::encode(&msg).as_slice());
+    }
+
+    #[test]
+    fn client_token_travels_as_auth_short() {
+        let mut lo = Loopback::new();
+        lo.canned_success(&[]);
+        let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 9, 1);
+        client.set_client_token(0xc11e_0001);
+        client.call(1, |_| {}).unwrap();
+        let req = &client.transport.req[..client.transport.req_len];
+        let msg: crate::msg::RpcMessage = xdr::decode(&req[4..]).unwrap();
+        match msg.body {
+            crate::msg::MessageBody::Call(c) => {
+                assert_eq!(c.cred.as_client_token(), Some(0xc11e_0001));
+            }
+            other => panic!("not a call: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_fragment_replies_reassemble() {
+        let mut lo = Loopback::new();
+        let payload: Vec<u8> = (0u8..64).collect();
+        lo.canned_success(&payload);
+        lo.refragment = 7; // force many tiny fragments
+        let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 9, 1);
+        let reply = client.call(1, |_| {}).unwrap();
+        assert_eq!(reply, payload.as_slice());
+    }
+
+    #[test]
+    fn oversized_request_fails_before_write() {
+        let mut lo = Loopback::new();
+        lo.canned_success(&[]);
+        let mut client: NoAllocRpcClient<Loopback, 64> = NoAllocRpcClient::new(lo, 9, 1);
+        let err = client
+            .call(1, |enc| enc.put_opaque_fixed(&[0u8; 128]))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::RecordTooLarge { .. }));
+        assert_eq!(client.transport.req_len, 0, "nothing may hit the wire");
+    }
+
+    #[test]
+    fn error_statuses_map_to_rpc_errors() {
+        for (stat, want_busy) in [(5u32, false), (6u32, true)] {
+            let mut lo = Loopback::new();
+            lo.canned_success(&[0u8; 8]); // room for busy's (hi, lo) words
+                                          // Overwrite accept_stat.
+            lo.reply[24..28].copy_from_slice(&stat.to_be_bytes());
+            let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 9, 1);
+            let err = client.call(1, |_| {}).unwrap_err();
+            match err {
+                RpcError::Busy { .. } => assert!(want_busy),
+                RpcError::Accepted(AcceptStat::SystemErr) => assert!(!want_busy),
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_maps_to_connection_closed() {
+        let lo = Loopback::new(); // no canned reply: read returns Ok(0) = EOF
+        let mut client: NoAllocRpcClient<Loopback, 256> = NoAllocRpcClient::new(lo, 9, 1);
+        let err = client.call(1, |_| {}).unwrap_err();
+        assert!(matches!(err, RpcError::ConnectionClosed));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the zero-page sparse codec: any payload — arbitrary
+//! density, arbitrary length, short final page — must round-trip
+//! byte-identically, and the adaptive encoder must never emit a form
+//! larger than the raw payload.
+
+use oncrpc::sparse::{decode, encode_adaptive, encode_into, zero_pages};
+use proptest::prelude::*;
+
+/// Build a payload with page-granular density controlled per page: page `i`
+/// is zero-filled when `density_bits` says so, else filled with a nonzero
+/// pattern. A tail of `extra` literal bytes exercises short final pages.
+fn mixed_payload(pages: usize, page: usize, density_bits: u64, extra: usize, fill: u8) -> Vec<u8> {
+    let fill = fill | 1; // nonzero, so "dense" pages really are dense
+    let mut v = vec![0u8; pages * page + extra];
+    for (i, chunk) in v.chunks_mut(page).enumerate() {
+        if density_bits & (1 << (i % 64)) != 0 {
+            chunk.fill(fill);
+        }
+    }
+    v
+}
+
+proptest! {
+    /// Unconditional encode → decode is the identity for any payload.
+    #[test]
+    fn roundtrip_arbitrary_payloads(
+        data in proptest::collection::vec(any::<u8>(), 0..20_000),
+        page_shift in 3u32..13,
+    ) {
+        let page = 1usize << page_shift;
+        let mut enc = Vec::new();
+        encode_into(&data, page, &mut enc);
+        prop_assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    /// Page-structured payloads (the realistic shape: some pages zero,
+    /// some dense, possibly a short tail) round-trip at the default page
+    /// size, and the adaptive encoder wins exactly when it should.
+    #[test]
+    fn roundtrip_page_structured_payloads(
+        pages in 0usize..40,
+        density_bits in any::<u64>(),
+        extra in 0usize..4096,
+        fill in any::<u8>(),
+    ) {
+        let page = 4096;
+        let data = mixed_payload(pages, page, density_bits, extra, fill);
+        let mut enc = Vec::new();
+        encode_into(&data, page, &mut enc);
+        prop_assert_eq!(decode(&enc).unwrap(), data.clone());
+
+        let mut adaptive = Vec::new();
+        match encode_adaptive(&data, page, &mut adaptive) {
+            Some((wire, zeros)) => {
+                prop_assert!(wire < data.len(), "adaptive must be strictly smaller");
+                prop_assert_eq!(wire, adaptive.len());
+                prop_assert_eq!(zeros, zero_pages(&data, page));
+                prop_assert_eq!(decode(&adaptive).unwrap(), data);
+            }
+            None => {
+                // Refusal is only allowed when there is nothing to elide
+                // or the sparse form would not be smaller.
+                prop_assert!(
+                    zero_pages(&data, page) == 0 || enc.len() >= data.len(),
+                    "adaptive refused a winnable payload: {} zero pages, \
+                     sparse {} vs raw {}",
+                    zero_pages(&data, page), enc.len(), data.len()
+                );
+                prop_assert!(adaptive.is_empty());
+            }
+        }
+    }
+
+    /// Corrupting any single byte of an encoded blob must never panic —
+    /// decode either fails cleanly or yields *some* payload (bitmap bit
+    /// flips are semantically invisible to the codec).
+    #[test]
+    fn corrupt_blobs_never_panic(
+        pages in 1usize..16,
+        density_bits in any::<u64>(),
+        corrupt_at in any::<usize>(),
+        corrupt_val in any::<u8>(),
+    ) {
+        let data = mixed_payload(pages, 4096, density_bits, 77, 0x5a);
+        let mut enc = Vec::new();
+        encode_into(&data, 4096, &mut enc);
+        let at = corrupt_at % enc.len();
+        enc[at] ^= corrupt_val | 1;
+        let _ = decode(&enc); // must not panic
+    }
+}

@@ -1,0 +1,234 @@
+//! Fixed-buffer XDR encoder: the no-allocation counterpart of
+//! [`XdrEncoder`](crate::XdrEncoder).
+//!
+//! [`FixedEncoder`] writes into a caller-provided `&mut [u8]` and never
+//! allocates. It is the encoding half of the `no_alloc` rpcl codegen mode:
+//! unikernel guests with a static request buffer encode calls with zero
+//! steady-state heap traffic. Overflow is deferred — every `put_*` advances
+//! the logical length even past capacity, and [`FixedEncoder::finish`]
+//! reports the total the buffer *would* have needed, so callers size their
+//! buffers from one failed probe instead of guessing.
+
+use crate::{pad_bytes, XdrError, XdrResult};
+
+/// Streaming XDR encoder over a caller-provided fixed buffer.
+///
+/// Mirrors the [`XdrEncoder`](crate::XdrEncoder) byte format exactly; the
+/// two encoders are interchangeable on the wire (asserted by this module's
+/// tests). Writes past the buffer's capacity are dropped but tracked: the
+/// logical position keeps advancing, and [`finish`](Self::finish) returns
+/// [`XdrError::Truncated`] carrying the full required length.
+#[derive(Debug)]
+pub struct FixedEncoder<'a> {
+    buf: &'a mut [u8],
+    /// Logical bytes encoded — may exceed `buf.len()` after an overflow.
+    pos: usize,
+}
+
+impl<'a> FixedEncoder<'a> {
+    /// Create an encoder writing into `buf` from offset 0.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Logical bytes encoded so far (may exceed capacity on overflow).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos
+    }
+
+    /// True when nothing has been encoded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos == 0
+    }
+
+    /// True once any write has been dropped for lack of capacity.
+    #[inline]
+    pub fn overflowed(&self) -> bool {
+        self.pos > self.buf.len()
+    }
+
+    /// Check for overflow and return the encoded length. On overflow, the
+    /// error's `needed` is the total length the encoding required.
+    pub fn finish(&self) -> XdrResult<usize> {
+        if self.overflowed() {
+            Err(XdrError::Truncated {
+                needed: self.pos,
+                remaining: self.buf.len(),
+            })
+        } else {
+            Ok(self.pos)
+        }
+    }
+
+    /// The encoded bytes. Empty after an overflow (the encoding is
+    /// incomplete; use [`finish`](Self::finish) to learn the required size).
+    pub fn as_slice(&self) -> &[u8] {
+        if self.overflowed() {
+            &[]
+        } else {
+            &self.buf[..self.pos]
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        let end = self.pos + bytes.len();
+        if end <= self.buf.len() {
+            self.buf[self.pos..end].copy_from_slice(bytes);
+        }
+        self.pos = end;
+    }
+
+    /// Append a 32-bit unsigned integer.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_be_bytes());
+    }
+
+    /// Append a 32-bit signed integer.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Append a 64-bit unsigned integer.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_be_bytes());
+    }
+
+    /// Append a 64-bit signed integer.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append a single-precision float.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append a double-precision float.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a boolean as 0/1.
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u32(v as u32);
+    }
+
+    /// Append fixed-length opaque data plus zero padding.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) {
+        self.put(data);
+        self.put(&[0u8; 3][..pad_bytes(data.len())]);
+    }
+
+    /// Append variable-length opaque data: length prefix, bytes, padding.
+    pub fn put_opaque(&mut self, data: &[u8]) {
+        self.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data);
+    }
+
+    /// Append an XDR string (same wire form as variable opaque).
+    pub fn put_string(&mut self, s: &str) {
+        self.put_opaque(s.as_bytes());
+    }
+
+    /// Append raw pre-encoded bytes with no length prefix or padding.
+    pub fn extend_raw(&mut self, bytes: &[u8]) {
+        self.put(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XdrEncoder;
+
+    /// Drive both encoders through the same mixed sequence.
+    fn exercise(fixed: &mut FixedEncoder<'_>, growable: &mut XdrEncoder) {
+        fixed.put_u32(0xdead_beef);
+        growable.put_u32(0xdead_beef);
+        fixed.put_i32(-7);
+        growable.put_i32(-7);
+        fixed.put_u64(0x0123_4567_89ab_cdef);
+        growable.put_u64(0x0123_4567_89ab_cdef);
+        fixed.put_i64(-1);
+        growable.put_i64(-1);
+        fixed.put_f32(1.5);
+        growable.put_f32(1.5);
+        fixed.put_f64(-2.25);
+        growable.put_f64(-2.25);
+        fixed.put_bool(true);
+        growable.put_bool(true);
+        fixed.put_opaque(b"hello");
+        growable.put_opaque(b"hello");
+        fixed.put_opaque_fixed(b"xyz");
+        growable.put_opaque_fixed(b"xyz");
+        fixed.put_string("naïve");
+        growable.put_string("naïve");
+        fixed.extend_raw(&[9, 8, 7, 6]);
+        growable.extend_raw(&[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn byte_identical_to_growable_encoder() {
+        let mut buf = [0u8; 256];
+        let mut fixed = FixedEncoder::new(&mut buf);
+        let mut growable = XdrEncoder::new();
+        exercise(&mut fixed, &mut growable);
+        assert_eq!(fixed.finish().unwrap(), growable.as_slice().len());
+        assert_eq!(fixed.as_slice(), growable.as_slice());
+    }
+
+    #[test]
+    fn overflow_reports_required_length() {
+        let mut big = [0u8; 256];
+        let mut probe = FixedEncoder::new(&mut big);
+        let mut growable = XdrEncoder::new();
+        exercise(&mut probe, &mut growable);
+        let needed = probe.finish().unwrap();
+
+        let mut small = [0u8; 16];
+        let mut fixed = FixedEncoder::new(&mut small);
+        let mut scratch = XdrEncoder::new();
+        exercise(&mut fixed, &mut scratch);
+        assert!(fixed.overflowed());
+        assert!(fixed.as_slice().is_empty());
+        match fixed.finish() {
+            Err(XdrError::Truncated {
+                needed: n,
+                remaining,
+            }) => {
+                assert_eq!(n, needed);
+                assert_eq!(remaining, 16);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_fit_is_not_overflow() {
+        let mut buf = [0u8; 8];
+        let mut enc = FixedEncoder::new(&mut buf);
+        enc.put_u64(42);
+        assert!(!enc.overflowed());
+        assert_eq!(enc.finish().unwrap(), 8);
+        assert_eq!(enc.as_slice(), 42u64.to_be_bytes());
+    }
+
+    #[test]
+    fn padding_matches_xdr_alignment() {
+        let mut buf = [0u8; 64];
+        let mut enc = FixedEncoder::new(&mut buf);
+        enc.put_opaque(&[0xaa]);
+        // length word + 1 payload byte + 3 pad bytes.
+        assert_eq!(enc.as_slice(), &[0, 0, 0, 1, 0xaa, 0, 0, 0]);
+    }
+}

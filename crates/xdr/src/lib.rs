@@ -20,12 +20,14 @@
 mod decode;
 mod encode;
 mod error;
+mod fixed;
 mod sg;
 mod traits;
 
 pub use decode::XdrDecoder;
 pub use encode::XdrEncoder;
 pub use error::{XdrError, XdrResult};
+pub use fixed::FixedEncoder;
 pub use sg::{XdrSgEncoder, MAX_DEFERRED, MAX_SEGMENTS};
 pub use traits::{Xdr, XdrVec};
 
